@@ -1,0 +1,147 @@
+// Package repro_test hosts the repository-level benchmark harness: one
+// testing.B benchmark per table and figure of the paper's evaluation
+// (§VII), plus the ablation benches listed in DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark regenerates its artifact end to end (workload generation,
+// monitoring, statistical analysis, symbolic execution), so ns/op is the
+// artifact's full regeneration cost.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func BenchmarkTable1ProgramStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table1()
+		if len(rows) != 4 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+func benchModuleTable(b *testing.B, rate float64) {
+	budgets := bench.DefaultBudgets()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.TableModule(rate, bench.DefaultSeed, budgets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.Found {
+				b.Fatalf("%s: vulnerable path not found at %.0f%% sampling", r.Program, rate*100)
+			}
+		}
+	}
+}
+
+func BenchmarkTable2Sampling100(b *testing.B) { benchModuleTable(b, 1.0) }
+
+func BenchmarkTable3Sampling30(b *testing.B) { benchModuleTable(b, 0.3) }
+
+func BenchmarkTable4GuidedVsPure(b *testing.B) {
+	budgets := bench.DefaultBudgets()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table4(bench.DefaultSeed, budgets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.GuidedFound {
+				b.Fatalf("%s: StatSym failed", r.Program)
+			}
+		}
+	}
+}
+
+func BenchmarkTable5Predicates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lines, err := bench.Table5("polymorph", 10, bench.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(lines) != 10 {
+			b.Fatalf("got %d predicates", len(lines))
+		}
+	}
+}
+
+func BenchmarkFigure7PathLengths(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure7(bench.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+func BenchmarkFigure9CandidatePaths(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lines, err := bench.Figure9("polymorph", bench.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(lines) == 0 {
+			b.Fatal("no candidate paths")
+		}
+	}
+}
+
+func BenchmarkFigure10Sensitivity(b *testing.B) {
+	// The full sweep is expensive; the benchmark uses three rates.
+	rates := []float64{0.2, 0.5, 1.0}
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure10([]string{"polymorph", "ctree"}, rates, bench.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.Found {
+				b.Fatalf("%s at %.0f%%: not found", r.Program, r.Rate*100)
+			}
+		}
+	}
+}
+
+func BenchmarkAblationScheduler(b *testing.B) {
+	budgets := bench.DefaultBudgets()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationScheduler(bench.DefaultSeed, budgets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationGuidance(b *testing.B) {
+	budgets := bench.DefaultBudgets()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationGuidance(bench.DefaultSeed, budgets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTau(b *testing.B) {
+	budgets := bench.DefaultBudgets()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationTau("thttpd", nil, bench.DefaultSeed, budgets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSolverCache(b *testing.B) {
+	budgets := bench.DefaultBudgets()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationSolverCache(budgets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Command benchtab regenerates the paper's evaluation tables and figures
+// from this reproduction. Without flags it runs everything; -table and
+// -figure select individual artifacts; -ablation runs the design-choice
+// ablations from DESIGN.md.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		table    = flag.Int("table", 0, "regenerate one table (1-5); 0 = all")
+		figure   = flag.Int("figure", 0, "regenerate one figure (7-10); 0 = all")
+		ablation = flag.String("ablation", "", "run an ablation: scheduler, guidance, tau, cache, all")
+		seed     = flag.Int64("seed", bench.DefaultSeed, "workload seed")
+		only     = flag.Bool("only", false, "run only the selected table/figure")
+		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+	)
+	flag.Parse()
+	budgets := bench.DefaultBudgets()
+
+	emit := func(name string, rows any, text string) {
+		if *asJSON {
+			blob, err := json.MarshalIndent(map[string]any{"artifact": name, "rows": rows}, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab: json:", err)
+				return
+			}
+			fmt.Println(string(blob))
+			return
+		}
+		fmt.Println(text)
+	}
+
+	selected := func(t, f int) bool {
+		if *ablation != "" && *table == 0 && *figure == 0 {
+			return false
+		}
+		if !*only && *table == 0 && *figure == 0 {
+			return true
+		}
+		return (*table != 0 && *table == t) || (*figure != 0 && *figure == f)
+	}
+
+	if selected(1, 0) {
+		rows := bench.Table1()
+		emit("table1", rows, bench.FormatTable1(rows))
+	}
+	if selected(2, 0) {
+		rows, err := bench.TableModule(1.0, *seed, budgets)
+		if err != nil {
+			return err
+		}
+		emit("table2", rows, bench.FormatTableModule("TABLE II: Module breakdown at 100% sampling", rows))
+	}
+	if selected(3, 0) {
+		rows, err := bench.TableModule(0.3, *seed, budgets)
+		if err != nil {
+			return err
+		}
+		emit("table3", rows, bench.FormatTableModule("TABLE III: Module breakdown at 30% sampling", rows))
+	}
+	if selected(4, 0) {
+		rows, err := bench.Table4(*seed, budgets)
+		if err != nil {
+			return err
+		}
+		emit("table4", rows, bench.FormatTable4(rows))
+	}
+	if selected(5, 0) {
+		lines, err := bench.Table5("polymorph", 10, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("TABLE V: Top 10 predicates for polymorph (30% sampling)")
+		for _, l := range lines {
+			fmt.Println("  " + l)
+		}
+		fmt.Println()
+	}
+	if selected(0, 7) {
+		rows, err := bench.Figure7(*seed)
+		if err != nil {
+			return err
+		}
+		emit("figure7", rows, bench.FormatFigure7(rows))
+	}
+	if selected(0, 8) {
+		locs, vars, err := bench.Figure8("polymorph")
+		if err != nil {
+			return err
+		}
+		fmt.Println("FIGURE 8: Instrumented locations and variables in polymorph")
+		for i, l := range locs {
+			fmt.Printf("  L%-3d %s\n", i+1, l)
+		}
+		fmt.Println("  variables: " + strings.Join(vars, ", "))
+		fmt.Println()
+	}
+	if selected(0, 9) {
+		lines, err := bench.Figure9("polymorph", *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("FIGURE 9: Candidate paths for polymorph (30% sampling)")
+		for _, l := range lines {
+			fmt.Println("  " + l)
+		}
+		fmt.Println()
+	}
+	if selected(0, 10) {
+		rows, err := bench.Figure10([]string{"polymorph", "ctree"}, nil, *seed)
+		if err != nil {
+			return err
+		}
+		emit("figure10", rows, bench.FormatFigure10(rows))
+	}
+
+	switch *ablation {
+	case "":
+	case "scheduler":
+		rows, err := bench.AblationScheduler(*seed, budgets)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatAblation("ABLATION: schedulers vs StatSym guidance", rows))
+	case "guidance":
+		rows, err := bench.AblationGuidance(*seed, budgets)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatAblation("ABLATION: guidance mechanisms (inter/intra)", rows))
+	case "tau":
+		rows, err := bench.AblationTau("thttpd", nil, *seed, budgets)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatAblation("ABLATION: hop threshold τ (thttpd)", rows))
+	case "cache":
+		rows, err := bench.AblationSolverCache(budgets)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatAblation("ABLATION: solver query cache (polymorph, pure)", rows))
+	case "all":
+		rows, err := bench.AblationScheduler(*seed, budgets)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatAblation("ABLATION: schedulers vs StatSym guidance", rows))
+		rows, err = bench.AblationGuidance(*seed, budgets)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatAblation("ABLATION: guidance mechanisms (inter/intra)", rows))
+		rows, err = bench.AblationTau("thttpd", nil, *seed, budgets)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatAblation("ABLATION: hop threshold τ (thttpd)", rows))
+		rows, err = bench.AblationSolverCache(budgets)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatAblation("ABLATION: solver query cache (polymorph, pure)", rows))
+	default:
+		return fmt.Errorf("unknown ablation %q", *ablation)
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+// Command minic is the MiniC toolchain driver: run programs concretely,
+// disassemble their bytecode, or print their static statistics.
+//
+//	minic run file.mc [-int name=42] [-str name=value] [-env K=V] [-- argv...]
+//	minic disas file.mc
+//	minic stats file.mc
+//	minic app <name>           # print an evaluation app's source
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/bytecode"
+	"repro/internal/interp"
+	"repro/internal/minic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "minic:", err)
+		os.Exit(1)
+	}
+}
+
+type kvList []string
+
+func (k *kvList) String() string     { return strings.Join(*k, ",") }
+func (k *kvList) Set(s string) error { *k = append(*k, s); return nil }
+
+func run() error {
+	if len(os.Args) < 3 {
+		return fmt.Errorf("usage: minic {run|disas|stats} <file.mc> [flags] | minic app <name>")
+	}
+	cmd, target := os.Args[1], os.Args[2]
+
+	if cmd == "app" {
+		app, err := apps.Get(target)
+		if err != nil {
+			return err
+		}
+		fmt.Print(app.Source)
+		return nil
+	}
+
+	srcBytes, err := os.ReadFile(target)
+	if err != nil {
+		return err
+	}
+	src := string(srcBytes)
+
+	switch cmd {
+	case "run":
+		fs := flag.NewFlagSet("run", flag.ContinueOnError)
+		var ints, strs, envs kvList
+		fs.Var(&ints, "int", "int input: name=value (repeatable)")
+		fs.Var(&strs, "str", "string input: name=value (repeatable)")
+		fs.Var(&envs, "env", "environment variable: name=value (repeatable)")
+		maxSteps := fs.Int("max-steps", 0, "step limit (0: default)")
+		if err := fs.Parse(os.Args[3:]); err != nil {
+			return err
+		}
+		input := &interp.Input{
+			Ints: map[string]int64{},
+			Strs: map[string]string{},
+			Env:  map[string]string{},
+			Args: fs.Args(),
+		}
+		for _, kv := range ints {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("bad -int %q", kv)
+			}
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad -int %q: %v", kv, err)
+			}
+			input.Ints[k] = n
+		}
+		for _, kv := range strs {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("bad -str %q", kv)
+			}
+			input.Strs[k] = v
+		}
+		for _, kv := range envs {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("bad -env %q", kv)
+			}
+			input.Env[k] = v
+		}
+		prog, err := compile(target, src)
+		if err != nil {
+			return err
+		}
+		res, err := interp.Run(prog, input, interp.Config{CollectOutput: true, MaxSteps: *maxSteps})
+		if err != nil {
+			return err
+		}
+		for _, line := range res.Output {
+			fmt.Println(line)
+		}
+		if res.Faulty() {
+			fmt.Printf("FAULT: %s in %s at %s (after %d steps)\n",
+				res.Fault, res.FaultFunc, res.FaultPos, res.Steps)
+			os.Exit(2)
+		}
+		fmt.Printf("exit: %d (%d steps)\n", res.Ret.Int, res.Steps)
+		return nil
+
+	case "disas":
+		prog, err := compile(target, src)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bytecode.DisassembleProgram(prog))
+		return nil
+
+	case "stats":
+		ast, err := minic.ParseAndCheck(src)
+		if err != nil {
+			return err
+		}
+		ast.Name = target
+		st := minic.Stats(ast, src)
+		fmt.Printf("program:        %s\n", target)
+		fmt.Printf("SLOC:           %d\n", st.SLOC)
+		fmt.Printf("functions:      %d\n", st.Functions)
+		fmt.Printf("external calls: %d\n", st.ExternalCalls)
+		fmt.Printf("internal calls: %d\n", st.InternalCalls)
+		fmt.Printf("global insts:   %d\n", st.GlobalVars)
+		fmt.Printf("param insts:    %d\n", st.Params)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q (want run, disas, stats, app)", cmd)
+	}
+}
+
+func compile(name, src string) (*bytecode.Program, error) {
+	ast, err := minic.ParseAndCheck(src)
+	if err != nil {
+		return nil, err
+	}
+	ast.Name = name
+	return bytecode.Compile(ast)
+}

@@ -1,0 +1,56 @@
+// Command monitor collects runtime logs for an evaluation application: it
+// generates random user runs, executes them under the instrumented VM with
+// the requested sampling rate, and writes the labeled corpus to a file that
+// cmd/statsym can analyze later (the deployment split of the paper: logging
+// happens in the field, analysis happens offline).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "monitor:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		appName = flag.String("app", "polymorph", "application: polymorph, ctree, thttpd, grep (paper) or msgtool, billing (extensions)")
+		rate    = flag.Float64("rate", 0.3, "per-event log sampling rate (0..1]")
+		seed    = flag.Int64("seed", 1, "workload and sampling seed")
+		runs    = flag.Int("runs", workload.DefaultRuns, "correct and faulty runs to collect (each)")
+		out     = flag.String("o", "", "output corpus file (default <app>-<rate>.log)")
+	)
+	flag.Parse()
+
+	app, err := apps.Get(*appName)
+	if err != nil {
+		return err
+	}
+	corpus, err := workload.BuildCorpus(app, workload.Options{
+		SampleRate: *rate, Seed: *seed, Correct: *runs, Faulty: *runs,
+	})
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("%s-%02.0f.log", app.Name, *rate*100)
+	}
+	// A .gz suffix enables transparent compression.
+	n, err := corpus.WriteFile(path)
+	if err != nil {
+		return err
+	}
+	nR, nL, nV := corpus.Counts()
+	fmt.Printf("wrote %s: %d runs (%d locations, %d variables), %d bytes\n", path, nR, nL, nV, n)
+	return nil
+}

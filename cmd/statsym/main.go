@@ -1,0 +1,255 @@
+// Command statsym runs the full StatSym pipeline on one of the four
+// evaluation applications: collect sampled logs from random user runs,
+// perform statistical analysis (predicates + candidate paths), and drive
+// statistics-guided symbolic execution until the vulnerable path is
+// verified. With -pure it instead runs the unguided baseline (KLEE-style
+// pure symbolic execution) for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/report"
+	"repro/internal/symexec"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "statsym:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		appName   = flag.String("app", "polymorph", "application: polymorph, ctree, thttpd, grep (paper) or msgtool, billing (extensions)")
+		corpusIn  = flag.String("corpus", "", "analyze a pre-collected corpus file (from cmd/monitor) instead of collecting logs")
+		rate      = flag.Float64("rate", 0.3, "log sampling rate (0..1]")
+		seed      = flag.Int64("seed", 1, "workload and sampling seed")
+		runs      = flag.Int("runs", workload.DefaultRuns, "correct and faulty runs to collect (each)")
+		tau       = flag.Int("tau", core.DefaultTau, "hop divergence threshold τ")
+		pure      = flag.Bool("pure", false, "run the pure symbolic execution baseline instead")
+		maxStates = flag.Int("max-states", 0, "live-state budget (0: default)")
+		maxSteps  = flag.Int64("max-steps", 0, "instruction budget (0: default)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock bound for symbolic execution (0: none)")
+		verbose   = flag.Bool("v", false, "print predicates and candidate paths")
+		minimize  = flag.Bool("minimize", false, "shrink the witness input via concrete replays")
+		dotOut    = flag.String("dot", "", "write the transition graph (Graphviz DOT) to this file")
+		witOut    = flag.String("witness-out", "", "write the witness input (JSON) to this file for replay")
+		htmlOut   = flag.String("html", "", "write a self-contained HTML report to this file")
+	)
+	flag.Parse()
+
+	app, err := apps.Get(*appName)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== %s: %s\n", app.Name, app.Description)
+
+	if *pure {
+		fmt.Println("-- pure symbolic execution (baseline)")
+		start := time.Now()
+		res := core.RunPure(app.Program(), app.Spec, *maxStates, *maxSteps, *timeout)
+		printPureResult(res, time.Since(start))
+		return nil
+	}
+
+	var corpus *trace.Corpus
+	var monElapsed time.Duration
+	if *corpusIn != "" {
+		var err error
+		corpus, err = trace.ReadFile(*corpusIn)
+		if err != nil {
+			return err
+		}
+		if corpus.Program != app.Name {
+			return fmt.Errorf("corpus %s was collected for %q, not %q", *corpusIn, corpus.Program, app.Name)
+		}
+		fmt.Printf("-- loaded corpus %s\n", *corpusIn)
+	} else {
+		fmt.Printf("-- collecting %d correct + %d faulty runs at %.0f%% sampling\n", *runs, *runs, *rate*100)
+		monStart := time.Now()
+		var err error
+		corpus, err = workload.BuildCorpus(app, workload.Options{
+			SampleRate: *rate, Seed: *seed, Correct: *runs, Faulty: *runs,
+		})
+		if err != nil {
+			return err
+		}
+		monElapsed = time.Since(monStart)
+	}
+	nR, nL, nV := corpus.Counts()
+	fmt.Printf("   corpus: %d runs, %d locations, %d variables, ~%d KB (collected in %v)\n",
+		nR, nL, nV, corpus.SizeBytes()/1024, monElapsed.Round(time.Millisecond))
+
+	cfg := core.Config{
+		Tau:                 *tau,
+		Spec:                app.Spec,
+		PerCandidateTimeout: *timeout,
+		PerCandidateMaxSteps: func() int64 {
+			if *maxSteps > 0 {
+				return *maxSteps
+			}
+			return 0
+		}(),
+		MaxStates: *maxStates,
+	}
+	rep, err := core.Run(app.Program(), corpus, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("-- statistical analysis: %v (predicates: %d, detours: %d, candidates: %d)\n",
+		rep.StatTime.Round(time.Millisecond), len(rep.Analysis.Predicates),
+		rep.Detours(), len(rep.PathRes.Candidates))
+	if *verbose {
+		fmt.Println("   top predicates:")
+		for i, p := range rep.Analysis.Top(10) {
+			fmt.Printf("     P%-2d %-45s @ %s (score %.3f)\n", i+1, p.String(), p.Loc, p.Score)
+		}
+		fmt.Printf("   skeleton (%d nodes):\n", len(rep.PathRes.Skeleton))
+		for _, l := range rep.PathRes.Skeleton {
+			fmt.Printf("     %s\n", l)
+		}
+		for i, cand := range rep.PathRes.Candidates {
+			fmt.Printf("   candidate %d: %d nodes, avg score %.3f, %d detours\n",
+				i+1, cand.Len(), cand.AvgScore, cand.Detours)
+		}
+	}
+	if *dotOut != "" {
+		dot := rep.PathRes.Graph.WriteDOT(rep.Analysis, rep.PathRes.Skeleton)
+		if err := os.WriteFile(*dotOut, []byte(dot), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("   transition graph written to %s\n", *dotOut)
+	}
+	fmt.Printf("-- symbolic execution: %v\n", rep.SymTime.Round(time.Millisecond))
+	for _, c := range rep.Candidates {
+		status := "no vulnerability"
+		if c.Found {
+			status = "VULNERABLE PATH FOUND"
+		} else if c.Infeasible {
+			status = "infeasible / abandoned"
+		}
+		fmt.Printf("   candidate %d (len %d): %s — %d paths, %d steps, %d suspensions, %v\n",
+			c.Index, c.PathLen, status, c.Paths, c.Steps, c.Suspends, c.Elapsed.Round(time.Millisecond))
+	}
+	if !rep.Found() {
+		fmt.Println("RESULT: vulnerable path not found")
+		return nil
+	}
+	v := rep.Vuln
+	fmt.Printf("RESULT: %s in %s at %s (candidate %d, %d paths total)\n",
+		v.Kind, v.Func, v.Pos, rep.CandidateUsed, rep.TotalPaths)
+	fmt.Println("   vulnerable path:")
+	for _, loc := range v.Path {
+		fmt.Printf("     %s\n", loc)
+	}
+	fmt.Println("   path constraints:")
+	max := len(v.Constraints)
+	if max > 20 {
+		max = 20
+	}
+	for _, c := range v.Constraints[:max] {
+		fmt.Printf("     %s\n", c.String(nil))
+	}
+	if len(v.Constraints) > max {
+		fmt.Printf("     ... (%d more)\n", len(v.Constraints)-max)
+	}
+	fmt.Println("   witness input:")
+	if v.Witness != nil {
+		for k, val := range v.Witness.Ints {
+			fmt.Printf("     int %s = %d\n", k, val)
+		}
+		for k, val := range v.Witness.Strs {
+			fmt.Printf("     string %s = %s\n", k, summarize(val))
+		}
+		for k, val := range v.Witness.Env {
+			fmt.Printf("     env %s = %s\n", k, summarize(val))
+		}
+		if len(v.Witness.Args) > 0 {
+			fmt.Printf("     args =")
+			for _, a := range v.Witness.Args {
+				fmt.Printf(" %s", summarize(a))
+			}
+			fmt.Println()
+		}
+	}
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			return err
+		}
+		err = report.WriteHTML(f, rep, time.Now().Format("2006-01-02 15:04:05"))
+		cerr := f.Close()
+		if err != nil {
+			return err
+		}
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Printf("   HTML report written to %s\n", *htmlOut)
+	}
+	if *witOut != "" && v.Witness != nil {
+		if err := interp.SaveInput(*witOut, v.Witness); err != nil {
+			return err
+		}
+		fmt.Printf("   witness written to %s (replay: symexec -app %s -replay %s)\n",
+			*witOut, app.Name, *witOut)
+	}
+	if *minimize && v.Witness != nil {
+		min, replays := core.MinimizeWitness(app.Program(), v.Witness, 512)
+		fmt.Printf("   minimized witness (%d replays):\n", replays)
+		for k, val := range min.Ints {
+			fmt.Printf("     int %s = %d\n", k, val)
+		}
+		for k, val := range min.Strs {
+			fmt.Printf("     string %s = %s\n", k, summarize(val))
+		}
+		for k, val := range min.Env {
+			fmt.Printf("     env %s = %s\n", k, summarize(val))
+		}
+		if len(min.Args) > 0 {
+			fmt.Printf("     args =")
+			for _, a := range min.Args {
+				fmt.Printf(" %s", summarize(a))
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func summarize(s string) string {
+	if len(s) <= 48 {
+		return fmt.Sprintf("%q", s)
+	}
+	return fmt.Sprintf("%q... (%d bytes)", s[:32], len(s))
+}
+
+func printPureResult(res *symexec.Result, elapsed time.Duration) {
+	switch {
+	case res.Found():
+		v := res.Vulns[0]
+		fmt.Printf("RESULT: %s in %s after %d paths, %d steps (%v)\n",
+			v.Kind, v.Func, res.Paths, res.Steps, elapsed.Round(time.Millisecond))
+	case res.Exhausted:
+		fmt.Printf("RESULT: FAILED — state budget exhausted (max live %d) after %d paths, %d steps (%v)\n",
+			res.MaxLive, res.Paths, res.Steps, elapsed.Round(time.Millisecond))
+	case res.StepLimited:
+		fmt.Printf("RESULT: FAILED — step budget exhausted after %d paths (%v)\n", res.Paths, elapsed.Round(time.Millisecond))
+	case res.TimedOut:
+		fmt.Printf("RESULT: FAILED — timed out after %d paths (%v)\n", res.Paths, elapsed.Round(time.Millisecond))
+	default:
+		fmt.Printf("RESULT: explored all %d paths without finding a vulnerability (%v)\n",
+			res.Paths, elapsed.Round(time.Millisecond))
+	}
+}

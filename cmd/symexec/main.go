@@ -1,0 +1,173 @@
+// Command symexec runs pure (unguided) symbolic execution — the KLEE
+// baseline — on one of the evaluation applications or an arbitrary MiniC
+// source file, with a selectable state scheduler.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/bytecode"
+	"repro/internal/interp"
+	"repro/internal/symexec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "symexec:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		appName   = flag.String("app", "", "app: polymorph, ctree, thttpd, grep, msgtool, billing")
+		file      = flag.String("file", "", "MiniC source file to analyze instead of -app")
+		schedName = flag.String("sched", "bfs", "scheduler: bfs, dfs, random, coverage")
+		seed      = flag.Int64("seed", 1, "seed for the random scheduler")
+		maxStates = flag.Int("max-states", 0, "live-state budget (0: default)")
+		maxSteps  = flag.Int64("max-steps", 0, "instruction budget (0: default)")
+		timeout   = flag.Duration("timeout", 60*time.Second, "wall-clock bound")
+		maxStr    = flag.Int64("max-str", 0, "symbolic string length bound for -file runs (0: default)")
+		all       = flag.Bool("all", false, "keep searching after the first vulnerability")
+		replay    = flag.String("replay", "", "seed exploration with a witness input (JSON, from statsym -witness-out)")
+		cov       = flag.Bool("cov", false, "report instruction coverage after the run")
+	)
+	flag.Parse()
+
+	var prog *bytecode.Program
+	var spec *symexec.InputSpec
+	switch {
+	case *appName != "":
+		app, err := apps.Get(*appName)
+		if err != nil {
+			return err
+		}
+		prog = app.Program()
+		spec = app.Spec
+	case *file != "":
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		prog = bytecode.MustCompile(*file, string(src))
+		spec = &symexec.InputSpec{MaxStrLen: *maxStr}
+	default:
+		return fmt.Errorf("one of -app or -file is required")
+	}
+
+	if *replay != "" {
+		seed, err := interp.LoadInput(*replay)
+		if err != nil {
+			return err
+		}
+		// Copy the spec so the app registry's shared instance stays clean.
+		seeded := *spec
+		seeded.SeedInput = seed
+		spec = &seeded
+		fmt.Printf("seeding exploration with %s\n", *replay)
+	}
+
+	opts := symexec.DefaultOptions()
+	opts.StopAtFirstVuln = !*all
+	opts.Timeout = *timeout
+	if *maxStates > 0 {
+		opts.MaxStates = *maxStates
+	}
+	if *maxSteps > 0 {
+		opts.MaxSteps = *maxSteps
+	}
+	switch *schedName {
+	case "bfs":
+		opts.Sched = symexec.NewBFS()
+	case "dfs":
+		opts.Sched = symexec.NewDFS()
+	case "random":
+		opts.Sched = symexec.NewRandom(*seed)
+	case "coverage":
+		opts.Sched = symexec.NewCoverage()
+	default:
+		return fmt.Errorf("unknown scheduler %q", *schedName)
+	}
+
+	ex := symexec.New(prog, spec, opts)
+	res := ex.Run()
+	fmt.Printf("scheduler=%s paths=%d states=%d forks=%d steps=%d solver-checks=%d elapsed=%v\n",
+		opts.Sched.Name(), res.Paths, res.StatesCreated, res.Forks, res.Steps,
+		res.SolverChecks, res.Elapsed.Round(time.Millisecond))
+	if *cov {
+		fmt.Printf("coverage: %.1f%% of instructions\n", ex.TotalCoverage()*100)
+		byFunc := ex.Coverage()
+		names := make([]string, 0, len(byFunc))
+		for name := range byFunc {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %-24s %.1f%%\n", name, byFunc[name]*100)
+		}
+	}
+	switch {
+	case res.Exhausted:
+		fmt.Println("status: FAILED (state budget exhausted — memory overrun)")
+	case res.StepLimited:
+		fmt.Println("status: FAILED (instruction budget exhausted)")
+	case res.TimedOut:
+		fmt.Println("status: FAILED (timed out)")
+	default:
+		fmt.Println("status: completed")
+	}
+	if len(res.Vulns) == 0 {
+		fmt.Println("no vulnerabilities found")
+		return nil
+	}
+	for i, v := range res.Vulns {
+		fmt.Printf("vulnerability %d: %s in %s at %s\n", i+1, v.Kind, v.Func, v.Pos)
+		fmt.Println("  path:")
+		for _, loc := range v.Path {
+			fmt.Printf("    %s\n", loc)
+		}
+		fmt.Printf("  constraints (%d):\n", len(v.Constraints))
+		limit := len(v.Constraints)
+		if limit > 12 {
+			limit = 12
+		}
+		for _, c := range v.Constraints[:limit] {
+			fmt.Printf("    %s\n", c.String(ex.Table))
+		}
+		if len(v.Constraints) > limit {
+			fmt.Printf("    ... (%d more)\n", len(v.Constraints)-limit)
+		}
+		if v.Witness != nil {
+			fmt.Println("  witness:")
+			for k, val := range v.Witness.Ints {
+				fmt.Printf("    int %s = %d\n", k, val)
+			}
+			for k, val := range v.Witness.Strs {
+				fmt.Printf("    string %s = %s\n", k, trunc(val))
+			}
+			for k, val := range v.Witness.Env {
+				fmt.Printf("    env %s = %s\n", k, trunc(val))
+			}
+			if len(v.Witness.Args) > 0 {
+				fmt.Printf("    args =")
+				for _, a := range v.Witness.Args {
+					fmt.Printf(" %s", trunc(a))
+				}
+				fmt.Println()
+			}
+		}
+	}
+	return nil
+}
+
+func trunc(s string) string {
+	if len(s) <= 40 {
+		return fmt.Sprintf("%q", s)
+	}
+	return fmt.Sprintf("%q... (%d bytes)", s[:24], len(s))
+}

@@ -1,0 +1,37 @@
+// Sensitivity study (§VII-D, Fig. 10 of the paper).
+//
+// Sweeps the log sampling rate from 20% to 100% on polymorph and CTree and
+// reports the time split between the statistical analysis module and the
+// statistics-guided symbolic execution module, together with the log
+// volume and detour counts. The paper's qualitative findings to look for:
+// StatSym succeeds at every rate (even 20%), statistical-analysis cost
+// grows with the sampling rate (larger logs), and sparser logs yield more
+// detours / more candidate paths.
+//
+// Run with: go run ./examples/sensitivity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	rates := []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	rows, err := bench.Figure10([]string{"polymorph", "ctree"}, rates, bench.DefaultSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatFigure10(rows))
+
+	// Verify the headline claim: the vulnerable path is identified at
+	// every sampling rate, including the lowest.
+	for _, r := range rows {
+		if !r.Found {
+			log.Fatalf("%s at %.0f%% sampling: vulnerable path NOT found", r.Program, r.Rate*100)
+		}
+	}
+	fmt.Println("\nStatSym identified the vulnerable path at every sampling rate (20%-100%).")
+}

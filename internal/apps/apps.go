@@ -1,0 +1,104 @@
+// Package apps contains the four evaluation programs of the paper —
+// polymorph (Bugbench), CTree and Grep (NIST STONESOUP), and thttpd —
+// re-authored in MiniC with the same function structure, global variables,
+// and documented vulnerabilities (§VII-A, Table I). Each app carries its
+// symbolic-input configuration (the "semantically reasonable program input
+// options" both StatSym and KLEE receive) and a workload generator that
+// emulates user runs with random inputs (§V-A).
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/bytecode"
+	"repro/internal/interp"
+	"repro/internal/minic"
+	"repro/internal/symexec"
+)
+
+// App bundles one evaluation program.
+type App struct {
+	Name        string
+	Description string
+	Source      string
+
+	// Spec configures symbolic inputs for both StatSym and the pure
+	// baseline.
+	Spec *symexec.InputSpec
+
+	// NewInput draws one random test input (the emulated user run).
+	NewInput func(rng *rand.Rand) *interp.Input
+
+	// VulnFunc and VulnKind identify the known vulnerability, used to
+	// validate discovered paths.
+	VulnFunc string
+	VulnKind interp.FaultKind
+
+	// PureFails records the paper's Table IV expectation: pure symbolic
+	// execution exhausts memory on this program.
+	PureFails bool
+
+	once sync.Once
+	prog *bytecode.Program
+}
+
+// Program compiles the app (cached).
+func (a *App) Program() *bytecode.Program {
+	a.once.Do(func() {
+		a.prog = bytecode.MustCompile(a.Name, a.Source)
+	})
+	return a.prog
+}
+
+// AST parses and checks the app source (uncached; used for Table I).
+func (a *App) AST() *minic.Program {
+	return minic.MustParse(a.Name, a.Source)
+}
+
+// Stats computes the app's Table I row.
+func (a *App) Stats() minic.ProgramStats {
+	return minic.Stats(a.AST(), a.Source)
+}
+
+// All returns the four evaluation apps in the paper's order.
+func All() []*App {
+	return []*App{Polymorph(), CTree(), Thttpd(), Grep()}
+}
+
+// Extras returns the applications added beyond the paper's evaluation set
+// (extensions exercised by examples and tests, not by the paper's tables).
+func Extras() []*App {
+	return []*App{MsgTool(), Billing()}
+}
+
+// Get returns the named app (evaluation set or extras).
+func Get(name string) (*App, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	for _, a := range Extras() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown application %q (have polymorph, ctree, thttpd, grep, msgtool, billing)", name)
+}
+
+// randName draws a random file-name-ish string of the given length:
+// lowercase letters, digits, dots and dashes, never starting with a dot
+// unless hidden is set.
+func randName(rng *rand.Rand, n int, hidden bool) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789-_"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	if n > 0 && hidden {
+		b[0] = '.'
+	}
+	return string(b)
+}

@@ -1,0 +1,70 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/interp"
+)
+
+func TestAppsCompile(t *testing.T) {
+	for _, app := range All() {
+		if app.Program() == nil {
+			t.Errorf("%s: nil program", app.Name)
+		}
+	}
+}
+
+func TestAppsStats(t *testing.T) {
+	// Table I shape: polymorph is the smallest; thttpd and grep are the
+	// larger programs.
+	st := map[string]int{}
+	for _, app := range All() {
+		s := app.Stats()
+		if s.SLOC == 0 || s.Functions == 0 {
+			t.Errorf("%s: empty stats %+v", app.Name, s)
+		}
+		st[app.Name] = s.SLOC
+	}
+	if st["polymorph"] >= st["ctree"] || st["ctree"] >= st["thttpd"] {
+		t.Errorf("SLOC ordering unexpected: %v", st)
+	}
+}
+
+func TestWorkloadsProduceBothClasses(t *testing.T) {
+	for _, app := range All() {
+		rng := rand.New(rand.NewSource(11))
+		faulty, correct := 0, 0
+		for i := 0; i < 300 && (faulty < 5 || correct < 5); i++ {
+			res, err := interp.Run(app.Program(), app.NewInput(rng), interp.Config{})
+			if err != nil {
+				t.Fatalf("%s: run error: %v", app.Name, err)
+			}
+			if res.Faulty() {
+				faulty++
+				if res.Fault != app.VulnKind || res.FaultFunc != app.VulnFunc {
+					t.Errorf("%s: fault %v in %s, want %v in %s",
+						app.Name, res.Fault, res.FaultFunc, app.VulnKind, app.VulnFunc)
+				}
+			} else {
+				correct++
+			}
+		}
+		if faulty < 5 || correct < 5 {
+			t.Errorf("%s: workload mix %d faulty / %d correct after 300 runs",
+				app.Name, faulty, correct)
+		}
+	}
+}
+
+func TestGetApp(t *testing.T) {
+	for _, name := range []string{"polymorph", "ctree", "thttpd", "grep"} {
+		app, err := Get(name)
+		if err != nil || app.Name != name {
+			t.Errorf("Get(%s) = %v, %v", name, app, err)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("Get(nope) should fail")
+	}
+}

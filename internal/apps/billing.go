@@ -1,0 +1,113 @@
+package apps
+
+import (
+	"math/rand"
+
+	"repro/internal/interp"
+	"repro/internal/symexec"
+)
+
+// billingSrc is a second extension program covering the paper's "integer
+// handling errors" vulnerability class (§VII-A): the discount routine's
+// reachable assertion fails for percentages above 90, and the tax split
+// divides by a user-controlled bucket count. Unlike the four evaluation
+// apps, the statistical predicates here are over raw integer values, not
+// string lengths — exercising the numeric side of predicate construction
+// end to end.
+const billingSrc = `
+// billing - invoice calculator with integer-handling defects.
+global int subtotal = 0;
+global int discount_applied = 0;
+global int lines_priced = 0;
+global int tax_buckets = 4;
+
+// price_line accumulates one line item.
+func price_line(int qty, int unit) int {
+  int line = qty * unit;
+  if (line < 0) {
+    line = 0;
+  }
+  subtotal = subtotal + line;
+  lines_priced = lines_priced + 1;
+  return line;
+}
+
+// apply_discount is fault point #1: percentages above 90 violate the
+// internal consistency assertion.
+func apply_discount(int percent) int {
+  if (percent < 0) {
+    return subtotal;
+  }
+  int off = subtotal * percent / 100;
+  subtotal = subtotal - off;
+  assert(subtotal * 10 >= off);
+  discount_applied = 1;
+  return subtotal;
+}
+
+// split_tax is fault point #2: a zero bucket count divides by zero.
+func split_tax(int buckets) int {
+  tax_buckets = buckets;
+  int per = subtotal / buckets;
+  return per;
+}
+
+// round_total rounds to the nearest ten.
+func round_total(int v) int {
+  int rem = v % 10;
+  if (rem >= 5) {
+    return v + (10 - rem);
+  }
+  return v - rem;
+}
+
+func main() int {
+  int n = input_int("items");
+  if (n < 0) {
+    n = 0;
+  }
+  if (n > 8) {
+    n = 8;
+  }
+  int i = 0;
+  while (i < n) {
+    price_line(i + 1, 100 + i);
+    i = i + 1;
+  }
+  int pct = input_int("discount");
+  apply_discount(pct);
+  int buckets = input_int("buckets");
+  if (buckets < 0) {
+    buckets = 1;
+  }
+  split_tax(buckets);
+  print(round_total(subtotal));
+  return 0;
+}
+`
+
+// Billing returns the integer-defect extension app. The assertion in
+// apply_discount fires for discount percentages ≥ 91 (given at least one
+// priced line), and split_tax divides by zero when buckets == 0.
+func Billing() *App {
+	return &App{
+		Name:        "billing",
+		Description: "invoice calculator with an integer-threshold assertion failure and a division by zero",
+		Source:      billingSrc,
+		Spec: &symexec.InputSpec{
+			ConcreteInts: map[string]int64{"buckets": 4},
+			IntMin:       -1000,
+			IntMax:       1000,
+		},
+		NewInput: func(rng *rand.Rand) *interp.Input {
+			return &interp.Input{Ints: map[string]int64{
+				"items":    int64(1 + rng.Intn(8)),
+				"discount": int64(rng.Intn(120)),
+				"buckets":  int64(1 + rng.Intn(6)),
+			}}
+		},
+		VulnFunc:  "apply_discount",
+		VulnKind:  interp.FaultAssert,
+		PureFails: false,
+	}
+}

@@ -1,0 +1,173 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+)
+
+// faultsWith reports whether the app faults (in its documented function)
+// on the given input.
+func faultsWith(t *testing.T, app *App, in *interp.Input) bool {
+	t.Helper()
+	res, err := interp.Run(app.Program(), in, interp.Config{})
+	if err != nil {
+		t.Fatalf("%s: %v", app.Name, err)
+	}
+	if res.Faulty() && res.FaultFunc != app.VulnFunc {
+		t.Fatalf("%s: fault in %s, expected only %s", app.Name, res.FaultFunc, app.VulnFunc)
+	}
+	return res.Faulty()
+}
+
+func TestPolymorphOverflowBoundary(t *testing.T) {
+	app := Polymorph()
+	mk := func(n int) *interp.Input {
+		return &interp.Input{Args: []string{"-f", strings.Repeat("a", n)}}
+	}
+	// convert_fileName copies len bytes then writes the terminator at
+	// index len into the 512-byte buffer: 511 is safe, 512 overflows.
+	if faultsWith(t, app, mk(511)) {
+		t.Error("511-byte name faulted")
+	}
+	if !faultsWith(t, app, mk(512)) {
+		t.Error("512-byte name did not fault")
+	}
+}
+
+func TestPolymorphHiddenSkipsConversion(t *testing.T) {
+	app := Polymorph()
+	// A hidden (dot) file without -h never reaches convert_fileName, so
+	// even an overflowing length is safe.
+	long := "." + strings.Repeat("a", 600)
+	if faultsWith(t, app, &interp.Input{Args: []string{"-f", long}}) {
+		t.Error("hidden file was converted without -h")
+	}
+	// With -h it is converted and overflows.
+	if !faultsWith(t, app, &interp.Input{Args: []string{"-h", "-f", long}}) {
+		t.Error("-h did not convert the hidden file")
+	}
+}
+
+func TestCTreeOverflowBoundary(t *testing.T) {
+	app := CTree()
+	mk := func(n int) *interp.Input {
+		return &interp.Input{
+			Args: []string{"-q", "df"},
+			Env:  map[string]string{"STONESOUP_TAINT_SOURCE": strings.Repeat("x", n)},
+		}
+	}
+	if faultsWith(t, app, mk(63)) {
+		t.Error("63-byte taint faulted")
+	}
+	if !faultsWith(t, app, mk(64)) {
+		t.Error("64-byte taint did not fault")
+	}
+}
+
+func TestThttpdOverflowBoundary(t *testing.T) {
+	app := Thttpd()
+	mk := func(req string) *interp.Input {
+		return &interp.Input{Strs: map[string]string{"request": req}}
+	}
+	// Plain request: the defang terminator overflows at 1000 bytes.
+	if faultsWith(t, app, mk(strings.Repeat("a", 999))) {
+		t.Error("999-byte plain request faulted")
+	}
+	if !faultsWith(t, app, mk(strings.Repeat("a", 1000))) {
+		t.Error("1000-byte plain request did not fault")
+	}
+	// Angle brackets expand 4x: 250 '<' characters write 1000 bytes and
+	// the terminator overflows.
+	if !faultsWith(t, app, mk(strings.Repeat("<", 250))) {
+		t.Error("250 '<' expansion did not overflow")
+	}
+	if faultsWith(t, app, mk(strings.Repeat("<", 249))) {
+		t.Error("249 '<' expansion faulted early")
+	}
+}
+
+func TestGrepOverflowBoundary(t *testing.T) {
+	app := Grep()
+	mk := func(n int) *interp.Input {
+		return &interp.Input{
+			Args: []string{"-c", "ab"},
+			Strs: map[string]string{"data": "line\n"},
+			Env:  map[string]string{"STONESOUP_TAINT_SOURCE": strings.Repeat("x", n)},
+		}
+	}
+	if faultsWith(t, app, mk(127)) {
+		t.Error("127-byte taint faulted")
+	}
+	if !faultsWith(t, app, mk(128)) {
+		t.Error("128-byte taint did not fault")
+	}
+}
+
+func TestMsgtoolBoundaries(t *testing.T) {
+	app := MsgTool()
+	encode := func(n int) *interp.Input {
+		return &interp.Input{
+			Args: []string{"encode"},
+			Strs: map[string]string{"title": strings.Repeat("t", n)},
+		}
+	}
+	res, _ := interp.Run(app.Program(), encode(31), interp.Config{})
+	if res.Faulty() {
+		t.Error("31-byte title faulted")
+	}
+	res, _ = interp.Run(app.Program(), encode(32), interp.Config{})
+	if !res.Faulty() || res.FaultFunc != "pack_header" {
+		t.Errorf("32-byte title: %+v", res)
+	}
+}
+
+func TestBillingBoundary(t *testing.T) {
+	app := Billing()
+	mk := func(pct int64) *interp.Input {
+		return &interp.Input{Ints: map[string]int64{"items": 3, "discount": pct, "buckets": 2}}
+	}
+	res, _ := interp.Run(app.Program(), mk(90), interp.Config{})
+	if res.Faulty() {
+		t.Error("90% discount faulted")
+	}
+	res, _ = interp.Run(app.Program(), mk(95), interp.Config{})
+	if !res.Faulty() || res.FaultFunc != "apply_discount" {
+		t.Errorf("95%% discount: fault=%v in %s", res.Fault, res.FaultFunc)
+	}
+	// Division by zero with zero buckets is reachable concretely (the
+	// workload never generates it; symbolic analysis with a symbolic
+	// buckets channel finds it — see core tests).
+	res, _ = interp.Run(app.Program(), &interp.Input{
+		Ints: map[string]int64{"items": 1, "discount": 10, "buckets": 0},
+	}, interp.Config{})
+	if !res.Faulty() || res.FaultFunc != "split_tax" {
+		t.Errorf("zero buckets: fault=%v in %s", res.Fault, res.FaultFunc)
+	}
+}
+
+func TestSpecsKeepOptionsConcrete(t *testing.T) {
+	// The symbolic-input specs concretize option strings (the paper's
+	// "semantically reasonable program input options").
+	for _, app := range All() {
+		spec := app.Spec
+		if spec == nil {
+			t.Fatalf("%s: nil spec", app.Name)
+		}
+		switch app.Name {
+		case "polymorph":
+			if spec.ConcreteArgs[1] != "-f" {
+				t.Errorf("polymorph spec args: %v", spec.ConcreteArgs)
+			}
+		case "ctree":
+			if spec.ConcreteArgs[0] != "-n" {
+				t.Errorf("ctree spec args: %v", spec.ConcreteArgs)
+			}
+		case "grep":
+			if spec.ConcreteArgs[0] != "-c" {
+				t.Errorf("grep spec args: %v", spec.ConcreteArgs)
+			}
+		}
+	}
+}

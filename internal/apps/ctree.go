@@ -1,0 +1,266 @@
+package apps
+
+import (
+	"math/rand"
+
+	"repro/internal/interp"
+	"repro/internal/symexec"
+)
+
+// CTree symbolic-input sizes.
+const (
+	ctreeMaxTaint = 300
+	ctreeMaxSpec  = 24
+)
+
+// ctreeSrc is the MiniC port of CTree (NIST STONESOUP), a tool for
+// displaying file-system hierarchies. The STONESOUP-injected vulnerability
+// (§VII-C3): an environment variable (the tainted buffer) longer than the
+// 64-byte stack buffer overflows it in initlinedraw. The directory-spec
+// scanning code branches per character, which blows up pure symbolic
+// execution (Table IV: KLEE fails on CTree with memory exhaustion).
+const ctreeSrc = `
+// ctree - directory hierarchy display (STONESOUP port).
+global int opt_numeric = 0;
+global int opt_quick = 0;
+global int max_depth = 16;
+global int nodes_drawn = 0;
+global int dirs_seen = 0;
+global int files_seen = 0;
+global int links_seen = 0;
+global string rootdir;
+global string stonesoup_tainted_buff;
+
+// parse_args handles the documented -n / -q / -d options; the remaining
+// argument names the root directory spec.
+func parse_args(int argc) int {
+  int i = 0;
+  while (i < argc) {
+    string opt = arg(i);
+    if (opt == "-n") {
+      opt_numeric = 1;
+      i = i + 1;
+    } else if (opt == "-q") {
+      opt_quick = 1;
+      i = i + 1;
+    } else if (opt == "-d") {
+      if (i + 1 < argc) {
+        max_depth = atoi(arg(i + 1));
+        i = i + 2;
+      } else {
+        i = i + 1;
+      }
+    } else {
+      rootdir = opt;
+      i = i + 1;
+    }
+  }
+  return 1;
+}
+
+// stonesoup_read_taint ingests the injected taint source from the
+// environment (the paper's stonesoup_tainted_buff).
+func stonesoup_read_taint() string {
+  string t = env("STONESOUP_TAINT_SOURCE");
+  stonesoup_tainted_buff = t;
+  return t;
+}
+
+// classify_entry maps a directory-spec character to an entry kind.
+func classify_entry(int c) int {
+  if (c == 'd') {
+    return 1;
+  }
+  if (c == 'f') {
+    return 2;
+  }
+  if (c == 'l') {
+    return 3;
+  }
+  return 0;
+}
+
+// count_entries scans the directory spec character by character, tallying
+// entry kinds. Every character multiplies the symbolic state space.
+func count_entries(string spec) int {
+  int i = 0;
+  while (i < len(spec)) {
+    int k = classify_entry(char(spec, i));
+    if (k == 1) {
+      dirs_seen = dirs_seen + 1;
+    } else if (k == 2) {
+      files_seen = files_seen + 1;
+    } else if (k == 3) {
+      links_seen = links_seen + 1;
+    } else {
+      files_seen = files_seen + 1;
+    }
+    i = i + 1;
+  }
+  nodes_drawn = dirs_seen + files_seen + links_seen;
+  return nodes_drawn;
+}
+
+// normalize_spec canonicalizes the directory spec when numeric sorting is
+// requested; only the -n runs traverse it, so it surfaces as a detour.
+func normalize_spec(string spec) int {
+  int n = len(spec);
+  if (n > 16) {
+    n = 16;
+  }
+  if (n > 0) {
+    if (char(spec, 0) == '/') {
+      n = n - 1;
+    }
+  }
+  return n;
+}
+
+// quick_scan is the shallow directory walk used with -q.
+func quick_scan(string spec) int {
+  int n = len(spec);
+  dirs_seen = dirs_seen + 0;
+  if (n > max_depth) {
+    n = max_depth;
+  }
+  return n;
+}
+
+// full_scan is the deep walk used without -q; exactly one of quick_scan /
+// full_scan appears on any run's path.
+func full_scan(string spec) int {
+  int n = len(spec) * 2;
+  if (n > max_depth * 4) {
+    n = max_depth * 4;
+  }
+  files_seen = files_seen + 0;
+  return n;
+}
+
+// initlinedraw is the fault point: the tainted buffer is copied into a
+// fixed 64-byte line-drawing buffer with no bounds check; the terminator
+// write overflows once the taint reaches 64 bytes.
+func initlinedraw(string tainted) int {
+  buf linebuf[64];
+  int i = 0;
+  while (i < len(tainted)) {
+    bufwrite(linebuf, i, char(tainted, i));
+    i = i + 1;
+  }
+  bufwrite(linebuf, i, 0);
+  return i;
+}
+
+// draw_branch renders one branch row (post-fault drawing logic).
+func draw_branch(int depth, int idx) int {
+  int width = depth * 2 + idx;
+  if (width > 80) {
+    width = 80;
+  }
+  nodes_drawn = nodes_drawn + 1;
+  return width;
+}
+
+// draw_node renders one node of the requested kind.
+func draw_node(int kind, int depth) int {
+  int glyph = '+';
+  if (kind == 1) {
+    glyph = '/';
+  }
+  if (kind == 3) {
+    glyph = '@';
+  }
+  return draw_branch(depth, glyph);
+}
+
+// draw_tree walks the counted entries and renders them.
+func draw_tree(int total) int {
+  int i = 0;
+  int depth = 1;
+  while (i < total) {
+    draw_node(i - (i / 4) * 4, depth);
+    if (depth < max_depth) {
+      depth = depth + 1;
+    }
+    i = i + 1;
+  }
+  return i;
+}
+
+// print_summary reports the tally.
+func print_summary() void {
+  print(dirs_seen);
+  print(files_seen);
+  print(links_seen);
+  return;
+}
+
+func main() int {
+  parse_args(nargs());
+  string taint = stonesoup_read_taint();
+  if (opt_numeric == 1) {
+    normalize_spec(rootdir);
+  }
+  if (opt_quick == 1) {
+    quick_scan(rootdir);
+  } else {
+    full_scan(rootdir);
+  }
+  int total = count_entries(rootdir);
+  int drawn = initlinedraw(taint);
+  draw_tree(total);
+  if (opt_quick == 0) {
+    print_summary();
+  }
+  print(drawn);
+  return 0;
+}
+`
+
+// CTree returns the CTree evaluation app. Pure symbolic execution explodes
+// in the per-character spec scanning and exhausts its state budget;
+// StatSym's guidance drives straight to initlinedraw and is the fastest of
+// the four case studies (Table II/III).
+func CTree() *App {
+	return &App{
+		Name:        "ctree",
+		Description: "directory hierarchy display with a STONESOUP 64-byte stack-buffer overflow",
+		Source:      ctreeSrc,
+		Spec: &symexec.InputSpec{
+			NArgs:        3,
+			ConcreteArgs: map[int]string{0: "-n", 1: "-q"},
+			StrLenMax: map[string]int64{
+				"arg2":                   ctreeMaxSpec,
+				"STONESOUP_TAINT_SOURCE": ctreeMaxTaint,
+			},
+		},
+		NewInput: func(rng *rand.Rand) *interp.Input {
+			var taintLen int
+			if rng.Intn(2) == 0 {
+				taintLen = rng.Intn(64) // benign: below the 64-byte buffer
+			} else {
+				taintLen = 64 + rng.Intn(ctreeMaxTaint-64)
+			}
+			spec := make([]byte, rng.Intn(ctreeMaxSpec))
+			kinds := []byte{'d', 'f', 'l', 'x'}
+			for i := range spec {
+				spec[i] = kinds[rng.Intn(len(kinds))]
+			}
+			// Users vary the flags: -n toggles the normalize_spec branch.
+			args := []string{string(spec)}
+			if rng.Intn(2) == 0 {
+				args = append([]string{"-n"}, args...)
+			}
+			if rng.Intn(2) == 0 {
+				args = append([]string{"-q"}, args...)
+			}
+			return &interp.Input{
+				Args: args,
+				Env:  map[string]string{"STONESOUP_TAINT_SOURCE": randName(rng, taintLen, false)},
+			}
+		},
+		VulnFunc:  "initlinedraw",
+		VulnKind:  interp.FaultBufferOverflow,
+		PureFails: true,
+	}
+}

@@ -1,0 +1,302 @@
+package apps
+
+import (
+	"math/rand"
+
+	"repro/internal/interp"
+	"repro/internal/symexec"
+)
+
+// Grep symbolic-input sizes.
+const (
+	grepMaxPattern = 24
+	grepMaxData    = 48
+	grepMaxTaint   = 400
+)
+
+// grepSrc is the MiniC port of Grep (NIST STONESOUP). The injected
+// vulnerability mirrors CTree's (§VII-C3): a tainted environment buffer is
+// expanded into a fixed 128-byte stack buffer inside the injected
+// stonesoup_expand routine. The pattern compiler and line matcher branch
+// per character of symbolic input, which defeats pure symbolic execution;
+// the program also emits by far the largest runtime logs of the four apps
+// (the paper observes grep's statistical-analysis time dominating).
+const grepSrc = `
+// grep - plain-text search (STONESOUP port).
+global int opt_ignorecase = 0;
+global int opt_count_only = 0;
+global int opt_invert = 0;
+global int lines_scanned = 0;
+global int matches_found = 0;
+global int pattern_classes = 0;
+global int pattern_literals = 0;
+global int pattern_wildcards = 0;
+global string pattern;
+global string stonesoup_tainted_buff;
+
+// parse_options handles -i / -c / -v and takes the pattern operand.
+func parse_options(int argc) int {
+  int i = 0;
+  while (i < argc) {
+    string opt = arg(i);
+    if (opt == "-i") {
+      opt_ignorecase = 1;
+      i = i + 1;
+    } else if (opt == "-c") {
+      opt_count_only = 1;
+      i = i + 1;
+    } else if (opt == "-v") {
+      opt_invert = 1;
+      i = i + 1;
+    } else {
+      pattern = opt;
+      i = i + 1;
+    }
+  }
+  return 1;
+}
+
+// classify_pattern_char maps a pattern character to a token kind.
+func classify_pattern_char(int c) int {
+  if (c == '*') {
+    return 1;
+  }
+  if (c == '.') {
+    return 2;
+  }
+  if (c == '[') {
+    return 3;
+  }
+  return 0;
+}
+
+// compile_pattern tokenizes the pattern character by character; every
+// character multiplies the symbolic state space.
+func compile_pattern(string pat) int {
+  int i = 0;
+  while (i < len(pat)) {
+    int k = classify_pattern_char(char(pat, i));
+    if (k == 1) {
+      pattern_wildcards = pattern_wildcards + 1;
+    } else if (k == 2) {
+      pattern_wildcards = pattern_wildcards + 1;
+    } else if (k == 3) {
+      pattern_classes = pattern_classes + 1;
+    } else {
+      pattern_literals = pattern_literals + 1;
+    }
+    i = i + 1;
+  }
+  return pattern_literals + pattern_wildcards + pattern_classes;
+}
+
+// match_char tests one character against the pattern head.
+func match_char(int pc, int dc) int {
+  if (pc == '.') {
+    return 1;
+  }
+  if (pc == dc) {
+    return 1;
+  }
+  if (opt_ignorecase == 1) {
+    if (pc + 32 == dc) {
+      return 1;
+    }
+    if (dc + 32 == pc) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+// match_line reports whether the pattern's first character occurs in the
+// line segment [start, end).
+func match_line(string data, int start, int end) int {
+  if (len(pattern) == 0) {
+    return 1;
+  }
+  int pc = char(pattern, 0);
+  int i = start;
+  while (i < end) {
+    if (match_char(pc, char(data, i)) == 1) {
+      return 1;
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+
+// scan_lines splits the input at newlines and matches each line.
+func scan_lines(string data) int {
+  int start = 0;
+  int i = 0;
+  int n = len(data);
+  while (i < n) {
+    if (char(data, i) == 10) {
+      lines_scanned = lines_scanned + 1;
+      int m = match_line(data, start, i);
+      if (m == 1) {
+        matches_found = matches_found + 1;
+      }
+      start = i + 1;
+    }
+    i = i + 1;
+  }
+  if (start < n) {
+    lines_scanned = lines_scanned + 1;
+    if (match_line(data, start, n) == 1) {
+      matches_found = matches_found + 1;
+    }
+  }
+  return matches_found;
+}
+
+// optimize_pattern rewrites wildcard-heavy patterns; only runs whose
+// pattern contains wildcards traverse it.
+func optimize_pattern(string pat) int {
+  int saved = pattern_wildcards;
+  if (saved > len(pat)) {
+    saved = len(pat);
+  }
+  return saved;
+}
+
+// invert_results flips the match polarity for -v runs.
+func invert_results(int found) int {
+  matches_found = lines_scanned - found;
+  if (matches_found < 0) {
+    matches_found = 0;
+  }
+  return matches_found;
+}
+
+// fold_case lowercases the pattern for -i runs.
+func fold_case(string pat) int {
+  int n = len(pat);
+  opt_ignorecase = opt_ignorecase + 0;
+  return n;
+}
+
+// exact_case validates the pattern for case-sensitive runs; exactly one of
+// fold_case / exact_case appears on any run's path.
+func exact_case(string pat) int {
+  int n = len(pat);
+  pattern_literals = pattern_literals + 0;
+  return n;
+}
+
+// stonesoup_read_taint ingests the injected taint source.
+func stonesoup_read_taint() string {
+  string t = env("STONESOUP_TAINT_SOURCE");
+  stonesoup_tainted_buff = t;
+  return t;
+}
+
+// stonesoup_expand is the fault point: the tainted buffer is copied into a
+// fixed 128-byte workspace with no bounds check; the terminator write
+// overflows once the taint reaches 128 bytes.
+func stonesoup_expand(string tainted) int {
+  buf workspace[128];
+  int i = 0;
+  while (i < len(tainted)) {
+    bufwrite(workspace, i, char(tainted, i));
+    i = i + 1;
+  }
+  bufwrite(workspace, i, 0);
+  return i;
+}
+
+// report_results prints the match summary.
+func report_results(int count) void {
+  if (opt_count_only == 1) {
+    print(count);
+    return;
+  }
+  print(matches_found);
+  print(lines_scanned);
+  return;
+}
+
+func main() int {
+  parse_options(nargs());
+  compile_pattern(pattern);
+  if (opt_ignorecase == 1) {
+    fold_case(pattern);
+  } else {
+    exact_case(pattern);
+  }
+  if (pattern_wildcards > 0) {
+    optimize_pattern(pattern);
+  }
+  string data = input_string("data");
+  int found = scan_lines(data);
+  if (opt_invert == 1) {
+    found = invert_results(found);
+  }
+  string taint = stonesoup_read_taint();
+  stonesoup_expand(taint);
+  report_results(found);
+  return 0;
+}
+`
+
+// Grep returns the Grep evaluation app. Pure symbolic execution fails
+// (pattern/line scanning explosion); StatSym follows the candidate path to
+// stonesoup_expand. Its large logs make statistical analysis the dominant
+// cost, matching Table II/III's shape.
+func Grep() *App {
+	return &App{
+		Name:        "grep",
+		Description: "plain-text search with a STONESOUP 128-byte stack-buffer overflow",
+		Source:      grepSrc,
+		Spec: &symexec.InputSpec{
+			NArgs:        2,
+			ConcreteArgs: map[int]string{0: "-c"},
+			StrLenMax: map[string]int64{
+				"arg1":                   grepMaxPattern,
+				"data":                   grepMaxData,
+				"STONESOUP_TAINT_SOURCE": grepMaxTaint,
+			},
+		},
+		NewInput: func(rng *rand.Rand) *interp.Input {
+			var taintLen int
+			if rng.Intn(2) == 0 {
+				taintLen = rng.Intn(128)
+			} else {
+				taintLen = 128 + rng.Intn(grepMaxTaint-128)
+			}
+			pat := make([]byte, 1+rng.Intn(grepMaxPattern-1))
+			const patChars = "abc.*["
+			for i := range pat {
+				pat[i] = patChars[rng.Intn(len(patChars))]
+			}
+			// Multi-line haystack so scan_lines calls match_line many
+			// times (big logs).
+			var data []byte
+			lines := 2 + rng.Intn(10)
+			for l := 0; l < lines; l++ {
+				data = append(data, []byte(randName(rng, 1+rng.Intn(6), false))...)
+				data = append(data, '\n')
+			}
+			if len(data) > grepMaxData {
+				data = data[:grepMaxData]
+			}
+			// Users vary flags; -v runs traverse invert_results.
+			args := []string{"-c", string(pat)}
+			if rng.Intn(3) == 0 {
+				args = append([]string{"-v"}, args...)
+			}
+			if rng.Intn(3) == 0 {
+				args = append([]string{"-i"}, args...)
+			}
+			return &interp.Input{
+				Args: args,
+				Strs: map[string]string{"data": string(data)},
+				Env:  map[string]string{"STONESOUP_TAINT_SOURCE": randName(rng, taintLen, false)},
+			}
+		},
+		VulnFunc:  "stonesoup_expand",
+		VulnKind:  interp.FaultBufferOverflow,
+		PureFails: true,
+	}
+}

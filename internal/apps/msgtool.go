@@ -1,0 +1,152 @@
+package apps
+
+import (
+	"math/rand"
+
+	"repro/internal/interp"
+	"repro/internal/symexec"
+)
+
+// msgtool symbolic-input sizes.
+const (
+	msgtoolMaxTitle = 80
+	msgtoolMaxBody  = 200
+)
+
+// msgtoolSrc is an extension program (not one of the paper's four): a
+// message packing/unpacking tool with TWO distinct buffer overflows in
+// different functions, triggered by different inputs. It exercises the
+// §III-C extension — isolating multiple vulnerabilities by clustering
+// faulty logs per fault and running the pipeline once per cluster.
+const msgtoolSrc = `
+// msgtool - message encode/decode utility with two injected bugs.
+global int msgs_packed = 0;
+global int msgs_unpacked = 0;
+global int checksum = 0;
+global string mode;
+
+// parse_mode reads the operating mode from argv.
+func parse_mode(int argc) int {
+  if (argc < 1) {
+    return 0;
+  }
+  mode = arg(0);
+  if (mode == "encode") {
+    return 1;
+  }
+  if (mode == "decode") {
+    return 2;
+  }
+  return 0;
+}
+
+// pack_header is fault point #1: the title is copied into a fixed 32-byte
+// header with no bounds check.
+func pack_header(string title) int {
+  buf header[32];
+  int i = 0;
+  while (i < len(title)) {
+    bufwrite(header, i, char(title, i));
+    i = i + 1;
+  }
+  bufwrite(header, i, 0);
+  msgs_packed = msgs_packed + 1;
+  return i;
+}
+
+// checksum_body folds the body length into the running checksum.
+func checksum_body(string body) int {
+  checksum = checksum + len(body);
+  return checksum;
+}
+
+// unpack_payload is fault point #2: the body is copied into a fixed
+// 96-byte workspace with no bounds check.
+func unpack_payload(string body) int {
+  buf payload[96];
+  int i = 0;
+  while (i < len(body)) {
+    bufwrite(payload, i, char(body, i));
+    i = i + 1;
+  }
+  bufwrite(payload, i, 0);
+  msgs_unpacked = msgs_unpacked + 1;
+  return i;
+}
+
+// verify_payload sanity-checks the unpacked length.
+func verify_payload(int n) int {
+  if (n < 0) {
+    return 0;
+  }
+  checksum = checksum + n;
+  return 1;
+}
+
+func main() int {
+  int op = parse_mode(nargs());
+  if (op == 0) {
+    print("usage: msgtool {encode|decode}");
+    return 1;
+  }
+  if (op == 1) {
+    string title = input_string("title");
+    int n = pack_header(title);
+    checksum_body(title);
+    print(n);
+    return 0;
+  }
+  string body = input_string("body");
+  int m = unpack_payload(body);
+  verify_payload(m);
+  print(m);
+  return 0;
+}
+`
+
+// MsgTool returns the two-vulnerability extension app. Its workload mixes
+// encode runs (which can overflow pack_header) and decode runs (which can
+// overflow unpack_payload); VulnFunc/VulnKind describe the more frequent
+// first bug.
+func MsgTool() *App {
+	return &App{
+		Name:        "msgtool",
+		Description: "message tool with two distinct buffer overflows (multi-vulnerability extension)",
+		Source:      msgtoolSrc,
+		Spec: &symexec.InputSpec{
+			NArgs:        1,
+			ConcreteArgs: map[int]string{}, // mode stays symbolic-free per run; set per cluster
+			StrLenMax: map[string]int64{
+				"title": msgtoolMaxTitle,
+				"body":  msgtoolMaxBody,
+			},
+		},
+		NewInput: func(rng *rand.Rand) *interp.Input {
+			if rng.Intn(2) == 0 {
+				var n int
+				if rng.Intn(2) == 0 {
+					n = rng.Intn(32)
+				} else {
+					n = 32 + rng.Intn(msgtoolMaxTitle-32)
+				}
+				return &interp.Input{
+					Args: []string{"encode"},
+					Strs: map[string]string{"title": randName(rng, n, false)},
+				}
+			}
+			var n int
+			if rng.Intn(2) == 0 {
+				n = rng.Intn(96)
+			} else {
+				n = 96 + rng.Intn(msgtoolMaxBody-96)
+			}
+			return &interp.Input{
+				Args: []string{"decode"},
+				Strs: map[string]string{"body": randName(rng, n, false)},
+			}
+		},
+		VulnFunc:  "pack_header",
+		VulnKind:  interp.FaultBufferOverflow,
+		PureFails: false,
+	}
+}

@@ -1,0 +1,192 @@
+package apps
+
+import (
+	"math/rand"
+
+	"repro/internal/interp"
+	"repro/internal/symexec"
+)
+
+// polymorphMaxName is the declared symbolic size of the file-name argument
+// (KLEE-style symbolic input size). The stack buffer is 512 bytes, so the
+// overflow lies well inside the modeled range.
+const polymorphMaxName = 600
+
+// polymorphSrc is the MiniC port of polymorph (Bugbench), a file-name
+// conversion utility. The vulnerability is the one documented in the
+// paper's case study (§VII-C1): convert_fileName copies the user-provided
+// name into a 512-byte stack buffer without a bounds check. Function names
+// and globals follow Fig. 8 of the paper.
+const polymorphSrc = `
+// polymorph - file name conversion utility (Bugbench port).
+global string target;
+global string wd = ".";
+global int hidden = 0;
+global int track = 0;
+global int clean = 0;
+global int init_file = 0;
+global int hidden_file = 0;
+
+// grok_commandLine parses argv. The -f option supplies the name to
+// convert; -c and -h toggle clean and hidden handling.
+func grok_commandLine(int argc) int {
+  int i = 0;
+  int got = 0;
+  while (i < argc) {
+    string opt = arg(i);
+    if (opt == "-f") {
+      if (i + 1 < argc) {
+        target = arg(i + 1);
+        got = 1;
+        i = i + 2;
+      } else {
+        i = i + 1;
+      }
+    } else if (opt == "-c") {
+      clean = 1;
+      i = i + 1;
+    } else if (opt == "-h") {
+      hidden = 1;
+      i = i + 1;
+    } else {
+      i = i + 1;
+    }
+  }
+  return got;
+}
+
+// is_fileHidden reports whether the name denotes a hidden (dot) file.
+func is_fileHidden(string suspect) int {
+  if (len(suspect) < 1) {
+    return 0;
+  }
+  if (char(suspect, 0) == '.') {
+    hidden_file = 1;
+    return 1;
+  }
+  return 0;
+}
+
+// does_nameHaveUppers scans the name prefix for uppercase characters that
+// would need conversion. The scan is prefix-bounded.
+func does_nameHaveUppers(string suspect) int {
+  int limit = len(suspect);
+  if (limit > 2) {
+    limit = 2;
+  }
+  int i = 0;
+  while (i < limit) {
+    int c = char(suspect, i);
+    if (c >= 'A') {
+      if (c <= 'Z') {
+        return 1;
+      }
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+
+// handle_hidden prepares a hidden (dot) file for conversion when -h was
+// given. Only some faulty runs traverse it, so its entry/exit points
+// surface as a detour during candidate-path construction.
+func handle_hidden(string name) int {
+  track = track + 1;
+  if (len(name) > 1) {
+    init_file = init_file + 1;
+  }
+  return len(name);
+}
+
+// does_newnameExist emulates the filesystem existence check for the
+// converted name; only the empty name "exists" in this model.
+func does_newnameExist(string suspect) int {
+  if (len(suspect) == 0) {
+    return 1;
+  }
+  init_file = init_file + 1;
+  return 0;
+}
+
+// convert_fileName is the fault point: each character of the
+// user-controlled name is copied into the fixed 512-byte newName buffer
+// with no bounds check, and the terminator write overflows once
+// len(original) reaches 512.
+func convert_fileName(string original) int {
+  buf newName[512];
+  int up = does_nameHaveUppers(original);
+  int delta = 0;
+  if (up == 1) {
+    delta = 32;
+  }
+  int i = 0;
+  while (i < len(original)) {
+    bufwrite(newName, i, char(original, i) + delta);
+    i = i + 1;
+  }
+  bufwrite(newName, i, 0);
+  track = track + 1;
+  does_newnameExist(bufstr(newName, i));
+  return i;
+}
+
+func main() int {
+  wd = "/tmp/polymorph";
+  int got = grok_commandLine(nargs());
+  if (got == 0) {
+    print("usage: polymorph -f <filename>");
+    return 1;
+  }
+  is_fileHidden(target);
+  if (hidden_file == 1) {
+    if (hidden == 0) {
+      print("skipping hidden file");
+      return 0;
+    }
+    handle_hidden(target);
+  }
+  int n = convert_fileName(target);
+  track = track + 1;
+  clean = clean + 0;
+  print(n);
+  return 0;
+}
+`
+
+// Polymorph returns the polymorph evaluation app. Pure symbolic execution
+// succeeds on it (Table IV), exploring thousands of paths; StatSym's
+// guidance reaches the overflow with a small fraction of that work.
+func Polymorph() *App {
+	return &App{
+		Name:        "polymorph",
+		Description: "file-name conversion utility with a 512-byte stack-buffer overflow (Bugbench)",
+		Source:      polymorphSrc,
+		Spec: &symexec.InputSpec{
+			// Symbolically: polymorph -h -f <name>, with the name the
+			// symbolic payload. Passing -h keeps the hidden-file handling
+			// (and its detour) reachable for the symbolic executor.
+			NArgs:        3,
+			ConcreteArgs: map[int]string{0: "-h", 1: "-f"},
+			StrLenMax:    map[string]int64{"arg2": polymorphMaxName},
+		},
+		NewInput: func(rng *rand.Rand) *interp.Input {
+			var n int
+			if rng.Intn(2) == 0 {
+				n = rng.Intn(512) // benign lengths
+			} else {
+				n = 512 + rng.Intn(polymorphMaxName-512) // overflowing lengths
+			}
+			hidden := rng.Intn(3) == 0
+			name := randName(rng, n, hidden)
+			// Some users pass -h (convert hidden files too); hidden names
+			// without -h exit early and log a different call sequence.
+			if rng.Intn(2) == 0 {
+				return &interp.Input{Args: []string{"-h", "-f", name}}
+			}
+			return &interp.Input{Args: []string{"-f", name}}
+		},
+		VulnFunc:  "convert_fileName",
+		VulnKind:  interp.FaultBufferOverflow,
+		PureFails: false,
+	}
+}

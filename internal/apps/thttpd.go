@@ -1,0 +1,341 @@
+package apps
+
+import (
+	"math/rand"
+
+	"repro/internal/interp"
+	"repro/internal/symexec"
+)
+
+// thttpd symbolic-input size: requests long enough to overflow defang's
+// 1000-byte buffer.
+const thttpdMaxRequest = 1200
+
+// thttpdSrc is the MiniC port of the thttpd web server (version 2.25's
+// CVE-2003-0899 neighborhood): defang() rewrites '<' and '>' in a
+// user-controlled string into "&lt;"/"&gt;" while copying it into the
+// fixed dfstr buffer, and the copy has no bounds check (§VII-C2). The
+// request-parsing scan branches per character, so pure symbolic execution
+// drowns in states long before reaching defang (Table IV: Failed).
+const thttpdSrc = `
+// thttpd - tiny HTTP daemon (vulnerable defang port).
+global int conn_state = 0;
+global int bytes_received = 0;
+global int bytes_sent = 0;
+global int requests_handled = 0;
+global int auth_required = 0;
+global int log_entries = 0;
+global int escapes_seen = 0;
+global int amps_seen = 0;
+global string method;
+global string request_uri;
+global int last_timer = 0;
+global int conn_started = 0;
+
+// tmr_run advances the timer wheel (connection timeouts, stats flushes).
+func tmr_run(int now) int {
+  int fired = 0;
+  if (now - last_timer >= 10) {
+    fired = fired + 1;
+    last_timer = now;
+  }
+  if (conn_state > 0) {
+    if (now - conn_started > 300) {
+      fired = fired + 1;
+    }
+  }
+  return fired;
+}
+
+// mime_find_type maps a URI suffix character to a content-type class.
+func mime_find_type(string uri) int {
+  int n = len(uri);
+  if (n == 0) {
+    return 0;
+  }
+  int c = char(uri, n - 1);
+  if (c == 'l') {
+    return 1;
+  }
+  if (c == 't') {
+    return 2;
+  }
+  if (c == 'g') {
+    return 3;
+  }
+  return 0;
+}
+
+// hexit converts one hex digit to its value (-1 for non-hex).
+func hexit(int c) int {
+  if (c >= '0') {
+    if (c <= '9') {
+      return c - '0';
+    }
+  }
+  if (c >= 'a') {
+    if (c <= 'f') {
+      return c - 'a' + 10;
+    }
+  }
+  if (c >= 'A') {
+    if (c <= 'F') {
+      return c - 'A' + 10;
+    }
+  }
+  return 0 - 1;
+}
+
+// sockaddr_check validates the (modeled) peer address family.
+func sockaddr_check(int family) int {
+  if (family == 2) {
+    return 1;
+  }
+  if (family == 10) {
+    return 1;
+  }
+  return 0;
+}
+
+// handle_newconnect accepts the connection and initializes per-connection
+// state.
+func handle_newconnect(int fd) int {
+  if (fd < 0) {
+    return 0;
+  }
+  conn_state = 1;
+  return 1;
+}
+
+// handle_read pulls the request bytes off the socket.
+func handle_read(string req) int {
+  bytes_received = len(req);
+  conn_state = 2;
+  return bytes_received;
+}
+
+// scan_method extracts the method token (characters before the first
+// space, capped at 8).
+func scan_method(string req) string {
+  int n = len(req);
+  if (n > 8) {
+    n = 8;
+  }
+  int i = 0;
+  while (i < n) {
+    if (char(req, i) == ' ') {
+      return substr(req, 0, i);
+    }
+    i = i + 1;
+  }
+  return substr(req, 0, n);
+}
+
+// httpd_parse_request validates the request character by character,
+// counting URL escapes and entity ampersands. Each character multiplies
+// the symbolic state space — the loop KLEE cannot get past.
+func httpd_parse_request(string req) int {
+  int i = 0;
+  while (i < len(req)) {
+    int c = char(req, i);
+    if (c == '%') {
+      escapes_seen = escapes_seen + 1;
+    } else if (c == '&') {
+      amps_seen = amps_seen + 1;
+    } else {
+      bytes_received = bytes_received + 0;
+    }
+    i = i + 1;
+  }
+  conn_state = 3;
+  return i;
+}
+
+// decode_escapes handles %-escaped requests; only requests containing '%'
+// traverse it (a detour source in candidate-path construction).
+func decode_escapes(string req) int {
+  int n = len(req) - escapes_seen * 2;
+  if (n < 0) {
+    n = 0;
+  }
+  return n;
+}
+
+// count_entities accounts for '&' entities in the request.
+func count_entities(string req) int {
+  bytes_received = bytes_received + amps_seen;
+  return amps_seen;
+}
+
+// de_dotdot rejects leading "../" traversal in the URI prefix.
+func de_dotdot(string uri) int {
+  if (len(uri) >= 2) {
+    if (char(uri, 0) == '.') {
+      if (char(uri, 1) == '.') {
+        return 1;
+      }
+    }
+  }
+  return 0;
+}
+
+// auth_check models the basic-auth gate (disabled by default).
+func auth_check(int required) int {
+  if (required == 1) {
+    auth_required = 1;
+    return 401;
+  }
+  return 200;
+}
+
+// expand_filename normalizes the URI into a filesystem path length.
+func expand_filename(string uri) int {
+  int n = len(uri);
+  if (n > 1024) {
+    n = 1024;
+  }
+  return n;
+}
+
+// make_log_entry appends to the access log.
+func make_log_entry(int status) int {
+  log_entries = log_entries + 1;
+  return status;
+}
+
+// defang is the fault point: '<' and '>' are expanded to "&lt;"/"&gt;"
+// while the string is copied into the fixed 1000-byte dfstr buffer with no
+// bounds check; the terminator write overflows once the output reaches
+// 1000 bytes.
+func defang(string str) int {
+  buf dfstr[1000];
+  int i = 0;
+  int j = 0;
+  while (i < len(str)) {
+    int c = char(str, i);
+    if (c == '<') {
+      bufwrite(dfstr, j, '&');
+      j = j + 1;
+      bufwrite(dfstr, j, 'l');
+      j = j + 1;
+      bufwrite(dfstr, j, 't');
+      j = j + 1;
+      bufwrite(dfstr, j, ';');
+      j = j + 1;
+    } else if (c == '>') {
+      bufwrite(dfstr, j, '&');
+      j = j + 1;
+      bufwrite(dfstr, j, 'g');
+      j = j + 1;
+      bufwrite(dfstr, j, 't');
+      j = j + 1;
+      bufwrite(dfstr, j, ';');
+      j = j + 1;
+    } else {
+      bufwrite(dfstr, j, c);
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  bufwrite(dfstr, j, 0);
+  return j;
+}
+
+// send_response writes the (defanged) error/response body.
+func send_response(int status, int bodylen) int {
+  bytes_sent = bytes_sent + bodylen;
+  conn_state = 4;
+  return status;
+}
+
+// handle_send flushes buffered output.
+func handle_send() int {
+  conn_state = 5;
+  return bytes_sent;
+}
+
+// clear_connection tears down per-connection state.
+func clear_connection() void {
+  conn_state = 0;
+  requests_handled = requests_handled + 1;
+  return;
+}
+
+// handle_request runs one request through parse, checks, defang and
+// response.
+func handle_request(string req) int {
+  httpd_parse_request(req);
+  request_uri = req;
+  if (escapes_seen > 0) {
+    decode_escapes(req);
+  }
+  if (amps_seen > 0) {
+    count_entities(req);
+  }
+  int traversal = de_dotdot(request_uri);
+  int status = auth_check(auth_required);
+  if (traversal == 1) {
+    status = 400;
+  }
+  expand_filename(request_uri);
+  make_log_entry(status);
+  int defanged = defang(request_uri);
+  send_response(status, defanged);
+  return status;
+}
+
+func main() int {
+  sockaddr_check(2);
+  handle_newconnect(1);
+  conn_started = 1;
+  tmr_run(5);
+  string req = input_string("request");
+  handle_read(req);
+  method = scan_method(req);
+  handle_request(req);
+  mime_find_type(request_uri);
+  hexit('7');
+  handle_send();
+  tmr_run(320);
+  clear_connection();
+  print(requests_handled);
+  return 0;
+}
+`
+
+// Thttpd returns the thttpd evaluation app. Pure symbolic execution fails
+// (state explosion in request parsing); StatSym reaches defang through the
+// candidate path and the len(str) predicate (§VII-C2).
+func Thttpd() *App {
+	return &App{
+		Name:        "thttpd",
+		Description: "web server with the defang() string-replacement buffer overflow (CVE-2003-0899 style)",
+		Source:      thttpdSrc,
+		Spec: &symexec.InputSpec{
+			StrLenMax: map[string]int64{"request": thttpdMaxRequest},
+		},
+		NewInput: func(rng *rand.Rand) *interp.Input {
+			// Requests: "GET /<path>" with occasional angle brackets; the
+			// defang expansion makes some mid-length requests faulty too.
+			var n int
+			if rng.Intn(2) == 0 {
+				n = rng.Intn(900)
+			} else {
+				n = 900 + rng.Intn(thttpdMaxRequest-900)
+			}
+			body := make([]byte, n)
+			const chars = "abcdefghij/<>%&"
+			for i := range body {
+				body[i] = chars[rng.Intn(len(chars))]
+			}
+			req := "GET /" + string(body)
+			if len(req) > thttpdMaxRequest {
+				req = req[:thttpdMaxRequest]
+			}
+			return &interp.Input{Strs: map[string]string{"request": req}}
+		},
+		VulnFunc:  "defang",
+		VulnKind:  interp.FaultBufferOverflow,
+		PureFails: true,
+	}
+}

@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/solver"
+	"repro/internal/symexec"
+	"repro/internal/workload"
+)
+
+// AblationRow is one configuration's outcome on one app.
+type AblationRow struct {
+	Program string
+	Config  string
+	Found   bool
+	Paths   int
+	Steps   int64
+	Elapsed time.Duration
+	Failed  bool // resource exhaustion without a find
+}
+
+// FormatAblation renders any ablation row set.
+func FormatAblation(title string, rows []AblationRow) string {
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	fmt.Fprintf(&sb, "%-10s %-22s %6s %8s %12s %12s\n",
+		"Program", "config", "found", "paths", "steps", "time")
+	for _, r := range rows {
+		status := fmt.Sprintf("%v", r.Found)
+		if r.Failed {
+			status = "FAILED"
+		}
+		fmt.Fprintf(&sb, "%-10s %-22s %6s %8d %12d %12s\n",
+			r.Program, r.Config, status, r.Paths, r.Steps, r.Elapsed.Round(time.Millisecond))
+	}
+	return sb.String()
+}
+
+// AblationScheduler compares unguided schedulers (BFS, DFS, random,
+// coverage) against StatSym guidance on every app. It isolates how much of
+// StatSym's win is scheduling (depth-first chase) versus statistical
+// pruning.
+func AblationScheduler(seed int64, budgets Budgets) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, app := range apps.All() {
+		scheds := []func() symexec.Scheduler{
+			func() symexec.Scheduler { return symexec.NewBFS() },
+			func() symexec.Scheduler { return symexec.NewDFS() },
+			func() symexec.Scheduler { return symexec.NewRandom(seed) },
+			func() symexec.Scheduler { return symexec.NewCoverage() },
+		}
+		for _, mk := range scheds {
+			sched := mk()
+			res := pureWithScheduler(app, sched, budgets)
+			rows = append(rows, AblationRow{
+				Program: app.Name,
+				Config:  "pure/" + sched.Name(),
+				Found:   res.Found(),
+				Paths:   res.Paths,
+				Steps:   res.Steps,
+				Elapsed: res.Elapsed,
+				Failed:  !res.Found() && (res.Exhausted || res.StepLimited || res.TimedOut),
+			})
+		}
+		rep, err := RunPipeline(app, 0.3, seed, budgets)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Program: app.Name,
+			Config:  "statsym",
+			Found:   rep.Found(),
+			Paths:   rep.TotalPaths,
+			Steps:   rep.TotalSteps,
+			Elapsed: rep.SymTime,
+			Failed:  !rep.Found(),
+		})
+	}
+	return rows, nil
+}
+
+// AblationGuidance disables StatSym's two guidance mechanisms one at a
+// time: full guidance, inter-function only (no predicates), intra-function
+// only (no hop suspension), and neither (guided scheduler alone).
+func AblationGuidance(seed int64, budgets Budgets) ([]AblationRow, error) {
+	configs := []struct {
+		name               string
+		disInter, disPreds bool
+	}{
+		{"guided/full", false, false},
+		{"guided/inter-only", false, true},
+		{"guided/intra-only", true, false},
+		{"guided/neither", true, true},
+	}
+	var rows []AblationRow
+	for _, app := range apps.All() {
+		corpus, err := workload.BuildCorpus(app, workload.Options{SampleRate: 0.3, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range configs {
+			cfg := core.Config{
+				Spec:                 app.Spec,
+				PerCandidateTimeout:  budgets.GuidedTimeout,
+				PerCandidateMaxSteps: budgets.GuidedMaxSteps,
+				DisableInter:         c.disInter,
+				DisablePredicates:    c.disPreds,
+			}
+			rep, err := core.Run(app.Program(), corpus, cfg)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationRow{
+				Program: app.Name,
+				Config:  c.name,
+				Found:   rep.Found(),
+				Paths:   rep.TotalPaths,
+				Steps:   rep.TotalSteps,
+				Elapsed: rep.SymTime,
+				Failed:  !rep.Found(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationTau sweeps the hop threshold τ on one app (default thttpd, whose
+// candidate paths are longest).
+func AblationTau(appName string, taus []int, seed int64, budgets Budgets) ([]AblationRow, error) {
+	if len(taus) == 0 {
+		taus = []int{0, 1, 2, 5, 10, 20, 50}
+	}
+	app, err := apps.Get(appName)
+	if err != nil {
+		return nil, err
+	}
+	corpus, err := workload.BuildCorpus(app, workload.Options{SampleRate: 0.3, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, tau := range taus {
+		cfg := core.Config{
+			Spec:                 app.Spec,
+			Tau:                  tau,
+			MinPredScore:         core.DefaultMinPredScore,
+			PerCandidateTimeout:  budgets.GuidedTimeout,
+			PerCandidateMaxSteps: budgets.GuidedMaxSteps,
+		}
+		if tau == 0 {
+			cfg.Tau = -1 // τ=0: any off-path hop suspends (Config treats 0 as default)
+		}
+		rep, err := core.Run(app.Program(), corpus, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Program: app.Name,
+			Config:  fmt.Sprintf("tau=%d", tau),
+			Found:   rep.Found(),
+			Paths:   rep.TotalPaths,
+			Steps:   rep.TotalSteps,
+			Elapsed: rep.SymTime,
+			Failed:  !rep.Found(),
+		})
+	}
+	return rows, nil
+}
+
+// AblationSolverCache compares cached versus effectively-uncached
+// constraint solving on polymorph's pure baseline, quantifying what KLEE's
+// query caching buys this engine.
+func AblationSolverCache(budgets Budgets) ([]AblationRow, error) {
+	app, err := apps.Get("polymorph")
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, cached := range []bool{true, false} {
+		opts := symexec.DefaultOptions()
+		opts.Sched = symexec.NewBFS()
+		opts.MaxStates = budgets.PureMaxStates
+		opts.MaxSteps = budgets.PureMaxSteps
+		opts.Timeout = budgets.PureTimeout
+		ex := symexec.New(app.Program(), app.Spec, opts)
+		if !cached {
+			ex.Solver = solver.NewCached(solver.New())
+			ex.Solver.MaxEntries = 1 // effectively disables memoization
+		}
+		res := ex.Run()
+		name := "solver-cache=on"
+		if !cached {
+			name = "solver-cache=off"
+		}
+		rows = append(rows, AblationRow{
+			Program: app.Name,
+			Config:  name,
+			Found:   res.Found(),
+			Paths:   res.Paths,
+			Steps:   res.Steps,
+			Elapsed: res.Elapsed,
+		})
+	}
+	return rows, nil
+}

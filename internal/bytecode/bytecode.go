@@ -1,0 +1,508 @@
+// Package bytecode compiles checked MiniC programs into a compact
+// stack-machine instruction set. It plays the role LLVM bitcode plays in the
+// paper: both the concrete interpreter (the program monitor's substrate) and
+// the symbolic executor (the KLEE substitute) step the same instruction
+// stream one instruction at a time.
+package bytecode
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/minic"
+)
+
+// Op is a bytecode opcode.
+type Op uint8
+
+// Opcodes. The machine is a simple operand-stack machine: most instructions
+// pop operands from and push results to the current frame's stack.
+const (
+	OpNop Op = iota
+
+	OpConstInt // push Imm
+	OpConstStr // push Str
+
+	OpLoadLocal   // push locals[A]
+	OpStoreLocal  // locals[A] = pop
+	OpLoadGlobal  // push globals[A]
+	OpStoreGlobal // globals[A] = pop
+	OpNewBuf      // locals[A] = new buffer with capacity B
+
+	OpBin // A = minic.BinOp (arithmetic/comparison); pops R, L; pushes result
+	OpNeg // pushes -pop
+	OpNot // pushes (pop == 0) as 0/1
+
+	OpJump    // pc = A
+	OpJumpZ   // if pop == 0 { pc = A }
+	OpJumpNZ  // if pop != 0 { pc = A }
+	OpCall    // call Funcs[A] with B args popped (last arg on top)
+	OpBuiltin // invoke builtin A with B args
+	OpReturn  // return; A==1 means a value is on the stack
+	OpPop     // discard top of stack
+)
+
+var opNames = map[Op]string{
+	OpNop: "nop", OpConstInt: "const.i", OpConstStr: "const.s",
+	OpLoadLocal: "load.l", OpStoreLocal: "store.l",
+	OpLoadGlobal: "load.g", OpStoreGlobal: "store.g",
+	OpNewBuf: "newbuf", OpBin: "bin", OpNeg: "neg", OpNot: "not",
+	OpJump: "jmp", OpJumpZ: "jz", OpJumpNZ: "jnz",
+	OpCall: "call", OpBuiltin: "builtin", OpReturn: "ret", OpPop: "pop",
+}
+
+// String returns the mnemonic for the opcode.
+func (op Op) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", int(op))
+}
+
+// Instr is a single instruction. Operand meaning depends on Op.
+type Instr struct {
+	Op  Op
+	A   int
+	B   int
+	Imm int64
+	Str string
+	Pos minic.Pos
+}
+
+// Fn is a compiled function.
+type Fn struct {
+	Name       string
+	Index      int
+	ParamNames []string
+	ParamTypes []minic.Type
+	Ret        minic.Type
+	NumLocals  int
+	Code       []Instr
+}
+
+// GlobalInfo describes a global slot.
+type GlobalInfo struct {
+	Name string
+	Type minic.Type
+}
+
+// Program is a compiled MiniC program.
+type Program struct {
+	Name    string
+	Funcs   []*Fn
+	Globals []GlobalInfo
+
+	// InitIndex and MainIndex locate the synthetic global-initializer
+	// function (run before main) and the program entry point.
+	InitIndex int
+	MainIndex int
+
+	byName map[string]*Fn
+}
+
+// Fn returns the compiled function with the given name, or nil.
+func (p *Program) Fn(name string) *Fn {
+	return p.byName[name]
+}
+
+// GlobalIndex returns the slot of the named global, or -1.
+func (p *Program) GlobalIndex(name string) int {
+	for i, g := range p.Globals {
+		if g.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// InitFuncName is the name of the synthetic function that evaluates global
+// initializers before main runs. It is not instrumented by the monitor.
+const InitFuncName = "$init"
+
+// Compile lowers a checked MiniC program to bytecode.
+func Compile(prog *minic.Program) (*Program, error) {
+	cp := &Program{Name: prog.Name, byName: make(map[string]*Fn)}
+	for _, g := range prog.Globals {
+		cp.Globals = append(cp.Globals, GlobalInfo{Name: g.Name, Type: g.Type})
+	}
+	// Assign indices first so calls can reference forward declarations.
+	for i, f := range prog.Funcs {
+		fn := &Fn{
+			Name:      f.Name,
+			Index:     i,
+			Ret:       f.Ret,
+			NumLocals: f.NumLocals,
+		}
+		for _, prm := range f.Params {
+			fn.ParamNames = append(fn.ParamNames, prm.Name)
+			fn.ParamTypes = append(fn.ParamTypes, prm.Type)
+		}
+		cp.Funcs = append(cp.Funcs, fn)
+		cp.byName[f.Name] = fn
+	}
+	for i, f := range prog.Funcs {
+		c := &compiler{prog: cp}
+		if err := c.compileBlock(f.Body); err != nil {
+			return nil, err
+		}
+		// Implicit return (zero value for non-void functions that fall off
+		// the end; the checker does not enforce explicit returns).
+		switch f.Ret {
+		case minic.TypeVoid:
+			c.emit(Instr{Op: OpReturn, A: 0})
+		case minic.TypeString:
+			c.emit(Instr{Op: OpConstStr, Str: ""})
+			c.emit(Instr{Op: OpReturn, A: 1})
+		default:
+			c.emit(Instr{Op: OpConstInt, Imm: 0})
+			c.emit(Instr{Op: OpReturn, A: 1})
+		}
+		cp.Funcs[i].Code = c.code
+	}
+	// Synthetic $init evaluates global initializers in declaration order.
+	initFn := &Fn{Name: InitFuncName, Index: len(cp.Funcs), Ret: minic.TypeVoid}
+	ic := &compiler{prog: cp}
+	for _, g := range prog.Globals {
+		if g.Init == nil {
+			continue
+		}
+		if err := ic.compileExpr(g.Init); err != nil {
+			return nil, err
+		}
+		ic.emit(Instr{Op: OpStoreGlobal, A: g.Index, Pos: g.Pos})
+	}
+	ic.emit(Instr{Op: OpReturn, A: 0})
+	initFn.Code = ic.code
+	cp.Funcs = append(cp.Funcs, initFn)
+	cp.byName[InitFuncName] = initFn
+	cp.InitIndex = initFn.Index
+
+	mainFn := cp.Fn("main")
+	if mainFn == nil {
+		return nil, fmt.Errorf("bytecode: program %q has no main", prog.Name)
+	}
+	cp.MainIndex = mainFn.Index
+	return cp, nil
+}
+
+// MustCompile parses, checks and compiles src, panicking on error. Intended
+// for constant sources (tests, application registry).
+func MustCompile(name, src string) *Program {
+	ast := minic.MustParse(name, src)
+	cp, err := Compile(ast)
+	if err != nil {
+		panic(fmt.Sprintf("bytecode.MustCompile(%s): %v", name, err))
+	}
+	return cp
+}
+
+type loopCtx struct {
+	breaks    []int // instruction indices to patch to loop end
+	continues []int // instruction indices to patch to loop post/cond
+}
+
+type compiler struct {
+	prog  *Program
+	code  []Instr
+	loops []*loopCtx
+}
+
+func (c *compiler) emit(in Instr) int {
+	c.code = append(c.code, in)
+	return len(c.code) - 1
+}
+
+func (c *compiler) here() int { return len(c.code) }
+
+func (c *compiler) patch(at, target int) { c.code[at].A = target }
+
+func (c *compiler) compileBlock(b *minic.BlockStmt) error {
+	for _, st := range b.Stmts {
+		if err := c.compileStmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *compiler) compileStmt(st minic.Stmt) error {
+	switch s := st.(type) {
+	case *minic.BlockStmt:
+		return c.compileBlock(s)
+	case *minic.VarDeclStmt:
+		if s.Init != nil {
+			if err := c.compileExpr(s.Init); err != nil {
+				return err
+			}
+		} else if s.Type == minic.TypeString {
+			c.emit(Instr{Op: OpConstStr, Str: "", Pos: s.Pos})
+		} else {
+			c.emit(Instr{Op: OpConstInt, Imm: 0, Pos: s.Pos})
+		}
+		c.emit(Instr{Op: OpStoreLocal, A: s.Slot, Pos: s.Pos})
+		return nil
+	case *minic.BufDeclStmt:
+		c.emit(Instr{Op: OpNewBuf, A: s.Slot, B: int(s.Cap), Pos: s.Pos})
+		return nil
+	case *minic.AssignStmt:
+		if err := c.compileExpr(s.Value); err != nil {
+			return err
+		}
+		if s.IsGlobal {
+			c.emit(Instr{Op: OpStoreGlobal, A: s.Slot, Pos: s.Pos})
+		} else {
+			c.emit(Instr{Op: OpStoreLocal, A: s.Slot, Pos: s.Pos})
+		}
+		return nil
+	case *minic.IfStmt:
+		if err := c.compileExpr(s.Cond); err != nil {
+			return err
+		}
+		jz := c.emit(Instr{Op: OpJumpZ, Pos: s.Pos})
+		if err := c.compileBlock(s.Then); err != nil {
+			return err
+		}
+		if s.Else == nil {
+			c.patch(jz, c.here())
+			return nil
+		}
+		jend := c.emit(Instr{Op: OpJump, Pos: s.Pos})
+		c.patch(jz, c.here())
+		if err := c.compileStmt(s.Else); err != nil {
+			return err
+		}
+		c.patch(jend, c.here())
+		return nil
+	case *minic.WhileStmt:
+		top := c.here()
+		if err := c.compileExpr(s.Cond); err != nil {
+			return err
+		}
+		jz := c.emit(Instr{Op: OpJumpZ, Pos: s.Pos})
+		lc := &loopCtx{}
+		c.loops = append(c.loops, lc)
+		if err := c.compileBlock(s.Body); err != nil {
+			return err
+		}
+		c.loops = c.loops[:len(c.loops)-1]
+		for _, at := range lc.continues {
+			c.patch(at, top)
+		}
+		c.emit(Instr{Op: OpJump, A: top, Pos: s.Pos})
+		end := c.here()
+		c.patch(jz, end)
+		for _, at := range lc.breaks {
+			c.patch(at, end)
+		}
+		return nil
+	case *minic.ForStmt:
+		if s.Init != nil {
+			if err := c.compileStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		top := c.here()
+		var jz int = -1
+		if s.Cond != nil {
+			if err := c.compileExpr(s.Cond); err != nil {
+				return err
+			}
+			jz = c.emit(Instr{Op: OpJumpZ, Pos: s.Pos})
+		}
+		lc := &loopCtx{}
+		c.loops = append(c.loops, lc)
+		if err := c.compileBlock(s.Body); err != nil {
+			return err
+		}
+		c.loops = c.loops[:len(c.loops)-1]
+		post := c.here()
+		for _, at := range lc.continues {
+			c.patch(at, post)
+		}
+		if s.Post != nil {
+			if err := c.compileStmt(s.Post); err != nil {
+				return err
+			}
+		}
+		c.emit(Instr{Op: OpJump, A: top, Pos: s.Pos})
+		end := c.here()
+		if jz >= 0 {
+			c.patch(jz, end)
+		}
+		for _, at := range lc.breaks {
+			c.patch(at, end)
+		}
+		return nil
+	case *minic.ReturnStmt:
+		if s.Value != nil {
+			if err := c.compileExpr(s.Value); err != nil {
+				return err
+			}
+			c.emit(Instr{Op: OpReturn, A: 1, Pos: s.Pos})
+		} else {
+			c.emit(Instr{Op: OpReturn, A: 0, Pos: s.Pos})
+		}
+		return nil
+	case *minic.BreakStmt:
+		if len(c.loops) == 0 {
+			return fmt.Errorf("bytecode: break outside loop at %s", s.Pos)
+		}
+		lc := c.loops[len(c.loops)-1]
+		lc.breaks = append(lc.breaks, c.emit(Instr{Op: OpJump, Pos: s.Pos}))
+		return nil
+	case *minic.ContinueStmt:
+		if len(c.loops) == 0 {
+			return fmt.Errorf("bytecode: continue outside loop at %s", s.Pos)
+		}
+		lc := c.loops[len(c.loops)-1]
+		lc.continues = append(lc.continues, c.emit(Instr{Op: OpJump, Pos: s.Pos}))
+		return nil
+	case *minic.ExprStmt:
+		if err := c.compileExpr(s.X); err != nil {
+			return err
+		}
+		if s.X.ResultType() != minic.TypeVoid {
+			c.emit(Instr{Op: OpPop, Pos: s.Pos})
+		}
+		return nil
+	default:
+		return fmt.Errorf("bytecode: unknown statement %T", st)
+	}
+}
+
+func (c *compiler) compileExpr(e minic.Expr) error {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		c.emit(Instr{Op: OpConstInt, Imm: x.Value, Pos: x.Pos})
+		return nil
+	case *minic.StringLit:
+		c.emit(Instr{Op: OpConstStr, Str: x.Value, Pos: x.Pos})
+		return nil
+	case *minic.Ident:
+		if x.IsGlobal {
+			c.emit(Instr{Op: OpLoadGlobal, A: x.Slot, Pos: x.Pos})
+		} else {
+			c.emit(Instr{Op: OpLoadLocal, A: x.Slot, Pos: x.Pos})
+		}
+		return nil
+	case *minic.UnaryExpr:
+		if err := c.compileExpr(x.X); err != nil {
+			return err
+		}
+		if x.Op == minic.TokenMinus {
+			c.emit(Instr{Op: OpNeg, Pos: x.Pos})
+		} else {
+			c.emit(Instr{Op: OpNot, Pos: x.Pos})
+		}
+		return nil
+	case *minic.BinExpr:
+		return c.compileBin(x)
+	case *minic.CallExpr:
+		for _, arg := range x.Args {
+			if err := c.compileExpr(arg); err != nil {
+				return err
+			}
+		}
+		if x.Builtin != minic.BuiltinNone {
+			c.emit(Instr{Op: OpBuiltin, A: int(x.Builtin), B: len(x.Args), Pos: x.Pos})
+		} else {
+			// Function indices are assigned before any body compiles, so
+			// forward references resolve here.
+			c.emit(Instr{Op: OpCall, A: c.prog.byName[x.Name].Index, B: len(x.Args), Pos: x.Pos})
+		}
+		return nil
+	default:
+		return fmt.Errorf("bytecode: unknown expression %T", e)
+	}
+}
+
+func (c *compiler) compileBin(x *minic.BinExpr) error {
+	switch x.Op {
+	case minic.OpAnd:
+		// a && b  =>  a? (b? 1 : 0) : 0, with explicit branching so the
+		// symbolic executor forks exactly as C/KLEE would.
+		if err := c.compileExpr(x.L); err != nil {
+			return err
+		}
+		jz1 := c.emit(Instr{Op: OpJumpZ, Pos: x.Pos})
+		if err := c.compileExpr(x.R); err != nil {
+			return err
+		}
+		jz2 := c.emit(Instr{Op: OpJumpZ, Pos: x.Pos})
+		c.emit(Instr{Op: OpConstInt, Imm: 1, Pos: x.Pos})
+		jend := c.emit(Instr{Op: OpJump, Pos: x.Pos})
+		fls := c.here()
+		c.patch(jz1, fls)
+		c.patch(jz2, fls)
+		c.emit(Instr{Op: OpConstInt, Imm: 0, Pos: x.Pos})
+		c.patch(jend, c.here())
+		return nil
+	case minic.OpOr:
+		if err := c.compileExpr(x.L); err != nil {
+			return err
+		}
+		jnz1 := c.emit(Instr{Op: OpJumpNZ, Pos: x.Pos})
+		if err := c.compileExpr(x.R); err != nil {
+			return err
+		}
+		jnz2 := c.emit(Instr{Op: OpJumpNZ, Pos: x.Pos})
+		c.emit(Instr{Op: OpConstInt, Imm: 0, Pos: x.Pos})
+		jend := c.emit(Instr{Op: OpJump, Pos: x.Pos})
+		tru := c.here()
+		c.patch(jnz1, tru)
+		c.patch(jnz2, tru)
+		c.emit(Instr{Op: OpConstInt, Imm: 1, Pos: x.Pos})
+		c.patch(jend, c.here())
+		return nil
+	default:
+		if err := c.compileExpr(x.L); err != nil {
+			return err
+		}
+		if err := c.compileExpr(x.R); err != nil {
+			return err
+		}
+		c.emit(Instr{Op: OpBin, A: int(x.Op), Pos: x.Pos})
+		return nil
+	}
+}
+
+// Disassemble renders a function's code for debugging.
+func Disassemble(fn *Fn) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s (%d params, %d locals)\n", fn.Name, len(fn.ParamNames), fn.NumLocals)
+	for i, in := range fn.Code {
+		fmt.Fprintf(&sb, "  %4d  %-8s", i, in.Op)
+		switch in.Op {
+		case OpConstInt:
+			fmt.Fprintf(&sb, " %d", in.Imm)
+		case OpConstStr:
+			fmt.Fprintf(&sb, " %q", in.Str)
+		case OpLoadLocal, OpStoreLocal, OpLoadGlobal, OpStoreGlobal:
+			fmt.Fprintf(&sb, " %d", in.A)
+		case OpNewBuf:
+			fmt.Fprintf(&sb, " slot=%d cap=%d", in.A, in.B)
+		case OpBin:
+			fmt.Fprintf(&sb, " %s", minic.BinOp(in.A))
+		case OpJump, OpJumpZ, OpJumpNZ:
+			fmt.Fprintf(&sb, " ->%d", in.A)
+		case OpCall:
+			fmt.Fprintf(&sb, " fn=%d nargs=%d", in.A, in.B)
+		case OpBuiltin:
+			fmt.Fprintf(&sb, " %s nargs=%d", minic.BuiltinName(minic.Builtin(in.A)), in.B)
+		case OpReturn:
+			fmt.Fprintf(&sb, " hasval=%d", in.A)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// DisassembleProgram renders every function in the program.
+func DisassembleProgram(p *Program) string {
+	var sb strings.Builder
+	for _, fn := range p.Funcs {
+		sb.WriteString(Disassemble(fn))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

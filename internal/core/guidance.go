@@ -1,0 +1,275 @@
+// Package core is StatSym itself: the integration of statistical inference
+// and symbolic execution (§IV–§VI of the paper). It contains
+//
+//   - the StatSym state manager and scheduler, realized as a guidance hook
+//     and a priority scheduler over the symbolic executor: states are
+//     prioritized by how closely they follow the current candidate
+//     vulnerable path (fewer diverted hops first), predicate constraints
+//     are applied at matching path nodes (intra-function search), and
+//     states that deviate beyond the hop threshold τ or that conflict with
+//     the predicates are suspended — explored only when nothing better
+//     remains, so the worst case degenerates to pure symbolic execution
+//     (footnote 1);
+//   - the end-to-end pipeline of Fig. 5: preprocess logs, construct and
+//     rank predicates, build candidate paths, and drive statistics-guided
+//     symbolic execution candidate-by-candidate until the vulnerable path
+//     is verified.
+package core
+
+import (
+	"container/heap"
+
+	"repro/internal/pathid"
+	"repro/internal/solver"
+	"repro/internal/stats"
+	"repro/internal/symexec"
+	"repro/internal/trace"
+)
+
+// DefaultTau is the paper's default hop-divergence threshold (§VII-A).
+const DefaultTau = 10
+
+// DefaultMinPredScore is the minimum confidence score for a predicate to
+// be used as an intra-function gate.
+const DefaultMinPredScore = 0.5
+
+// Guidance is StatSym's state-manager logic for one candidate path. Wire
+// Hook into symexec.Options.Hook and NewGuidedScheduler into Options.Sched.
+type Guidance struct {
+	// Path is the candidate vulnerable path being verified.
+	Path *pathid.CandidatePath
+	// Tau is the allowed hop divergence from the candidate path (τ).
+	Tau int
+	// MinPredScore gates which predicates become solver constraints.
+	MinPredScore float64
+
+	// DisableInter turns off inter-function guidance (hop counting and
+	// suspension); DisablePredicates turns off intra-function predicate
+	// gating. Both exist for the ablation benchmarks (§V-C separates the
+	// two mechanisms).
+	DisableInter      bool
+	DisablePredicates bool
+
+	// Counters for reporting.
+	Matches    int
+	Suspends   int
+	PredApply  int
+	PredReject int
+
+	// onPath is the set of candidate-path locations: crossing one of them
+	// out of order (e.g. a function re-entered by a loop) is neutral, not
+	// a diverted hop — only genuinely off-path locations count against τ.
+	onPath map[trace.Location]bool
+}
+
+// NewGuidance returns guidance for a candidate path with paper defaults.
+func NewGuidance(path *pathid.CandidatePath) *Guidance {
+	g := &Guidance{Path: path, Tau: DefaultTau, MinPredScore: DefaultMinPredScore}
+	g.onPath = make(map[trace.Location]bool, len(path.Nodes))
+	for _, n := range path.Nodes {
+		g.onPath[n.Loc] = true
+	}
+	return g
+}
+
+// Hook implements symexec.LocationHook — the StatSym State Manager's
+// per-location decision (§VI-C): match against the candidate path
+// (inter-function search), apply the node's predicate constraints
+// (intra-function search), count diverted hops, and suspend beyond τ.
+func (g *Guidance) Hook(ex *symexec.Executor, st *symexec.State, loc trace.Location, view *symexec.VarView) symexec.HookDecision {
+	if st.Revived {
+		// Revived states run unguided; the search has degenerated to pure
+		// symbolic execution for them.
+		return symexec.HookContinue
+	}
+	nodes := g.Path.Nodes
+	// Forward-scan matching: the next crossing of any upcoming candidate
+	// node advances the cursor there. Candidate nodes the execution never
+	// crosses (e.g. an optional-branch detour the current path skips) are
+	// jumped over rather than stalling the cursor, so later predicates
+	// still gate the search.
+	match := -1
+	for j := st.PathIndex; j < len(nodes); j++ {
+		if nodes[j].Loc == loc {
+			match = j
+			break
+		}
+	}
+	if match >= 0 {
+		node := nodes[match]
+		st.PathIndex = match + 1
+		st.Diverted = 0
+		g.Matches++
+		if !g.DisablePredicates && node.Pred != nil && node.Pred.Score >= g.MinPredScore {
+			switch g.applyPredicate(ex, st, node.Pred, view) {
+			case predConflict:
+				g.Suspends++
+				g.PredReject++
+				return symexec.HookSuspend
+			case predApplied:
+				g.PredApply++
+			}
+		}
+		return symexec.HookContinue
+	}
+	if g.DisableInter {
+		return symexec.HookContinue
+	}
+	if g.onPath[loc] {
+		// A candidate-path location crossed out of order (loops, repeated
+		// calls): neutral with respect to the hop budget.
+		return symexec.HookContinue
+	}
+	// Off-path hop.
+	st.Diverted++
+	if st.Diverted > g.Tau {
+		g.Suspends++
+		return symexec.HookSuspend
+	}
+	return symexec.HookContinue
+}
+
+type predOutcome int
+
+const (
+	predSkipped predOutcome = iota
+	predApplied
+	predConflict
+)
+
+// applyPredicate converts a statistical predicate into constraints over
+// the state's live values and adds them if consistent; reports a conflict
+// when the state's path condition (or concrete values) contradict it.
+func (g *Guidance) applyPredicate(ex *symexec.Executor, st *symexec.State, p *stats.Predicate, view *symexec.VarView) predOutcome {
+	if p.Op == stats.PredNever {
+		// "< -infinity" predicates mark locations vulnerable paths never
+		// reach; they carry no constraint.
+		return predSkipped
+	}
+	val, ok := resolveVar(p, view)
+	if !ok {
+		return predSkipped
+	}
+	cons, concrete, holds := predicateConstraints(p, val)
+	if concrete {
+		if holds {
+			return predSkipped
+		}
+		return predConflict
+	}
+	if len(cons) == 0 {
+		return predSkipped
+	}
+	if !ex.TryAddConstraints(st, cons) {
+		return predConflict
+	}
+	return predApplied
+}
+
+// resolveVar finds the runtime value the predicate's variable denotes at
+// the current location.
+func resolveVar(p *stats.Predicate, view *symexec.VarView) (symexec.Value, bool) {
+	switch p.Class {
+	case trace.ClassParam:
+		return view.Param(p.Var)
+	case trace.ClassGlobal:
+		return view.Global(p.Var)
+	case trace.ClassReturn:
+		return view.Return()
+	default:
+		return symexec.Value{}, false
+	}
+}
+
+// predicateConstraints translates a threshold predicate into solver
+// constraints over a symbolic value. For concrete values it evaluates
+// directly (concrete=true, holds reports the outcome).
+func predicateConstraints(p *stats.Predicate, val symexec.Value) (cons []solver.Constraint, concrete, holds bool) {
+	k := p.IntThreshold()
+	var expr solver.LinExpr
+	switch val.Kind {
+	case symexec.KindInt:
+		if val.IsCond {
+			return nil, false, false
+		}
+		expr = val.Lin
+	case symexec.KindString:
+		// The numeric transform analyzed string lengths, so the predicate
+		// constrains len(value).
+		expr = val.Str.LenExpr()
+	default:
+		return nil, false, false
+	}
+	if expr.IsConst() {
+		v := expr.Const
+		if p.Op == stats.PredGe {
+			return nil, true, v >= k
+		}
+		return nil, true, v <= k
+	}
+	if p.Op == stats.PredGe {
+		return []solver.Constraint{solver.Ge(expr, solver.ConstExpr(k))}, false, false
+	}
+	return []solver.Constraint{solver.Le(expr, solver.ConstExpr(k))}, false, false
+}
+
+// GuidedScheduler is the StatSym State Scheduler (§VI-C): a priority queue
+// that gives states with fewer diverted hops higher priority; among equal
+// divergence the most recently created state runs first, so the search
+// chases the candidate path depth-first instead of flooding breadth-first.
+type GuidedScheduler struct {
+	h guidedHeap
+}
+
+// NewGuidedScheduler returns an empty guided scheduler.
+func NewGuidedScheduler() *GuidedScheduler { return &GuidedScheduler{} }
+
+// Name implements symexec.Scheduler.
+func (s *GuidedScheduler) Name() string { return "statsym-guided" }
+
+// Add implements symexec.Scheduler.
+func (s *GuidedScheduler) Add(st *symexec.State) { heap.Push(&s.h, st) }
+
+// Next implements symexec.Scheduler.
+func (s *GuidedScheduler) Next() *symexec.State {
+	if s.h.Len() == 0 {
+		return nil
+	}
+	return heap.Pop(&s.h).(*symexec.State)
+}
+
+// Len implements symexec.Scheduler.
+func (s *GuidedScheduler) Len() int { return s.h.Len() }
+
+type guidedHeap []*symexec.State
+
+func (h guidedHeap) Len() int { return len(h) }
+
+func (h guidedHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	// Primary: fewer diverted hops. Secondary: further along the candidate
+	// path. Tertiary: newer state first (depth-first chase).
+	if a.Diverted != b.Diverted {
+		return a.Diverted < b.Diverted
+	}
+	if a.PathIndex != b.PathIndex {
+		return a.PathIndex > b.PathIndex
+	}
+	return a.Seq() > b.Seq()
+}
+
+func (h guidedHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *guidedHeap) Push(x any) { *h = append(*h, x.(*symexec.State)) }
+
+func (h *guidedHeap) Pop() any {
+	old := *h
+	n := len(old)
+	st := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return st
+}
+
+// Interface compliance.
+var _ symexec.Scheduler = (*GuidedScheduler)(nil)

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/pathid"
+	"repro/internal/stats"
+	"repro/internal/symexec"
+	"repro/internal/trace"
+)
+
+// Config tunes the StatSym pipeline.
+type Config struct {
+	// Tau is the hop-divergence threshold τ (default 10, §VII-A).
+	Tau int
+	// MinPredScore gates predicate application (default 0.5).
+	MinPredScore float64
+	// Path tunes candidate-path construction.
+	Path pathid.Config
+	// Spec is the symbolic-input configuration shared with the baseline.
+	Spec *symexec.InputSpec
+
+	// PerCandidateTimeout bounds statistics-guided symbolic execution per
+	// candidate path (the paper uses 15 minutes; benchmarks scale this
+	// down). Zero means no wall-clock bound.
+	PerCandidateTimeout time.Duration
+	// PerCandidateMaxSteps bounds instructions per candidate (0: executor
+	// default).
+	PerCandidateMaxSteps int64
+	// MaxStates bounds live states per candidate (0: executor default).
+	MaxStates int
+	// TotalTimeout bounds the whole symbolic-execution phase.
+	TotalTimeout time.Duration
+
+	// DisableInter / DisablePredicates switch off the two guidance
+	// mechanisms independently (ablations).
+	DisableInter      bool
+	DisablePredicates bool
+}
+
+// CandidateOutcome records one guided exploration attempt.
+type CandidateOutcome struct {
+	Index    int // 1-based rank of the candidate path
+	PathLen  int
+	Found    bool
+	Paths    int // paths explored during this attempt
+	Steps    int64
+	Suspends int
+	Matches  int
+	Elapsed  time.Duration
+	// Infeasible marks candidates abandoned with every prioritized state
+	// suspended or exhausted (the thttpd first-candidate case, §VII-C2).
+	Infeasible bool
+}
+
+// Report is the pipeline's full output.
+type Report struct {
+	Program string
+
+	// Corpus statistics.
+	Runs, Locations, Variables int
+	LogBytes                   int
+
+	Analysis *stats.Analysis
+	PathRes  *pathid.Result
+
+	// Module times: StatTime covers predicate construction and candidate
+	// path construction (the paper's "Statistical Module" column);
+	// SymTime covers guided symbolic execution.
+	StatTime time.Duration
+	SymTime  time.Duration
+
+	Candidates []CandidateOutcome
+	// Vuln is the verified vulnerability (nil if none found).
+	Vuln *symexec.Vulnerability
+	// CandidateUsed is the 1-based rank of the successful candidate.
+	CandidateUsed int
+	// TotalPaths sums paths explored across attempts (Table IV).
+	TotalPaths int
+	TotalSteps int64
+}
+
+// Found reports whether the pipeline verified a vulnerable path.
+func (r *Report) Found() bool { return r.Vuln != nil }
+
+// Detours returns the number of detours found by statistical analysis
+// (Tables II and III).
+func (r *Report) Detours() int {
+	if r.PathRes == nil {
+		return 0
+	}
+	return len(r.PathRes.Detours)
+}
+
+// Run executes the StatSym pipeline of Fig. 5 over a pre-collected corpus:
+//
+//	(a)–(d) statistical analysis: predicates construction and ranking;
+//	        candidate-path construction (skeleton + detours);
+//	(e)     statistics-guided symbolic execution per candidate path until
+//	        a vulnerable path is verified or candidates run out.
+func Run(prog *bytecode.Program, corpus *trace.Corpus, cfg Config) (*Report, error) {
+	if cfg.Tau == 0 {
+		cfg.Tau = DefaultTau
+	}
+	if cfg.MinPredScore == 0 {
+		cfg.MinPredScore = DefaultMinPredScore
+	}
+	rep := &Report{Program: prog.Name}
+	rep.Runs, rep.Locations, rep.Variables = corpus.Counts()
+	rep.LogBytes = corpus.SizeBytes()
+
+	// Statistical analysis module.
+	statStart := time.Now()
+	rep.Analysis = stats.Analyze(corpus)
+	pres, err := pathid.Build(corpus, rep.Analysis, cfg.Path)
+	rep.StatTime = time.Since(statStart)
+	if err != nil {
+		return rep, fmt.Errorf("core: candidate path construction: %w", err)
+	}
+	rep.PathRes = pres
+
+	// Statistics-guided symbolic execution module.
+	symStart := time.Now()
+	var symDeadline time.Time
+	if cfg.TotalTimeout > 0 {
+		symDeadline = symStart.Add(cfg.TotalTimeout)
+	}
+	for i, cand := range pres.Candidates {
+		if !symDeadline.IsZero() && time.Now().After(symDeadline) {
+			break
+		}
+		outcome := runCandidate(prog, cand, i+1, cfg)
+		rep.Candidates = append(rep.Candidates, outcome.CandidateOutcome)
+		rep.TotalPaths += outcome.Paths
+		rep.TotalSteps += outcome.Steps
+		if outcome.Found {
+			rep.Vuln = outcome.vuln
+			rep.CandidateUsed = i + 1
+			break
+		}
+	}
+	rep.SymTime = time.Since(symStart)
+	return rep, nil
+}
+
+type candidateResult struct {
+	CandidateOutcome
+	vuln *symexec.Vulnerability
+}
+
+// runCandidate performs one statistics-guided exploration (step e.2).
+func runCandidate(prog *bytecode.Program, cand *pathid.CandidatePath, rank int, cfg Config) candidateResult {
+	out, vuln := VerifyCandidate(prog, cand, cfg)
+	out.Index = rank
+	return candidateResult{CandidateOutcome: out, vuln: vuln}
+}
+
+// VerifyCandidate runs statistics-guided symbolic execution against one
+// candidate vulnerable path (step e.2 of Fig. 5) and reports the outcome
+// together with the vulnerability, if verified. Callers that construct
+// their own candidate lists (tests, alternative ranking strategies) can
+// drive the verification loop directly.
+func VerifyCandidate(prog *bytecode.Program, cand *pathid.CandidatePath, cfg Config) (CandidateOutcome, *symexec.Vulnerability) {
+	if cfg.Tau == 0 {
+		cfg.Tau = DefaultTau
+	}
+	if cfg.MinPredScore == 0 {
+		cfg.MinPredScore = DefaultMinPredScore
+	}
+	g := NewGuidance(cand)
+	g.Tau = cfg.Tau
+	g.MinPredScore = cfg.MinPredScore
+	g.DisableInter = cfg.DisableInter
+	g.DisablePredicates = cfg.DisablePredicates
+	opts := symexec.DefaultOptions()
+	opts.Sched = NewGuidedScheduler()
+	opts.Hook = g.Hook
+	opts.Timeout = cfg.PerCandidateTimeout
+	if cfg.PerCandidateMaxSteps > 0 {
+		opts.MaxSteps = cfg.PerCandidateMaxSteps
+	}
+	if cfg.MaxStates > 0 {
+		opts.MaxStates = cfg.MaxStates
+	}
+	ex := symexec.New(prog, cfg.Spec, opts)
+	res := ex.Run()
+	out := CandidateOutcome{
+		Index:    1,
+		PathLen:  cand.Len(),
+		Found:    res.Found(),
+		Paths:    res.Paths,
+		Steps:    res.Steps,
+		Suspends: g.Suspends,
+		Matches:  g.Matches,
+		Elapsed:  res.Elapsed,
+	}
+	if res.Found() {
+		return out, res.Vulns[0]
+	}
+	// Candidate abandoned: either the guided frontier died out
+	// (infeasible candidate) or a resource bound hit.
+	out.Infeasible = res.TimedOut || res.Exhausted || res.StepLimited || res.SuspendedAtEnd > 0
+	return out, nil
+}
+
+// RunPure executes the pure-symbolic-execution baseline (unmodified KLEE in
+// the paper's Table IV) with the same input spec and resource bounds.
+func RunPure(prog *bytecode.Program, spec *symexec.InputSpec, maxStates int, maxSteps int64, timeout time.Duration) *symexec.Result {
+	opts := symexec.DefaultOptions()
+	opts.Sched = symexec.NewBFS()
+	if maxStates > 0 {
+		opts.MaxStates = maxStates
+	}
+	if maxSteps > 0 {
+		opts.MaxSteps = maxSteps
+	}
+	opts.Timeout = timeout
+	ex := symexec.New(prog, spec, opts)
+	return ex.Run()
+}

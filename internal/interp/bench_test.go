@@ -1,0 +1,88 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/bytecode"
+)
+
+// BenchmarkInterpLoop measures raw interpreter throughput on a tight loop.
+func BenchmarkInterpLoop(b *testing.B) {
+	prog := bytecode.MustCompile("loop", `
+func main() int {
+  int s = 0;
+  for (int i = 0; i < 10000; i = i + 1) { s = s + i; }
+  return s;
+}`)
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		res, err := Run(prog, nil, Config{})
+		if err != nil || res.Ret.Int != 49995000 {
+			b.Fatalf("res=%v err=%v", res, err)
+		}
+	}
+}
+
+// BenchmarkInterpCalls measures call/return overhead.
+func BenchmarkInterpCalls(b *testing.B) {
+	prog := bytecode.MustCompile("calls", `
+func leaf(int x) int { return x + 1; }
+func main() int {
+  int s = 0;
+  for (int i = 0; i < 2000; i = i + 1) { s = leaf(s); }
+  return s;
+}`)
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		if _, err := Run(prog, nil, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpWithHook measures the monitoring overhead the paper
+// motivates sampling with: full instrumentation of every call.
+func BenchmarkInterpWithHook(b *testing.B) {
+	prog := bytecode.MustCompile("hooked", `
+func leaf(int x) int { return x + 1; }
+func main() int {
+  int s = 0;
+  for (int i = 0; i < 2000; i = i + 1) { s = leaf(s); }
+  return s;
+}`)
+	events := 0
+	hook := func(ev HookEvent) { events++ }
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		if _, err := Run(prog, nil, Config{Hook: hook}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpStringWork measures string-heavy execution (the grep
+// shape).
+func BenchmarkInterpStringWork(b *testing.B) {
+	prog := bytecode.MustCompile("strs", `
+func main() int {
+  string s = input_string("s");
+  int acc = 0;
+  int i = 0;
+  while (i < len(s)) {
+    acc = acc + char(s, i);
+    i = i + 1;
+  }
+  return acc;
+}`)
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+	in := &Input{Strs: map[string]string{"s": string(payload)}}
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		if _, err := Run(prog, in, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

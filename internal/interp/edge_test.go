@@ -1,0 +1,223 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/bytecode"
+)
+
+func TestForLoopScoping(t *testing.T) {
+	// The for-init variable lives in its own scope; an outer variable of
+	// the same name is untouched.
+	src := `
+func main() int {
+  int i = 100;
+  int s = 0;
+  for (int i = 0; i < 3; i = i + 1) { s = s + i; }
+  return i + s;
+}`
+	res := run(t, src, nil)
+	if res.Ret.Int != 103 {
+		t.Errorf("ret = %d, want 103", res.Ret.Int)
+	}
+}
+
+func TestNestedLoopsBreakContinue(t *testing.T) {
+	src := `
+func main() int {
+  int total = 0;
+  for (int i = 0; i < 5; i = i + 1) {
+    int j = 0;
+    while (j < 5) {
+      j = j + 1;
+      if (j == 2) { continue; }
+      if (j == 4) { break; }
+      total = total + 1;
+    }
+  }
+  return total;
+}`
+	// Per outer iteration: j=1 counts, j=2 skipped, j=3 counts, j=4 breaks
+	// => 2 per iteration x 5.
+	res := run(t, src, nil)
+	if res.Ret.Int != 10 {
+		t.Errorf("ret = %d, want 10", res.Ret.Int)
+	}
+}
+
+func TestGlobalInitExpressions(t *testing.T) {
+	// Global initializers may reference earlier globals.
+	src := `
+global int base = 10;
+global int doubled = base * 2;
+global string greeting = "he" + "llo";
+func main() int {
+  if (greeting != "hello") { return -1; }
+  return doubled;
+}`
+	res := run(t, src, nil)
+	if res.Ret.Int != 20 {
+		t.Errorf("ret = %d, want 20", res.Ret.Int)
+	}
+}
+
+func TestElseIfChains(t *testing.T) {
+	src := `
+func classify(int x) int {
+  if (x < 0) { return 0; }
+  else if (x == 0) { return 1; }
+  else if (x < 10) { return 2; }
+  else { return 3; }
+}
+func main() int {
+  return classify(-5) * 1000 + classify(0) * 100 + classify(5) * 10 + classify(50);
+}`
+	res := run(t, src, nil)
+	if res.Ret.Int != 123 {
+		t.Errorf("ret = %d, want 123 (0,1,2,3 digits)", res.Ret.Int)
+	}
+}
+
+func TestBuffersIndependentAcrossCalls(t *testing.T) {
+	// Each activation allocates a fresh buffer.
+	src := `
+func fill(int v) int {
+  buf b[4];
+  bufwrite(b, 0, v);
+  return bufread(b, 0);
+}
+func main() int {
+  int a = fill(7);
+  int c = fill(9);
+  return a * 10 + c;
+}`
+	res := run(t, src, nil)
+	if res.Ret.Int != 79 {
+		t.Errorf("ret = %d, want 79", res.Ret.Int)
+	}
+}
+
+func TestBufferSharedByReference(t *testing.T) {
+	// Buffers pass by reference: callee writes are visible to the caller.
+	src := `
+func poke(buf b, int v) void {
+  bufwrite(b, 2, v);
+  return;
+}
+func main() int {
+  buf b[4];
+  poke(b, 55);
+  return bufread(b, 2);
+}`
+	res := run(t, src, nil)
+	if res.Ret.Int != 55 {
+		t.Errorf("ret = %d, want 55", res.Ret.Int)
+	}
+}
+
+func TestStepCountingExact(t *testing.T) {
+	// Steps are deterministic; the same program yields the same count.
+	prog := bytecode.MustCompile("steps", `func main() int { return 1 + 2; }`)
+	r1, _ := Run(prog, nil, Config{})
+	r2, _ := Run(prog, nil, Config{})
+	if r1.Steps != r2.Steps || r1.Steps == 0 {
+		t.Errorf("steps %d vs %d", r1.Steps, r2.Steps)
+	}
+}
+
+func TestMaxStepsBoundary(t *testing.T) {
+	prog := bytecode.MustCompile("bound", `func main() int { return 1 + 2; }`)
+	full, err := Run(prog, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly enough steps: succeeds.
+	if _, err := Run(prog, nil, Config{MaxSteps: full.Steps}); err != nil {
+		t.Errorf("exact budget failed: %v", err)
+	}
+	// One short: step-limit error.
+	if _, err := Run(prog, nil, Config{MaxSteps: full.Steps - 1}); err == nil {
+		t.Error("under-budget run succeeded")
+	}
+}
+
+func TestVoidFunctionCalls(t *testing.T) {
+	src := `
+global int effects = 0;
+func touch() void {
+  effects = effects + 1;
+  return;
+}
+func noReturnStmt() void {
+  effects = effects + 10;
+}
+func main() int {
+  touch();
+  noReturnStmt();
+  return effects;
+}`
+	res := run(t, src, nil)
+	if res.Ret.Int != 11 {
+		t.Errorf("ret = %d, want 11", res.Ret.Int)
+	}
+}
+
+func TestImplicitReturnValues(t *testing.T) {
+	src := `
+func fallOffInt() int { print("x"); }
+func fallOffStr() string { print("y"); }
+func main() int {
+  if (fallOffStr() != "") { return -1; }
+  return fallOffInt();
+}`
+	res := run(t, src, nil)
+	if res.Ret.Int != 0 {
+		t.Errorf("implicit zero return = %d", res.Ret.Int)
+	}
+}
+
+func TestNegativeModuloCSemantics(t *testing.T) {
+	tests := []struct {
+		a, b, want int64
+	}{
+		{7, 3, 1},
+		{-7, 3, -1}, // C truncation
+		{7, -3, 1},
+		{-7, -3, -1},
+	}
+	for _, tt := range tests {
+		src := `func main() int { int a = ` + itoa(tt.a) + `; int b = ` + itoa(tt.b) + `; return a % b; }`
+		res := run(t, src, nil)
+		if res.Ret.Int != tt.want {
+			t.Errorf("%d %% %d = %d, want %d", tt.a, tt.b, res.Ret.Int, tt.want)
+		}
+	}
+}
+
+func itoa(v int64) string {
+	if v < 0 {
+		return "0 - " + itoa(-v)
+	}
+	digits := ""
+	for v > 0 {
+		digits = string(rune('0'+v%10)) + digits
+		v /= 10
+	}
+	if digits == "" {
+		digits = "0"
+	}
+	return digits
+}
+
+func TestDeepCallChainWithinLimit(t *testing.T) {
+	src := `
+func down(int n) int {
+  if (n == 0) { return 0; }
+  return down(n - 1) + 1;
+}
+func main() int { return down(100); }`
+	res := run(t, src, nil)
+	if res.Ret.Int != 100 {
+		t.Errorf("ret = %d, want 100", res.Ret.Int)
+	}
+}

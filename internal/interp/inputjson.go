@@ -1,0 +1,93 @@
+package interp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// inputJSON is the serialized form of an Input. String values are stored
+// as UTF-8 when printable and base64 otherwise via Go's default []byte
+// handling; for simplicity and diffability, values here are plain strings
+// (witness strings in this repository are byte strings that JSON escapes
+// losslessly since Go strings marshal as UTF-8 with replacement — to stay
+// exact we store byte slices).
+type inputJSON struct {
+	Ints map[string]int64  `json:"ints,omitempty"`
+	Strs map[string][]byte `json:"strs,omitempty"`
+	Env  map[string][]byte `json:"env,omitempty"`
+	Args [][]byte          `json:"args,omitempty"`
+}
+
+// MarshalJSON encodes the input losslessly (string values as base64-coded
+// byte arrays, the encoding/json default for []byte).
+func (in *Input) MarshalJSON() ([]byte, error) {
+	enc := inputJSON{Ints: in.Ints}
+	if in.Strs != nil {
+		enc.Strs = make(map[string][]byte, len(in.Strs))
+		for k, v := range in.Strs {
+			enc.Strs[k] = []byte(v)
+		}
+	}
+	if in.Env != nil {
+		enc.Env = make(map[string][]byte, len(in.Env))
+		for k, v := range in.Env {
+			enc.Env[k] = []byte(v)
+		}
+	}
+	for _, a := range in.Args {
+		enc.Args = append(enc.Args, []byte(a))
+	}
+	return json.Marshal(enc)
+}
+
+// UnmarshalJSON decodes an input written by MarshalJSON.
+func (in *Input) UnmarshalJSON(data []byte) error {
+	var dec inputJSON
+	if err := json.Unmarshal(data, &dec); err != nil {
+		return err
+	}
+	in.Ints = dec.Ints
+	in.Strs = nil
+	if dec.Strs != nil {
+		in.Strs = make(map[string]string, len(dec.Strs))
+		for k, v := range dec.Strs {
+			in.Strs[k] = string(v)
+		}
+	}
+	in.Env = nil
+	if dec.Env != nil {
+		in.Env = make(map[string]string, len(dec.Env))
+		for k, v := range dec.Env {
+			in.Env[k] = string(v)
+		}
+	}
+	in.Args = nil
+	for _, a := range dec.Args {
+		in.Args = append(in.Args, string(a))
+	}
+	return nil
+}
+
+// SaveInput writes the input to a JSON file (witness persistence for
+// replay and regression suites).
+func SaveInput(path string, in *Input) error {
+	blob, err := json.MarshalIndent(in, "", "  ")
+	if err != nil {
+		return fmt.Errorf("interp: marshal input: %w", err)
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// LoadInput reads an input written by SaveInput.
+func LoadInput(path string) (*Input, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	in := &Input{}
+	if err := json.Unmarshal(blob, in); err != nil {
+		return nil, fmt.Errorf("interp: %s: %w", path, err)
+	}
+	return in, nil
+}

@@ -1,0 +1,71 @@
+package interp
+
+import (
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestInputJSONRoundTrip(t *testing.T) {
+	in := &Input{
+		Ints: map[string]int64{"x": -42, "y": 1 << 40},
+		Strs: map[string]string{"payload": "hello\x00\xff\nworld", "empty": ""},
+		Env:  map[string]string{"TAINT": string(make([]byte, 64))},
+		Args: []string{"-f", "name with spaces", "\x01\x02"},
+	}
+	path := filepath.Join(t.TempDir(), "witness.json")
+	if err := SaveInput(path, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadInput(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Ints["x"] != -42 || back.Ints["y"] != 1<<40 {
+		t.Errorf("ints = %v", back.Ints)
+	}
+	if back.Strs["payload"] != in.Strs["payload"] {
+		t.Errorf("payload bytes lost: %q", back.Strs["payload"])
+	}
+	if back.Strs["empty"] != "" {
+		t.Errorf("empty string lost")
+	}
+	if len(back.Env["TAINT"]) != 64 {
+		t.Errorf("env bytes lost")
+	}
+	if len(back.Args) != 3 || back.Args[1] != "name with spaces" || back.Args[2] != "\x01\x02" {
+		t.Errorf("args = %q", back.Args)
+	}
+}
+
+// TestInputJSONBinaryProperty: arbitrary byte strings survive the round
+// trip exactly (witnesses may contain any byte value).
+func TestInputJSONBinaryProperty(t *testing.T) {
+	dir := t.TempDir()
+	i := 0
+	f := func(payload []byte, n int64) bool {
+		i++
+		in := &Input{
+			Ints: map[string]int64{"n": n},
+			Strs: map[string]string{"p": string(payload)},
+		}
+		path := filepath.Join(dir, "w.json")
+		if err := SaveInput(path, in); err != nil {
+			return false
+		}
+		back, err := LoadInput(path)
+		if err != nil {
+			return false
+		}
+		return back.Strs["p"] == string(payload) && back.Ints["n"] == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadInputErrors(t *testing.T) {
+	if _, err := LoadInput(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,416 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bytecode"
+	"repro/internal/trace"
+)
+
+func run(t *testing.T, src string, in *Input) *Result {
+	t.Helper()
+	prog := bytecode.MustCompile("test", src)
+	res, err := Run(prog, in, Config{CollectOutput: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestArithmetic(t *testing.T) {
+	tests := []struct {
+		expr string
+		want int64
+	}{
+		{"1 + 2", 3},
+		{"10 - 4", 6},
+		{"6 * 7", 42},
+		{"17 / 5", 3},
+		{"17 % 5", 2},
+		{"-17 / 5", -3}, // Go/C truncated division
+		{"-(3 + 4)", -7},
+		{"1 < 2", 1},
+		{"2 < 1", 0},
+		{"2 <= 2", 1},
+		{"3 > 2", 1},
+		{"3 >= 4", 0},
+		{"5 == 5", 1},
+		{"5 != 5", 0},
+		{"!0", 1},
+		{"!7", 0},
+		{"1 && 1", 1},
+		{"1 && 0", 0},
+		{"0 && 1", 0},
+		{"0 || 0", 0},
+		{"0 || 3", 1},
+		{"2 || 0", 1},
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+	}
+	for _, tt := range tests {
+		res := run(t, "func main() int { return "+tt.expr+"; }", nil)
+		if res.Fault != FaultNone {
+			t.Errorf("%s: fault %v", tt.expr, res.Fault)
+			continue
+		}
+		if res.Ret.Int != tt.want {
+			t.Errorf("%s = %d, want %d", tt.expr, res.Ret.Int, tt.want)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right operand of && must not evaluate when the left is false;
+	// here evaluation would fault via division by zero.
+	src := `
+func boom() int { return 1 / 0; }
+func main() int {
+  if (0 && boom()) { return 1; }
+  if (1 || boom()) { return 42; }
+  return 0;
+}`
+	res := run(t, src, nil)
+	if res.Fault != FaultNone {
+		t.Fatalf("short-circuit evaluated both sides: fault %v", res.Fault)
+	}
+	if res.Ret.Int != 42 {
+		t.Errorf("ret = %d, want 42", res.Ret.Int)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	src := `
+func main() int {
+  string a = "hello";
+  string b = a + " " + "world";
+  if (b != "hello world") { return 1; }
+  if (streq(b, "hello world") == 0) { return 2; }
+  if (len(b) != 11) { return 3; }
+  if (char(b, 0) != 'h') { return 4; }
+  if (substr(b, 0, 5) != "hello") { return 5; }
+  if (substr(b, 6, 999) != "world") { return 6; }
+  if (concat("a", "b") != "ab") { return 7; }
+  if (atoi("42abc") != 42) { return 8; }
+  if (atoi("-7") != -7) { return 9; }
+  if (atoi("xyz") != 0) { return 10; }
+  return 0;
+}`
+	res := run(t, src, nil)
+	if res.Ret.Int != 0 {
+		t.Errorf("string test case %d failed", res.Ret.Int)
+	}
+}
+
+func TestLoops(t *testing.T) {
+	src := `
+func main() int {
+  int s = 0;
+  for (int i = 1; i <= 10; i = i + 1) { s = s + i; }
+  int j = 0;
+  while (j < 5) { j = j + 1; if (j == 3) { continue; } s = s + 1; }
+  for (;;) { s = s + 100; break; }
+  return s;
+}`
+	res := run(t, src, nil)
+	want := int64(55 + 4 + 100)
+	if res.Ret.Int != want {
+		t.Errorf("ret = %d, want %d", res.Ret.Int, want)
+	}
+}
+
+func TestGlobalsAndCalls(t *testing.T) {
+	src := `
+global int counter = 10;
+global string tag = "t";
+func bump(int by) int {
+  counter = counter + by;
+  return counter;
+}
+func main() int {
+  bump(5);
+  bump(7);
+  tag = tag + "!";
+  if (tag != "t!") { return -1; }
+  return counter;
+}`
+	res := run(t, src, nil)
+	if res.Ret.Int != 22 {
+		t.Errorf("counter = %d, want 22", res.Ret.Int)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	src := `
+func fib(int n) int {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+func main() int { return fib(15); }`
+	res := run(t, src, nil)
+	if res.Ret.Int != 610 {
+		t.Errorf("fib(15) = %d, want 610", res.Ret.Int)
+	}
+}
+
+func TestBuffers(t *testing.T) {
+	src := `
+func fill(buf b, string s) void {
+  int i = 0;
+  while (i < len(s)) {
+    bufwrite(b, i, char(s, i));
+    i = i + 1;
+  }
+  return;
+}
+func main() int {
+  buf b[8];
+  fill(b, "abc");
+  if (bufcap(b) != 8) { return 1; }
+  if (bufread(b, 1) != 'b') { return 2; }
+  if (bufstr(b, 3) != "abc") { return 3; }
+  return 0;
+}`
+	res := run(t, src, nil)
+	if res.Fault != FaultNone {
+		t.Fatalf("fault: %v in %s", res.Fault, res.FaultFunc)
+	}
+	if res.Ret.Int != 0 {
+		t.Errorf("buffer test case %d failed", res.Ret.Int)
+	}
+}
+
+func TestBufferOverflowFault(t *testing.T) {
+	src := `
+func vuln(string s) void {
+  buf b[4];
+  int i = 0;
+  while (i < len(s)) {
+    bufwrite(b, i, char(s, i));
+    i = i + 1;
+  }
+  return;
+}
+func main() int {
+  vuln(input_string("payload"));
+  return 0;
+}`
+	// Short payload: no fault.
+	res := run(t, src, &Input{Strs: map[string]string{"payload": "abc"}})
+	if res.Fault != FaultNone {
+		t.Fatalf("short payload faulted: %v", res.Fault)
+	}
+	// Long payload: overflow in vuln.
+	res = run(t, src, &Input{Strs: map[string]string{"payload": "abcdefgh"}})
+	if res.Fault != FaultBufferOverflow {
+		t.Fatalf("fault = %v, want buffer-overflow", res.Fault)
+	}
+	if res.FaultFunc != "vuln" {
+		t.Errorf("fault func = %q, want vuln", res.FaultFunc)
+	}
+}
+
+func TestFaultKinds(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want FaultKind
+	}{
+		{"assert", `func main() int { assert(1 == 2); return 0; }`, FaultAssert},
+		{"abort", `func main() int { abort(); return 0; }`, FaultAbort},
+		{"divzero", `func main() int { int z = 0; return 1 / z; }`, FaultDivZero},
+		{"modzero", `func main() int { int z = 0; return 1 % z; }`, FaultDivZero},
+		{"strindex", `func main() int { return char("ab", 5); }`, FaultStringIndex},
+		{"strindexneg", `func main() int { return char("ab", -1); }`, FaultStringIndex},
+		{"oobread", `func main() int { buf b[2]; return bufread(b, 2); }`, FaultBufferOOBRead},
+		{"oobwriteneg", `func main() int { buf b[2]; bufwrite(b, -1, 0); return 0; }`, FaultBufferOverflow},
+	}
+	for _, tt := range tests {
+		res := run(t, tt.src, nil)
+		if res.Fault != tt.want {
+			t.Errorf("%s: fault = %v, want %v", tt.name, res.Fault, tt.want)
+		}
+	}
+}
+
+func TestAssertPasses(t *testing.T) {
+	res := run(t, `func main() int { assert(2 > 1); return 5; }`, nil)
+	if res.Fault != FaultNone || res.Ret.Int != 5 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestInputChannels(t *testing.T) {
+	src := `
+func main() int {
+  int m = input_int("m");
+  string s = input_string("s");
+  string e = env("HOME");
+  string a0 = arg(0);
+  if (nargs() != 2) { return 1; }
+  if (s != "sv") { return 2; }
+  if (e != "/home/u") { return 3; }
+  if (a0 != "-f") { return 4; }
+  if (arg(9) != "") { return 5; }
+  if (input_int("missing") != 0) { return 6; }
+  if (input_string("missing") != "") { return 7; }
+  if (env("missing") != "") { return 8; }
+  return m;
+}`
+	in := &Input{
+		Ints: map[string]int64{"m": 77},
+		Strs: map[string]string{"s": "sv"},
+		Env:  map[string]string{"HOME": "/home/u"},
+		Args: []string{"-f", "name"},
+	}
+	res := run(t, src, in)
+	if res.Ret.Int != 77 {
+		t.Errorf("ret = %d, want 77 (failing case if 1..8)", res.Ret.Int)
+	}
+}
+
+func TestPrintOutput(t *testing.T) {
+	src := `func main() int { print("hi"); print(42); print("x" + "y"); return 0; }`
+	res := run(t, src, nil)
+	want := []string{"hi", "42", "xy"}
+	if len(res.Output) != len(want) {
+		t.Fatalf("output = %v, want %v", res.Output, want)
+	}
+	for i := range want {
+		if res.Output[i] != want[i] {
+			t.Errorf("output[%d] = %q, want %q", i, res.Output[i], want[i])
+		}
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	prog := bytecode.MustCompile("inf", `func main() int { while (1) { } return 0; }`)
+	_, err := Run(prog, nil, Config{MaxSteps: 1000})
+	if !errors.Is(err, ErrStepLimit) {
+		t.Errorf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestStackDepthLimit(t *testing.T) {
+	prog := bytecode.MustCompile("rec", `
+func r(int n) int { return r(n + 1); }
+func main() int { return r(0); }`)
+	_, err := Run(prog, nil, Config{MaxDepth: 32})
+	if !errors.Is(err, ErrStackDepth) {
+		t.Errorf("err = %v, want ErrStackDepth", err)
+	}
+}
+
+func TestHookEvents(t *testing.T) {
+	src := `
+global int g = 3;
+func inner(int a, string s) int { g = g + a; return a * 2; }
+func main() int { return inner(5, "xy"); }`
+	prog := bytecode.MustCompile("hook", src)
+	var events []HookEvent
+	_, err := Run(prog, nil, Config{Hook: func(ev HookEvent) { events = append(events, ev) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// main:enter, inner:enter, inner:leave, main:leave.
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4: %+v", len(events), events)
+	}
+	if events[0].Fn.Name != "main" || events[0].Kind != trace.EventEnter {
+		t.Errorf("event 0: %s %v", events[0].Fn.Name, events[0].Kind)
+	}
+	e := events[1]
+	if e.Fn.Name != "inner" || e.Kind != trace.EventEnter {
+		t.Fatalf("event 1: %s %v", e.Fn.Name, e.Kind)
+	}
+	if len(e.Params) != 2 || e.Params[0].Int != 5 || e.Params[1].Str != "xy" {
+		t.Errorf("inner params: %+v", e.Params)
+	}
+	l := events[2]
+	if l.Kind != trace.EventLeave || l.Ret == nil || l.Ret.Int != 10 {
+		t.Errorf("inner leave: %+v", l)
+	}
+	// Global snapshot at inner leave reflects the update.
+	if l.Globals[0].Int != 8 {
+		t.Errorf("global at inner leave = %d, want 8", l.Globals[0].Int)
+	}
+}
+
+func TestHookNotFiredForInit(t *testing.T) {
+	src := `
+global int g = 42;
+func main() int { return g; }`
+	prog := bytecode.MustCompile("init", src)
+	var names []string
+	res, err := Run(prog, nil, Config{Hook: func(ev HookEvent) { names = append(names, ev.Fn.Name) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret.Int != 42 {
+		t.Errorf("global init value = %d, want 42", res.Ret.Int)
+	}
+	for _, n := range names {
+		if n == bytecode.InitFuncName {
+			t.Errorf("hook fired for %s", bytecode.InitFuncName)
+		}
+	}
+}
+
+// TestInterpDeterminism: same program + same input => identical result.
+func TestInterpDeterminism(t *testing.T) {
+	src := `
+func f(int x) int {
+  buf b[16];
+  int i = 0;
+  while (i < x) { bufwrite(b, i % 16, i); i = i + 1; }
+  return bufread(b, x % 16);
+}
+func main() int { return f(input_int("x")); }`
+	prog := bytecode.MustCompile("det", src)
+	f := func(x int16) bool {
+		in := &Input{Ints: map[string]int64{"x": int64(x)}}
+		r1, err1 := Run(prog, in, Config{})
+		r2, err2 := Run(prog, in, Config{})
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		return r1.Fault == r2.Fault && r1.Ret == r2.Ret && r1.Steps == r2.Steps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOverflowThresholdProperty: the overflow fault occurs exactly when the
+// payload length exceeds the buffer capacity.
+func TestOverflowThresholdProperty(t *testing.T) {
+	src := `
+func copy_in(string s) void {
+  buf b[32];
+  int i = 0;
+  while (i < len(s)) { bufwrite(b, i, char(s, i)); i = i + 1; }
+  return;
+}
+func main() int { copy_in(input_string("p")); return 0; }`
+	prog := bytecode.MustCompile("thresh", src)
+	f := func(n uint8) bool {
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = 'a'
+		}
+		in := &Input{Strs: map[string]string{"p": string(payload)}}
+		res, err := Run(prog, in, Config{})
+		if err != nil {
+			return false
+		}
+		wantFault := int(n) > 32
+		return (res.Fault == FaultBufferOverflow) == wantFault
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,419 @@
+package minic
+
+import "fmt"
+
+// Type is the static type of a MiniC expression or variable.
+type Type int
+
+// MiniC types. Buffers are fixed-capacity byte arrays that live in a
+// function's frame and may be passed by reference to callees.
+const (
+	TypeInvalid Type = iota
+	TypeInt
+	TypeString
+	TypeBuf
+	TypeVoid
+)
+
+// String returns the source-level name of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeString:
+		return "string"
+	case TypeBuf:
+		return "buf"
+	case TypeVoid:
+		return "void"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Node is implemented by every AST node.
+type Node interface {
+	NodePos() Pos
+}
+
+// Expr is implemented by expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+	// ResultType reports the checked static type; valid after Check.
+	ResultType() Type
+}
+
+// Stmt is implemented by statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Program is a parsed MiniC compilation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+
+	// Name is an optional label for the program (set by callers, e.g. the
+	// application registry); not part of the syntax.
+	Name string
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Global returns the global with the given name, or nil.
+func (p *Program) Global(name string) *GlobalDecl {
+	for _, g := range p.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// GlobalDecl declares a module-level variable.
+type GlobalDecl struct {
+	Pos  Pos
+	Type Type // TypeInt or TypeString
+	Name string
+	Init Expr // optional; nil means zero value
+
+	// Index is the global slot assigned during checking.
+	Index int
+}
+
+// NodePos returns the declaration position.
+func (d *GlobalDecl) NodePos() Pos { return d.Pos }
+
+// Param is a function parameter.
+type Param struct {
+	Pos  Pos
+	Type Type
+	Name string
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Params []Param
+	Ret    Type // TypeInt, TypeString or TypeVoid
+	Body   *BlockStmt
+
+	// NumLocals is the frame slot count assigned during checking
+	// (parameters occupy the first len(Params) slots).
+	NumLocals int
+}
+
+// NodePos returns the declaration position.
+func (d *FuncDecl) NodePos() Pos { return d.Pos }
+
+// --- Statements ---
+
+// BlockStmt is a brace-delimited statement list introducing a scope.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// VarDeclStmt declares a local int or string variable.
+type VarDeclStmt struct {
+	Pos  Pos
+	Type Type
+	Name string
+	Init Expr // optional
+
+	Slot int // frame slot, assigned during checking
+}
+
+// BufDeclStmt declares a local fixed-capacity buffer.
+type BufDeclStmt struct {
+	Pos  Pos
+	Name string
+	Cap  int64
+
+	Slot int
+}
+
+// AssignStmt assigns to a local or global variable.
+type AssignStmt struct {
+	Pos   Pos
+	Name  string
+	Value Expr
+
+	// Resolution (filled during checking).
+	IsGlobal bool
+	Slot     int // frame slot or global index
+	VarType  Type
+}
+
+// IfStmt is a conditional with optional else branch.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt, or nil
+}
+
+// WhileStmt is a pre-test loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForStmt is a C-style for loop. Init and Post are optional simple
+// statements (assignment or expression); Cond is optional.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body *BlockStmt
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr // nil for void returns
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt jumps to the innermost loop's post/condition.
+type ContinueStmt struct{ Pos Pos }
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// NodePos implementations for statements.
+func (s *BlockStmt) NodePos() Pos    { return s.Pos }
+func (s *VarDeclStmt) NodePos() Pos  { return s.Pos }
+func (s *BufDeclStmt) NodePos() Pos  { return s.Pos }
+func (s *AssignStmt) NodePos() Pos   { return s.Pos }
+func (s *IfStmt) NodePos() Pos       { return s.Pos }
+func (s *WhileStmt) NodePos() Pos    { return s.Pos }
+func (s *ForStmt) NodePos() Pos      { return s.Pos }
+func (s *ReturnStmt) NodePos() Pos   { return s.Pos }
+func (s *BreakStmt) NodePos() Pos    { return s.Pos }
+func (s *ContinueStmt) NodePos() Pos { return s.Pos }
+func (s *ExprStmt) NodePos() Pos     { return s.Pos }
+
+func (s *BlockStmt) stmtNode()    {}
+func (s *VarDeclStmt) stmtNode()  {}
+func (s *BufDeclStmt) stmtNode()  {}
+func (s *AssignStmt) stmtNode()   {}
+func (s *IfStmt) stmtNode()       {}
+func (s *WhileStmt) stmtNode()    {}
+func (s *ForStmt) stmtNode()      {}
+func (s *ReturnStmt) stmtNode()   {}
+func (s *BreakStmt) stmtNode()    {}
+func (s *ContinueStmt) stmtNode() {}
+func (s *ExprStmt) stmtNode()     {}
+
+// --- Expressions ---
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators.
+const (
+	OpInvalid BinOp = iota
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNeq
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpEq: "==", OpNeq: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "&&", OpOr: "||",
+}
+
+// String returns the operator's source spelling.
+func (op BinOp) String() string {
+	if s, ok := binOpNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("BinOp(%d)", int(op))
+}
+
+// IsComparison reports whether the operator yields a boolean-ish int from
+// two operands of matching type.
+func (op BinOp) IsComparison() bool {
+	switch op {
+	case OpEq, OpNeq, OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+// IntLit is an integer literal (also produced by char literals).
+type IntLit struct {
+	Pos   Pos
+	Value int64
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	Pos   Pos
+	Value string
+}
+
+// Ident references a local, parameter, or global variable.
+type Ident struct {
+	Pos  Pos
+	Name string
+
+	// Resolution (filled during checking).
+	IsGlobal bool
+	Slot     int
+	Type     Type
+}
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	Pos  Pos
+	Op   BinOp
+	L, R Expr
+
+	Type Type
+}
+
+// UnaryExpr is negation (-) or logical not (!).
+type UnaryExpr struct {
+	Pos Pos
+	Op  TokenKind // TokenMinus or TokenNot
+	X   Expr
+}
+
+// CallExpr calls a user function or a builtin.
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+
+	// Resolution (filled during checking).
+	Builtin Builtin // BuiltinNone for user calls
+	Fn      *FuncDecl
+	Type    Type
+}
+
+// NodePos implementations for expressions.
+func (e *IntLit) NodePos() Pos    { return e.Pos }
+func (e *StringLit) NodePos() Pos { return e.Pos }
+func (e *Ident) NodePos() Pos     { return e.Pos }
+func (e *BinExpr) NodePos() Pos   { return e.Pos }
+func (e *UnaryExpr) NodePos() Pos { return e.Pos }
+func (e *CallExpr) NodePos() Pos  { return e.Pos }
+
+func (e *IntLit) exprNode()    {}
+func (e *StringLit) exprNode() {}
+func (e *Ident) exprNode()     {}
+func (e *BinExpr) exprNode()   {}
+func (e *UnaryExpr) exprNode() {}
+func (e *CallExpr) exprNode()  {}
+
+// ResultType implementations.
+func (e *IntLit) ResultType() Type    { return TypeInt }
+func (e *StringLit) ResultType() Type { return TypeString }
+func (e *Ident) ResultType() Type     { return e.Type }
+func (e *BinExpr) ResultType() Type   { return e.Type }
+func (e *UnaryExpr) ResultType() Type { return TypeInt }
+func (e *CallExpr) ResultType() Type  { return e.Type }
+
+// Builtin enumerates the MiniC builtin functions.
+type Builtin int
+
+// Builtins. BuiltinNone marks a user-defined call.
+const (
+	BuiltinNone Builtin = iota
+	BuiltinLen
+	BuiltinChar
+	BuiltinSubstr
+	BuiltinConcat
+	BuiltinStreq
+	BuiltinAtoi
+	BuiltinInputInt
+	BuiltinInputString
+	BuiltinEnv
+	BuiltinArg
+	BuiltinNargs
+	BuiltinPrint
+	BuiltinBufWrite
+	BuiltinBufRead
+	BuiltinBufCap
+	BuiltinBufStr
+	BuiltinAssert
+	BuiltinAbort
+)
+
+// builtinSig describes a builtin's arity and types. A TypeInvalid parameter
+// accepts any type (used by print).
+type builtinSig struct {
+	params []Type
+	ret    Type
+}
+
+var builtinSigs = map[string]struct {
+	id  Builtin
+	sig builtinSig
+}{
+	"len":          {BuiltinLen, builtinSig{[]Type{TypeString}, TypeInt}},
+	"char":         {BuiltinChar, builtinSig{[]Type{TypeString, TypeInt}, TypeInt}},
+	"substr":       {BuiltinSubstr, builtinSig{[]Type{TypeString, TypeInt, TypeInt}, TypeString}},
+	"concat":       {BuiltinConcat, builtinSig{[]Type{TypeString, TypeString}, TypeString}},
+	"streq":        {BuiltinStreq, builtinSig{[]Type{TypeString, TypeString}, TypeInt}},
+	"atoi":         {BuiltinAtoi, builtinSig{[]Type{TypeString}, TypeInt}},
+	"input_int":    {BuiltinInputInt, builtinSig{[]Type{TypeString}, TypeInt}},
+	"input_string": {BuiltinInputString, builtinSig{[]Type{TypeString}, TypeString}},
+	"env":          {BuiltinEnv, builtinSig{[]Type{TypeString}, TypeString}},
+	"arg":          {BuiltinArg, builtinSig{[]Type{TypeInt}, TypeString}},
+	"nargs":        {BuiltinNargs, builtinSig{nil, TypeInt}},
+	"print":        {BuiltinPrint, builtinSig{[]Type{TypeInvalid}, TypeVoid}},
+	"bufwrite":     {BuiltinBufWrite, builtinSig{[]Type{TypeBuf, TypeInt, TypeInt}, TypeVoid}},
+	"bufread":      {BuiltinBufRead, builtinSig{[]Type{TypeBuf, TypeInt}, TypeInt}},
+	"bufcap":       {BuiltinBufCap, builtinSig{[]Type{TypeBuf}, TypeInt}},
+	"bufstr":       {BuiltinBufStr, builtinSig{[]Type{TypeBuf, TypeInt}, TypeString}},
+	"assert":       {BuiltinAssert, builtinSig{[]Type{TypeInt}, TypeVoid}},
+	"abort":        {BuiltinAbort, builtinSig{nil, TypeVoid}},
+}
+
+// BuiltinName returns the source name of a builtin, or "" for BuiltinNone.
+func BuiltinName(b Builtin) string {
+	for name, info := range builtinSigs {
+		if info.id == b {
+			return name
+		}
+	}
+	return ""
+}
+
+// IsBuiltinName reports whether name denotes a builtin function.
+func IsBuiltinName(name string) bool {
+	_, ok := builtinSigs[name]
+	return ok
+}

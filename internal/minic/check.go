@@ -1,0 +1,406 @@
+package minic
+
+import "fmt"
+
+// SemanticError reports a semantic-analysis failure with a source position.
+type SemanticError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SemanticError) Error() string {
+	return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+}
+
+// Check resolves identifiers, assigns frame slots and global indices, and
+// type-checks the program in place.
+func Check(prog *Program) error {
+	c := &checker{prog: prog, funcs: make(map[string]*FuncDecl)}
+	return c.run()
+}
+
+type localVar struct {
+	name string
+	typ  Type
+	slot int
+}
+
+type scope struct {
+	parent *scope
+	vars   map[string]localVar
+}
+
+func (s *scope) lookup(name string) (localVar, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if v, ok := cur.vars[name]; ok {
+			return v, true
+		}
+	}
+	return localVar{}, false
+}
+
+type checker struct {
+	prog    *Program
+	funcs   map[string]*FuncDecl
+	globals map[string]*GlobalDecl
+
+	// Per-function state.
+	fn       *FuncDecl
+	scope    *scope
+	nextSlot int
+	loopDep  int
+}
+
+func (c *checker) errf(pos Pos, format string, args ...any) error {
+	return &SemanticError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (c *checker) run() error {
+	c.globals = make(map[string]*GlobalDecl, len(c.prog.Globals))
+	for i, g := range c.prog.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return c.errf(g.Pos, "duplicate global %q", g.Name)
+		}
+		if IsBuiltinName(g.Name) {
+			return c.errf(g.Pos, "global %q shadows a builtin", g.Name)
+		}
+		g.Index = i
+		c.globals[g.Name] = g
+	}
+	for _, f := range c.prog.Funcs {
+		if _, dup := c.funcs[f.Name]; dup {
+			return c.errf(f.Pos, "duplicate function %q", f.Name)
+		}
+		if IsBuiltinName(f.Name) {
+			return c.errf(f.Pos, "function %q shadows a builtin", f.Name)
+		}
+		c.funcs[f.Name] = f
+	}
+	if c.prog.Func("main") == nil {
+		return c.errf(Pos{Line: 1, Col: 1}, "program has no main function")
+	}
+	// Global initializers must be literals or expressions over other
+	// globals; they are checked in the empty-function context.
+	for _, g := range c.prog.Globals {
+		if g.Init == nil {
+			continue
+		}
+		c.fn = nil
+		c.scope = &scope{vars: map[string]localVar{}}
+		t, err := c.checkExpr(g.Init)
+		if err != nil {
+			return err
+		}
+		if t != g.Type {
+			return c.errf(g.Pos, "global %q initializer has type %s, want %s", g.Name, t, g.Type)
+		}
+	}
+	for _, f := range c.prog.Funcs {
+		if err := c.checkFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(f *FuncDecl) error {
+	c.fn = f
+	c.scope = &scope{vars: map[string]localVar{}}
+	c.nextSlot = 0
+	c.loopDep = 0
+	for _, prm := range f.Params {
+		if _, dup := c.scope.vars[prm.Name]; dup {
+			return c.errf(prm.Pos, "duplicate parameter %q", prm.Name)
+		}
+		c.scope.vars[prm.Name] = localVar{name: prm.Name, typ: prm.Type, slot: c.nextSlot}
+		c.nextSlot++
+	}
+	if err := c.checkBlock(f.Body); err != nil {
+		return err
+	}
+	f.NumLocals = c.nextSlot
+	return nil
+}
+
+func (c *checker) pushScope() { c.scope = &scope{parent: c.scope, vars: map[string]localVar{}} }
+func (c *checker) popScope()  { c.scope = c.scope.parent }
+
+func (c *checker) declare(pos Pos, name string, typ Type) (int, error) {
+	if _, dup := c.scope.vars[name]; dup {
+		return 0, c.errf(pos, "duplicate variable %q in this scope", name)
+	}
+	if IsBuiltinName(name) {
+		return 0, c.errf(pos, "variable %q shadows a builtin", name)
+	}
+	slot := c.nextSlot
+	c.nextSlot++
+	c.scope.vars[name] = localVar{name: name, typ: typ, slot: slot}
+	return slot, nil
+}
+
+func (c *checker) checkBlock(b *BlockStmt) error {
+	c.pushScope()
+	defer c.popScope()
+	for _, st := range b.Stmts {
+		if err := c.checkStmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(st Stmt) error {
+	switch s := st.(type) {
+	case *BlockStmt:
+		return c.checkBlock(s)
+	case *VarDeclStmt:
+		if s.Init != nil {
+			t, err := c.checkExpr(s.Init)
+			if err != nil {
+				return err
+			}
+			if t != s.Type {
+				return c.errf(s.Pos, "cannot initialize %s %q with %s", s.Type, s.Name, t)
+			}
+		}
+		slot, err := c.declare(s.Pos, s.Name, s.Type)
+		if err != nil {
+			return err
+		}
+		s.Slot = slot
+		return nil
+	case *BufDeclStmt:
+		slot, err := c.declare(s.Pos, s.Name, TypeBuf)
+		if err != nil {
+			return err
+		}
+		s.Slot = slot
+		return nil
+	case *AssignStmt:
+		t, err := c.checkExpr(s.Value)
+		if err != nil {
+			return err
+		}
+		if v, ok := c.scope.lookup(s.Name); ok {
+			if v.typ == TypeBuf {
+				return c.errf(s.Pos, "cannot assign to buffer %q", s.Name)
+			}
+			if v.typ != t {
+				return c.errf(s.Pos, "cannot assign %s to %s %q", t, v.typ, s.Name)
+			}
+			s.IsGlobal = false
+			s.Slot = v.slot
+			s.VarType = v.typ
+			return nil
+		}
+		if g, ok := c.globals[s.Name]; ok {
+			if g.Type != t {
+				return c.errf(s.Pos, "cannot assign %s to global %s %q", t, g.Type, s.Name)
+			}
+			s.IsGlobal = true
+			s.Slot = g.Index
+			s.VarType = g.Type
+			return nil
+		}
+		return c.errf(s.Pos, "assignment to undeclared variable %q", s.Name)
+	case *IfStmt:
+		t, err := c.checkExpr(s.Cond)
+		if err != nil {
+			return err
+		}
+		if t != TypeInt {
+			return c.errf(s.Pos, "if condition must be int, got %s", t)
+		}
+		if err := c.checkBlock(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.checkStmt(s.Else)
+		}
+		return nil
+	case *WhileStmt:
+		t, err := c.checkExpr(s.Cond)
+		if err != nil {
+			return err
+		}
+		if t != TypeInt {
+			return c.errf(s.Pos, "while condition must be int, got %s", t)
+		}
+		c.loopDep++
+		defer func() { c.loopDep-- }()
+		return c.checkBlock(s.Body)
+	case *ForStmt:
+		c.pushScope()
+		defer c.popScope()
+		if s.Init != nil {
+			if err := c.checkStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			t, err := c.checkExpr(s.Cond)
+			if err != nil {
+				return err
+			}
+			if t != TypeInt {
+				return c.errf(s.Pos, "for condition must be int, got %s", t)
+			}
+		}
+		if s.Post != nil {
+			if err := c.checkStmt(s.Post); err != nil {
+				return err
+			}
+		}
+		c.loopDep++
+		defer func() { c.loopDep-- }()
+		return c.checkBlock(s.Body)
+	case *ReturnStmt:
+		if s.Value == nil {
+			if c.fn.Ret != TypeVoid {
+				return c.errf(s.Pos, "function %q must return %s", c.fn.Name, c.fn.Ret)
+			}
+			return nil
+		}
+		t, err := c.checkExpr(s.Value)
+		if err != nil {
+			return err
+		}
+		if c.fn.Ret == TypeVoid {
+			return c.errf(s.Pos, "void function %q cannot return a value", c.fn.Name)
+		}
+		if t != c.fn.Ret {
+			return c.errf(s.Pos, "function %q returns %s, got %s", c.fn.Name, c.fn.Ret, t)
+		}
+		return nil
+	case *BreakStmt:
+		if c.loopDep == 0 {
+			return c.errf(s.Pos, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loopDep == 0 {
+			return c.errf(s.Pos, "continue outside loop")
+		}
+		return nil
+	case *ExprStmt:
+		_, err := c.checkExpr(s.X)
+		return err
+	default:
+		return c.errf(st.NodePos(), "unknown statement %T", st)
+	}
+}
+
+func (c *checker) checkExpr(e Expr) (Type, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return TypeInt, nil
+	case *StringLit:
+		return TypeString, nil
+	case *Ident:
+		if v, ok := c.scope.lookup(x.Name); ok {
+			x.IsGlobal = false
+			x.Slot = v.slot
+			x.Type = v.typ
+			return v.typ, nil
+		}
+		if g, ok := c.globals[x.Name]; ok {
+			x.IsGlobal = true
+			x.Slot = g.Index
+			x.Type = g.Type
+			return g.Type, nil
+		}
+		return TypeInvalid, c.errf(x.Pos, "undeclared variable %q", x.Name)
+	case *UnaryExpr:
+		t, err := c.checkExpr(x.X)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		if t != TypeInt {
+			return TypeInvalid, c.errf(x.Pos, "unary %s requires int, got %s", x.Op, t)
+		}
+		return TypeInt, nil
+	case *BinExpr:
+		lt, err := c.checkExpr(x.L)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		rt, err := c.checkExpr(x.R)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		switch {
+		case x.Op == OpAdd && lt == TypeString && rt == TypeString:
+			x.Type = TypeString // string concatenation
+		case x.Op.IsComparison():
+			if lt != rt {
+				return TypeInvalid, c.errf(x.Pos, "comparison %s of mismatched types %s and %s", x.Op, lt, rt)
+			}
+			if lt == TypeBuf {
+				return TypeInvalid, c.errf(x.Pos, "buffers cannot be compared")
+			}
+			if lt == TypeString && x.Op != OpEq && x.Op != OpNeq {
+				return TypeInvalid, c.errf(x.Pos, "strings support only == and !=, not %s", x.Op)
+			}
+			x.Type = TypeInt
+		default:
+			if lt != TypeInt || rt != TypeInt {
+				return TypeInvalid, c.errf(x.Pos, "operator %s requires int operands, got %s and %s", x.Op, lt, rt)
+			}
+			x.Type = TypeInt
+		}
+		return x.Type, nil
+	case *CallExpr:
+		return c.checkCall(x)
+	default:
+		return TypeInvalid, c.errf(e.NodePos(), "unknown expression %T", e)
+	}
+}
+
+func (c *checker) checkCall(x *CallExpr) (Type, error) {
+	if info, ok := builtinSigs[x.Name]; ok {
+		sig := info.sig
+		if len(x.Args) != len(sig.params) {
+			return TypeInvalid, c.errf(x.Pos, "builtin %s expects %d arguments, got %d",
+				x.Name, len(sig.params), len(x.Args))
+		}
+		for i, arg := range x.Args {
+			t, err := c.checkExpr(arg)
+			if err != nil {
+				return TypeInvalid, err
+			}
+			want := sig.params[i]
+			if want == TypeInvalid { // any (print)
+				continue
+			}
+			if t != want {
+				return TypeInvalid, c.errf(x.Pos, "builtin %s argument %d has type %s, want %s",
+					x.Name, i+1, t, want)
+			}
+		}
+		x.Builtin = info.id
+		x.Type = sig.ret
+		return sig.ret, nil
+	}
+	fn, ok := c.funcs[x.Name]
+	if !ok {
+		return TypeInvalid, c.errf(x.Pos, "call to undefined function %q", x.Name)
+	}
+	if len(x.Args) != len(fn.Params) {
+		return TypeInvalid, c.errf(x.Pos, "function %s expects %d arguments, got %d",
+			x.Name, len(fn.Params), len(x.Args))
+	}
+	for i, arg := range x.Args {
+		t, err := c.checkExpr(arg)
+		if err != nil {
+			return TypeInvalid, err
+		}
+		if t != fn.Params[i].Type {
+			return TypeInvalid, c.errf(x.Pos, "function %s argument %d (%s) has type %s, want %s",
+				x.Name, i+1, fn.Params[i].Name, t, fn.Params[i].Type)
+		}
+	}
+	x.Fn = fn
+	x.Type = fn.Ret
+	return fn.Ret, nil
+}

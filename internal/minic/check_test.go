@@ -1,0 +1,161 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func checkOK(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := ParseAndCheck(src)
+	if err != nil {
+		t.Fatalf("ParseAndCheck failed: %v\nsource:\n%s", err, src)
+	}
+	return prog
+}
+
+func TestCheckResolvesLocals(t *testing.T) {
+	prog := checkOK(t, `
+func add(int a, int b) int {
+  int c = a + b;
+  return c;
+}
+func main() int { return add(1, 2); }
+`)
+	f := prog.Func("add")
+	if f.NumLocals != 3 {
+		t.Errorf("NumLocals = %d, want 3", f.NumLocals)
+	}
+	decl := f.Body.Stmts[0].(*VarDeclStmt)
+	if decl.Slot != 2 {
+		t.Errorf("local c slot = %d, want 2", decl.Slot)
+	}
+	bin := decl.Init.(*BinExpr)
+	a := bin.L.(*Ident)
+	if a.Slot != 0 || a.IsGlobal {
+		t.Errorf("param a resolution: %+v", a)
+	}
+}
+
+func TestCheckResolvesGlobals(t *testing.T) {
+	prog := checkOK(t, `
+global int g1;
+global int g2;
+func main() int { g2 = 5; return g2 + g1; }
+`)
+	asg := prog.Func("main").Body.Stmts[0].(*AssignStmt)
+	if !asg.IsGlobal || asg.Slot != 1 {
+		t.Errorf("assign resolution: %+v", asg)
+	}
+}
+
+func TestCheckShadowing(t *testing.T) {
+	// Inner scopes may redeclare names used in outer scopes.
+	prog := checkOK(t, `
+func main() int {
+  int x = 1;
+  if (x > 0) {
+    int x = 2;
+    print(x);
+  }
+  return x;
+}`)
+	f := prog.Func("main")
+	if f.NumLocals != 2 {
+		t.Errorf("NumLocals = %d, want 2 (outer x + inner x)", f.NumLocals)
+	}
+}
+
+func TestCheckStringOps(t *testing.T) {
+	checkOK(t, `
+func main() int {
+  string a = "x";
+  string b = a + "y";
+  if (a == b) { return 1; }
+  if (a != b) { return 2; }
+  return len(b);
+}`)
+}
+
+func TestCheckErrors(t *testing.T) {
+	bad := []struct {
+		src, wantSub string
+	}{
+		{`func main() int { return y; }`, "undeclared"},
+		{`func main() int { y = 1; return 0; }`, "undeclared"},
+		{`func main() int { int x = "s"; return x; }`, "initialize"},
+		{`func main() int { string s = "a"; s = 3; return 0; }`, "assign"},
+		{`func main() int { string s = "a"; if (s) { } return 0; }`, "condition"},
+		{`func main() int { string s = "a"; return s < s; }`, "strings support only"},
+		{`func main() int { return 1 + "a"; }`, "operator"},
+		{`func f() void { return 1; } func main() int { return 0; }`, "void"},
+		{`func f() int { return; } func main() int { return 0; }`, "must return"},
+		{`func main() int { break; return 0; }`, "break outside"},
+		{`func main() int { continue; return 0; }`, "continue outside"},
+		{`func main() int { int x = 1; int x = 2; return x; }`, "duplicate"},
+		{`func f(int a, int a) int { return a; } func main() int { return 0; }`, "duplicate parameter"},
+		{`global int g; global int g; func main() int { return 0; }`, "duplicate global"},
+		{`func f() int { return 0; } func f() int { return 1; } func main() int { return 0; }`, "duplicate function"},
+		{`func main() int { return missing(); }`, "undefined function"},
+		{`func f(int a) int { return a; } func main() int { return f(); }`, "expects 1 arguments"},
+		{`func f(int a) int { return a; } func main() int { return f("s"); }`, "want int"},
+		{`func main() int { return len(3); }`, "want string"},
+		{`func main() int { buf b[4]; b = 3; return 0; }`, "buffer"},
+		{`func main() int { buf b[4]; buf c[4]; if (b == c) {} return 0; }`, "compared"},
+		{`func len() int { return 0; } func main() int { return 0; }`, "shadows a builtin"},
+		{`func main() int { int print = 3; return print; }`, "shadows a builtin"},
+		{`global string main_g = 3; func main() int { return 0; }`, "type"},
+		{`func f() int { return 0; }`, "no main"},
+		{`func main() int { return bufread(1, 0); }`, "want buf"},
+	}
+	for _, tt := range bad {
+		_, err := ParseAndCheck(tt.src)
+		if err == nil {
+			t.Errorf("Check(%q) succeeded, want error containing %q", tt.src, tt.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.wantSub) {
+			t.Errorf("Check(%q) error = %q, want substring %q", tt.src, err.Error(), tt.wantSub)
+		}
+	}
+}
+
+func TestCheckBuiltinResolution(t *testing.T) {
+	prog := checkOK(t, `func main() int { return input_int("m"); }`)
+	ret := prog.Func("main").Body.Stmts[0].(*ReturnStmt)
+	call := ret.Value.(*CallExpr)
+	if call.Builtin != BuiltinInputInt {
+		t.Errorf("builtin = %v, want BuiltinInputInt", call.Builtin)
+	}
+	if call.Type != TypeInt {
+		t.Errorf("call type = %v, want int", call.Type)
+	}
+}
+
+func TestCheckBufParamPassing(t *testing.T) {
+	checkOK(t, `
+func fill(buf b, int n) void {
+  int i = 0;
+  while (i < n) { bufwrite(b, i, 0); i = i + 1; }
+  return;
+}
+func main() int {
+  buf local[16];
+  fill(local, 16);
+  return bufread(local, 0);
+}`)
+}
+
+func TestBuiltinNameRoundTrip(t *testing.T) {
+	for name, info := range builtinSigs {
+		if got := BuiltinName(info.id); got != name {
+			t.Errorf("BuiltinName(%v) = %q, want %q", info.id, got, name)
+		}
+		if !IsBuiltinName(name) {
+			t.Errorf("IsBuiltinName(%q) = false", name)
+		}
+	}
+	if BuiltinName(BuiltinNone) != "" {
+		t.Errorf("BuiltinName(BuiltinNone) should be empty")
+	}
+}

@@ -1,0 +1,60 @@
+package minic
+
+import (
+	"testing"
+)
+
+// FuzzLex: the lexer must never panic or loop on arbitrary input.
+func FuzzLex(f *testing.F) {
+	seeds := []string{
+		"",
+		"func main() int { return 0; }",
+		`global string s = "x\n\t\"";`,
+		"'a' '\\n' \"unterminated",
+		"/* nested /* block */",
+		"a && b || !c == d != e <= f >= g",
+		"12345678901234567890123456789",
+		"\x00\xff\x80",
+		"int int int ((({{{",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokenEOF {
+			t.Fatalf("lexer succeeded without EOF terminator: %v", toks)
+		}
+	})
+}
+
+// FuzzParseAndCheck: the full front end must never panic; successfully
+// checked programs must also compile positions consistently.
+func FuzzParseAndCheck(f *testing.F) {
+	seeds := []string{
+		"func main() int { return 0; }",
+		"global int g = 1; func main() int { return g; }",
+		"func f(int a, string b) void { return; } func main() int { f(1, \"x\"); return 0; }",
+		"func main() int { buf b[8]; bufwrite(b, 0, 'x'); return bufread(b, 0); }",
+		"func main() int { for (int i = 0; i < 3; i = i + 1) { if (i == 1) { continue; } } return 0; }",
+		"func main() int { while (1) { break; } return 0; }",
+		"func main() int { return 1 + 2 * 3 / 4 % 5 - 6; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := ParseAndCheck(src)
+		if err != nil {
+			return
+		}
+		// A checked program always has main, and statistics never panic.
+		if prog.Func("main") == nil {
+			t.Fatal("checked program lacks main")
+		}
+		_ = Stats(prog, src)
+	})
+}

@@ -1,0 +1,304 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SyntaxError reports a lexing or parsing failure with its source position.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+}
+
+// Lexer converts MiniC source text into a token stream.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the entire source, returning the token list terminated by a
+// TokenEOF token.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == TokenEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return &SyntaxError{Pos: start, Msg: "unterminated block comment"}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token in the stream.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokenEOF, Pos: pos}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isIdentStart(c):
+		return lx.lexIdent(pos), nil
+	case isDigit(c):
+		return lx.lexInt(pos)
+	case c == '"':
+		return lx.lexString(pos)
+	case c == '\'':
+		return lx.lexChar(pos)
+	}
+	lx.advance()
+	two := func(kind TokenKind) (Token, error) {
+		lx.advance()
+		return Token{Kind: kind, Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return Token{Kind: TokenLParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokenRParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: TokenLBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: TokenRBrace, Pos: pos}, nil
+	case '[':
+		return Token{Kind: TokenLBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: TokenRBracket, Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokenComma, Pos: pos}, nil
+	case ';':
+		return Token{Kind: TokenSemicolon, Pos: pos}, nil
+	case '+':
+		return Token{Kind: TokenPlus, Pos: pos}, nil
+	case '-':
+		return Token{Kind: TokenMinus, Pos: pos}, nil
+	case '*':
+		return Token{Kind: TokenStar, Pos: pos}, nil
+	case '/':
+		return Token{Kind: TokenSlash, Pos: pos}, nil
+	case '%':
+		return Token{Kind: TokenPercent, Pos: pos}, nil
+	case '=':
+		if lx.peek() == '=' {
+			return two(TokenEq)
+		}
+		return Token{Kind: TokenAssign, Pos: pos}, nil
+	case '!':
+		if lx.peek() == '=' {
+			return two(TokenNeq)
+		}
+		return Token{Kind: TokenNot, Pos: pos}, nil
+	case '<':
+		if lx.peek() == '=' {
+			return two(TokenLe)
+		}
+		return Token{Kind: TokenLt, Pos: pos}, nil
+	case '>':
+		if lx.peek() == '=' {
+			return two(TokenGe)
+		}
+		return Token{Kind: TokenGt, Pos: pos}, nil
+	case '&':
+		if lx.peek() == '&' {
+			return two(TokenAndAnd)
+		}
+		return Token{}, &SyntaxError{Pos: pos, Msg: "expected && (single & is not an operator)"}
+	case '|':
+		if lx.peek() == '|' {
+			return two(TokenOrOr)
+		}
+		return Token{}, &SyntaxError{Pos: pos, Msg: "expected || (single | is not an operator)"}
+	}
+	return Token{}, &SyntaxError{Pos: pos, Msg: fmt.Sprintf("unexpected character %q", string(c))}
+}
+
+func (lx *Lexer) lexIdent(pos Pos) Token {
+	start := lx.off
+	for lx.off < len(lx.src) && isIdentPart(lx.peek()) {
+		lx.advance()
+	}
+	text := lx.src[start:lx.off]
+	if kw, ok := keywords[text]; ok {
+		return Token{Kind: kw, Text: text, Pos: pos}
+	}
+	return Token{Kind: TokenIdent, Text: text, Pos: pos}
+}
+
+func (lx *Lexer) lexInt(pos Pos) (Token, error) {
+	start := lx.off
+	for lx.off < len(lx.src) && isDigit(lx.peek()) {
+		lx.advance()
+	}
+	text := lx.src[start:lx.off]
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return Token{}, &SyntaxError{Pos: pos, Msg: fmt.Sprintf("invalid integer literal %q", text)}
+	}
+	return Token{Kind: TokenInt, Text: text, Int: v, Pos: pos}, nil
+}
+
+func (lx *Lexer) lexEscape(pos Pos) (byte, error) {
+	if lx.off >= len(lx.src) {
+		return 0, &SyntaxError{Pos: pos, Msg: "unterminated escape sequence"}
+	}
+	c := lx.advance()
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	case '"':
+		return '"', nil
+	}
+	return 0, &SyntaxError{Pos: pos, Msg: fmt.Sprintf("unknown escape sequence \\%s", string(c))}
+}
+
+func (lx *Lexer) lexString(pos Pos) (Token, error) {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if lx.off >= len(lx.src) {
+			return Token{}, &SyntaxError{Pos: pos, Msg: "unterminated string literal"}
+		}
+		c := lx.advance()
+		switch c {
+		case '"':
+			return Token{Kind: TokenString, Text: sb.String(), Pos: pos}, nil
+		case '\n':
+			return Token{}, &SyntaxError{Pos: pos, Msg: "newline in string literal"}
+		case '\\':
+			e, err := lx.lexEscape(pos)
+			if err != nil {
+				return Token{}, err
+			}
+			sb.WriteByte(e)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+}
+
+func (lx *Lexer) lexChar(pos Pos) (Token, error) {
+	lx.advance() // opening quote
+	if lx.off >= len(lx.src) {
+		return Token{}, &SyntaxError{Pos: pos, Msg: "unterminated char literal"}
+	}
+	var v byte
+	c := lx.advance()
+	if c == '\\' {
+		e, err := lx.lexEscape(pos)
+		if err != nil {
+			return Token{}, err
+		}
+		v = e
+	} else if c == '\'' {
+		return Token{}, &SyntaxError{Pos: pos, Msg: "empty char literal"}
+	} else {
+		v = c
+	}
+	if lx.off >= len(lx.src) || lx.advance() != '\'' {
+		return Token{}, &SyntaxError{Pos: pos, Msg: "unterminated char literal"}
+	}
+	return Token{Kind: TokenChar, Int: int64(v), Pos: pos}, nil
+}

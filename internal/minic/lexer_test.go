@@ -1,0 +1,200 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func lexKinds(t *testing.T, src string) []TokenKind {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	kinds := make([]TokenKind, len(toks))
+	for i, tok := range toks {
+		kinds[i] = tok.Kind
+	}
+	return kinds
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	tests := []struct {
+		src  string
+		want []TokenKind
+	}{
+		{"", []TokenKind{TokenEOF}},
+		{"x", []TokenKind{TokenIdent, TokenEOF}},
+		{"42", []TokenKind{TokenInt, TokenEOF}},
+		{`"hi"`, []TokenKind{TokenString, TokenEOF}},
+		{"'a'", []TokenKind{TokenChar, TokenEOF}},
+		{"x = 1;", []TokenKind{TokenIdent, TokenAssign, TokenInt, TokenSemicolon, TokenEOF}},
+		{"a == b != c", []TokenKind{TokenIdent, TokenEq, TokenIdent, TokenNeq, TokenIdent, TokenEOF}},
+		{"< <= > >=", []TokenKind{TokenLt, TokenLe, TokenGt, TokenGe, TokenEOF}},
+		{"&& || !", []TokenKind{TokenAndAnd, TokenOrOr, TokenNot, TokenEOF}},
+		{"+ - * / %", []TokenKind{TokenPlus, TokenMinus, TokenStar, TokenSlash, TokenPercent, TokenEOF}},
+		{"( ) { } [ ] , ;", []TokenKind{
+			TokenLParen, TokenRParen, TokenLBrace, TokenRBrace,
+			TokenLBracket, TokenRBracket, TokenComma, TokenSemicolon, TokenEOF}},
+	}
+	for _, tt := range tests {
+		got := lexKinds(t, tt.src)
+		if len(got) != len(tt.want) {
+			t.Errorf("Lex(%q) = %v, want %v", tt.src, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("Lex(%q)[%d] = %v, want %v", tt.src, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestLexKeywords(t *testing.T) {
+	src := "global func int string void buf if else while for return break continue"
+	want := []TokenKind{
+		TokenKwGlobal, TokenKwFunc, TokenKwInt, TokenKwString, TokenKwVoid,
+		TokenKwBuf, TokenKwIf, TokenKwElse, TokenKwWhile, TokenKwFor,
+		TokenKwReturn, TokenKwBreak, TokenKwContinue, TokenEOF,
+	}
+	got := lexKinds(t, src)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("keyword %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexIntValue(t *testing.T) {
+	toks, err := Lex("12345")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Int != 12345 {
+		t.Errorf("int literal = %d, want 12345", toks[0].Int)
+	}
+}
+
+func TestLexCharValue(t *testing.T) {
+	tests := []struct {
+		src  string
+		want int64
+	}{
+		{"'a'", 'a'},
+		{"'<'", '<'},
+		{`'\n'`, '\n'},
+		{`'\t'`, '\t'},
+		{`'\0'`, 0},
+		{`'\\'`, '\\'},
+		{`'\''`, '\''},
+	}
+	for _, tt := range tests {
+		toks, err := Lex(tt.src)
+		if err != nil {
+			t.Fatalf("Lex(%q): %v", tt.src, err)
+		}
+		if toks[0].Int != tt.want {
+			t.Errorf("Lex(%q) = %d, want %d", tt.src, toks[0].Int, tt.want)
+		}
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := Lex(`"a\nb\t\"c\"\\"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a\nb\t\"c\"\\"
+	if toks[0].Text != want {
+		t.Errorf("string literal = %q, want %q", toks[0].Text, want)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `
+// line comment
+x /* block
+   comment */ y // trailing
+`
+	got := lexKinds(t, src)
+	want := []TokenKind{TokenIdent, TokenIdent, TokenEOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{Line: 1, Col: 1}) {
+		t.Errorf("a pos = %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{Line: 2, Col: 3}) {
+		t.Errorf("b pos = %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	bad := []string{
+		`"unterminated`,
+		"'",
+		"''",
+		"'ab'",
+		"@",
+		"a & b",
+		"a | b",
+		"/* unclosed",
+		`"bad \q escape"`,
+		"\"newline\nin string\"",
+	}
+	for _, src := range bad {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded, want error", src)
+		}
+	}
+}
+
+// TestLexNeverPanics feeds arbitrary strings to the lexer; it must return a
+// token list or an error, never panic, and always terminate.
+func TestLexNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		toks, err := Lex(s)
+		if err != nil {
+			return true
+		}
+		return len(toks) > 0 && toks[len(toks)-1].Kind == TokenEOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLexIdentRoundTrip checks that identifier-ish strings survive lexing.
+func TestLexIdentRoundTrip(t *testing.T) {
+	f := func(raw string) bool {
+		// Sanitize into a valid identifier.
+		var sb strings.Builder
+		sb.WriteByte('v')
+		for _, c := range []byte(raw) {
+			if isIdentPart(c) {
+				sb.WriteByte(c)
+			}
+		}
+		name := sb.String()
+		if _, isKw := keywords[name]; isKw || IsBuiltinName(name) {
+			return true
+		}
+		toks, err := Lex(name)
+		if err != nil {
+			return false
+		}
+		return toks[0].Kind == TokenIdent && toks[0].Text == name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,595 @@
+package minic
+
+import "fmt"
+
+// Parser builds an AST from a token stream using recursive descent.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses src into an unchecked Program.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseProgram()
+}
+
+// ParseAndCheck parses src and runs semantic analysis.
+func ParseAndCheck(src string) (*Program, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse parses and checks src, panicking on error. Intended for
+// compile-time-constant program sources (the application registry).
+func MustParse(name, src string) *Program {
+	prog, err := ParseAndCheck(src)
+	if err != nil {
+		panic(fmt.Sprintf("minic.MustParse(%s): %v", name, err))
+	}
+	prog.Name = name
+	return prog
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(kind TokenKind) bool { return p.cur().Kind == kind }
+
+func (p *Parser) accept(kind TokenKind) bool {
+	if p.at(kind) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(kind TokenKind) (Token, error) {
+	if !p.at(kind) {
+		return Token{}, &SyntaxError{
+			Pos: p.cur().Pos,
+			Msg: fmt.Sprintf("expected %s, found %s", kind, p.cur()),
+		}
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for !p.at(TokenEOF) {
+		switch p.cur().Kind {
+		case TokenKwGlobal:
+			g, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		case TokenKwFunc:
+			f, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			return nil, p.errorf("expected global or func declaration, found %s", p.cur())
+		}
+	}
+	return prog, nil
+}
+
+func (p *Parser) parseType() (Type, error) {
+	switch p.cur().Kind {
+	case TokenKwInt:
+		p.next()
+		return TypeInt, nil
+	case TokenKwString:
+		p.next()
+		return TypeString, nil
+	case TokenKwBuf:
+		p.next()
+		return TypeBuf, nil
+	default:
+		return TypeInvalid, p.errorf("expected type, found %s", p.cur())
+	}
+}
+
+func (p *Parser) parseGlobal() (*GlobalDecl, error) {
+	start, _ := p.expect(TokenKwGlobal)
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if typ == TypeBuf {
+		return nil, &SyntaxError{Pos: start.Pos, Msg: "buffers may not be global"}
+	}
+	name, err := p.expect(TokenIdent)
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Pos: start.Pos, Type: typ, Name: name.Text}
+	if p.accept(TokenAssign) {
+		g.Init, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokenSemicolon); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *Parser) parseFunc() (*FuncDecl, error) {
+	start, _ := p.expect(TokenKwFunc)
+	name, err := p.expect(TokenIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokenLParen); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Pos: start.Pos, Name: name.Text}
+	for !p.at(TokenRParen) {
+		if len(fn.Params) > 0 {
+			if _, err := p.expect(TokenComma); err != nil {
+				return nil, err
+			}
+		}
+		ppos := p.cur().Pos
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		pname, err := p.expect(TokenIdent)
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, Param{Pos: ppos, Type: typ, Name: pname.Text})
+	}
+	p.next() // )
+	switch p.cur().Kind {
+	case TokenKwInt:
+		fn.Ret = TypeInt
+		p.next()
+	case TokenKwString:
+		fn.Ret = TypeString
+		p.next()
+	case TokenKwVoid:
+		fn.Ret = TypeVoid
+		p.next()
+	default:
+		return nil, p.errorf("expected return type, found %s", p.cur())
+	}
+	fn.Body, err = p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return fn, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	start, err := p.expect(TokenLBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{Pos: start.Pos}
+	for !p.at(TokenRBrace) {
+		if p.at(TokenEOF) {
+			return nil, p.errorf("unexpected EOF, unclosed block")
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, st)
+	}
+	p.next() // }
+	return blk, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case TokenKwInt, TokenKwString:
+		return p.parseVarDecl()
+	case TokenKwBuf:
+		return p.parseBufDecl()
+	case TokenKwIf:
+		return p.parseIf()
+	case TokenKwWhile:
+		return p.parseWhile()
+	case TokenKwFor:
+		return p.parseFor()
+	case TokenKwReturn:
+		return p.parseReturn()
+	case TokenKwBreak:
+		tok := p.next()
+		if _, err := p.expect(TokenSemicolon); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: tok.Pos}, nil
+	case TokenKwContinue:
+		tok := p.next()
+		if _, err := p.expect(TokenSemicolon); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: tok.Pos}, nil
+	case TokenLBrace:
+		return p.parseBlock()
+	default:
+		st, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokenSemicolon); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+}
+
+// parseSimpleStmt parses an assignment or expression statement without the
+// trailing semicolon (shared by for-loop clauses and plain statements).
+func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	// Assignment: IDENT '=' expr. Lookahead distinguishes it from an
+	// expression starting with an identifier (e.g. a call).
+	if p.at(TokenIdent) && p.toks[p.pos+1].Kind == TokenAssign {
+		name := p.next()
+		p.next() // =
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: name.Pos, Name: name.Text, Value: val}, nil
+	}
+	pos := p.cur().Pos
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{Pos: pos, X: x}, nil
+}
+
+func (p *Parser) parseVarDecl() (Stmt, error) {
+	pos := p.cur().Pos
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokenIdent)
+	if err != nil {
+		return nil, err
+	}
+	decl := &VarDeclStmt{Pos: pos, Type: typ, Name: name.Text}
+	if p.accept(TokenAssign) {
+		decl.Init, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokenSemicolon); err != nil {
+		return nil, err
+	}
+	return decl, nil
+}
+
+func (p *Parser) parseBufDecl() (Stmt, error) {
+	pos := p.cur().Pos
+	p.next() // buf
+	name, err := p.expect(TokenIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokenLBracket); err != nil {
+		return nil, err
+	}
+	size, err := p.expect(TokenInt)
+	if err != nil {
+		return nil, err
+	}
+	if size.Int <= 0 {
+		return nil, &SyntaxError{Pos: size.Pos, Msg: "buffer capacity must be positive"}
+	}
+	if _, err := p.expect(TokenRBracket); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokenSemicolon); err != nil {
+		return nil, err
+	}
+	return &BufDeclStmt{Pos: pos, Name: name.Text, Cap: size.Int}, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	pos := p.cur().Pos
+	p.next() // if
+	if _, err := p.expect(TokenLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokenRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Pos: pos, Cond: cond, Then: then}
+	if p.accept(TokenKwElse) {
+		if p.at(TokenKwIf) {
+			st.Else, err = p.parseIf()
+		} else {
+			st.Else, err = p.parseBlock()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	pos := p.cur().Pos
+	p.next() // while
+	if _, err := p.expect(TokenLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokenRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: pos, Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	pos := p.cur().Pos
+	p.next() // for
+	if _, err := p.expect(TokenLParen); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{Pos: pos}
+	var err error
+	if !p.at(TokenSemicolon) {
+		// The init clause may be a declaration or a simple statement.
+		if p.at(TokenKwInt) || p.at(TokenKwString) {
+			st.Init, err = p.parseVarDecl() // consumes the semicolon
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			st.Init, err = p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokenSemicolon); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.next()
+	}
+	if !p.at(TokenSemicolon) {
+		st.Cond, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokenSemicolon); err != nil {
+		return nil, err
+	}
+	if !p.at(TokenRParen) {
+		st.Post, err = p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokenRParen); err != nil {
+		return nil, err
+	}
+	st.Body, err = p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *Parser) parseReturn() (Stmt, error) {
+	pos := p.cur().Pos
+	p.next() // return
+	st := &ReturnStmt{Pos: pos}
+	if !p.at(TokenSemicolon) {
+		var err error
+		st.Value, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokenSemicolon); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// --- Expressions (precedence climbing) ---
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	lhs, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokenOrOr) {
+		pos := p.next().Pos
+		rhs, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{Pos: pos, Op: OpOr, L: lhs, R: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	lhs, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokenAndAnd) {
+		pos := p.next().Pos
+		rhs, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{Pos: pos, Op: OpAnd, L: lhs, R: rhs}
+	}
+	return lhs, nil
+}
+
+var cmpOps = map[TokenKind]BinOp{
+	TokenEq: OpEq, TokenNeq: OpNeq,
+	TokenLt: OpLt, TokenLe: OpLe, TokenGt: OpGt, TokenGe: OpGe,
+}
+
+func (p *Parser) parseCmp() (Expr, error) {
+	lhs, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpOps[p.cur().Kind]; ok {
+		pos := p.next().Pos
+		rhs, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Pos: pos, Op: op, L: lhs, R: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func (p *Parser) parseAdd() (Expr, error) {
+	lhs, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokenPlus) || p.at(TokenMinus) {
+		op := OpAdd
+		if p.at(TokenMinus) {
+			op = OpSub
+		}
+		pos := p.next().Pos
+		rhs, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{Pos: pos, Op: op, L: lhs, R: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *Parser) parseMul() (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokenStar) || p.at(TokenSlash) || p.at(TokenPercent) {
+		var op BinOp
+		switch p.cur().Kind {
+		case TokenStar:
+			op = OpMul
+		case TokenSlash:
+			op = OpDiv
+		default:
+			op = OpMod
+		}
+		pos := p.next().Pos
+		rhs, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{Pos: pos, Op: op, L: lhs, R: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.at(TokenMinus) || p.at(TokenNot) {
+		tok := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: tok.Pos, Op: tok.Kind, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case TokenInt:
+		p.next()
+		return &IntLit{Pos: tok.Pos, Value: tok.Int}, nil
+	case TokenChar:
+		p.next()
+		return &IntLit{Pos: tok.Pos, Value: tok.Int}, nil
+	case TokenString:
+		p.next()
+		return &StringLit{Pos: tok.Pos, Value: tok.Text}, nil
+	case TokenLParen:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokenRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case TokenIdent:
+		p.next()
+		if !p.at(TokenLParen) {
+			return &Ident{Pos: tok.Pos, Name: tok.Text}, nil
+		}
+		p.next() // (
+		call := &CallExpr{Pos: tok.Pos, Name: tok.Text}
+		for !p.at(TokenRParen) {
+			if len(call.Args) > 0 {
+				if _, err := p.expect(TokenComma); err != nil {
+					return nil, err
+				}
+			}
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, arg)
+		}
+		p.next() // )
+		return call, nil
+	default:
+		return nil, p.errorf("expected expression, found %s", tok)
+	}
+}

@@ -1,0 +1,178 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseOK(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse failed: %v\nsource:\n%s", err, src)
+	}
+	return prog
+}
+
+func TestParseMinimal(t *testing.T) {
+	prog := parseOK(t, `func main() int { return 0; }`)
+	if len(prog.Funcs) != 1 || prog.Funcs[0].Name != "main" {
+		t.Fatalf("unexpected program: %+v", prog)
+	}
+	if prog.Funcs[0].Ret != TypeInt {
+		t.Errorf("main return type = %v, want int", prog.Funcs[0].Ret)
+	}
+}
+
+func TestParseGlobals(t *testing.T) {
+	prog := parseOK(t, `
+global int counter;
+global string name = "ab";
+func main() int { return 0; }
+`)
+	if len(prog.Globals) != 2 {
+		t.Fatalf("got %d globals, want 2", len(prog.Globals))
+	}
+	if prog.Globals[0].Name != "counter" || prog.Globals[0].Type != TypeInt {
+		t.Errorf("global 0: %+v", prog.Globals[0])
+	}
+	if prog.Globals[1].Init == nil {
+		t.Errorf("global 1 missing initializer")
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	prog := parseOK(t, `func f(int a, string b, buf c) void { return; } func main() int { return 0; }`)
+	f := prog.Func("f")
+	if f == nil {
+		t.Fatal("missing func f")
+	}
+	want := []Type{TypeInt, TypeString, TypeBuf}
+	for i, prm := range f.Params {
+		if prm.Type != want[i] {
+			t.Errorf("param %d type = %v, want %v", i, prm.Type, want[i])
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog := parseOK(t, `func main() int { int x = 1 + 2 * 3; return x; }`)
+	decl := prog.Funcs[0].Body.Stmts[0].(*VarDeclStmt)
+	bin, ok := decl.Init.(*BinExpr)
+	if !ok || bin.Op != OpAdd {
+		t.Fatalf("top op = %v, want +", decl.Init)
+	}
+	if r, ok := bin.R.(*BinExpr); !ok || r.Op != OpMul {
+		t.Errorf("rhs = %v, want * expression", bin.R)
+	}
+}
+
+func TestParseLogicalPrecedence(t *testing.T) {
+	// a || b && c parses as a || (b && c).
+	prog := parseOK(t, `func main() int { return 1 || 2 && 3; }`)
+	ret := prog.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	or, ok := ret.Value.(*BinExpr)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top op: %v", ret.Value)
+	}
+	if and, ok := or.R.(*BinExpr); !ok || and.Op != OpAnd {
+		t.Errorf("rhs op: %v", or.R)
+	}
+}
+
+func TestParseIfElseChain(t *testing.T) {
+	prog := parseOK(t, `
+func main() int {
+  int x = 0;
+  if (x > 0) { x = 1; } else if (x < 0) { x = 2; } else { x = 3; }
+  return x;
+}`)
+	ifst := prog.Funcs[0].Body.Stmts[1].(*IfStmt)
+	if _, ok := ifst.Else.(*IfStmt); !ok {
+		t.Errorf("else branch = %T, want *IfStmt", ifst.Else)
+	}
+}
+
+func TestParseLoops(t *testing.T) {
+	prog := parseOK(t, `
+func main() int {
+  int s = 0;
+  for (int i = 0; i < 10; i = i + 1) { s = s + i; }
+  while (s > 0) { s = s - 1; if (s == 2) { break; } continue; }
+  for (;;) { break; }
+  return s;
+}`)
+	body := prog.Funcs[0].Body.Stmts
+	if _, ok := body[1].(*ForStmt); !ok {
+		t.Errorf("stmt 1 = %T, want for", body[1])
+	}
+	if _, ok := body[2].(*WhileStmt); !ok {
+		t.Errorf("stmt 2 = %T, want while", body[2])
+	}
+	inf := body[3].(*ForStmt)
+	if inf.Init != nil || inf.Cond != nil || inf.Post != nil {
+		t.Errorf("for(;;) clauses should be nil: %+v", inf)
+	}
+}
+
+func TestParseBufDecl(t *testing.T) {
+	prog := parseOK(t, `func main() int { buf b[512]; bufwrite(b, 0, 65); return bufread(b, 0); }`)
+	bd := prog.Funcs[0].Body.Stmts[0].(*BufDeclStmt)
+	if bd.Cap != 512 {
+		t.Errorf("cap = %d, want 512", bd.Cap)
+	}
+}
+
+func TestParseCallArgs(t *testing.T) {
+	prog := parseOK(t, `func f(int a, int b) int { return a + b; } func main() int { return f(1, 2 + 3); }`)
+	ret := prog.Func("main").Body.Stmts[0].(*ReturnStmt)
+	call := ret.Value.(*CallExpr)
+	if call.Name != "f" || len(call.Args) != 2 {
+		t.Fatalf("call = %+v", call)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"func main() int { return 0 }",              // missing semicolon
+		"func main() int { if x > 0 {} return 0; }", // missing parens
+		"func main() { return; }",                   // missing return type
+		"func main() int { buf b[0]; return 0; }",   // zero-size buffer
+		"func main() int { buf b[-1]; return 0; }",
+		"global buf b; func main() int { return 0; }", // global buffer
+		"int x;",                      // top-level non-declaration
+		"func main() int { return 0;", // unclosed block
+		"func main() int { int = 3; return 0; }",
+		"func main() int { 1 +; return 0; }",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("func main() int {\n  wrong syntax here ===;\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var serr *SyntaxError
+	if !asSyntaxError(err, &serr) {
+		t.Fatalf("error type %T, want *SyntaxError", err)
+	}
+	if serr.Pos.Line != 2 {
+		t.Errorf("error line = %d, want 2", serr.Pos.Line)
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error message %q lacks position", err.Error())
+	}
+}
+
+func asSyntaxError(err error, out **SyntaxError) bool {
+	se, ok := err.(*SyntaxError)
+	if ok {
+		*out = se
+	}
+	return ok
+}

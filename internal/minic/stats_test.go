@@ -1,0 +1,117 @@
+package minic
+
+import "testing"
+
+func TestSourceLines(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{"empty", "", 0},
+		{"blank lines", "\n\n  \n", 0},
+		{"code", "a\nb\nc\n", 3},
+		{"line comments", "// only\ncode // trailing\n// more\n", 1},
+		{"block comment lines", "/*\nall\ncomment\n*/\ncode\n", 1},
+		{"inline block", "a /* c */ b\n", 1},
+		{"block opener with code", "code /* starts\nstill comment\n*/\n", 1},
+		{"mixed", "x\n\n// c\ny /* b */\n/* m\nm */\nz\n", 3},
+	}
+	for _, tt := range tests {
+		if got := SourceLines(tt.src); got != tt.want {
+			t.Errorf("%s: SourceLines = %d, want %d", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestProgramStats(t *testing.T) {
+	src := `
+global int g1;
+global string g2;
+
+// helper doubles its input
+func double(int x) int {
+  return x * 2;
+}
+
+func main() int {
+  int a = double(3);      // internal call
+  int b = double(a);      // internal call
+  print(b);               // external (builtin) call
+  g1 = len(g2);           // external call
+  return g1 + b;
+}
+`
+	prog := MustParse("t", src)
+	st := Stats(prog, src)
+	if st.Functions != 2 {
+		t.Errorf("functions = %d", st.Functions)
+	}
+	if st.InternalCalls != 2 {
+		t.Errorf("internal calls = %d, want 2", st.InternalCalls)
+	}
+	if st.ExternalCalls != 2 {
+		t.Errorf("external calls = %d, want 2 (print, len)", st.ExternalCalls)
+	}
+	// Params: double has 1 param, called twice => 2 bound instances.
+	if st.Params != 2 {
+		t.Errorf("params = %d, want 2", st.Params)
+	}
+	// GlobalVars: 2 globals x 2 locations x 2 functions.
+	if st.GlobalVars != 8 {
+		t.Errorf("global instances = %d, want 8", st.GlobalVars)
+	}
+	// 12 non-blank, non-comment lines (2 globals, 3 for double, 7 for
+	// main including braces).
+	if st.SLOC != 12 {
+		t.Errorf("SLOC = %d, want 12", st.SLOC)
+	}
+}
+
+func TestWalkProgramVisitsEverything(t *testing.T) {
+	src := `
+global int g = 1 + 2;
+func f(int a) int {
+  if (a > 0) { return a; } else { return -a; }
+}
+func main() int {
+  int s = 0;
+  for (int i = 0; i < 3; i = i + 1) { s = s + f(i); }
+  while (s > 100) { break; }
+  return s;
+}`
+	prog := MustParse("w", src)
+	counts := map[string]int{}
+	WalkProgram(prog, func(n Node) {
+		switch n.(type) {
+		case *GlobalDecl:
+			counts["global"]++
+		case *FuncDecl:
+			counts["func"]++
+		case *IfStmt:
+			counts["if"]++
+		case *ForStmt:
+			counts["for"]++
+		case *WhileStmt:
+			counts["while"]++
+		case *CallExpr:
+			counts["call"]++
+		case *BinExpr:
+			counts["bin"]++
+		case *ReturnStmt:
+			counts["return"]++
+		}
+	})
+	want := map[string]int{
+		"global": 1, "func": 2, "if": 1, "for": 1, "while": 1,
+		"call": 1, "return": 3,
+	}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("%s nodes = %d, want %d", k, counts[k], v)
+		}
+	}
+	if counts["bin"] < 5 {
+		t.Errorf("binary expressions = %d, want >= 5", counts["bin"])
+	}
+}

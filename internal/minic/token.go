@@ -1,0 +1,169 @@
+// Package minic implements a small C-like imperative language used as the
+// program-under-test substrate for the StatSym reproduction. The paper
+// analyzes real C applications (polymorph, CTree, Grep, thttpd); this
+// repository re-authors those applications in MiniC so that the program
+// monitor, statistical analysis, and symbolic execution modules can operate
+// on them without an LLVM/Valgrind toolchain.
+//
+// The package provides a lexer, a recursive-descent parser producing a typed
+// AST, a semantic checker, and static program statistics (used to reproduce
+// Table I of the paper).
+package minic
+
+import "fmt"
+
+// TokenKind enumerates lexical token categories.
+type TokenKind int
+
+// Token kinds. The zero value is TokenInvalid so that uninitialized tokens
+// are never mistaken for valid ones.
+const (
+	TokenInvalid TokenKind = iota
+	TokenEOF
+	TokenIdent
+	TokenInt
+	TokenString
+	TokenChar
+
+	// Keywords.
+	TokenKwGlobal
+	TokenKwFunc
+	TokenKwInt
+	TokenKwString
+	TokenKwVoid
+	TokenKwBuf
+	TokenKwIf
+	TokenKwElse
+	TokenKwWhile
+	TokenKwFor
+	TokenKwReturn
+	TokenKwBreak
+	TokenKwContinue
+
+	// Punctuation and operators.
+	TokenLParen
+	TokenRParen
+	TokenLBrace
+	TokenRBrace
+	TokenLBracket
+	TokenRBracket
+	TokenComma
+	TokenSemicolon
+	TokenAssign
+	TokenPlus
+	TokenMinus
+	TokenStar
+	TokenSlash
+	TokenPercent
+	TokenEq
+	TokenNeq
+	TokenLt
+	TokenLe
+	TokenGt
+	TokenGe
+	TokenAndAnd
+	TokenOrOr
+	TokenNot
+)
+
+var tokenNames = map[TokenKind]string{
+	TokenInvalid:    "invalid",
+	TokenEOF:        "EOF",
+	TokenIdent:      "identifier",
+	TokenInt:        "int literal",
+	TokenString:     "string literal",
+	TokenChar:       "char literal",
+	TokenKwGlobal:   "global",
+	TokenKwFunc:     "func",
+	TokenKwInt:      "int",
+	TokenKwString:   "string",
+	TokenKwVoid:     "void",
+	TokenKwBuf:      "buf",
+	TokenKwIf:       "if",
+	TokenKwElse:     "else",
+	TokenKwWhile:    "while",
+	TokenKwFor:      "for",
+	TokenKwReturn:   "return",
+	TokenKwBreak:    "break",
+	TokenKwContinue: "continue",
+	TokenLParen:     "(",
+	TokenRParen:     ")",
+	TokenLBrace:     "{",
+	TokenRBrace:     "}",
+	TokenLBracket:   "[",
+	TokenRBracket:   "]",
+	TokenComma:      ",",
+	TokenSemicolon:  ";",
+	TokenAssign:     "=",
+	TokenPlus:       "+",
+	TokenMinus:      "-",
+	TokenStar:       "*",
+	TokenSlash:      "/",
+	TokenPercent:    "%",
+	TokenEq:         "==",
+	TokenNeq:        "!=",
+	TokenLt:         "<",
+	TokenLe:         "<=",
+	TokenGt:         ">",
+	TokenGe:         ">=",
+	TokenAndAnd:     "&&",
+	TokenOrOr:       "||",
+	TokenNot:        "!",
+}
+
+// String returns a human-readable name for the token kind.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+var keywords = map[string]TokenKind{
+	"global":   TokenKwGlobal,
+	"func":     TokenKwFunc,
+	"int":      TokenKwInt,
+	"string":   TokenKwString,
+	"void":     TokenKwVoid,
+	"buf":      TokenKwBuf,
+	"if":       TokenKwIf,
+	"else":     TokenKwElse,
+	"while":    TokenKwWhile,
+	"for":      TokenKwFor,
+	"return":   TokenKwReturn,
+	"break":    TokenKwBreak,
+	"continue": TokenKwContinue,
+}
+
+// Pos identifies a source location (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // raw text for identifiers; decoded value for strings
+	Int  int64  // value for int and char literals
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokenIdent:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case TokenInt:
+		return fmt.Sprintf("int %d", t.Int)
+	case TokenString:
+		return fmt.Sprintf("string %q", t.Text)
+	case TokenChar:
+		return fmt.Sprintf("char %q", string(rune(t.Int)))
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,70 @@
+package monitor
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/bytecode"
+	"repro/internal/interp"
+	"repro/internal/trace"
+)
+
+// CollectCorpusParallel runs every input under the monitor using a bounded
+// worker pool and returns the runs in input order, so the result is
+// deterministic and identical to CollectCorpus for the same inputs. Field
+// log collection is embarrassingly parallel (each run is an independent VM
+// execution); this is the throughput path for large corpora.
+func CollectCorpusParallel(prog *bytecode.Program, inputs []*interp.Input, cfg Config, workers int) (*trace.Corpus, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	if workers <= 1 {
+		return CollectCorpus(prog, inputs, cfg)
+	}
+
+	runs := make([]*trace.Run, len(inputs))
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+
+	setErr := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				run, err := CollectRun(prog, inputs[i], cfg, i)
+				if err != nil {
+					setErr(err)
+					continue
+				}
+				runs[i] = run
+			}
+		}()
+	}
+	for i := range inputs {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	corpus := &trace.Corpus{Program: prog.Name, Runs: make([]trace.Run, 0, len(runs))}
+	for _, r := range runs {
+		corpus.Runs = append(corpus.Runs, *r)
+	}
+	return corpus, nil
+}

@@ -1,0 +1,52 @@
+package monitor
+
+import (
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/interp"
+)
+
+func TestCollectCorpusParallelMatchesSequential(t *testing.T) {
+	prog := bytecode.MustCompile("mon", testSrc)
+	var inputs []*interp.Input
+	for i := 0; i < 40; i++ {
+		n := int64(i % 12)
+		inputs = append(inputs, &interp.Input{Ints: map[string]int64{"n": n}})
+	}
+	cfg := Config{SampleRate: 0.5, Seed: 7}
+	seq, err := CollectCorpus(prog, inputs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		par, err := CollectCorpusParallel(prog, inputs, cfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par.Runs) != len(seq.Runs) {
+			t.Fatalf("workers=%d: %d runs vs %d", workers, len(par.Runs), len(seq.Runs))
+		}
+		for i := range seq.Runs {
+			a, b := seq.Runs[i], par.Runs[i]
+			if a.Faulty != b.Faulty || len(a.Records) != len(b.Records) || a.FaultFunc != b.FaultFunc {
+				t.Fatalf("workers=%d: run %d differs (faulty %v/%v, records %d/%d)",
+					workers, i, a.Faulty, b.Faulty, len(a.Records), len(b.Records))
+			}
+			for j := range a.Records {
+				if a.Records[j].Loc != b.Records[j].Loc {
+					t.Fatalf("workers=%d: run %d record %d loc differs", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCollectCorpusParallelSmallInputs(t *testing.T) {
+	prog := bytecode.MustCompile("mon", testSrc)
+	inputs := []*interp.Input{{Ints: map[string]int64{"n": 1}}}
+	c, err := CollectCorpusParallel(prog, inputs, Config{SampleRate: 1}, 8)
+	if err != nil || len(c.Runs) != 1 {
+		t.Fatalf("c=%v err=%v", c, err)
+	}
+}

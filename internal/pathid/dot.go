@@ -1,0 +1,85 @@
+package pathid
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// WriteDOT renders the transition graph in Graphviz DOT format, shading
+// nodes by their best predicate score and highlighting the skeleton and
+// failure point — a renderable version of the paper's Fig. 4/Fig. 9
+// diagrams. skeleton and analysis may be nil.
+func (g *Graph) WriteDOT(analysis *stats.Analysis, skeleton []trace.Location) string {
+	onSkel := make(map[trace.Location]bool, len(skeleton))
+	for _, l := range skeleton {
+		onSkel[l] = true
+	}
+	var sb strings.Builder
+	sb.WriteString("digraph transitions {\n")
+	sb.WriteString("  rankdir=LR;\n")
+	sb.WriteString("  node [shape=box, fontname=\"monospace\", fontsize=10];\n")
+
+	nodes := append([]trace.Location(nil), g.Nodes...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].String() < nodes[j].String() })
+	for _, n := range nodes {
+		attrs := []string{fmt.Sprintf("label=%q", n.String())}
+		if analysis != nil {
+			if score := analysis.LocationScore(n); score > 0 {
+				// Shade by score: high-score predicate locations stand out.
+				gray := 100 - int(score*45)
+				attrs = append(attrs, fmt.Sprintf("style=filled, fillcolor=\"gray%d\"", gray))
+				attrs = append(attrs, fmt.Sprintf("tooltip=\"score %.3f\"", score))
+			}
+		}
+		if onSkel[n] {
+			attrs = append(attrs, "penwidth=2")
+		}
+		if n == g.Failure {
+			attrs = append(attrs, "shape=doubleoctagon, color=red")
+		}
+		fmt.Fprintf(&sb, "  %q [%s];\n", n.String(), strings.Join(attrs, ", "))
+	}
+
+	froms := make([]trace.Location, 0, len(g.Succ))
+	for from := range g.Succ {
+		froms = append(froms, from)
+	}
+	sort.Slice(froms, func(i, j int) bool { return froms[i].String() < froms[j].String() })
+	for _, from := range froms {
+		for _, e := range g.Succ[from] {
+			style := ""
+			if onSkel[e.From] && onSkel[e.To] {
+				style = ", penwidth=2"
+			}
+			fmt.Fprintf(&sb, "  %q -> %q [label=\"%.2f\"%s];\n",
+				e.From.String(), e.To.String(), e.Confidence, style)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// WriteDOT renders a candidate path as a linear DOT chain annotated with
+// its predicates.
+func (p *CandidatePath) WriteDOT(name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", name)
+	sb.WriteString("  rankdir=LR;\n")
+	sb.WriteString("  node [shape=circle, fontname=\"monospace\", fontsize=9];\n")
+	for i, n := range p.Nodes {
+		label := n.Loc.String()
+		if n.Pred != nil {
+			label += "\\n" + n.Pred.String()
+		}
+		fmt.Fprintf(&sb, "  n%d [label=%q];\n", i, label)
+		if i > 0 {
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", i-1, i)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,103 @@
+package pathid
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func TestGraphWriteDOT(t *testing.T) {
+	corpus := linearCorpus()
+	analysis := stats.Analyze(corpus)
+	res, err := Build(corpus, analysis, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := res.Graph.WriteDOT(analysis, res.Skeleton)
+	for _, want := range []string{
+		"digraph transitions",
+		`"main():enter"`,
+		`"b():enter"`,
+		"doubleoctagon", // failure point marker
+		"->",
+		"penwidth=2", // skeleton highlight
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Balanced braces, single graph.
+	if strings.Count(dot, "digraph") != 1 || !strings.HasSuffix(dot, "}\n") {
+		t.Errorf("malformed DOT:\n%s", dot)
+	}
+}
+
+func TestGraphWriteDOTNilInputs(t *testing.T) {
+	corpus := linearCorpus()
+	g := BuildGraph(corpus, Config{})
+	dot := g.WriteDOT(nil, nil)
+	if !strings.Contains(dot, "digraph") {
+		t.Errorf("nil-input DOT malformed")
+	}
+}
+
+func TestCandidatePathWriteDOT(t *testing.T) {
+	cp := &CandidatePath{Nodes: []PathNode{
+		{Loc: trace.Location{Func: "main", Kind: trace.EventEnter}},
+		{Loc: trace.Location{Func: "f", Kind: trace.EventEnter}, Pred: &stats.Predicate{
+			Var: "x", Class: trace.ClassParam, Op: stats.PredGe, Threshold: 3.5,
+		}},
+	}}
+	dot := cp.WriteDOT("candidate1")
+	for _, want := range []string{"n0", "n1", "n0 -> n1", "x FUNCPARAM >= 3.5"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestSpurDetourJoinsInPlace(t *testing.T) {
+	skeleton := []trace.Location{
+		{Func: "a", Kind: trace.EventEnter},
+		{Func: "b", Kind: trace.EventEnter},
+		{Func: "c", Kind: trace.EventEnter},
+	}
+	spur := Detour{
+		FromIdx: 1, ToIdx: 1, Type: DetourSpur,
+		Via: []trace.Location{{Func: "x", Kind: trace.EventEnter}},
+	}
+	out := splice(skeleton, []Detour{spur})
+	want := "a():enter b():enter x():enter c():enter"
+	got := make([]string, len(out))
+	for i, l := range out {
+		got[i] = l.String()
+	}
+	if strings.Join(got, " ") != want {
+		t.Errorf("splice = %v, want %s", got, want)
+	}
+}
+
+func TestForwardDetourReplacesSegment(t *testing.T) {
+	skeleton := []trace.Location{
+		{Func: "a", Kind: trace.EventEnter},
+		{Func: "b", Kind: trace.EventEnter},
+		{Func: "c", Kind: trace.EventEnter},
+		{Func: "d", Kind: trace.EventEnter},
+	}
+	fwd := Detour{
+		FromIdx: 0, ToIdx: 2, Type: DetourForward,
+		Via: []trace.Location{{Func: "x", Kind: trace.EventEnter}},
+	}
+	out := splice(skeleton, []Detour{fwd})
+	// a -> x -> c -> d (b replaced).
+	got := make([]string, len(out))
+	for i, l := range out {
+		got[i] = l.String()
+	}
+	want := "a():enter x():enter c():enter d():enter"
+	if strings.Join(got, " ") != want {
+		t.Errorf("splice = %v, want %s", got, want)
+	}
+}

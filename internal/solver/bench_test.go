@@ -1,0 +1,115 @@
+package solver
+
+import "testing"
+
+// BenchmarkCheckBoxConstraints measures the common path-condition shape:
+// single-variable bounds.
+func BenchmarkCheckBoxConstraints(b *testing.B) {
+	tbl := NewVarTable()
+	x := tbl.NewVarMin("len", 0)
+	i := tbl.NewVarMin("i", 0)
+	cons := []Constraint{
+		Gt(VarExpr(x), ConstExpr(518)),
+		Lt(VarExpr(i), VarExpr(x)),
+		Ge(VarExpr(i), ConstExpr(512)),
+	}
+	s := New()
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		if res, _ := s.Check(tbl, cons); res != Sat {
+			b.Fatal(res)
+		}
+	}
+}
+
+// BenchmarkCheckUnsat measures refutation of an infeasible branch.
+func BenchmarkCheckUnsat(b *testing.B) {
+	tbl := NewVarTable()
+	x := tbl.NewVarMin("len", 0)
+	cons := []Constraint{
+		Gt(VarExpr(x), ConstExpr(518)),
+		Le(VarExpr(x), ConstExpr(100)),
+	}
+	s := New()
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		if res, _ := s.Check(tbl, cons); res != Unsat {
+			b.Fatal(res)
+		}
+	}
+}
+
+// BenchmarkCheckFourierMotzkin forces the FM fallback (cyclic chain).
+func BenchmarkCheckFourierMotzkin(b *testing.B) {
+	tbl := NewVarTable()
+	x := tbl.NewVar("x")
+	y := tbl.NewVar("y")
+	z := tbl.NewVar("z")
+	cons := []Constraint{
+		Lt(VarExpr(x), VarExpr(y)),
+		Lt(VarExpr(y), VarExpr(z)),
+		Lt(VarExpr(z), VarExpr(x)),
+	}
+	s := New()
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		if res, _ := s.Check(tbl, cons); res != Unsat {
+			b.Fatal(res)
+		}
+	}
+}
+
+// BenchmarkCheckWideConjunction measures a defang-style path condition:
+// many independent byte disequalities plus one length bound.
+func BenchmarkCheckWideConjunction(b *testing.B) {
+	tbl := NewVarTable()
+	length := tbl.NewVarBounded("len", 0, 1200)
+	cons := []Constraint{Ge(VarExpr(length), ConstExpr(1000))}
+	for i := 0; i < 200; i++ {
+		bv := tbl.NewVarBounded("b", 0, 255)
+		cons = append(cons, Ne(VarExpr(bv), ConstExpr('<')))
+		cons = append(cons, Ne(VarExpr(bv), ConstExpr('>')))
+	}
+	s := New()
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		if res, _ := s.Check(tbl, cons); res != Sat {
+			b.Fatal(res)
+		}
+	}
+}
+
+// BenchmarkCheckPartitionedWide measures the same conjunction through the
+// independence optimization with caching.
+func BenchmarkCheckPartitionedWide(b *testing.B) {
+	tbl := NewVarTable()
+	length := tbl.NewVarBounded("len", 0, 1200)
+	cons := []Constraint{Ge(VarExpr(length), ConstExpr(1000))}
+	for i := 0; i < 200; i++ {
+		bv := tbl.NewVarBounded("b", 0, 255)
+		cons = append(cons, Ne(VarExpr(bv), ConstExpr('<')))
+		cons = append(cons, Ne(VarExpr(bv), ConstExpr('>')))
+	}
+	cs := NewCached(New())
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		if res, _ := cs.CheckPartitioned(tbl, cons); res != Sat {
+			b.Fatal(res)
+		}
+	}
+}
+
+// BenchmarkCacheHit measures the memoized path.
+func BenchmarkCacheHit(b *testing.B) {
+	tbl := NewVarTable()
+	x := tbl.NewVar("x")
+	cons := []Constraint{Ge(VarExpr(x), ConstExpr(3)), Le(VarExpr(x), ConstExpr(9))}
+	cs := NewCached(New())
+	cs.Check(tbl, cons)
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		if res, _ := cs.Check(tbl, cons); res != Sat {
+			b.Fatal(res)
+		}
+	}
+}

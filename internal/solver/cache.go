@@ -1,0 +1,77 @@
+package solver
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// CachedSolver memoizes Check results keyed by the canonicalized constraint
+// conjunction. KLEE caches solver queries for the same reason: symbolic
+// execution re-issues many identical path-condition prefixes.
+type CachedSolver struct {
+	S *Solver
+
+	// MaxEntries bounds memory; when exceeded the cache is reset (simple
+	// and adequate for bounded explorations).
+	MaxEntries int
+
+	cache map[uint64]cachedResult
+	// Hits and Misses count cache effectiveness (for the ablation bench).
+	Hits, Misses int
+}
+
+type cachedResult struct {
+	res   Result
+	model Model
+}
+
+// NewCached wraps s with a query cache.
+func NewCached(s *Solver) *CachedSolver {
+	return &CachedSolver{S: s, MaxEntries: 1 << 16, cache: make(map[uint64]cachedResult)}
+}
+
+// Check is Solver.Check with memoization.
+func (cs *CachedSolver) Check(t *VarTable, cons []Constraint) (Result, Model) {
+	key := hashConstraints(cons)
+	if r, ok := cs.cache[key]; ok {
+		cs.Hits++
+		return r.res, r.model
+	}
+	cs.Misses++
+	res, model := cs.S.Check(t, cons)
+	if len(cs.cache) >= cs.MaxEntries {
+		cs.cache = make(map[uint64]cachedResult)
+	}
+	cs.cache[key] = cachedResult{res: res, model: model}
+	return res, model
+}
+
+// hashConstraints produces an order-insensitive digest of the conjunction.
+func hashConstraints(cons []Constraint) uint64 {
+	keys := make([]string, len(cons))
+	for i, c := range cons {
+		keys[i] = constraintKey(c)
+	}
+	sort.Strings(keys)
+	h := fnv.New64a()
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+func constraintKey(c Constraint) string {
+	buf := make([]byte, 0, 16+12*len(c.E.Terms))
+	buf = strconv.AppendInt(buf, int64(c.Op), 10)
+	buf = append(buf, '|')
+	buf = strconv.AppendInt(buf, c.E.Const, 10)
+	for _, tm := range c.E.Terms {
+		buf = append(buf, ';')
+		buf = strconv.AppendInt(buf, int64(tm.Var), 10)
+		buf = append(buf, '*')
+		buf = strconv.AppendInt(buf, tm.Coeff, 10)
+	}
+	return string(buf)
+}

@@ -1,0 +1,165 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPartitionDisjointComponents(t *testing.T) {
+	tbl := NewVarTable()
+	x := tbl.NewVar("x")
+	y := tbl.NewVar("y")
+	z := tbl.NewVar("z")
+	w := tbl.NewVar("w")
+	cons := []Constraint{
+		Le(VarExpr(x), ConstExpr(5)),   // comp A
+		Le(VarExpr(y), VarExpr(z)),     // comp B
+		Ge(VarExpr(x), ConstExpr(1)),   // comp A
+		Le(VarExpr(z), ConstExpr(9)),   // comp B (shares z)
+		Eq(VarExpr(w), ConstExpr(3)),   // comp C
+		Le(ConstExpr(0), ConstExpr(1)), // ground
+		Ne(ConstExpr(2), ConstExpr(3)), // ground (merges with above)
+	}
+	comps := Partition(cons)
+	if len(comps) != 4 {
+		t.Fatalf("components = %d, want 4: %v", len(comps), comps)
+	}
+	// Total constraint count preserved.
+	total := 0
+	for _, c := range comps {
+		total += len(c)
+	}
+	if total != len(cons) {
+		t.Errorf("constraints lost: %d of %d", total, len(cons))
+	}
+	// Variable-disjointness.
+	seen := make(map[Var]int)
+	for ci, comp := range comps {
+		for _, c := range comp {
+			for _, tm := range c.E.Terms {
+				if prev, ok := seen[tm.Var]; ok && prev != ci {
+					t.Errorf("variable %d appears in components %d and %d", tm.Var, prev, ci)
+				}
+				seen[tm.Var] = ci
+			}
+		}
+	}
+}
+
+func TestPartitionTransitiveLinking(t *testing.T) {
+	tbl := NewVarTable()
+	a := tbl.NewVar("a")
+	b := tbl.NewVar("b")
+	c := tbl.NewVar("c")
+	cons := []Constraint{
+		Le(VarExpr(a), VarExpr(b)), // links a-b
+		Le(VarExpr(b), VarExpr(c)), // links b-c => one component
+	}
+	comps := Partition(cons)
+	if len(comps) != 1 {
+		t.Fatalf("transitively linked constraints split into %d components", len(comps))
+	}
+}
+
+func TestPartitionEmptyAndSingle(t *testing.T) {
+	if Partition(nil) != nil {
+		t.Error("Partition(nil) should be nil")
+	}
+	tbl := NewVarTable()
+	x := tbl.NewVar("x")
+	comps := Partition([]Constraint{Le(VarExpr(x), ConstExpr(1))})
+	if len(comps) != 1 || len(comps[0]) != 1 {
+		t.Errorf("single constraint partition: %v", comps)
+	}
+}
+
+func TestCheckPartitionedEquivalence(t *testing.T) {
+	// Random systems: CheckPartitioned must agree with a monolithic Check.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		tbl := NewVarTable()
+		nv := 2 + rng.Intn(5)
+		vars := make([]Var, nv)
+		for i := range vars {
+			vars[i] = tbl.NewVarBounded("v", -5, 5)
+		}
+		nc := 1 + rng.Intn(6)
+		cons := make([]Constraint, 0, nc)
+		for i := 0; i < nc; i++ {
+			// Sparse constraints touch 1-2 variables, creating several
+			// independent components in most trials.
+			e := ConstExpr(int64(rng.Intn(7) - 3))
+			e = e.Add(VarExpr(vars[rng.Intn(nv)]).MulConst(int64(rng.Intn(3) - 1)))
+			if rng.Intn(2) == 0 {
+				e = e.Add(VarExpr(vars[rng.Intn(nv)]).MulConst(int64(rng.Intn(3) - 1)))
+			}
+			op := []ConstraintOp{OpLe, OpEq, OpNe}[rng.Intn(3)]
+			cons = append(cons, Constraint{E: e, Op: op})
+		}
+		mono, monoModel := New().Check(tbl, cons)
+		cs := NewCached(New())
+		part, partModel := cs.CheckPartitioned(tbl, cons)
+		if mono == Unknown || part == Unknown {
+			continue
+		}
+		if mono != part {
+			t.Fatalf("trial %d: monolithic=%v partitioned=%v for %v",
+				trial, mono, part, renderCons(tbl, cons))
+		}
+		if part == Sat {
+			for _, c := range cons {
+				if !c.Holds(partModel) {
+					t.Fatalf("trial %d: partitioned model %v violates %s",
+						trial, partModel, c.String(tbl))
+				}
+			}
+			for _, c := range cons {
+				if !c.Holds(monoModel) {
+					t.Fatalf("trial %d: monolithic model violates %s", trial, c.String(tbl))
+				}
+			}
+		}
+	}
+}
+
+func TestCheckPartitionedComponentCaching(t *testing.T) {
+	tbl := NewVarTable()
+	x := tbl.NewVar("x")
+	y := tbl.NewVar("y")
+	cs := NewCached(New())
+	base := []Constraint{Ge(VarExpr(x), ConstExpr(3)), Le(VarExpr(x), ConstExpr(9))}
+	res, _ := cs.CheckPartitioned(tbl, base)
+	if res != Sat {
+		t.Fatal(res)
+	}
+	missesBefore := cs.Misses
+	// Adding an independent constraint about y re-solves only the y
+	// component: the x component hits the cache.
+	grown := append(append([]Constraint(nil), base...), Ge(VarExpr(y), ConstExpr(1)))
+	res, m := cs.CheckPartitioned(tbl, grown)
+	if res != Sat {
+		t.Fatal(res)
+	}
+	if m[x] < 3 || m[x] > 9 || m[y] < 1 {
+		t.Errorf("merged model = %v", m)
+	}
+	if cs.Hits == 0 {
+		t.Errorf("x-component did not hit the cache (hits=%d misses=%d->%d)",
+			cs.Hits, missesBefore, cs.Misses)
+	}
+}
+
+func TestCheckPartitionedUnsatComponent(t *testing.T) {
+	tbl := NewVarTable()
+	x := tbl.NewVar("x")
+	y := tbl.NewVar("y")
+	cons := []Constraint{
+		Ge(VarExpr(x), ConstExpr(0)), // sat component
+		Lt(VarExpr(y), VarExpr(y)),   // unsat component
+	}
+	cs := NewCached(New())
+	res, _ := cs.CheckPartitioned(tbl, cons)
+	if res != Unsat {
+		t.Errorf("result = %v, want unsat", res)
+	}
+}

@@ -1,0 +1,319 @@
+// Package stats implements the paper's statistical inference component
+// (§V-A): it analyzes runtime logs, constructs threshold predicates that
+// optimally separate a variable's values in correct versus faulty
+// executions (Eq. 1), and ranks them by the confidence score
+// s = |P(x|C) − P(x|F)| (Eq. 2). This is the Predicate Manager of the
+// prototype (§VI-B).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// PredOp is a predicate's comparison direction.
+type PredOp int
+
+// Predicate forms. PredNever ("a < -infinity") arises for variables whose
+// instrumentation location is never reached in faulty runs — the paper's
+// P7–P10 for polymorph (Table V) have exactly this form.
+const (
+	PredGe PredOp = iota + 1 // value ≥ threshold
+	PredLe                   // value ≤ threshold
+	PredNever
+)
+
+// Predicate is a statistical predicate over one variable at one location.
+type Predicate struct {
+	Loc   trace.Location
+	Var   string
+	Class trace.VarClass
+	// IsString records whether the underlying variable is a string (the
+	// numeric view is then its length, so the rendered form is
+	// "len(var) ≥ t").
+	IsString bool
+
+	Op PredOp
+	// Threshold is a half-integer separating the two distributions
+	// (e.g. 536.5), ignored for PredNever.
+	Threshold float64
+
+	// Score is the confidence score s = |P(x|C) − P(x|F)| (Eq. 2);
+	// Err is the quantification error E (Eq. 1) of the chosen threshold.
+	Score float64
+	Err   int
+
+	// Sample counts.
+	CountC, CountF int
+}
+
+// String renders the predicate in the paper's Table V style.
+func (p *Predicate) String() string {
+	name := p.Var
+	if p.IsString {
+		name = "len(" + name + ")"
+	}
+	label := fmt.Sprintf("%s %s", name, p.Class)
+	switch p.Op {
+	case PredGe:
+		return fmt.Sprintf("%s >= %.1f", label, p.Threshold)
+	case PredLe:
+		return fmt.Sprintf("%s <= %.1f", label, p.Threshold)
+	default:
+		return label + " < -infinity"
+	}
+}
+
+// HoldsFor evaluates the predicate on a numeric value.
+func (p *Predicate) HoldsFor(v int64) bool {
+	switch p.Op {
+	case PredGe:
+		return float64(v) >= p.Threshold
+	case PredLe:
+		return float64(v) <= p.Threshold
+	default:
+		return false
+	}
+}
+
+// IntThreshold converts the half-integer threshold into the equivalent
+// integer bound: for PredGe, value ≥ k; for PredLe, value ≤ k.
+func (p *Predicate) IntThreshold() int64 {
+	switch p.Op {
+	case PredGe:
+		return int64(math.Ceil(p.Threshold))
+	case PredLe:
+		return int64(math.Floor(p.Threshold))
+	default:
+		return 0
+	}
+}
+
+// Key identifies the (location, variable) pair of the predicate.
+func (p *Predicate) Key() string { return p.Loc.String() + "/" + p.Var }
+
+// sampleSet accumulates a variable's observed values at one location.
+type sampleSet struct {
+	loc      trace.Location
+	name     string
+	class    trace.VarClass
+	isString bool
+	correct  []int64
+	faulty   []int64
+}
+
+// Analysis is the output of predicate construction.
+type Analysis struct {
+	// Predicates are ranked by score (descending), deterministically
+	// tie-broken.
+	Predicates []*Predicate
+
+	// Runs/Locations/Variables are the preprocessing counts n(R), n(L),
+	// n(V).
+	Runs, Locations, Variables int
+}
+
+// Top returns the k highest-ranked predicates.
+func (a *Analysis) Top(k int) []*Predicate {
+	if k > len(a.Predicates) {
+		k = len(a.Predicates)
+	}
+	return a.Predicates[:k]
+}
+
+// BestAt returns the highest-scoring predicate at a location, or nil.
+func (a *Analysis) BestAt(loc trace.Location) *Predicate {
+	for _, p := range a.Predicates { // ranked, so first hit is best
+		if p.Loc == loc {
+			return p
+		}
+	}
+	return nil
+}
+
+// LocationScore returns the score of the best predicate at loc (0 if none)
+// — the node score used by candidate-path construction (§V-B step 1).
+func (a *Analysis) LocationScore(loc trace.Location) float64 {
+	if p := a.BestAt(loc); p != nil {
+		return p.Score
+	}
+	return 0
+}
+
+// Analyze runs predicate construction and ranking over a corpus — steps
+// (a)–(d) of the algorithm in Fig. 5.
+func Analyze(corpus *trace.Corpus) *Analysis {
+	a := &Analysis{}
+	a.Runs, a.Locations, a.Variables = corpus.Counts()
+
+	// Step (a)/(b): split runs and accumulate numeric samples per
+	// (location, variable).
+	samples := make(map[string]*sampleSet)
+	order := make([]string, 0, 64) // deterministic iteration
+	collect := func(run *trace.Run, faulty bool) {
+		for _, rec := range run.Records {
+			for _, ob := range rec.Obs {
+				key := rec.Loc.String() + "/" + ob.Var
+				ss, ok := samples[key]
+				if !ok {
+					ss = &sampleSet{
+						loc:      rec.Loc,
+						name:     ob.Var,
+						class:    ob.Class,
+						isString: ob.Kind == trace.ValueString,
+					}
+					samples[key] = ss
+					order = append(order, key)
+				}
+				if faulty {
+					ss.faulty = append(ss.faulty, ob.Numeric())
+				} else {
+					ss.correct = append(ss.correct, ob.Numeric())
+				}
+			}
+		}
+	}
+	for i := range corpus.Runs {
+		run := &corpus.Runs[i]
+		collect(run, run.Faulty)
+	}
+
+	// Step (c): construct one predicate per (location, variable).
+	for _, key := range order {
+		if p := buildPredicate(samples[key]); p != nil {
+			a.Predicates = append(a.Predicates, p)
+		}
+	}
+
+	// Step (d): rank by score, then by sample count, then by name for
+	// determinism. PredNever predicates rank below value predicates of
+	// equal score (they give the symbolic executor no constraint to use).
+	sort.SliceStable(a.Predicates, func(i, j int) bool {
+		pi, pj := a.Predicates[i], a.Predicates[j]
+		if pi.Score != pj.Score {
+			return pi.Score > pj.Score
+		}
+		if (pi.Op == PredNever) != (pj.Op == PredNever) {
+			return pj.Op == PredNever
+		}
+		ni, nj := pi.CountC+pi.CountF, pj.CountC+pj.CountF
+		if ni != nj {
+			return ni > nj
+		}
+		return pi.Key() < pj.Key()
+	})
+	return a
+}
+
+// buildPredicate constructs the optimal threshold predicate for one
+// sample set by minimizing the quantification error
+// E = |P ∩ C| + |Pᶜ ∩ F| (Eq. 1) over all candidate thresholds and both
+// directions, then scores it with Eq. 2.
+func buildPredicate(ss *sampleSet) *Predicate {
+	nc, nf := len(ss.correct), len(ss.faulty)
+	if nc == 0 && nf == 0 {
+		return nil
+	}
+	base := &Predicate{
+		Loc:      ss.loc,
+		Var:      ss.name,
+		Class:    ss.class,
+		IsString: ss.isString,
+		CountC:   nc,
+		CountF:   nf,
+	}
+	if nf == 0 {
+		// The location is only reached by correct executions — the
+		// predicate is unsatisfiable in faulty runs ("< -infinity",
+		// Table V P7–P10). P(x|C)=0 and P(x|F) is vacuously 1.
+		base.Op = PredNever
+		base.Score = 1.0
+		base.Err = 0
+		return base
+	}
+	if nc == 0 {
+		// Only faulty runs reach here; any always-true predicate
+		// separates perfectly. Use value ≥ min(F) − ½ to stay informative.
+		minF := ss.faulty[0]
+		for _, v := range ss.faulty {
+			if v < minF {
+				minF = v
+			}
+		}
+		base.Op = PredGe
+		base.Threshold = float64(minF) - 0.5
+		base.Score = 1.0
+		base.Err = 0
+		return base
+	}
+
+	c := append([]int64(nil), ss.correct...)
+	f := append([]int64(nil), ss.faulty...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	sort.Slice(f, func(i, j int) bool { return f[i] < f[j] })
+
+	// Candidate thresholds: midpoints between adjacent distinct values of
+	// the merged sample.
+	merged := make([]int64, 0, len(c)+len(f))
+	merged = append(merged, c...)
+	merged = append(merged, f...)
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	thresholds := make([]float64, 0, len(merged))
+	for i := 1; i < len(merged); i++ {
+		if merged[i] != merged[i-1] {
+			thresholds = append(thresholds, float64(merged[i-1])+float64(merged[i]-merged[i-1])/2)
+		}
+	}
+	if len(thresholds) == 0 {
+		// All values identical: no separating threshold exists; the best
+		// predicate is uninformative (score 0, covered by a degenerate
+		// ≥ threshold just below the common value).
+		base.Op = PredGe
+		base.Threshold = float64(merged[0]) - 0.5
+		base.Score = 0
+		base.Err = nc // every correct sample satisfies it
+		return base
+	}
+
+	countGE := func(sorted []int64, t float64) int {
+		// Number of values v with float64(v) >= t.
+		idx := sort.Search(len(sorted), func(i int) bool { return float64(sorted[i]) >= t })
+		return len(sorted) - idx
+	}
+
+	bestErr := math.MaxInt
+	var bestOp PredOp
+	var bestT float64
+	for _, t := range thresholds {
+		cGE := countGE(c, t)
+		fGE := countGE(f, t)
+		// Direction x = {a ≥ t}: E = |C ∩ P| + |F ∩ Pᶜ|.
+		if e := cGE + (nf - fGE); e < bestErr {
+			bestErr, bestOp, bestT = e, PredGe, t
+		}
+		// Direction x = {a ≤ t}: E = |C ∩ P| + |F ∩ Pᶜ|.
+		if e := (nc - cGE) + fGE; e < bestErr {
+			bestErr, bestOp, bestT = e, PredLe, t
+		}
+	}
+	base.Op = bestOp
+	base.Threshold = bestT
+	base.Err = bestErr
+
+	// Eq. 2: score = |P(x|C) − P(x|F)|.
+	cGE := countGE(c, bestT)
+	fGE := countGE(f, bestT)
+	var pc, pf float64
+	if bestOp == PredGe {
+		pc = float64(cGE) / float64(nc)
+		pf = float64(fGE) / float64(nf)
+	} else {
+		pc = float64(nc-cGE) / float64(nc)
+		pf = float64(nf-fGE) / float64(nf)
+	}
+	base.Score = math.Abs(pc - pf)
+	return base
+}

@@ -1,0 +1,319 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// mkCorpus builds a corpus with one location "f():enter" and one int
+// variable "v", given per-run values.
+func mkCorpus(correct, faulty []int64) *trace.Corpus {
+	loc := trace.Location{Func: "f", Kind: trace.EventEnter}
+	c := &trace.Corpus{Program: "t"}
+	id := 0
+	add := func(v int64, isFaulty bool) {
+		c.Runs = append(c.Runs, trace.Run{
+			ID:     id,
+			Faulty: isFaulty,
+			Records: []trace.Record{{
+				Loc: loc,
+				Obs: []trace.Observation{{Var: "v", Class: trace.ClassParam, Kind: trace.ValueInt, Int: v}},
+			}},
+		})
+		id++
+	}
+	for _, v := range correct {
+		add(v, false)
+	}
+	for _, v := range faulty {
+		add(v, true)
+	}
+	return c
+}
+
+func TestPerfectSeparationGe(t *testing.T) {
+	// Correct values below 10, faulty values above: a ≥ threshold with
+	// threshold between 9 and 100 and score 1.
+	a := Analyze(mkCorpus([]int64{1, 5, 9}, []int64{100, 150}))
+	if len(a.Predicates) != 1 {
+		t.Fatalf("got %d predicates", len(a.Predicates))
+	}
+	p := a.Predicates[0]
+	if p.Op != PredGe {
+		t.Fatalf("op = %v, want >=", p.Op)
+	}
+	if p.Threshold <= 9 || p.Threshold >= 100 {
+		t.Errorf("threshold = %v, want in (9,100)", p.Threshold)
+	}
+	if p.Score != 1.0 {
+		t.Errorf("score = %v, want 1.0", p.Score)
+	}
+	if p.Err != 0 {
+		t.Errorf("err = %d, want 0", p.Err)
+	}
+}
+
+func TestPerfectSeparationLe(t *testing.T) {
+	// Faulty values below correct ones: direction flips to ≤.
+	a := Analyze(mkCorpus([]int64{100, 150}, []int64{1, 5}))
+	p := a.Predicates[0]
+	if p.Op != PredLe {
+		t.Fatalf("op = %v, want <=", p.Op)
+	}
+	if p.Score != 1.0 {
+		t.Errorf("score = %v", p.Score)
+	}
+}
+
+func TestOverlappingDistributions(t *testing.T) {
+	// C = {1..10}, F = {6..15}: best threshold ~5.5 or 10.5 with partial
+	// score.
+	var c, f []int64
+	for i := int64(1); i <= 10; i++ {
+		c = append(c, i)
+	}
+	for i := int64(6); i <= 15; i++ {
+		f = append(f, i)
+	}
+	a := Analyze(mkCorpus(c, f))
+	p := a.Predicates[0]
+	if p.Score <= 0 || p.Score >= 1 {
+		t.Errorf("score = %v, want strictly between 0 and 1", p.Score)
+	}
+	// E should be the overlap size (5 values on the wrong side).
+	if p.Err != 5 {
+		t.Errorf("E = %d, want 5", p.Err)
+	}
+}
+
+func TestNoSeparation(t *testing.T) {
+	a := Analyze(mkCorpus([]int64{5, 5, 5}, []int64{5, 5}))
+	p := a.Predicates[0]
+	if p.Score != 0 {
+		t.Errorf("identical distributions: score = %v, want 0", p.Score)
+	}
+}
+
+func TestNeverReachedInFaulty(t *testing.T) {
+	// A location that appears only in correct runs yields the paper's
+	// "< -infinity" predicate with score 1.
+	locA := trace.Location{Func: "f", Kind: trace.EventEnter}
+	locB := trace.Location{Func: "f", Kind: trace.EventLeave}
+	c := &trace.Corpus{
+		Runs: []trace.Run{
+			{ID: 0, Faulty: false, Records: []trace.Record{
+				{Loc: locA, Obs: []trace.Observation{{Var: "v", Class: trace.ClassParam, Kind: trace.ValueInt, Int: 1}}},
+				{Loc: locB, Obs: []trace.Observation{{Var: "g", Class: trace.ClassGlobal, Kind: trace.ValueInt, Int: 2}}},
+			}},
+			{ID: 1, Faulty: true, Records: []trace.Record{
+				{Loc: locA, Obs: []trace.Observation{{Var: "v", Class: trace.ClassParam, Kind: trace.ValueInt, Int: 999}}},
+			}},
+		},
+	}
+	a := Analyze(c)
+	var never *Predicate
+	for _, p := range a.Predicates {
+		if p.Op == PredNever {
+			never = p
+		}
+	}
+	if never == nil {
+		t.Fatal("no PredNever predicate for correct-only location")
+	}
+	if never.Var != "g" || never.Score != 1.0 {
+		t.Errorf("never = %+v", never)
+	}
+	if got := never.String(); got != "g GLOBAL < -infinity" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestStringLengthTransform(t *testing.T) {
+	loc := trace.Location{Func: "f", Kind: trace.EventEnter}
+	mk := func(s string, faulty bool, id int) trace.Run {
+		return trace.Run{ID: id, Faulty: faulty, Records: []trace.Record{{
+			Loc: loc,
+			Obs: []trace.Observation{{Var: "s", Class: trace.ClassParam, Kind: trace.ValueString, Str: s}},
+		}}}
+	}
+	c := &trace.Corpus{Runs: []trace.Run{
+		mk("ab", false, 0), mk("abc", false, 1),
+		mk("aaaaaaaaaa", true, 2), mk("aaaaaaaaaaaa", true, 3),
+	}}
+	a := Analyze(c)
+	p := a.Predicates[0]
+	if !p.IsString {
+		t.Fatal("predicate not marked as string")
+	}
+	if p.Op != PredGe || p.Threshold <= 3 || p.Threshold >= 10 {
+		t.Errorf("predicate = %s", p.String())
+	}
+	if got := p.String(); got != "len(s) FUNCPARAM >= 6.5" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestIntThreshold(t *testing.T) {
+	p := &Predicate{Op: PredGe, Threshold: 536.5}
+	if p.IntThreshold() != 537 {
+		t.Errorf("IntThreshold = %d, want 537", p.IntThreshold())
+	}
+	p = &Predicate{Op: PredLe, Threshold: 9.5}
+	if p.IntThreshold() != 9 {
+		t.Errorf("IntThreshold = %d, want 9", p.IntThreshold())
+	}
+}
+
+func TestHoldsFor(t *testing.T) {
+	ge := &Predicate{Op: PredGe, Threshold: 10.5}
+	if ge.HoldsFor(10) || !ge.HoldsFor(11) {
+		t.Error("PredGe.HoldsFor wrong")
+	}
+	le := &Predicate{Op: PredLe, Threshold: 10.5}
+	if !le.HoldsFor(10) || le.HoldsFor(11) {
+		t.Error("PredLe.HoldsFor wrong")
+	}
+	never := &Predicate{Op: PredNever}
+	if never.HoldsFor(0) {
+		t.Error("PredNever.HoldsFor should be false")
+	}
+}
+
+func TestRankingDeterminism(t *testing.T) {
+	c := mkCorpus([]int64{1, 2, 3}, []int64{10, 11})
+	a1 := Analyze(c)
+	a2 := Analyze(c)
+	if len(a1.Predicates) != len(a2.Predicates) {
+		t.Fatal("length differs")
+	}
+	for i := range a1.Predicates {
+		if a1.Predicates[i].String() != a2.Predicates[i].String() {
+			t.Errorf("predicate %d differs", i)
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	a := Analyze(mkCorpus([]int64{1, 2}, []int64{3}))
+	if a.Runs != 3 || a.Locations != 1 || a.Variables != 1 {
+		t.Errorf("counts = %d/%d/%d", a.Runs, a.Locations, a.Variables)
+	}
+	p := a.Predicates[0]
+	if p.CountC != 2 || p.CountF != 1 {
+		t.Errorf("sample counts = %d/%d", p.CountC, p.CountF)
+	}
+}
+
+// bruteForceE exhaustively finds the minimal quantification error over all
+// interior half-integer thresholds (thresholds with sample values on both
+// sides — exterior thresholds make the predicate trivially true/false and
+// are excluded by construction) and both directions.
+func bruteForceE(c, f []int64) int {
+	all := append(append([]int64(nil), c...), f...)
+	lo, hi := all[0], all[0]
+	for _, v := range all {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	best := len(c) + len(f) + 1
+	for _, base := range all {
+		for _, t := range []float64{float64(base) - 0.5, float64(base) + 0.5} {
+			if t < float64(lo) || t > float64(hi) {
+				continue
+			}
+			// x = a >= t
+			e := 0
+			for _, v := range c {
+				if float64(v) >= t {
+					e++
+				}
+			}
+			for _, v := range f {
+				if float64(v) < t {
+					e++
+				}
+			}
+			if e < best {
+				best = e
+			}
+			// x = a <= t
+			e = 0
+			for _, v := range c {
+				if float64(v) <= t {
+					e++
+				}
+			}
+			for _, v := range f {
+				if float64(v) > t {
+					e++
+				}
+			}
+			if e < best {
+				best = e
+			}
+		}
+	}
+	return best
+}
+
+// TestOptimalThresholdProperty cross-checks the chosen threshold's E
+// against brute force on random samples (Eq. 1 optimality).
+func TestOptimalThresholdProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		nc := 1 + rng.Intn(8)
+		nf := 1 + rng.Intn(8)
+		c := make([]int64, nc)
+		f := make([]int64, nf)
+		for i := range c {
+			c[i] = int64(rng.Intn(20))
+		}
+		for i := range f {
+			f[i] = int64(rng.Intn(20))
+		}
+		a := Analyze(mkCorpus(c, f))
+		p := a.Predicates[0]
+		want := bruteForceE(c, f)
+		if p.Err > want {
+			t.Fatalf("trial %d: E = %d, brute force found %d (c=%v f=%v pred=%s)",
+				trial, p.Err, want, c, f, p.String())
+		}
+		// Score must equal |P(x|C) - P(x|F)| recomputed directly.
+		pc, pf := 0.0, 0.0
+		for _, v := range c {
+			if p.HoldsFor(v) {
+				pc++
+			}
+		}
+		for _, v := range f {
+			if p.HoldsFor(v) {
+				pf++
+			}
+		}
+		score := math.Abs(pc/float64(nc) - pf/float64(nf))
+		if math.Abs(score-p.Score) > 1e-9 {
+			t.Fatalf("trial %d: score = %v, recomputed %v", trial, p.Score, score)
+		}
+	}
+}
+
+func TestTopAndBestAt(t *testing.T) {
+	loc := trace.Location{Func: "f", Kind: trace.EventEnter}
+	a := Analyze(mkCorpus([]int64{1}, []int64{10}))
+	if len(a.Top(5)) != 1 {
+		t.Errorf("Top(5) length = %d", len(a.Top(5)))
+	}
+	if a.BestAt(loc) == nil {
+		t.Errorf("BestAt missing")
+	}
+	if a.LocationScore(trace.Location{Func: "zzz", Kind: trace.EventEnter}) != 0 {
+		t.Errorf("unknown location score should be 0")
+	}
+}

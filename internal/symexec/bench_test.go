@@ -1,0 +1,79 @@
+package symexec
+
+import (
+	"testing"
+
+	"repro/internal/bytecode"
+)
+
+// BenchmarkSymexecConcreteChain measures single-path symbolic execution
+// (everything concrete: the interpreter-parity fast path).
+func BenchmarkSymexecConcreteChain(b *testing.B) {
+	prog := bytecode.MustCompile("conc", `
+func main() int {
+  int s = 0;
+  for (int i = 0; i < 1000; i = i + 1) { s = s + i; }
+  return s;
+}`)
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		ex := New(prog, nil, DefaultOptions())
+		res := ex.Run()
+		if res.Paths != 1 || res.Forks != 0 {
+			b.Fatalf("res=%+v", res)
+		}
+	}
+}
+
+// BenchmarkSymexecSymbolicLoop measures a guard-forking loop over a
+// symbolic bound — the copy-loop shape of every evaluation program.
+func BenchmarkSymexecSymbolicLoop(b *testing.B) {
+	prog := bytecode.MustCompile("symloop", `
+func main() int {
+  int x = input_int("x");
+  int i = 0;
+  while (i < x) {
+    if (i >= 64) { return i; }
+    i = i + 1;
+  }
+  return i;
+}`)
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		opts := DefaultOptions()
+		opts.StopAtFirstVuln = false
+		ex := New(prog, nil, opts)
+		res := ex.Run()
+		if res.Paths == 0 {
+			b.Fatal("no paths")
+		}
+	}
+}
+
+// BenchmarkSymexecOverflowHunt measures the end-to-end vulnerability
+// search on the canonical string-copy overflow.
+func BenchmarkSymexecOverflowHunt(b *testing.B) {
+	prog := bytecode.MustCompile("hunt", `
+func sink(string s) void {
+  buf dst[32];
+  int i = 0;
+  while (i < len(s)) {
+    bufwrite(dst, i, char(s, i));
+    i = i + 1;
+  }
+  return;
+}
+func main() int {
+  sink(input_string("p"));
+  return 0;
+}`)
+	spec := &InputSpec{MaxStrLen: 64}
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		ex := New(prog, spec, DefaultOptions())
+		res := ex.Run()
+		if !res.Found() {
+			b.Fatal("overflow not found")
+		}
+	}
+}

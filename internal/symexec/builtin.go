@@ -1,0 +1,436 @@
+package symexec
+
+import (
+	"repro/internal/interp"
+	"repro/internal/minic"
+	"repro/internal/solver"
+)
+
+// stepBuiltin executes a builtin call symbolically. The buffer, assertion,
+// abort and division oracles live here: each issues satisfiability queries
+// of the form pc ∧ fault-condition and reports a vulnerability (with model
+// and witness) when satisfiable.
+func (ex *Executor) stepBuiltin(st *State, b minic.Builtin, nargs int, pos minic.Pos) (children []*State, suspend, done bool) {
+	args := make([]Value, nargs)
+	for i := nargs - 1; i >= 0; i-- {
+		args[i] = st.pop()
+	}
+	switch b {
+	case minic.BuiltinLen:
+		st.push(LinVal(args[0].Str.LenExpr()))
+
+	case minic.BuiltinChar:
+		return ex.stepChar(st, args[0].Str, args[1], pos)
+
+	case minic.BuiltinSubstr:
+		st.push(ex.stepSubstr(st, args[0].Str, args[1], args[2]))
+
+	case minic.BuiltinConcat:
+		st.push(ex.concatStrings(st, args[0].Str, args[1].Str))
+
+	case minic.BuiltinStreq:
+		return ex.stringEq(st, args[0].Str, args[1].Str, 1, 0)
+
+	case minic.BuiltinAtoi:
+		s := args[0].Str
+		if s.IsLit {
+			st.push(IntVal(atoiC(s.Lit)))
+			break
+		}
+		// Symbolic string: the parsed value is over-approximated by a
+		// fresh integer (content-to-number relations are beyond the
+		// linear fragment).
+		fresh := ex.Table.NewVar("atoi(" + s.Label + ")")
+		if st.LastModel != nil {
+			ex.extendModel(st, fresh, atoiC(ex.inputs.materialize(s, st.LastModel)))
+		}
+		st.push(LinVal(solver.VarExpr(fresh)))
+
+	case minic.BuiltinInputInt:
+		name := mustLit(args[0])
+		v := ex.inputs.intInput(name)
+		if sv, _, ok := v.Lin.SingleVar(); ok {
+			if seed, has := ex.inputs.seedInt(name); has {
+				ex.seedModelValue(st, sv, seed)
+			}
+		}
+		st.push(v)
+	case minic.BuiltinInputString:
+		name := mustLit(args[0])
+		v := ex.inputs.strInput(name)
+		ex.maybeSeedStr(st, v, 's', name, -1)
+		st.push(v)
+	case minic.BuiltinEnv:
+		name := mustLit(args[0])
+		v := ex.inputs.envInput(name)
+		ex.maybeSeedStr(st, v, 'e', name, -1)
+		st.push(v)
+	case minic.BuiltinArg:
+		if idx, ok := args[0].IsConcreteInt(); ok {
+			v := ex.inputs.argInput(idx)
+			ex.maybeSeedStr(st, v, 'a', "", idx)
+			st.push(v)
+		} else {
+			// Symbolic argument index: unusual; over-approximate with an
+			// anonymous symbolic string.
+			st.push(SymStrVal(ex.inputs.freshStr("argv", ex.inputs.spec.strLenMax("argv"))))
+		}
+	case minic.BuiltinNargs:
+		st.push(IntVal(int64(ex.inputs.spec.NArgs)))
+
+	case minic.BuiltinPrint:
+		// No effect on symbolic state.
+
+	case minic.BuiltinBufWrite:
+		return ex.stepBufWrite(st, args[0].Buf, args[1], args[2], pos)
+
+	case minic.BuiltinBufRead:
+		return ex.stepBufRead(st, args[0].Buf, args[1], pos)
+
+	case minic.BuiltinBufCap:
+		st.push(IntVal(int64(args[0].Buf.Cap)))
+
+	case minic.BuiltinBufStr:
+		st.push(ex.stepBufStr(st, args[0].Buf, args[1]))
+
+	case minic.BuiltinAssert:
+		v := args[0]
+		if c, ok := v.IsConcreteInt(); ok {
+			if c == 0 {
+				okSat, m := ex.satisfiable(st)
+				if okSat {
+					ex.report(st, interp.FaultAssert, pos, m)
+				}
+				st.Status = StatusFaulted
+				return nil, false, true
+			}
+			break
+		}
+		// Symbolic assertion argument (comparisons are concretized before
+		// builtins, so this is a linear expression): fails iff it can be
+		// zero.
+		zero := solver.Constraint{E: v.Lin, Op: solver.OpEq}
+		if okSat, m := ex.satisfiable(st, zero); okSat {
+			ex.report(st, interp.FaultAssert, pos, m, zero)
+			if ex.stopped {
+				return nil, false, false
+			}
+		}
+		nz := zero.Negate()
+		okSat, m := ex.satisfiable(st, nz)
+		if !okSat {
+			st.Status = StatusInfeasible
+			return nil, false, true
+		}
+		ex.commit(st, m, nz)
+
+	case minic.BuiltinAbort:
+		okSat, m := ex.satisfiable(st)
+		if okSat {
+			ex.report(st, interp.FaultAbort, pos, m)
+		}
+		st.Status = StatusFaulted
+		return nil, false, true
+	}
+	return nil, false, false
+}
+
+// mustLit extracts a literal string argument (channel names are always
+// literals in MiniC programs).
+func mustLit(v Value) string {
+	if v.Str != nil && v.Str.IsLit {
+		return v.Str.Lit
+	}
+	return ""
+}
+
+// atoiC matches the concrete VM's C-style atoi.
+func atoiC(s string) int64 {
+	i := 0
+	for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+		i++
+	}
+	neg := false
+	if i < len(s) && (s[i] == '+' || s[i] == '-') {
+		neg = s[i] == '-'
+		i++
+	}
+	var v int64
+	start := i
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		v = v*10 + int64(s[i]-'0')
+		i++
+	}
+	if i == start {
+		return 0
+	}
+	if neg {
+		return -v
+	}
+	return v
+}
+
+// stepChar implements char(s, i) with the string-overread oracle.
+func (ex *Executor) stepChar(st *State, s *SymString, iv Value, pos minic.Pos) (children []*State, suspend, done bool) {
+	ic, iok := iv.IsConcreteInt()
+	if s.IsLit && iok {
+		if ic < 0 || ic >= int64(len(s.Lit)) {
+			okSat, m := ex.satisfiable(st)
+			if okSat {
+				ex.report(st, interp.FaultStringIndex, pos, m)
+			}
+			st.Status = StatusFaulted
+			return nil, false, true
+		}
+		st.push(IntVal(int64(s.Lit[ic])))
+		return nil, false, false
+	}
+	lenE := s.LenExpr()
+	// Oracle: index can escape [0, len).
+	if ex.Opts.CheckStringReads {
+		over := solver.Ge(iv.Lin, lenE)
+		if okSat, m := ex.satisfiable(st, over); okSat {
+			ex.report(st, interp.FaultStringIndex, pos, m, over)
+			if ex.stopped {
+				return nil, false, false
+			}
+		}
+		if !iok || ic < 0 {
+			under := solver.Lt(iv.Lin, solver.ConstExpr(0))
+			if okSat, m := ex.satisfiable(st, under); okSat {
+				ex.report(st, interp.FaultStringIndex, pos, m, under)
+				if ex.stopped {
+					return nil, false, false
+				}
+			}
+		}
+	}
+	// Continue on the in-bounds path.
+	inB := []solver.Constraint{
+		solver.Ge(iv.Lin, solver.ConstExpr(0)),
+		solver.Lt(iv.Lin, lenE),
+	}
+	okSat, m := ex.satisfiable(st, inB...)
+	if !okSat {
+		st.Status = StatusInfeasible
+		return nil, false, true
+	}
+	ex.commit(st, m, inB...)
+
+	switch {
+	case !s.IsLit && iok:
+		// The canonical case: symbolic string, concrete index — a
+		// deterministic byte variable.
+		bv := ex.inputs.byteVar(s, ic)
+		if sb, ok := ex.inputs.seededByte(s.ID, ic); ok {
+			ex.seedModelValue(st, bv, sb)
+		}
+		st.push(LinVal(solver.VarExpr(bv)))
+	case s.IsLit:
+		// Concrete string, symbolic index: over-approximate with a fresh
+		// byte, seeding the model with the actual byte at the model index.
+		fresh := ex.Table.NewVarBounded("char", 0, 255)
+		if st.LastModel != nil {
+			idx := iv.Lin.Eval(st.LastModel)
+			if idx >= 0 && idx < int64(len(s.Lit)) {
+				ex.extendModel(st, fresh, int64(s.Lit[idx]))
+			}
+		}
+		st.push(LinVal(solver.VarExpr(fresh)))
+	default:
+		// Symbolic string and index: fresh unconstrained byte.
+		fresh := ex.Table.NewVarBounded("char", 0, 255)
+		if st.LastModel != nil {
+			ex.extendModel(st, fresh, int64(defaultWitnessByte))
+		}
+		st.push(LinVal(solver.VarExpr(fresh)))
+	}
+	return nil, false, false
+}
+
+// stepSubstr implements substr with the concrete VM's clamped semantics;
+// symbolic operands produce a fresh string with a bounded length.
+func (ex *Executor) stepSubstr(st *State, s *SymString, iv, jv Value) Value {
+	ic, iok := iv.IsConcreteInt()
+	jc, jok := jv.IsConcreteInt()
+	if s.IsLit && iok && jok {
+		str := s.Lit
+		i, j := ic, jc
+		if i < 0 {
+			i = 0
+		}
+		if j > int64(len(str)) {
+			j = int64(len(str))
+		}
+		if i > j {
+			i = j
+		}
+		return StrVal(str[i:j])
+	}
+	maxLen := ex.strMaxLen(s)
+	if iok && jok {
+		if w := jc - ic; w >= 0 && w < maxLen {
+			maxLen = w
+		} else if w < 0 {
+			maxLen = 0
+		}
+	}
+	out := ex.inputs.freshStr("substr", maxLen)
+	// The result is never longer than the source.
+	addPathConstraint(st, solver.Le(solver.VarExpr(out.LenVar), s.LenExpr()))
+	if st.LastModel != nil {
+		srcLen := s.LenExpr().Eval(st.LastModel)
+		v := int64(0)
+		if iok && jok {
+			v = jc - ic
+			if v < 0 {
+				v = 0
+			}
+			if v > srcLen {
+				v = srcLen
+			}
+		}
+		ex.extendModel(st, out.LenVar, v)
+	}
+	return SymStrVal(out)
+}
+
+// stepBufWrite implements bufwrite with the buffer-overflow oracle — the
+// primary vulnerability detector for the four evaluation programs.
+func (ex *Executor) stepBufWrite(st *State, buf *SymBuffer, iv, val Value, pos minic.Pos) (children []*State, suspend, done bool) {
+	capC := solver.ConstExpr(int64(buf.Cap))
+	if ic, ok := iv.IsConcreteInt(); ok {
+		if ic < 0 || ic >= int64(buf.Cap) {
+			// Definite overflow on this path: the failure point.
+			okSat, m := ex.satisfiable(st)
+			if okSat {
+				ex.report(st, interp.FaultBufferOverflow, pos, m)
+			}
+			st.Status = StatusFaulted
+			return nil, false, true
+		}
+		if !buf.Smeared {
+			buf.Data[ic] = val
+		}
+		return nil, false, false
+	}
+	// Symbolic index: can it overflow?
+	over := solver.Ge(iv.Lin, capC)
+	if okSat, m := ex.satisfiable(st, over); okSat {
+		ex.report(st, interp.FaultBufferOverflow, pos, m, over)
+		if ex.stopped {
+			return nil, false, false
+		}
+	}
+	under := solver.Lt(iv.Lin, solver.ConstExpr(0))
+	if okSat, m := ex.satisfiable(st, under); okSat {
+		ex.report(st, interp.FaultBufferOverflow, pos, m, under)
+		if ex.stopped {
+			return nil, false, false
+		}
+	}
+	inB := []solver.Constraint{
+		solver.Ge(iv.Lin, solver.ConstExpr(0)),
+		solver.Lt(iv.Lin, capC),
+	}
+	okSat, m := ex.satisfiable(st, inB...)
+	if !okSat {
+		st.Status = StatusInfeasible
+		return nil, false, true
+	}
+	ex.commit(st, m, inB...)
+	// Unknown destination cell: the buffer's precise contents are lost.
+	buf.Smeared = true
+	return nil, false, false
+}
+
+// stepBufRead implements bufread with the out-of-bounds-read oracle.
+func (ex *Executor) stepBufRead(st *State, buf *SymBuffer, iv Value, pos minic.Pos) (children []*State, suspend, done bool) {
+	if ic, ok := iv.IsConcreteInt(); ok {
+		if ic < 0 || ic >= int64(buf.Cap) {
+			okSat, m := ex.satisfiable(st)
+			if okSat {
+				ex.report(st, interp.FaultBufferOOBRead, pos, m)
+			}
+			st.Status = StatusFaulted
+			return nil, false, true
+		}
+		if buf.Smeared {
+			fresh := ex.Table.NewVar("bufcell")
+			if st.LastModel != nil {
+				ex.extendModel(st, fresh, 0)
+			}
+			st.push(LinVal(solver.VarExpr(fresh)))
+			return nil, false, false
+		}
+		st.push(buf.Data[ic])
+		return nil, false, false
+	}
+	capC := solver.ConstExpr(int64(buf.Cap))
+	over := solver.Ge(iv.Lin, capC)
+	if okSat, m := ex.satisfiable(st, over); okSat {
+		ex.report(st, interp.FaultBufferOOBRead, pos, m, over)
+		if ex.stopped {
+			return nil, false, false
+		}
+	}
+	under := solver.Lt(iv.Lin, solver.ConstExpr(0))
+	if okSat, m := ex.satisfiable(st, under); okSat {
+		ex.report(st, interp.FaultBufferOOBRead, pos, m, under)
+		if ex.stopped {
+			return nil, false, false
+		}
+	}
+	inB := []solver.Constraint{
+		solver.Ge(iv.Lin, solver.ConstExpr(0)),
+		solver.Lt(iv.Lin, capC),
+	}
+	okSat, m := ex.satisfiable(st, inB...)
+	if !okSat {
+		st.Status = StatusInfeasible
+		return nil, false, true
+	}
+	ex.commit(st, m, inB...)
+	fresh := ex.Table.NewVar("bufcell")
+	if st.LastModel != nil {
+		ex.extendModel(st, fresh, 0)
+	}
+	st.push(LinVal(solver.VarExpr(fresh)))
+	return nil, false, false
+}
+
+// stepBufStr reads the buffer prefix as a string; precise when everything
+// is concrete, a fresh symbolic string otherwise.
+func (ex *Executor) stepBufStr(st *State, buf *SymBuffer, nv Value) Value {
+	nc, nok := nv.IsConcreteInt()
+	if nok && !buf.Smeared {
+		if nc < 0 {
+			nc = 0
+		}
+		if nc > int64(buf.Cap) {
+			nc = int64(buf.Cap)
+		}
+		bs := make([]byte, 0, nc)
+		concrete := true
+		for i := int64(0); i < nc; i++ {
+			if c, ok := buf.Data[i].IsConcreteInt(); ok {
+				bs = append(bs, byte(c))
+			} else {
+				concrete = false
+				break
+			}
+		}
+		if concrete {
+			return StrVal(string(bs))
+		}
+	}
+	maxLen := int64(buf.Cap)
+	if nok && nc >= 0 && nc < maxLen {
+		maxLen = nc
+	}
+	out := ex.inputs.freshStr("bufstr", maxLen)
+	if st.LastModel != nil {
+		ex.extendModel(st, out.LenVar, 0)
+	}
+	return SymStrVal(out)
+}

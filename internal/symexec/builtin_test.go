@@ -1,0 +1,351 @@
+package symexec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/interp"
+)
+
+func TestSymSubstrBounds(t *testing.T) {
+	// substr of a symbolic string yields a string no longer than the
+	// source; asserting otherwise is unreachable.
+	src := `
+func main() int {
+  string s = input_string("s");
+  string sub = substr(s, 0, 4);
+  if (len(sub) > len(s)) { assert(0); }
+  return 0;
+}`
+	res := runSym(t, src, &InputSpec{MaxStrLen: 16}, DefaultOptions())
+	if res.Found() {
+		t.Errorf("substr longer than source deemed reachable: %+v", res.Vulns)
+	}
+}
+
+func TestSymSubstrConcrete(t *testing.T) {
+	src := `
+func main() int {
+  string s = substr("hello world", 6, 11);
+  if (s == "world") { assert(0); }
+  return 0;
+}`
+	res := runSym(t, src, nil, DefaultOptions())
+	if !res.Found() {
+		t.Error("concrete substr mis-evaluated")
+	}
+}
+
+func TestSymAtoiOverApproximation(t *testing.T) {
+	// atoi over a symbolic string is a fresh integer: both outcomes of a
+	// comparison on it must be explorable.
+	src := `
+func main() int {
+  string s = input_string("s");
+  int v = atoi(s);
+  if (v > 100) { assert(0); }
+  return 0;
+}`
+	res := runSym(t, src, &InputSpec{MaxStrLen: 8}, DefaultOptions())
+	if !res.Found() {
+		t.Error("atoi over-approximation blocked the failing branch")
+	}
+}
+
+func TestSymBufStrConcrete(t *testing.T) {
+	src := `
+func main() int {
+  buf b[8];
+  bufwrite(b, 0, 'h');
+  bufwrite(b, 1, 'i');
+  if (bufstr(b, 2) == "hi") { assert(0); }
+  return 0;
+}`
+	res := runSym(t, src, nil, DefaultOptions())
+	if !res.Found() {
+		t.Error("concrete bufstr mis-evaluated")
+	}
+}
+
+func TestSymSmearedBufferRead(t *testing.T) {
+	// After a symbolic-index write the buffer smears; reads still work
+	// (fresh values) and the state keeps executing.
+	src := `
+func main() int {
+  int i = input_int("i");
+  buf b[8];
+  if (i >= 0 && i < 8) {
+    bufwrite(b, i, 42);
+    int back = bufread(b, 0);
+    if (back == 42) { return 1; }
+    return 2;
+  }
+  return 0;
+}`
+	res := runSym(t, src, nil, DefaultOptions())
+	if res.Found() {
+		t.Errorf("guarded buffer access reported a vulnerability: %+v", res.Vulns[0].Site())
+	}
+	if res.Paths < 2 {
+		t.Errorf("paths = %d, want branching on the smeared read", res.Paths)
+	}
+}
+
+func TestSymGuardedDivision(t *testing.T) {
+	src := `
+func main() int {
+  int d = input_int("d");
+  if (d != 0) {
+    return 100 / d;
+  }
+  return 0;
+}`
+	res := runSym(t, src, nil, DefaultOptions())
+	if res.Found() {
+		t.Errorf("guarded division reported div-zero: %+v", res.Vulns)
+	}
+}
+
+func TestSymModConstraints(t *testing.T) {
+	// x % 7 == 0 with x in a narrow range pins the witness to a multiple
+	// of 7.
+	src := `
+func main() int {
+  int x = input_int("x");
+  if (x >= 50 && x <= 60) {
+    if (x % 7 == 0) { assert(0); }
+  }
+  return 0;
+}`
+	res := runSym(t, src, nil, DefaultOptions())
+	if !res.Found() {
+		t.Fatal("not found")
+	}
+	if x := res.Vulns[0].Witness.Ints["x"]; x != 56 {
+		t.Errorf("witness x = %d, want 56", x)
+	}
+	confirmWitness(t, src, res.Vulns[0])
+}
+
+func TestSymNonlinearOverApprox(t *testing.T) {
+	// A product of two symbolic ints is over-approximated; both branches
+	// remain explorable and found bugs still carry valid (replayable or
+	// not) witnesses — here the sat check suffices.
+	src := `
+func main() int {
+  int a = input_int("a");
+  int b = input_int("b");
+  int p = a * b;
+  if (p > 10) { abort(); }
+  return 0;
+}`
+	res := runSym(t, src, nil, DefaultOptions())
+	if !res.Found() {
+		t.Error("nonlinear over-approximation blocked the abort branch")
+	}
+}
+
+func TestSymNargsAndArgs(t *testing.T) {
+	src := `
+func main() int {
+  if (nargs() == 3) { assert(0); }
+  return 0;
+}`
+	res := runSym(t, src, &InputSpec{NArgs: 3}, DefaultOptions())
+	if !res.Found() {
+		t.Error("nargs mismatch")
+	}
+	res = runSym(t, src, &InputSpec{NArgs: 2}, DefaultOptions())
+	if res.Found() {
+		t.Error("nargs should be 2")
+	}
+}
+
+func TestSymStringNeqBranch(t *testing.T) {
+	// The not-equal branch of a string comparison keeps exploring.
+	src := `
+func main() int {
+  string s = input_string("opt");
+  if (s != "-q") {
+    assert(0);
+  }
+  return 0;
+}`
+	res := runSym(t, src, &InputSpec{MaxStrLen: 4}, DefaultOptions())
+	if !res.Found() {
+		t.Fatal("not-equal branch unexplored")
+	}
+}
+
+func TestSymMaxDepthTerminates(t *testing.T) {
+	src := `
+func r(int n) int { return r(n + 1); }
+func main() int { return r(0); }`
+	opts := DefaultOptions()
+	opts.MaxDepth = 16
+	opts.MaxSteps = 100_000
+	res := runSym(t, src, nil, opts)
+	if res.Paths != 1 {
+		t.Errorf("deep recursion: paths = %d, want 1 (terminated at depth cap)", res.Paths)
+	}
+	if res.StepLimited {
+		t.Error("recursion was not cut by the depth cap")
+	}
+}
+
+func TestSymSymbolicInputsListing(t *testing.T) {
+	src := `
+func main() int {
+  int a = input_int("alpha");
+  string s = input_string("sigma");
+  string e = env("EV");
+  if (a > 0 && len(s) > 0 && len(e) > 0) { return 1; }
+  return 0;
+}`
+	prog := bytecode.MustCompile("list", src)
+	ex := New(prog, nil, DefaultOptions())
+	ex.Run()
+	names := strings.Join(ex.SymbolicInputs(), ",")
+	for _, want := range []string{"alpha", "sigma", "EV"} {
+		if !strings.Contains(names, want) {
+			t.Errorf("symbolic inputs %q missing %q", names, want)
+		}
+	}
+}
+
+func TestSymVulnerabilityDedup(t *testing.T) {
+	// The same fault site on multiple paths reports once.
+	src := `
+func sink(int v) void {
+  if (v >= 1) { assert(0); }
+  return;
+}
+func main() int {
+  int a = input_int("a");
+  if (a > 10) { sink(a); } else { sink(a + 100); }
+  return 0;
+}`
+	opts := DefaultOptions()
+	opts.StopAtFirstVuln = false
+	res := runSym(t, src, nil, opts)
+	if len(res.Vulns) != 1 {
+		t.Errorf("vulns = %d, want 1 (deduplicated by site)", len(res.Vulns))
+	}
+}
+
+func TestSymDistinctSitesBothReported(t *testing.T) {
+	src := `
+func s1(int v) void { if (v > 5) { assert(0); } return; }
+func s2(int v) void { if (v < -5) { assert(0); } return; }
+func main() int {
+  int a = input_int("a");
+  s1(a);
+  s2(a);
+  return 0;
+}`
+	opts := DefaultOptions()
+	opts.StopAtFirstVuln = false
+	res := runSym(t, src, nil, opts)
+	funcs := map[string]bool{}
+	for _, v := range res.Vulns {
+		funcs[v.Func] = true
+	}
+	if !funcs["s1"] || !funcs["s2"] {
+		t.Errorf("sites found: %v, want both s1 and s2", funcs)
+	}
+}
+
+func TestSymWitnessRespectsByteConstraints(t *testing.T) {
+	// Three fixed bytes: the witness must carry them exactly.
+	src := `
+func main() int {
+  string s = input_string("s");
+  if (len(s) >= 3) {
+    if (char(s, 0) == 'G') {
+      if (char(s, 1) == 'E') {
+        if (char(s, 2) == 'T') {
+          abort();
+        }
+      }
+    }
+  }
+  return 0;
+}`
+	res := runSym(t, src, &InputSpec{MaxStrLen: 8}, DefaultOptions())
+	if !res.Found() {
+		t.Fatal("not found")
+	}
+	w := res.Vulns[0].Witness.Strs["s"]
+	if !strings.HasPrefix(w, "GET") {
+		t.Errorf("witness = %q, want GET prefix", w)
+	}
+	confirmWitness(t, src, res.Vulns[0])
+}
+
+func TestSymPrintIsNoop(t *testing.T) {
+	src := `
+func main() int {
+  int a = input_int("a");
+  print(a);
+  print("literal");
+  if (a == 9) { assert(0); }
+  return 0;
+}`
+	res := runSym(t, src, nil, DefaultOptions())
+	if !res.Found() || res.Vulns[0].Witness.Ints["a"] != 9 {
+		t.Errorf("print interfered with execution: %+v", res.Vulns)
+	}
+}
+
+func TestSymExhaustionCountsAccurate(t *testing.T) {
+	src := `
+func process(string s) int {
+  int acc = 0;
+  int i = 0;
+  while (i < len(s)) {
+    int c = char(s, i);
+    if (c == 'a') { acc = acc + 1; }
+    else { if (c == 'b') { acc = acc + 2; } else { acc = acc + 3; } }
+    i = i + 1;
+  }
+  return acc;
+}
+func main() int { return process(input_string("s")); }`
+	opts := DefaultOptions()
+	opts.MaxStates = 100
+	res := runSym(t, src, &InputSpec{MaxStrLen: 32}, opts)
+	if !res.Exhausted {
+		t.Fatalf("expected exhaustion: %+v", res)
+	}
+	if res.MaxLive < 100 {
+		t.Errorf("MaxLive = %d, want >= MaxStates", res.MaxLive)
+	}
+	if res.StatesCreated <= res.Paths {
+		t.Errorf("states created (%d) should exceed completed paths (%d) at exhaustion",
+			res.StatesCreated, res.Paths)
+	}
+}
+
+func TestSymConfirmAllAppsWitnessesOnce(t *testing.T) {
+	// A cheap single-shot sanity run of the msgtool extension program
+	// through the raw executor (mode concretized to decode).
+	src := `
+func unpack(string body) int {
+  buf payload[16];
+  int i = 0;
+  while (i < len(body)) {
+    bufwrite(payload, i, char(body, i));
+    i = i + 1;
+  }
+  return i;
+}
+func main() int {
+  return unpack(input_string("body"));
+}`
+	res := runSym(t, src, &InputSpec{MaxStrLen: 32}, DefaultOptions())
+	if !res.Found() || res.Vulns[0].Kind != interp.FaultBufferOverflow {
+		t.Fatalf("res = %+v", res.Vulns)
+	}
+	confirmWitness(t, src, res.Vulns[0])
+}

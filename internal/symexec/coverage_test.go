@@ -1,0 +1,84 @@
+package symexec
+
+import (
+	"testing"
+
+	"repro/internal/bytecode"
+)
+
+func TestCoverageFullOnExhaustiveRun(t *testing.T) {
+	src := `
+func both(int x) int {
+  if (x > 0) { return 1; }
+  return 0;
+}
+func main() int {
+  return both(input_int("x"));
+}`
+	prog := bytecode.MustCompile("cov", src)
+	opts := DefaultOptions()
+	opts.StopAtFirstVuln = false
+	ex := New(prog, nil, opts)
+	ex.Run()
+	cov := ex.Coverage()
+	// The compiler's implicit-return epilogue after explicit returns is
+	// unreachable by construction, so full exploration tops out below
+	// 100%; both live branches must be covered though.
+	if cov["both"] < 0.8 {
+		t.Errorf("both coverage = %.2f, want >= 0.8 (both branches explored)", cov["both"])
+	}
+
+	// A concrete argument covers strictly less of the same function.
+	concrete := bytecode.MustCompile("cov1", `
+func both(int x) int {
+  if (x > 0) { return 1; }
+  return 0;
+}
+func main() int {
+  return both(5);
+}`)
+	ex2 := New(concrete, nil, DefaultOptions())
+	ex2.Run()
+	if one := ex2.Coverage()["both"]; one >= cov["both"] {
+		t.Errorf("one-sided coverage %.2f not below exhaustive %.2f", one, cov["both"])
+	}
+	if got := ex.TotalCoverage(); got <= 0 || got > 1 {
+		t.Errorf("total coverage = %.2f", got)
+	}
+}
+
+func TestCoveragePartialWhenBranchConcrete(t *testing.T) {
+	src := `
+func pick(int x) int {
+  if (x > 0) { return 1; }
+  return 0;
+}
+func main() int {
+  return pick(5);
+}`
+	prog := bytecode.MustCompile("cov2", src)
+	ex := New(prog, nil, DefaultOptions())
+	ex.Run()
+	cov := ex.Coverage()
+	if cov["pick"] >= 1.0 {
+		t.Errorf("pick coverage = %.2f, want < 1.0 (dead else arm)", cov["pick"])
+	}
+	if cov["pick"] <= 0 {
+		t.Errorf("pick coverage = %.2f, want > 0", cov["pick"])
+	}
+}
+
+func TestCoverageZeroForUncalled(t *testing.T) {
+	src := `
+func never() int { return 42; }
+func main() int { return 0; }`
+	prog := bytecode.MustCompile("cov3", src)
+	ex := New(prog, nil, DefaultOptions())
+	ex.Run()
+	if cov := ex.Coverage(); cov["never"] != 0 {
+		t.Errorf("never coverage = %.2f, want 0", cov["never"])
+	}
+	if total := ex.TotalCoverage(); total >= 1.0 || total <= 0 {
+		t.Errorf("total = %.2f", total)
+	}
+}

@@ -1,0 +1,167 @@
+package symexec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/interp"
+)
+
+// TestDifferentialConcreteAgreement: for programs whose inputs are fully
+// concretized, symbolic execution follows exactly one path and must agree
+// with the concrete interpreter on both the outcome (fault or not, fault
+// site) and the absence of forking. This is the engine's core soundness
+// check, run across randomly generated straight-line-with-control-flow
+// programs.
+func TestDifferentialConcreteAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260705))
+	for trial := 0; trial < 120; trial++ {
+		src, inputs := genProgram(rng)
+		prog, err := compileQuiet(src)
+		if err != nil {
+			t.Fatalf("trial %d: generated program does not compile: %v\n%s", trial, err, src)
+		}
+		concrete, err := interp.Run(prog, inputs, interp.Config{MaxSteps: 200_000})
+		if err != nil {
+			// Resource errors (step limits) are excluded from comparison.
+			continue
+		}
+
+		spec := &InputSpec{
+			ConcreteInts: inputs.Ints,
+			ConcreteStrs: inputs.Strs,
+		}
+		opts := DefaultOptions()
+		opts.MaxSteps = 400_000
+		ex := New(prog, spec, opts)
+		sym := ex.Run()
+
+		if sym.Forks != 0 {
+			t.Errorf("trial %d: concrete run forked %d times\n%s", trial, sym.Forks, src)
+			continue
+		}
+		if concrete.Faulty() != sym.Found() {
+			t.Errorf("trial %d: concrete fault=%v (%v in %s) but symbolic found=%v\n%s",
+				trial, concrete.Faulty(), concrete.Fault, concrete.FaultFunc, sym.Found(), src)
+			continue
+		}
+		if concrete.Faulty() {
+			v := sym.Vulns[0]
+			if v.Kind != concrete.Fault || v.Func != concrete.FaultFunc {
+				t.Errorf("trial %d: fault mismatch: concrete %v in %s, symbolic %v in %s\n%s",
+					trial, concrete.Fault, concrete.FaultFunc, v.Kind, v.Func, src)
+			}
+		}
+	}
+}
+
+// compileQuiet compiles without the MustCompile panic.
+func compileQuiet(src string) (prog *bytecode.Program, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	return bytecode.MustCompile("gen", src), nil
+}
+
+// genProgram emits a random MiniC program over two int inputs and one
+// string input, exercising arithmetic, branches, loops, buffers and string
+// operations, together with a concrete input assignment.
+func genProgram(rng *rand.Rand) (string, *interp.Input) {
+	a := rng.Int63n(40) - 10
+	b := rng.Int63n(40) - 10
+	strLen := rng.Intn(12)
+	payload := make([]byte, strLen)
+	for i := range payload {
+		payload[i] = byte('a' + rng.Intn(26))
+	}
+	bufCap := 2 + rng.Intn(8)
+
+	stmts := []string{
+		"  int a = input_int(\"a\");",
+		"  int b = input_int(\"b\");",
+		"  string s = input_string(\"s\");",
+		fmt.Sprintf("  buf w[%d];", bufCap),
+		"  int acc = 0;",
+	}
+	nStmts := 3 + rng.Intn(6)
+	for i := 0; i < nStmts; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			stmts = append(stmts, fmt.Sprintf("  acc = acc + a * %d - b;", rng.Intn(5)))
+		case 1:
+			stmts = append(stmts, fmt.Sprintf("  if (a > %d) { acc = acc + 1; } else { acc = acc - 1; }", rng.Intn(20)-10))
+		case 2:
+			stmts = append(stmts, fmt.Sprintf(
+				"  for (int i%d = 0; i%d < %d; i%d = i%d + 1) { acc = acc + i%d; }",
+				i, i, rng.Intn(6), i, i, i))
+		case 3:
+			stmts = append(stmts, "  acc = acc + len(s);")
+		case 4:
+			stmts = append(stmts, fmt.Sprintf("  if (len(s) > %d) { acc = acc + char(s, %d); }", rng.Intn(12), rng.Intn(4)))
+		case 5:
+			stmts = append(stmts, fmt.Sprintf("  bufwrite(w, acc %% %d, a);", bufCap)) // may fault on negative index
+		case 6:
+			stmts = append(stmts, fmt.Sprintf("  if (b != 0) { acc = acc + a / b; } else { acc = acc + %d; }", rng.Intn(9)))
+		case 7:
+			stmts = append(stmts, fmt.Sprintf("  if (s == %q) { acc = acc + 100; }", "xy"))
+		}
+	}
+	stmts = append(stmts, "  return helper(acc);")
+
+	src := fmt.Sprintf(`
+func helper(int v) int {
+  if (v > 1000) { return 1000; }
+  if (v < -1000) { return -1000; }
+  return v;
+}
+func main() int {
+%s
+}
+`, joinLines(stmts))
+	in := &interp.Input{
+		Ints: map[string]int64{"a": a, "b": b},
+		Strs: map[string]string{"s": string(payload)},
+	}
+	return src, in
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for _, l := range lines {
+		out += l + "\n"
+	}
+	return out
+}
+
+// TestDifferentialCaseGuards: case 4 above indexes s at 0..3 only when
+// len(s) > k for random k, which can still overread; the differential
+// check must classify those identically. This focused test pins one such
+// case down deterministically.
+func TestDifferentialStringOverread(t *testing.T) {
+	src := `
+func main() int {
+  string s = input_string("s");
+  int acc = 0;
+  if (len(s) > 1) { acc = acc + char(s, 3); }
+  return acc;
+}`
+	prog := bytecode.MustCompile("overread", src)
+	in := &interp.Input{Strs: map[string]string{"s": "ab"}} // len 2: char(s,3) overreads
+	concrete, err := interp.Run(prog, in, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if concrete.Fault != interp.FaultStringIndex {
+		t.Fatalf("concrete fault = %v", concrete.Fault)
+	}
+	spec := &InputSpec{ConcreteStrs: in.Strs}
+	ex := New(prog, spec, DefaultOptions())
+	sym := ex.Run()
+	if !sym.Found() || sym.Vulns[0].Kind != interp.FaultStringIndex {
+		t.Errorf("symbolic disagreement: %+v", sym.Vulns)
+	}
+}

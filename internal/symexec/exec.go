@@ -1,0 +1,690 @@
+package symexec
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/interp"
+	"repro/internal/minic"
+	"repro/internal/solver"
+	"repro/internal/trace"
+)
+
+// HookDecision is the guidance hook's verdict for a state at a location.
+type HookDecision int
+
+// Hook decisions.
+const (
+	HookContinue HookDecision = iota
+	HookSuspend
+)
+
+// LocationHook observes a state crossing an instrumentation location
+// (function entry/exit). StatSym's state manager is implemented as such a
+// hook: it tracks candidate-path progress, applies predicate constraints,
+// and suspends states that diverge beyond the hop threshold.
+type LocationHook func(ex *Executor, st *State, loc trace.Location, view *VarView) HookDecision
+
+// Options configures an execution.
+type Options struct {
+	// Sched selects the state scheduler (default: BFS, the pure baseline).
+	Sched Scheduler
+	// MaxStates bounds live states; exceeding it aborts the run with
+	// Exhausted=true — the analogue of KLEE running out of memory
+	// ("state exploration failure due to lack of available memory",
+	// §VII-B). Zero means DefaultMaxStates.
+	MaxStates int
+	// MaxSteps bounds total executed instructions (0: DefaultMaxSteps).
+	MaxSteps int64
+	// Timeout bounds wall-clock time (0: none).
+	Timeout time.Duration
+	// StopAtFirstVuln stops the whole run at the first vulnerability.
+	StopAtFirstVuln bool
+	// BatchSize is the scheduling quantum in instructions (0: default).
+	BatchSize int
+	// MaxDepth bounds the call stack.
+	MaxDepth int
+	// CheckStringReads enables out-of-bounds oracles on char() with
+	// symbolic operands (extra solver queries). Defaults to true via
+	// DefaultOptions.
+	CheckStringReads bool
+	// Hook is the guidance hook (nil for pure symbolic execution).
+	Hook LocationHook
+}
+
+// Default limits.
+const (
+	DefaultMaxStates = 20_000
+	DefaultMaxSteps  = 20_000_000
+	DefaultBatchSize = 64
+	DefaultMaxDepth  = 128
+)
+
+// DefaultOptions returns the pure-symbolic-execution defaults.
+func DefaultOptions() Options {
+	return Options{
+		StopAtFirstVuln:  true,
+		CheckStringReads: true,
+	}
+}
+
+// Vulnerability is a proven-reachable fault with its complete path,
+// constraints, and a concrete witness input — the tool's primary output
+// ("the complete execution path (and path constraints) that leads to the
+// program failure point", §IV).
+type Vulnerability struct {
+	Kind        interp.FaultKind
+	Func        string
+	Pos         minic.Pos
+	Path        []trace.Location
+	Constraints []solver.Constraint
+	Model       solver.Model
+	Witness     *interp.Input
+}
+
+// Site returns a stable identifier of the fault site.
+func (v *Vulnerability) Site() string {
+	return fmt.Sprintf("%s:%s@%s", v.Kind, v.Func, v.Pos)
+}
+
+// Result summarizes an execution.
+type Result struct {
+	Vulns []*Vulnerability
+	// Paths counts completed paths (terminated, faulted, or proven
+	// infeasible states) — the "#paths" column of Table IV.
+	Paths int
+	// StatesCreated counts every state ever scheduled; MaxLive is the
+	// peak live-state count.
+	StatesCreated int
+	MaxLive       int
+	Steps         int64
+	Forks         int
+	// SolverChecks/SolverUnknowns count satisfiability queries issued to
+	// the solver (excluding model-cache fast paths).
+	SolverChecks   int
+	SolverUnknowns int
+	// Exhausted reports the state-budget abort (KLEE OOM analogue);
+	// StepLimited and TimedOut report the other resource aborts.
+	Exhausted   bool
+	StepLimited bool
+	TimedOut    bool
+	Elapsed     time.Duration
+	// SuspendedAtEnd counts states still suspended when the run stopped.
+	SuspendedAtEnd int
+	// Revivals counts suspended-pool revivals (guidance fallback events).
+	Revivals int
+}
+
+// Found reports whether at least one vulnerability was discovered.
+func (r *Result) Found() bool { return len(r.Vulns) > 0 }
+
+// Executor drives symbolic execution of one program.
+type Executor struct {
+	Prog   *bytecode.Program
+	Table  *solver.VarTable
+	Solver *solver.CachedSolver
+	Opts   Options
+
+	inputs    *inputRegistry
+	sched     Scheduler
+	suspended []*State
+	res       *Result
+
+	nextID   int
+	nextSeq  int
+	deadline time.Time
+	stopped  bool
+
+	visits [][]int64
+}
+
+// New prepares an executor for prog with the given symbolic-input spec.
+func New(prog *bytecode.Program, spec *InputSpec, opts Options) *Executor {
+	table := solver.NewVarTable()
+	if opts.Sched == nil {
+		opts.Sched = NewBFS()
+	}
+	if opts.MaxStates == 0 {
+		opts.MaxStates = DefaultMaxStates
+	}
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = DefaultMaxSteps
+	}
+	if opts.BatchSize == 0 {
+		opts.BatchSize = DefaultBatchSize
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = DefaultMaxDepth
+	}
+	ex := &Executor{
+		Prog:   prog,
+		Table:  table,
+		Solver: solver.NewCached(solver.New()),
+		Opts:   opts,
+		inputs: newInputRegistry(table, spec),
+		sched:  opts.Sched,
+		res:    &Result{},
+		visits: make([][]int64, len(prog.Funcs)),
+	}
+	if cov, ok := opts.Sched.(*CoverageScheduler); ok {
+		cov.SetVisitFunc(ex.visitCount)
+	}
+	return ex
+}
+
+func (ex *Executor) visitCount(fnIndex, pc int) int64 {
+	v := ex.visits[fnIndex]
+	if v == nil || pc >= len(v) {
+		return 0
+	}
+	return v[pc]
+}
+
+func (ex *Executor) recordVisit(fnIndex, pc int) {
+	if ex.visits[fnIndex] == nil {
+		ex.visits[fnIndex] = make([]int64, len(ex.Prog.Funcs[fnIndex].Code))
+	}
+	if pc < len(ex.visits[fnIndex]) {
+		ex.visits[fnIndex][pc]++
+	}
+}
+
+// Run executes until a stop condition: vulnerability found (with
+// StopAtFirstVuln), state space exhausted, budget exceeded, or no states
+// remain.
+func (ex *Executor) Run() *Result {
+	start := time.Now()
+	if ex.Opts.Timeout > 0 {
+		ex.deadline = start.Add(ex.Opts.Timeout)
+	}
+	st, err := ex.initialState()
+	if err != nil {
+		// Initialization of globals cannot fork or fault in checked
+		// programs; treat failures as an empty result.
+		ex.res.Elapsed = time.Since(start)
+		return ex.res
+	}
+	ex.addState(st)
+	for !ex.stopped {
+		if ex.res.Steps >= ex.Opts.MaxSteps {
+			ex.res.StepLimited = true
+			break
+		}
+		if !ex.deadline.IsZero() && time.Now().After(ex.deadline) {
+			ex.res.TimedOut = true
+			break
+		}
+		cur := ex.sched.Next()
+		if cur == nil {
+			if len(ex.suspended) == 0 {
+				break
+			}
+			// Revive the suspended pool: guidance found nothing among the
+			// prioritized states, so fall back toward pure symbolic
+			// execution (paper footnote 1).
+			ex.res.Revivals++
+			for _, s := range ex.suspended {
+				s.Revived = true
+				s.Status = StatusActive
+				ex.sched.Add(s)
+			}
+			ex.suspended = ex.suspended[:0]
+			continue
+		}
+		ex.runQuantum(cur)
+	}
+	ex.res.SuspendedAtEnd = len(ex.suspended)
+	ex.res.SolverChecks = ex.Solver.S.Stats.Checks
+	ex.res.SolverUnknowns = ex.Solver.S.Stats.Unknown
+	ex.res.Elapsed = time.Since(start)
+	return ex.res
+}
+
+// initialState runs $init (straight-line global initializers) and returns
+// a state poised at main's entry.
+func (ex *Executor) initialState() (*State, error) {
+	prog := ex.Prog
+	st := &State{ID: ex.nextID, Status: StatusActive}
+	ex.nextID++
+	st.Globals = make([]Value, len(prog.Globals))
+	for i, g := range prog.Globals {
+		if g.Type == minic.TypeString {
+			st.Globals[i] = StrVal("")
+		} else {
+			st.Globals[i] = IntVal(0)
+		}
+	}
+	initFn := prog.Funcs[prog.InitIndex]
+	st.Frames = []*Frame{{Fn: initFn, Locals: make([]Value, initFn.NumLocals)}}
+	for len(st.Frames) > 0 {
+		children, suspend, done := ex.step(st)
+		if len(children) > 0 || suspend {
+			return nil, fmt.Errorf("symexec: global initializers must be deterministic")
+		}
+		if done {
+			break
+		}
+	}
+	if st.Status == StatusFaulted {
+		return nil, fmt.Errorf("symexec: fault during global initialization")
+	}
+	// Enter main.
+	st.Status = StatusActive
+	mainFn := prog.Funcs[prog.MainIndex]
+	st.Frames = []*Frame{{Fn: mainFn, Locals: make([]Value, mainFn.NumLocals)}}
+	ex.fireLocation(st, trace.Location{Func: mainFn.Name, Kind: trace.EventEnter}, nil)
+	return st, nil
+}
+
+func (ex *Executor) addState(st *State) {
+	if st.ID < 0 {
+		st.ID = ex.nextID
+		ex.nextID++
+	}
+	st.seq = ex.nextSeq
+	ex.nextSeq++
+	st.Status = StatusActive
+	ex.res.StatesCreated++
+	ex.sched.Add(st)
+	if live := ex.liveStates(); live > ex.res.MaxLive {
+		ex.res.MaxLive = live
+	}
+	if ex.liveStates() > ex.Opts.MaxStates {
+		ex.res.Exhausted = true
+		ex.stopped = true
+	}
+}
+
+func (ex *Executor) liveStates() int {
+	return ex.sched.Len() + len(ex.suspended)
+}
+
+// runQuantum executes up to BatchSize instructions of st, then reinserts
+// it into the scheduler if it is still runnable.
+func (ex *Executor) runQuantum(st *State) {
+	for i := 0; i < ex.Opts.BatchSize; i++ {
+		children, suspend, done := ex.step(st)
+		for _, child := range children {
+			ex.addState(child)
+			if ex.stopped {
+				return
+			}
+		}
+		if suspend {
+			st.Status = StatusSuspended
+			ex.suspended = append(ex.suspended, st)
+			return
+		}
+		if done {
+			ex.res.Paths++
+			return
+		}
+		if ex.stopped || ex.res.Steps >= ex.Opts.MaxSteps {
+			break
+		}
+	}
+	if !ex.stopped {
+		ex.sched.Add(st)
+	}
+}
+
+// --- satisfiability plumbing ---
+
+func allHold(cons []solver.Constraint, m solver.Model) bool {
+	for _, c := range cons {
+		if !c.Holds(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// satisfiable decides pc(st) ∧ extra. Three incremental fast paths avoid
+// most full solver queries on long loop chains:
+//
+//  1. model check: the extras already hold under the cached model;
+//  2. bounds refutation: a single-variable extra contradicts the interval
+//     the path condition implies for that variable;
+//  3. disjoint solve: extras whose variables the path condition does not
+//     mention are decided in isolation and their model merged.
+func (ex *Executor) satisfiable(st *State, extra ...solver.Constraint) (bool, solver.Model) {
+	if st.LastModel != nil && allHold(extra, st.LastModel) && allHold(st.Constraints, st.LastModel) {
+		return true, st.LastModel
+	}
+	if ex.refutedByBounds(st, extra) {
+		return false, nil
+	}
+	if st.LastModel != nil && ex.disjointFromPC(st, extra) {
+		res, m := ex.Solver.Check(ex.Table, extra)
+		switch res {
+		case solver.Sat:
+			merged := make(solver.Model, len(st.LastModel)+len(m))
+			for k, v := range st.LastModel {
+				merged[k] = v
+			}
+			for k, v := range m {
+				merged[k] = v
+			}
+			return true, merged
+		case solver.Unsat:
+			return false, nil
+		}
+		// Unknown: fall through to the full query.
+	}
+	query := make([]solver.Constraint, 0, len(st.Constraints)+len(extra))
+	query = append(query, st.Constraints...)
+	query = append(query, extra...)
+	// Independent-component solving (KLEE's independence optimization):
+	// only the components touched by the new constraints re-solve; the
+	// rest hit the query cache.
+	res, m := ex.Solver.CheckPartitioned(ex.Table, query)
+	switch res {
+	case solver.Sat:
+		return true, m
+	case solver.Unsat:
+		return false, nil
+	default:
+		// Unknown: explore optimistically (sound for vulnerability search:
+		// definite faults are still confirmed by concrete witnesses).
+		return true, nil
+	}
+}
+
+// disjointFromPC reports whether no extra constraint mentions a variable
+// of the path condition.
+func (ex *Executor) disjointFromPC(st *State, extra []solver.Constraint) bool {
+	for _, c := range extra {
+		for _, tm := range c.E.Terms {
+			if st.mentions(tm.Var) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// refutedByBounds reports a cheap contradiction: a single-variable extra
+// constraint incompatible with the interval implied by the path condition
+// plus the variable's intrinsic bounds.
+func (ex *Executor) refutedByBounds(st *State, extra []solver.Constraint) bool {
+	for _, c := range extra {
+		v, coeff, single := c.E.SingleVar()
+		if !single || (coeff != 1 && coeff != -1) {
+			continue
+		}
+		b := st.bounds[v]
+		info := ex.Table.Info(v)
+		if info.HasLo && (!b.HasLo || info.Lo > b.Lo) {
+			b.Lo, b.HasLo = info.Lo, true
+		}
+		if info.HasHi && (!b.HasHi || info.Hi < b.Hi) {
+			b.Hi, b.HasHi = info.Hi, true
+		}
+		switch {
+		case c.Op == solver.OpLe && coeff == 1: // v <= k
+			if k := -c.E.Const; b.HasLo && b.Lo > k {
+				return true
+			}
+		case c.Op == solver.OpLe && coeff == -1: // v >= k
+			if k := c.E.Const; b.HasHi && b.Hi < k {
+				return true
+			}
+		case c.Op == solver.OpEq:
+			k := -c.E.Const
+			if coeff == -1 {
+				k = c.E.Const
+			}
+			if (b.HasLo && k < b.Lo) || (b.HasHi && k > b.Hi) {
+				return true
+			}
+		case c.Op == solver.OpNe:
+			k := -c.E.Const
+			if coeff == -1 {
+				k = c.E.Const
+			}
+			if b.HasLo && b.HasHi && b.Lo == k && b.Hi == k {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// commit appends constraints to the path condition and installs the model
+// that witnesses them.
+func (ex *Executor) commit(st *State, m solver.Model, cons ...solver.Constraint) {
+	for _, c := range cons {
+		addPathConstraint(st, c)
+	}
+	if m != nil {
+		st.LastModel = m
+	}
+}
+
+// TryAddConstraints applies predicate constraints to a state if they are
+// consistent with its path condition; reports whether they were applied.
+// Used by the guidance hook for intra-function predicate gating (§VI-C).
+func (ex *Executor) TryAddConstraints(st *State, cons []solver.Constraint) bool {
+	if len(cons) == 0 {
+		return true
+	}
+	ok, m := ex.satisfiable(st, cons...)
+	if !ok {
+		return false
+	}
+	ex.commit(st, m, cons...)
+	return true
+}
+
+// seedModelValue installs a seed assignment into a state's cached model
+// without disturbing solver-derived bindings. It only creates a model when
+// the path condition is still empty (so the invariant "the cached model
+// satisfies the path condition" holds trivially) and never overwrites an
+// existing binding.
+func (ex *Executor) seedModelValue(st *State, v solver.Var, val int64) {
+	if st.LastModel == nil {
+		if len(st.Constraints) > 0 {
+			return
+		}
+		st.LastModel = solver.Model{v: val}
+		return
+	}
+	if _, exists := st.LastModel[v]; exists {
+		return
+	}
+	ex.extendModel(st, v, val)
+}
+
+// maybeSeedStr seeds a symbolic string's length (and records the value for
+// byte seeding) when a seed input supplies the channel.
+func (ex *Executor) maybeSeedStr(st *State, v Value, kind byte, name string, argIdx int64) {
+	if v.Kind != KindString || v.Str == nil || v.Str.IsLit {
+		return
+	}
+	seed, ok := ex.inputs.seedStr(kind, name, argIdx)
+	if !ok {
+		return
+	}
+	ex.inputs.noteSeedStr(v.Str.ID, seed)
+	ex.seedModelValue(st, v.Str.LenVar, int64(len(seed)))
+}
+
+// extendModel installs var=val into the state's cached model (copy on
+// write: models are shared across forks).
+func (ex *Executor) extendModel(st *State, v solver.Var, val int64) {
+	if st.LastModel == nil {
+		return
+	}
+	nm := make(solver.Model, len(st.LastModel)+1)
+	for k, x := range st.LastModel {
+		nm[k] = x
+	}
+	nm[v] = val
+	st.LastModel = nm
+}
+
+// addPathConstraint appends c, compacting single-variable bounds so loop
+// chains do not grow the path condition linearly (x ≥ 6 subsumes x ≥ 5).
+func addPathConstraint(st *State, c solver.Constraint) {
+	if c.IsTriviallyTrue() {
+		return
+	}
+	st.noteVars(c)
+	if v, coeff, ok := c.E.SingleVar(); ok && (coeff == 1 || coeff == -1) && c.Op == solver.OpLe {
+		for i, old := range st.Constraints {
+			if old.Op != solver.OpLe {
+				continue
+			}
+			ov, ocoeff, ook := old.E.SingleVar()
+			if !ook || ov != v || ocoeff != coeff {
+				continue
+			}
+			// Same form: coeff·v + k ≤ 0. Larger k is tighter.
+			if c.E.Const >= old.E.Const {
+				st.Constraints[i] = c
+			}
+			return
+		}
+	}
+	st.Constraints = append(st.Constraints, c)
+}
+
+// --- vulnerability reporting ---
+
+func (ex *Executor) report(st *State, kind interp.FaultKind, pos minic.Pos, m solver.Model, extra ...solver.Constraint) {
+	if m == nil {
+		// Unknown-model detection: confirm with a full query.
+		ok, mm := ex.satisfiable(st, extra...)
+		if !ok || mm == nil {
+			return
+		}
+		m = mm
+	}
+	cons := make([]solver.Constraint, 0, len(st.Constraints)+len(extra))
+	cons = append(cons, st.Constraints...)
+	cons = append(cons, extra...)
+	path := make([]trace.Location, len(st.Trace))
+	copy(path, st.Trace)
+	v := &Vulnerability{
+		Kind:        kind,
+		Func:        st.CurrentFunc(),
+		Pos:         pos,
+		Path:        path,
+		Constraints: cons,
+		Model:       m,
+		Witness:     ex.inputs.witness(m),
+	}
+	for _, prev := range ex.res.Vulns {
+		if prev.Site() == v.Site() {
+			return
+		}
+	}
+	ex.res.Vulns = append(ex.res.Vulns, v)
+	if ex.Opts.StopAtFirstVuln {
+		ex.stopped = true
+	}
+}
+
+// SymbolicInputs lists the symbolic channels registered so far.
+func (ex *Executor) SymbolicInputs() []string { return ex.inputs.symbolicInputNames() }
+
+// fireLocation records a location crossing and runs the guidance hook.
+func (ex *Executor) fireLocation(st *State, loc trace.Location, ret *Value) HookDecision {
+	st.Trace = append(st.Trace, loc)
+	if ex.Opts.Hook == nil {
+		return HookContinue
+	}
+	view := &VarView{ex: ex, st: st, loc: loc, ret: ret}
+	return ex.Opts.Hook(ex, st, loc, view)
+}
+
+// VarView resolves logged-variable names to runtime values at a location,
+// mirroring what the monitor records (globals, parameters, return value).
+// The guidance hook uses it to turn statistical predicates into solver
+// constraints over the state's live values.
+type VarView struct {
+	ex  *Executor
+	st  *State
+	loc trace.Location
+	ret *Value
+}
+
+// Param returns the named parameter of the function just entered.
+func (v *VarView) Param(name string) (Value, bool) {
+	if v.loc.Kind != trace.EventEnter {
+		return Value{}, false
+	}
+	fr := v.st.Top()
+	for i, pn := range fr.Fn.ParamNames {
+		if pn == name {
+			return fr.Locals[i], true
+		}
+	}
+	return Value{}, false
+}
+
+// Global returns the named global's current value.
+func (v *VarView) Global(name string) (Value, bool) {
+	idx := v.ex.Prog.GlobalIndex(name)
+	if idx < 0 {
+		return Value{}, false
+	}
+	return v.st.Globals[idx], true
+}
+
+// Return returns the function's return value at an exit location.
+func (v *VarView) Return() (Value, bool) {
+	if v.loc.Kind != trace.EventLeave || v.ret == nil {
+		return Value{}, false
+	}
+	return *v.ret, true
+}
+
+// Result returns the (live) result record; final after Run returns.
+func (ex *Executor) Result() *Result { return ex.res }
+
+// Coverage reports the fraction of each function's instructions executed
+// at least once across all explored states (the $init function is
+// excluded). The paper's §VI-C notes StatSym preserves the baseline's
+// code-coverage capability; this surfaces the measurement.
+func (ex *Executor) Coverage() map[string]float64 {
+	out := make(map[string]float64, len(ex.Prog.Funcs))
+	for _, fn := range ex.Prog.Funcs {
+		if fn.Name == bytecode.InitFuncName || len(fn.Code) == 0 {
+			continue
+		}
+		visited := 0
+		if v := ex.visits[fn.Index]; v != nil {
+			for _, count := range v {
+				if count > 0 {
+					visited++
+				}
+			}
+		}
+		out[fn.Name] = float64(visited) / float64(len(fn.Code))
+	}
+	return out
+}
+
+// TotalCoverage is the instruction-weighted aggregate of Coverage.
+func (ex *Executor) TotalCoverage() float64 {
+	total, visited := 0, 0
+	for _, fn := range ex.Prog.Funcs {
+		if fn.Name == bytecode.InitFuncName {
+			continue
+		}
+		total += len(fn.Code)
+		if v := ex.visits[fn.Index]; v != nil {
+			for _, count := range v {
+				if count > 0 {
+					visited++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(visited) / float64(total)
+}

@@ -1,0 +1,582 @@
+package symexec
+
+import (
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/interp"
+	"repro/internal/trace"
+)
+
+// runSym compiles and symbolically executes src.
+func runSym(t *testing.T, src string, spec *InputSpec, opts Options) *Result {
+	t.Helper()
+	prog := bytecode.MustCompile("test", src)
+	ex := New(prog, spec, opts)
+	return ex.Run()
+}
+
+// confirmWitness replays a vulnerability's witness on the concrete VM and
+// checks the same fault fires in the same function.
+func confirmWitness(t *testing.T, src string, v *Vulnerability) {
+	t.Helper()
+	if v.Witness == nil {
+		t.Fatalf("vulnerability has no witness: %+v", v)
+	}
+	prog := bytecode.MustCompile("confirm", src)
+	res, err := interp.Run(prog, v.Witness, interp.Config{})
+	if err != nil {
+		t.Fatalf("concrete replay error: %v", err)
+	}
+	if res.Fault != v.Kind {
+		t.Fatalf("concrete replay fault = %v, want %v (witness %+v)", res.Fault, v.Kind, v.Witness)
+	}
+	if res.FaultFunc != v.Func {
+		t.Errorf("concrete replay fault func = %q, want %q", res.FaultFunc, v.Func)
+	}
+}
+
+func TestSymNoInputsTerminates(t *testing.T) {
+	res := runSym(t, `func main() int { return 1 + 2; }`, nil, DefaultOptions())
+	if res.Found() {
+		t.Errorf("unexpected vulnerability: %+v", res.Vulns)
+	}
+	if res.Paths != 1 {
+		t.Errorf("paths = %d, want 1", res.Paths)
+	}
+}
+
+func TestSymConcreteAssertFailure(t *testing.T) {
+	src := `func main() int { assert(1 == 2); return 0; }`
+	res := runSym(t, src, nil, DefaultOptions())
+	if !res.Found() {
+		t.Fatal("assertion failure not detected")
+	}
+	if res.Vulns[0].Kind != interp.FaultAssert {
+		t.Errorf("kind = %v", res.Vulns[0].Kind)
+	}
+}
+
+func TestSymBranchOnSymbolicInt(t *testing.T) {
+	// The motivating example of Fig. 2: assert(0) guarded by a >= 3 deep
+	// in a loop driven by the symbolic input.
+	src := `
+func vul_func(int a) void {
+  if (a >= 3) { assert(0); }
+  return;
+}
+func f1(int x) void {
+  if (x >= 1000 || x < 0) {
+    return;
+  }
+  int i = 0;
+  while (i < x) {
+    vul_func(i);
+    i = i + 1;
+  }
+  return;
+}
+func main() int {
+  int m = input_int("sym_m");
+  f1(m);
+  return 0;
+}`
+	res := runSym(t, src, nil, DefaultOptions())
+	if !res.Found() {
+		t.Fatalf("vulnerability not found: %+v", res)
+	}
+	v := res.Vulns[0]
+	if v.Kind != interp.FaultAssert || v.Func != "vul_func" {
+		t.Errorf("vuln = %s", v.Site())
+	}
+	// The witness must drive the concrete VM into the same assert.
+	confirmWitness(t, src, v)
+	if v.Witness.Ints["sym_m"] < 4 {
+		t.Errorf("witness m = %d, want >= 4 (loop must reach i=3)", v.Witness.Ints["sym_m"])
+	}
+}
+
+func TestSymBufferOverflowStringLength(t *testing.T) {
+	// The polymorph pattern: copy a symbolic string into a fixed buffer
+	// without a bounds check.
+	src := `
+func copy_in(string s) void {
+  buf dst[16];
+  int i = 0;
+  while (i < len(s)) {
+    bufwrite(dst, i, char(s, i));
+    i = i + 1;
+  }
+  return;
+}
+func main() int {
+  copy_in(input_string("payload"));
+  return 0;
+}`
+	spec := &InputSpec{MaxStrLen: 32}
+	res := runSym(t, src, spec, DefaultOptions())
+	if !res.Found() {
+		t.Fatalf("overflow not found: exhausted=%v paths=%d", res.Exhausted, res.Paths)
+	}
+	v := res.Vulns[0]
+	if v.Kind != interp.FaultBufferOverflow || v.Func != "copy_in" {
+		t.Fatalf("vuln = %s", v.Site())
+	}
+	if got := len(v.Witness.Strs["payload"]); got < 17 {
+		t.Errorf("witness payload length = %d, want >= 17", got)
+	}
+	confirmWitness(t, src, v)
+}
+
+func TestSymOverflowUnreachableWhenGuarded(t *testing.T) {
+	src := `
+func copy_in(string s) void {
+  buf dst[16];
+  int i = 0;
+  while (i < len(s) && i < 16) {
+    bufwrite(dst, i, char(s, i));
+    i = i + 1;
+  }
+  return;
+}
+func main() int {
+  copy_in(input_string("payload"));
+  return 0;
+}`
+	res := runSym(t, src, &InputSpec{MaxStrLen: 32}, DefaultOptions())
+	if res.Found() {
+		t.Errorf("false positive on guarded copy: %s", res.Vulns[0].Site())
+	}
+}
+
+func TestSymPathTraceRecorded(t *testing.T) {
+	src := `
+func a() void { b(); return; }
+func b() void { assert(0); return; }
+func main() int { a(); return 0; }`
+	res := runSym(t, src, nil, DefaultOptions())
+	if !res.Found() {
+		t.Fatal("not found")
+	}
+	path := res.Vulns[0].Path
+	want := []trace.Location{
+		{Func: "main", Kind: trace.EventEnter},
+		{Func: "a", Kind: trace.EventEnter},
+		{Func: "b", Kind: trace.EventEnter},
+	}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Errorf("path[%d] = %v, want %v", i, path[i], want[i])
+		}
+	}
+}
+
+func TestSymDivZeroOracle(t *testing.T) {
+	src := `
+func main() int {
+  int d = input_int("d");
+  return 100 / d;
+}`
+	res := runSym(t, src, nil, DefaultOptions())
+	if !res.Found() || res.Vulns[0].Kind != interp.FaultDivZero {
+		t.Fatalf("div-zero not detected: %+v", res.Vulns)
+	}
+	if res.Vulns[0].Witness.Ints["d"] != 0 {
+		t.Errorf("witness d = %d, want 0", res.Vulns[0].Witness.Ints["d"])
+	}
+}
+
+func TestSymDivModExact(t *testing.T) {
+	// x / 10 == 3 && x % 10 == 7 forces x == 37.
+	src := `
+func main() int {
+  int x = input_int("x");
+  if (x >= 0) {
+    if (x / 10 == 3 && x % 10 == 7) {
+      assert(0);
+    }
+  }
+  return 0;
+}`
+	res := runSym(t, src, nil, DefaultOptions())
+	if !res.Found() {
+		t.Fatal("not found")
+	}
+	if got := res.Vulns[0].Witness.Ints["x"]; got != 37 {
+		t.Errorf("witness x = %d, want 37", got)
+	}
+	confirmWitness(t, src, res.Vulns[0])
+}
+
+func TestSymStringEqualityFork(t *testing.T) {
+	src := `
+func main() int {
+  string s = input_string("opt");
+  if (s == "-x") { assert(0); }
+  return 0;
+}`
+	res := runSym(t, src, &InputSpec{MaxStrLen: 8}, DefaultOptions())
+	if !res.Found() {
+		t.Fatal("not found")
+	}
+	if got := res.Vulns[0].Witness.Strs["opt"]; got != "-x" {
+		t.Errorf("witness opt = %q, want %q", got, "-x")
+	}
+	confirmWitness(t, src, res.Vulns[0])
+}
+
+func TestSymCharConstraints(t *testing.T) {
+	// Byte constraints: first char must be '<'.
+	src := `
+func main() int {
+  string s = input_string("req");
+  if (len(s) > 0) {
+    if (char(s, 0) == '<') { assert(0); }
+  }
+  return 0;
+}`
+	res := runSym(t, src, &InputSpec{MaxStrLen: 8}, DefaultOptions())
+	if !res.Found() {
+		t.Fatal("not found")
+	}
+	w := res.Vulns[0].Witness.Strs["req"]
+	if len(w) == 0 || w[0] != '<' {
+		t.Errorf("witness = %q, want leading '<'", w)
+	}
+	confirmWitness(t, src, res.Vulns[0])
+}
+
+func TestSymConcreteInputsStayConcrete(t *testing.T) {
+	src := `
+func main() int {
+  string opt = input_string("opt");
+  if (opt == "-f") {
+    assert(0);
+  }
+  return 0;
+}`
+	// opt concretized to "-f": assertion is definitely reachable, single
+	// path, no forking on string equality.
+	spec := &InputSpec{ConcreteStrs: map[string]string{"opt": "-f"}}
+	res := runSym(t, src, spec, DefaultOptions())
+	if !res.Found() {
+		t.Fatal("not found")
+	}
+	if res.Forks != 0 {
+		t.Errorf("forks = %d, want 0 for fully concrete run", res.Forks)
+	}
+}
+
+func TestSymArgsChannels(t *testing.T) {
+	src := `
+func main() int {
+  if (nargs() != 2) { return 1; }
+  string a0 = arg(0);
+  string a1 = arg(1);
+  if (a0 == "-f") {
+    buf dst[8];
+    int i = 0;
+    while (i < len(a1)) { bufwrite(dst, i, char(a1, i)); i = i + 1; }
+  }
+  return 0;
+}`
+	spec := &InputSpec{
+		NArgs:        2,
+		ConcreteArgs: map[int]string{0: "-f"},
+		MaxStrLen:    16,
+	}
+	res := runSym(t, src, spec, DefaultOptions())
+	if !res.Found() {
+		t.Fatal("overflow via argv not found")
+	}
+	v := res.Vulns[0]
+	if len(v.Witness.Args) != 2 || v.Witness.Args[0] != "-f" {
+		t.Fatalf("witness args = %v", v.Witness.Args)
+	}
+	if len(v.Witness.Args[1]) < 9 {
+		t.Errorf("witness arg1 length = %d, want >= 9", len(v.Witness.Args[1]))
+	}
+	confirmWitness(t, src, v)
+}
+
+func TestSymEnvChannel(t *testing.T) {
+	src := `
+func main() int {
+  string e = env("TAINT");
+  if (len(e) > 64) { assert(0); }
+  return 0;
+}`
+	res := runSym(t, src, &InputSpec{MaxStrLen: 128}, DefaultOptions())
+	if !res.Found() {
+		t.Fatal("not found")
+	}
+	if got := len(res.Vulns[0].Witness.Env["TAINT"]); got <= 64 {
+		t.Errorf("witness env length = %d, want > 64", got)
+	}
+	confirmWitness(t, src, res.Vulns[0])
+}
+
+func TestSymStateExhaustion(t *testing.T) {
+	// A per-character three-way branching loop over a symbolic string
+	// explodes exponentially — the pure-symbolic-execution failure mode
+	// of CTree/Grep/thttpd in Table IV.
+	src := `
+func process(string s) int {
+  int acc = 0;
+  int i = 0;
+  while (i < len(s)) {
+    int c = char(s, i);
+    if (c == '<') { acc = acc + 4; }
+    else {
+      if (c == '>') { acc = acc + 4; }
+      else { acc = acc + 1; }
+    }
+    i = i + 1;
+  }
+  return acc;
+}
+func main() int {
+  int r = process(input_string("body"));
+  if (r > 1000000) { assert(0); }
+  return 0;
+}`
+	opts := DefaultOptions()
+	opts.MaxStates = 200
+	res := runSym(t, src, &InputSpec{MaxStrLen: 64}, opts)
+	if !res.Exhausted {
+		t.Errorf("expected state exhaustion, got paths=%d found=%v", res.Paths, res.Found())
+	}
+}
+
+func TestSymSchedulers(t *testing.T) {
+	src := `
+func check(int x) void {
+  if (x > 5) { if (x < 10) { assert(0); } }
+  return;
+}
+func main() int {
+  check(input_int("x"));
+  return 0;
+}`
+	for _, mk := range []func() Scheduler{
+		func() Scheduler { return NewBFS() },
+		func() Scheduler { return NewDFS() },
+		func() Scheduler { return NewRandom(7) },
+		func() Scheduler { return NewCoverage() },
+	} {
+		opts := DefaultOptions()
+		opts.Sched = mk()
+		res := runSym(t, src, nil, opts)
+		if !res.Found() {
+			t.Errorf("scheduler %s failed to find the bug", opts.Sched.Name())
+			continue
+		}
+		x := res.Vulns[0].Witness.Ints["x"]
+		if x <= 5 || x >= 10 {
+			t.Errorf("scheduler %s witness x = %d outside (5,10)", opts.Sched.Name(), x)
+		}
+	}
+}
+
+func TestSymDeterminism(t *testing.T) {
+	src := `
+func main() int {
+  int x = input_int("x");
+  int acc = 0;
+  int i = 0;
+  while (i < 5) {
+    if (x > i * 10) { acc = acc + 1; }
+    i = i + 1;
+  }
+  if (acc == 3) { assert(0); }
+  return 0;
+}`
+	r1 := runSym(t, src, nil, DefaultOptions())
+	r2 := runSym(t, src, nil, DefaultOptions())
+	if r1.Found() != r2.Found() || r1.Paths != r2.Paths || r1.Forks != r2.Forks || r1.Steps != r2.Steps {
+		t.Errorf("nondeterministic: %+v vs %+v", r1, r2)
+	}
+	if r1.Found() {
+		if r1.Vulns[0].Witness.Ints["x"] != r2.Vulns[0].Witness.Ints["x"] {
+			t.Errorf("witness differs across runs")
+		}
+		confirmWitness(t, src, r1.Vulns[0])
+	}
+}
+
+func TestSymConstraintCompaction(t *testing.T) {
+	// A 100-iteration loop should not accumulate 100 bound constraints.
+	src := `
+func main() int {
+  int x = input_int("x");
+  int i = 0;
+  while (i < x) {
+    i = i + 1;
+    if (i >= 100) { break; }
+  }
+  return i;
+}`
+	prog := bytecode.MustCompile("compact", src)
+	ex := New(prog, nil, DefaultOptions())
+	res := ex.Run()
+	if res.Exhausted {
+		t.Fatal("unexpected exhaustion")
+	}
+	// There is no assertion; just confirm the run completes with a sane
+	// number of paths (x <= 0, x in 1..99 exits, x >= 100 break) and that
+	// the executor terminated.
+	if res.Paths == 0 {
+		t.Errorf("no paths completed")
+	}
+}
+
+func TestSymStepLimit(t *testing.T) {
+	src := `
+func main() int {
+  int i = 0;
+  while (i >= 0) { i = i + 1; }
+  return i;
+}`
+	opts := DefaultOptions()
+	opts.MaxSteps = 5000
+	res := runSym(t, src, nil, opts)
+	if !res.StepLimited {
+		t.Errorf("expected step limit, got %+v", res)
+	}
+}
+
+func TestSymHookObservesLocations(t *testing.T) {
+	src := `
+func inner(int a) int { return a + 1; }
+func main() int { return inner(input_int("a")); }`
+	prog := bytecode.MustCompile("hook", src)
+	var locs []trace.Location
+	opts := DefaultOptions()
+	opts.Hook = func(ex *Executor, st *State, loc trace.Location, view *VarView) HookDecision {
+		locs = append(locs, loc)
+		if loc.Func == "inner" && loc.Kind == trace.EventEnter {
+			if _, ok := view.Param("a"); !ok {
+				t.Errorf("param a not visible at inner entry")
+			}
+		}
+		if loc.Func == "inner" && loc.Kind == trace.EventLeave {
+			if _, ok := view.Return(); !ok {
+				t.Errorf("return value not visible at inner exit")
+			}
+		}
+		return HookContinue
+	}
+	ex := New(prog, nil, opts)
+	ex.Run()
+	want := []trace.Location{
+		{Func: "main", Kind: trace.EventEnter},
+		{Func: "inner", Kind: trace.EventEnter},
+		{Func: "inner", Kind: trace.EventLeave},
+		{Func: "main", Kind: trace.EventLeave},
+	}
+	if len(locs) != len(want) {
+		t.Fatalf("locs = %v", locs)
+	}
+	for i := range want {
+		if locs[i] != want[i] {
+			t.Errorf("locs[%d] = %v, want %v", i, locs[i], want[i])
+		}
+	}
+}
+
+func TestSymHookSuspension(t *testing.T) {
+	// Suspend every state that enters slow(); the bug behind slow() is
+	// only reachable after the suspended pool is revived.
+	src := `
+func slow(int x) void {
+  if (x == 42) { assert(0); }
+  return;
+}
+func main() int {
+  slow(input_int("x"));
+  return 0;
+}`
+	prog := bytecode.MustCompile("susp", src)
+	suspended := 0
+	opts := DefaultOptions()
+	opts.Hook = func(ex *Executor, st *State, loc trace.Location, view *VarView) HookDecision {
+		if loc.Func == "slow" && loc.Kind == trace.EventEnter && !st.Revived {
+			suspended++
+			return HookSuspend
+		}
+		return HookContinue
+	}
+	ex := New(prog, nil, opts)
+	res := ex.Run()
+	if suspended == 0 {
+		t.Fatal("hook never suspended")
+	}
+	if res.Revivals == 0 {
+		t.Errorf("suspended pool never revived")
+	}
+	if !res.Found() {
+		t.Errorf("bug not found after revival")
+	}
+}
+
+func TestSymGlobalsSymbolic(t *testing.T) {
+	src := `
+global int total = 0;
+func add(int v) void { total = total + v; return; }
+func main() int {
+  add(input_int("a"));
+  add(input_int("b"));
+  if (total == 77) { assert(0); }
+  return 0;
+}`
+	res := runSym(t, src, nil, DefaultOptions())
+	if !res.Found() {
+		t.Fatal("not found")
+	}
+	w := res.Vulns[0].Witness
+	if w.Ints["a"]+w.Ints["b"] != 77 {
+		t.Errorf("witness a+b = %d, want 77", w.Ints["a"]+w.Ints["b"])
+	}
+	confirmWitness(t, src, res.Vulns[0])
+}
+
+func TestSymConcatLengthRelation(t *testing.T) {
+	src := `
+func main() int {
+  string a = input_string("a");
+  string b = input_string("b");
+  string c = a + b;
+  if (len(c) > 30) { assert(0); }
+  return 0;
+}`
+	res := runSym(t, src, &InputSpec{MaxStrLen: 20}, DefaultOptions())
+	if !res.Found() {
+		t.Fatal("not found")
+	}
+	w := res.Vulns[0].Witness
+	if len(w.Strs["a"])+len(w.Strs["b"]) <= 30 {
+		t.Errorf("witness lengths %d+%d, want sum > 30", len(w.Strs["a"]), len(w.Strs["b"]))
+	}
+	confirmWitness(t, src, res.Vulns[0])
+}
+
+func TestSymStringReadOracle(t *testing.T) {
+	// Reading past the end of the string is itself a detectable overread.
+	src := `
+func main() int {
+  string s = input_string("s");
+  int n = input_int("n");
+  if (n >= 0) {
+    return char(s, n);
+  }
+  return 0;
+}`
+	res := runSym(t, src, &InputSpec{MaxStrLen: 8}, DefaultOptions())
+	if !res.Found() || res.Vulns[0].Kind != interp.FaultStringIndex {
+		t.Fatalf("overread not detected: %+v", res.Vulns)
+	}
+	confirmWitness(t, src, res.Vulns[0])
+}

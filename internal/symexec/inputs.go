@@ -1,0 +1,350 @@
+package symexec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/interp"
+	"repro/internal/solver"
+)
+
+// InputSpec configures the program's symbolic environment, the analogue of
+// KLEE's symbolic-argument setup. The paper notes (§VII-A) that both
+// StatSym and KLEE are configured with "semantically reasonable and
+// required program input options": fixed option strings stay concrete,
+// payload inputs become symbolic with a declared maximum size.
+type InputSpec struct {
+	// MaxStrLen bounds symbolic string lengths (KLEE's symbolic size).
+	// Zero means DefaultMaxStrLen.
+	MaxStrLen int64
+	// StrLenMax overrides MaxStrLen per input channel name.
+	StrLenMax map[string]int64
+
+	// IntMin/IntMax bound symbolic integers; both zero means
+	// [DefaultIntMin, DefaultIntMax].
+	IntMin, IntMax int64
+
+	// Concrete values: channels listed here are not symbolic.
+	ConcreteInts map[string]int64
+	ConcreteStrs map[string]string
+	ConcreteEnv  map[string]string
+
+	// Args configures command-line arguments; NArgs is the argument count
+	// reported by nargs(). Argument i is concrete when ConcreteArgs[i] is
+	// set, otherwise symbolic.
+	NArgs        int
+	ConcreteArgs map[int]string
+
+	// SeedInput, when set, biases exploration toward the concrete path
+	// this input takes: as symbolic channels register, the seed's values
+	// are installed into the state's cached model, so branch decisions
+	// consistent with the seed are taken without solver queries and the
+	// seeded path is explored first. This is the failure-replay mode of
+	// BugRedux-style reproduction (the paper's ref [20]): given a crashing
+	// field input, the engine re-derives its path and constraints
+	// directly. Inputs remain fully symbolic — only the search order
+	// changes.
+	SeedInput *interp.Input
+}
+
+// Default symbolic-input bounds.
+const (
+	DefaultMaxStrLen = 64
+	DefaultIntMin    = -(1 << 31)
+	DefaultIntMax    = 1 << 31
+)
+
+func (s *InputSpec) strLenMax(name string) int64 {
+	if s != nil && s.StrLenMax != nil {
+		if v, ok := s.StrLenMax[name]; ok {
+			return v
+		}
+	}
+	if s != nil && s.MaxStrLen > 0 {
+		return s.MaxStrLen
+	}
+	return DefaultMaxStrLen
+}
+
+func (s *InputSpec) intBounds() (int64, int64) {
+	if s == nil || (s.IntMin == 0 && s.IntMax == 0) {
+		return DefaultIntMin, DefaultIntMax
+	}
+	return s.IntMin, s.IntMax
+}
+
+// channelClass distinguishes the four input channels.
+type channelClass int
+
+const (
+	chanInt channelClass = iota + 1
+	chanStr
+	chanEnv
+	chanArg
+)
+
+type byteKey struct {
+	strID int
+	idx   int64
+}
+
+// inputRegistry allocates solver variables for symbolic inputs. It is
+// shared by all states (as with KLEE's make_symbolic, the same named input
+// denotes the same symbolic object on every path) and materializes string
+// byte variables lazily with deterministic identity.
+type inputRegistry struct {
+	table *solver.VarTable
+	spec  *InputSpec
+
+	ints map[string]solver.Var
+	strs map[string]*SymString // keyed "s:<name>", "e:<name>", "a:<idx>"
+
+	bytes     map[byteKey]solver.Var
+	nextStrID int
+
+	// Registration order for deterministic witness construction.
+	intOrder []string
+	strOrder []string
+
+	// seedStrs maps a seeded symbolic string's ID to the seed value, so
+	// byte variables can be seeded as they materialize.
+	seedStrs map[int]string
+}
+
+// seedValue returns the seed's value for a channel, if seeding is active.
+func (r *inputRegistry) seedInt(name string) (int64, bool) {
+	s := r.spec.SeedInput
+	if s == nil || s.Ints == nil {
+		return 0, false
+	}
+	v, ok := s.Ints[name]
+	return v, ok
+}
+
+func (r *inputRegistry) seedStr(kind byte, name string, argIdx int64) (string, bool) {
+	s := r.spec.SeedInput
+	if s == nil {
+		return "", false
+	}
+	switch kind {
+	case 's':
+		v, ok := s.Strs[name]
+		return v, ok
+	case 'e':
+		v, ok := s.Env[name]
+		return v, ok
+	case 'a':
+		if argIdx >= 0 && argIdx < int64(len(s.Args)) {
+			return s.Args[argIdx], true
+		}
+	}
+	return "", false
+}
+
+// noteSeedStr records the seed value for a symbolic string.
+func (r *inputRegistry) noteSeedStr(id int, val string) {
+	if r.seedStrs == nil {
+		r.seedStrs = make(map[int]string)
+	}
+	r.seedStrs[id] = val
+}
+
+// seededByte returns the seed byte for (string, index), if any.
+func (r *inputRegistry) seededByte(id int, idx int64) (int64, bool) {
+	v, ok := r.seedStrs[id]
+	if !ok || idx < 0 || idx >= int64(len(v)) {
+		return 0, false
+	}
+	return int64(v[idx]), true
+}
+
+func newInputRegistry(table *solver.VarTable, spec *InputSpec) *inputRegistry {
+	if spec == nil {
+		spec = &InputSpec{}
+	}
+	return &inputRegistry{
+		table: table,
+		spec:  spec,
+		ints:  make(map[string]solver.Var),
+		strs:  make(map[string]*SymString),
+		bytes: make(map[byteKey]solver.Var),
+	}
+}
+
+// intInput returns the value of input_int(name).
+func (r *inputRegistry) intInput(name string) Value {
+	if v, ok := r.spec.ConcreteInts[name]; ok {
+		return IntVal(v)
+	}
+	if v, ok := r.ints[name]; ok {
+		return LinVal(solver.VarExpr(v))
+	}
+	lo, hi := r.spec.intBounds()
+	v := r.table.NewVarBounded("sym_"+name, lo, hi)
+	r.ints[name] = v
+	r.intOrder = append(r.intOrder, name)
+	return LinVal(solver.VarExpr(v))
+}
+
+// strInput returns the value of input_string(name).
+func (r *inputRegistry) strInput(name string) Value {
+	if v, ok := r.spec.ConcreteStrs[name]; ok {
+		return StrVal(v)
+	}
+	return SymStrVal(r.symStr("s:"+name, name))
+}
+
+// envInput returns the value of env(name).
+func (r *inputRegistry) envInput(name string) Value {
+	if v, ok := r.spec.ConcreteEnv[name]; ok {
+		return StrVal(v)
+	}
+	return SymStrVal(r.symStr("e:"+name, name))
+}
+
+// argInput returns the value of arg(i) for concrete i.
+func (r *inputRegistry) argInput(i int64) Value {
+	if i < 0 || i >= int64(r.spec.NArgs) {
+		return StrVal("")
+	}
+	if v, ok := r.spec.ConcreteArgs[int(i)]; ok {
+		return StrVal(v)
+	}
+	return SymStrVal(r.symStr(fmt.Sprintf("a:%d", i), fmt.Sprintf("arg%d", i)))
+}
+
+// symStr returns (creating on first use) the symbolic string for a channel
+// key.
+func (r *inputRegistry) symStr(key, label string) *SymString {
+	if s, ok := r.strs[key]; ok {
+		return s
+	}
+	r.nextStrID++
+	s := &SymString{
+		ID:     r.nextStrID,
+		Label:  label,
+		LenVar: r.table.NewVarBounded("len("+label+")", 0, r.spec.strLenMax(label)),
+	}
+	r.strs[key] = s
+	r.strOrder = append(r.strOrder, key)
+	return s
+}
+
+// freshStr allocates an anonymous symbolic string (results of concat,
+// substr, atoi-style approximations). It is not an input channel and does
+// not appear in witnesses.
+func (r *inputRegistry) freshStr(label string, maxLen int64) *SymString {
+	r.nextStrID++
+	return &SymString{
+		ID:     r.nextStrID,
+		Label:  label,
+		LenVar: r.table.NewVarBounded("len("+label+")", 0, maxLen),
+	}
+}
+
+// byteVar returns the solver variable for s[idx], materializing it on first
+// use. Identity is deterministic per (string, index).
+func (r *inputRegistry) byteVar(s *SymString, idx int64) solver.Var {
+	key := byteKey{strID: s.ID, idx: idx}
+	if v, ok := r.bytes[key]; ok {
+		return v
+	}
+	v := r.table.NewVarBounded(fmt.Sprintf("%s[%d]", s.Label, idx), 0, 255)
+	r.bytes[key] = v
+	return v
+}
+
+// defaultWitnessByte fills unconstrained positions of witness strings.
+const defaultWitnessByte = 'a'
+
+// witness converts a solver model into a concrete program input that
+// steers the concrete VM down the discovered path.
+func (r *inputRegistry) witness(m solver.Model) *interp.Input {
+	in := &interp.Input{
+		Ints: make(map[string]int64),
+		Strs: make(map[string]string),
+		Env:  make(map[string]string),
+	}
+	for name, v := range r.spec.ConcreteInts {
+		in.Ints[name] = v
+	}
+	for name, v := range r.spec.ConcreteStrs {
+		in.Strs[name] = v
+	}
+	for name, v := range r.spec.ConcreteEnv {
+		in.Env[name] = v
+	}
+	for _, name := range r.intOrder {
+		if v, ok := m[r.ints[name]]; ok {
+			in.Ints[name] = v
+		} else {
+			in.Ints[name] = 0
+		}
+	}
+	for _, key := range r.strOrder {
+		s := r.strs[key]
+		str := r.materialize(s, m)
+		switch key[0] {
+		case 's':
+			in.Strs[s.Label] = str
+		case 'e':
+			in.Env[s.Label] = str
+		}
+	}
+	// Arguments: assemble the full argv.
+	if r.spec.NArgs > 0 {
+		in.Args = make([]string, r.spec.NArgs)
+		for i := 0; i < r.spec.NArgs; i++ {
+			if v, ok := r.spec.ConcreteArgs[i]; ok {
+				in.Args[i] = v
+				continue
+			}
+			if s, ok := r.strs[fmt.Sprintf("a:%d", i)]; ok {
+				in.Args[i] = r.materialize(s, m)
+			}
+		}
+	}
+	return in
+}
+
+// materialize renders a symbolic string under a model: length from the
+// model (0 when unconstrained), bytes from materialized byte variables,
+// filler elsewhere.
+func (r *inputRegistry) materialize(s *SymString, m solver.Model) string {
+	if s.IsLit {
+		return s.Lit
+	}
+	length, ok := m[s.LenVar]
+	if !ok {
+		length = 0
+	}
+	if length < 0 {
+		length = 0
+	}
+	const maxWitnessLen = 1 << 20
+	if length > maxWitnessLen {
+		length = maxWitnessLen
+	}
+	buf := make([]byte, length)
+	for i := int64(0); i < length; i++ {
+		b := byte(defaultWitnessByte)
+		if v, ok := r.bytes[byteKey{strID: s.ID, idx: i}]; ok {
+			if mv, ok := m[v]; ok && mv >= 0 && mv <= 255 {
+				b = byte(mv)
+			}
+		}
+		buf[i] = b
+	}
+	return string(buf)
+}
+
+// symbolicInputNames lists the registered symbolic channels (for reports).
+func (r *inputRegistry) symbolicInputNames() []string {
+	names := make([]string, 0, len(r.intOrder)+len(r.strOrder))
+	names = append(names, r.intOrder...)
+	for _, key := range r.strOrder {
+		names = append(names, r.strs[key].Label)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,164 @@
+package symexec
+
+import "math/rand"
+
+// Scheduler selects the next state to execute — KLEE's "searcher". The
+// executor adds runnable states and repeatedly asks for the next one.
+// Implementations must be deterministic given the same Add/Next sequence
+// (Random uses a fixed seed).
+type Scheduler interface {
+	Name() string
+	Add(st *State)
+	// Next removes and returns a state, or nil when empty.
+	Next() *State
+	Len() int
+}
+
+// BFSScheduler explores states in FIFO order (breadth-first over the
+// execution tree). It is the pure-symbolic-execution baseline scheduler in
+// the benchmarks.
+type BFSScheduler struct {
+	queue []*State
+	head  int
+}
+
+// NewBFS returns a breadth-first scheduler.
+func NewBFS() *BFSScheduler { return &BFSScheduler{} }
+
+// Name implements Scheduler.
+func (s *BFSScheduler) Name() string { return "bfs" }
+
+// Add implements Scheduler.
+func (s *BFSScheduler) Add(st *State) { s.queue = append(s.queue, st) }
+
+// Next implements Scheduler.
+func (s *BFSScheduler) Next() *State {
+	if s.head >= len(s.queue) {
+		return nil
+	}
+	st := s.queue[s.head]
+	s.queue[s.head] = nil
+	s.head++
+	// Compact occasionally to bound memory.
+	if s.head > 1024 && s.head*2 > len(s.queue) {
+		s.queue = append([]*State(nil), s.queue[s.head:]...)
+		s.head = 0
+	}
+	return st
+}
+
+// Len implements Scheduler.
+func (s *BFSScheduler) Len() int { return len(s.queue) - s.head }
+
+// DFSScheduler explores states in LIFO order (depth-first).
+type DFSScheduler struct {
+	stack []*State
+}
+
+// NewDFS returns a depth-first scheduler.
+func NewDFS() *DFSScheduler { return &DFSScheduler{} }
+
+// Name implements Scheduler.
+func (s *DFSScheduler) Name() string { return "dfs" }
+
+// Add implements Scheduler.
+func (s *DFSScheduler) Add(st *State) { s.stack = append(s.stack, st) }
+
+// Next implements Scheduler.
+func (s *DFSScheduler) Next() *State {
+	n := len(s.stack)
+	if n == 0 {
+		return nil
+	}
+	st := s.stack[n-1]
+	s.stack[n-1] = nil
+	s.stack = s.stack[:n-1]
+	return st
+}
+
+// Len implements Scheduler.
+func (s *DFSScheduler) Len() int { return len(s.stack) }
+
+// RandomScheduler picks a uniformly random state (KLEE's random-path
+// selection, approximated over the frontier). Deterministic via the seed.
+type RandomScheduler struct {
+	states []*State
+	rng    *rand.Rand
+}
+
+// NewRandom returns a random scheduler with the given seed.
+func NewRandom(seed int64) *RandomScheduler {
+	return &RandomScheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Scheduler.
+func (s *RandomScheduler) Name() string { return "random" }
+
+// Add implements Scheduler.
+func (s *RandomScheduler) Add(st *State) { s.states = append(s.states, st) }
+
+// Next implements Scheduler.
+func (s *RandomScheduler) Next() *State {
+	n := len(s.states)
+	if n == 0 {
+		return nil
+	}
+	i := s.rng.Intn(n)
+	st := s.states[i]
+	s.states[i] = s.states[n-1]
+	s.states[n-1] = nil
+	s.states = s.states[:n-1]
+	return st
+}
+
+// Len implements Scheduler.
+func (s *RandomScheduler) Len() int { return len(s.states) }
+
+// CoverageScheduler approximates KLEE's coverage-optimized search: it
+// prefers the state whose next instruction has been executed least often.
+// Visits is supplied by the executor.
+type CoverageScheduler struct {
+	states []*State
+	visits func(fnIndex, pc int) int64
+}
+
+// NewCoverage returns a coverage-optimized scheduler; the executor wires
+// the visit counter when it starts.
+func NewCoverage() *CoverageScheduler { return &CoverageScheduler{} }
+
+// Name implements Scheduler.
+func (s *CoverageScheduler) Name() string { return "coverage" }
+
+// SetVisitFunc wires the instruction-visit counter (called by Executor).
+func (s *CoverageScheduler) SetVisitFunc(f func(fnIndex, pc int) int64) { s.visits = f }
+
+// Add implements Scheduler.
+func (s *CoverageScheduler) Add(st *State) { s.states = append(s.states, st) }
+
+// Next implements Scheduler.
+func (s *CoverageScheduler) Next() *State {
+	n := len(s.states)
+	if n == 0 {
+		return nil
+	}
+	best := 0
+	if s.visits != nil {
+		var bestScore int64 = 1<<62 - 1
+		for i, st := range s.states {
+			fr := st.Top()
+			score := s.visits(fr.Fn.Index, fr.PC)
+			if score < bestScore {
+				bestScore = score
+				best = i
+			}
+		}
+	}
+	st := s.states[best]
+	s.states[best] = s.states[n-1]
+	s.states[n-1] = nil
+	s.states = s.states[:n-1]
+	return st
+}
+
+// Len implements Scheduler.
+func (s *CoverageScheduler) Len() int { return len(s.states) }

@@ -1,0 +1,231 @@
+package symexec
+
+import (
+	"repro/internal/bytecode"
+	"repro/internal/solver"
+	"repro/internal/trace"
+)
+
+// StateStatus is a state's lifecycle phase.
+type StateStatus int
+
+// State statuses.
+const (
+	StatusActive StateStatus = iota + 1
+	StatusSuspended
+	StatusTerminated
+	StatusFaulted
+	StatusInfeasible
+)
+
+// Frame is one activation record of the symbolic machine.
+type Frame struct {
+	Fn     *bytecode.Fn
+	PC     int
+	Locals []Value
+	Stack  []Value
+}
+
+func (f *Frame) clone() *Frame {
+	nf := &Frame{Fn: f.Fn, PC: f.PC}
+	nf.Locals = make([]Value, len(f.Locals))
+	nf.Stack = make([]Value, len(f.Stack))
+	for i, v := range f.Locals {
+		nf.Locals[i] = cloneValue(v)
+	}
+	for i, v := range f.Stack {
+		nf.Stack[i] = cloneValue(v)
+	}
+	return nf
+}
+
+// cloneValue copies a value for a forked state. Only buffers are mutable;
+// everything else is immutable and shared.
+func cloneValue(v Value) Value {
+	if v.Kind == KindBuf && v.Buf != nil {
+		v.Buf = v.Buf.clone()
+	}
+	return v
+}
+
+// State is one symbolic execution path in progress — the unit KLEE
+// schedules. It owns a call stack, a snapshot of globals, the path
+// condition, the trace of instrumentation locations it has crossed, and
+// the guidance bookkeeping used by StatSym's state manager (candidate-path
+// progress and diverted hops, §VI-C).
+type State struct {
+	ID     int
+	Status StateStatus
+
+	Frames  []*Frame
+	Globals []Value
+
+	// Constraints is the path condition (a conjunction). Forked children
+	// copy it, so it is append-only per state.
+	Constraints []solver.Constraint
+
+	// Trace is the sequence of function entry/exit locations crossed.
+	Trace []trace.Location
+
+	// Depth counts branch decisions taken; Forks counts forks performed
+	// at this state (for statistics).
+	Depth int
+
+	// Guidance bookkeeping (maintained by the core guidance hook):
+	// PathIndex is the index of the next candidate-path node expected,
+	// Diverted is the number of hops off the candidate path, and Revived
+	// marks a state resumed from the suspended pool (guidance then leaves
+	// it alone so the search degenerates gracefully to pure symbolic
+	// execution, as the paper's footnote 1 requires).
+	PathIndex int
+	Diverted  int
+	Revived   bool
+
+	// LastModel caches a satisfying assignment for Constraints. It lets
+	// the executor skip solver calls when a new branch condition already
+	// holds under the cached model (the standard KLEE fast path). The map
+	// is shared across forks and never mutated in place.
+	LastModel solver.Model
+
+	// pcVars is the set of variables mentioned by Constraints, and bounds
+	// caches the interval implied by the single-variable constraints.
+	// Together they power two incremental fast paths: constraints over
+	// variables disjoint from the path condition can be solved in
+	// isolation, and single-variable contradictions refute in O(1).
+	pcVars map[solver.Var]struct{}
+	bounds map[solver.Var]VarBounds
+
+	// seq is an insertion sequence number assigned by the executor; used
+	// by schedulers for deterministic tie-breaking.
+	seq int
+}
+
+// Seq returns the state's insertion sequence number (monotonically
+// increasing across the run; later states have larger numbers).
+func (st *State) Seq() int { return st.seq }
+
+// Top returns the current (innermost) frame.
+func (st *State) Top() *Frame { return st.Frames[len(st.Frames)-1] }
+
+// push appends a value to the operand stack of the top frame.
+func (st *State) push(v Value) {
+	fr := st.Top()
+	fr.Stack = append(fr.Stack, v)
+}
+
+// pop removes and returns the top operand.
+func (st *State) pop() Value {
+	fr := st.Top()
+	v := fr.Stack[len(fr.Stack)-1]
+	fr.Stack = fr.Stack[:len(fr.Stack)-1]
+	return v
+}
+
+// AddConstraint appends c to the path condition.
+func (st *State) AddConstraint(c solver.Constraint) {
+	st.Constraints = append(st.Constraints, c)
+}
+
+// fork deep-copies the state (the executor assigns the child a fresh ID).
+func (st *State) fork() *State {
+	ns := &State{
+		ID:        -1,
+		Status:    StatusActive,
+		Depth:     st.Depth,
+		PathIndex: st.PathIndex,
+		Diverted:  st.Diverted,
+		Revived:   st.Revived,
+		LastModel: st.LastModel,
+	}
+	ns.Frames = make([]*Frame, len(st.Frames))
+	for i, f := range st.Frames {
+		ns.Frames[i] = f.clone()
+	}
+	ns.Globals = make([]Value, len(st.Globals))
+	for i, v := range st.Globals {
+		ns.Globals[i] = cloneValue(v)
+	}
+	ns.Constraints = make([]solver.Constraint, len(st.Constraints), len(st.Constraints)+4)
+	copy(ns.Constraints, st.Constraints)
+	ns.Trace = make([]trace.Location, len(st.Trace), len(st.Trace)+4)
+	copy(ns.Trace, st.Trace)
+	if st.pcVars != nil {
+		ns.pcVars = make(map[solver.Var]struct{}, len(st.pcVars))
+		for v := range st.pcVars {
+			ns.pcVars[v] = struct{}{}
+		}
+	}
+	if st.bounds != nil {
+		ns.bounds = make(map[solver.Var]VarBounds, len(st.bounds))
+		for v, b := range st.bounds {
+			ns.bounds[v] = b
+		}
+	}
+	return ns
+}
+
+// VarBounds is the interval a state's single-variable path constraints
+// imply for one variable.
+type VarBounds struct {
+	Lo, Hi       int64
+	HasLo, HasHi bool
+}
+
+// mentions reports whether the path condition constrains v.
+func (st *State) mentions(v solver.Var) bool {
+	_, ok := st.pcVars[v]
+	return ok
+}
+
+// noteVars records the constraint's variables and updates the cached
+// bounds for single-variable forms.
+func (st *State) noteVars(c solver.Constraint) {
+	if st.pcVars == nil {
+		st.pcVars = make(map[solver.Var]struct{}, 8)
+	}
+	for _, tm := range c.E.Terms {
+		st.pcVars[tm.Var] = struct{}{}
+	}
+	v, coeff, single := c.E.SingleVar()
+	if !single || (coeff != 1 && coeff != -1) {
+		return
+	}
+	if st.bounds == nil {
+		st.bounds = make(map[solver.Var]VarBounds, 8)
+	}
+	b := st.bounds[v]
+	switch {
+	case c.Op == solver.OpLe && coeff == 1: // v <= -Const
+		k := -c.E.Const
+		if !b.HasHi || k < b.Hi {
+			b.Hi, b.HasHi = k, true
+		}
+	case c.Op == solver.OpLe && coeff == -1: // v >= Const
+		k := c.E.Const
+		if !b.HasLo || k > b.Lo {
+			b.Lo, b.HasLo = k, true
+		}
+	case c.Op == solver.OpEq && (coeff == 1 || coeff == -1):
+		k := -c.E.Const
+		if coeff == -1 {
+			k = c.E.Const
+		}
+		if !b.HasLo || k > b.Lo {
+			b.Lo, b.HasLo = k, true
+		}
+		if !b.HasHi || k < b.Hi {
+			b.Hi, b.HasHi = k, true
+		}
+	default:
+		return
+	}
+	st.bounds[v] = b
+}
+
+// CurrentFunc returns the name of the function the state is executing.
+func (st *State) CurrentFunc() string {
+	if len(st.Frames) == 0 {
+		return ""
+	}
+	return st.Top().Fn.Name
+}

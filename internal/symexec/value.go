@@ -1,0 +1,159 @@
+// Package symexec is the symbolic execution engine of the reproduction —
+// the stand-in for KLEE. It interprets the same bytecode as the concrete VM
+// but over symbolic values: integers are linear expressions over solver
+// variables, strings carry symbolic lengths and lazily materialized byte
+// variables (the paper's string-length workaround, §VI footnote 2), and
+// branches on symbolic conditions fork states whose feasibility the solver
+// checks.
+//
+// The executor detects vulnerabilities by satisfiability queries: a buffer
+// write whose index can reach the capacity, a failable assertion, a
+// reachable abort, or a possible division by zero. On detection it emits
+// the full path (the sequence of function entry/exit locations), the path
+// constraints, and a concrete witness input.
+package symexec
+
+import (
+	"fmt"
+
+	"repro/internal/solver"
+)
+
+// ValueKind is the dynamic type of a symbolic value.
+type ValueKind int
+
+// Value kinds.
+const (
+	KindInt ValueKind = iota + 1
+	KindString
+	KindBuf
+)
+
+// Value is a runtime value of the symbolic machine.
+//
+// Integers have two encodings:
+//   - a linear expression (Lin) over solver variables — concrete integers
+//     are constant expressions;
+//   - a deferred comparison (Cond set, IsCond true), representing the 0/1
+//     outcome of a comparison whose operands were symbolic. Conditions are
+//     consumed by branch instructions (where they fork states) or
+//     concretized on demand.
+type Value struct {
+	Kind ValueKind
+
+	// Integer payload.
+	Lin    solver.LinExpr
+	Cond   solver.Constraint
+	IsCond bool
+
+	// String payload.
+	Str *SymString
+
+	// Buffer payload.
+	Buf *SymBuffer
+}
+
+// IntVal returns a concrete integer value.
+func IntVal(v int64) Value { return Value{Kind: KindInt, Lin: solver.ConstExpr(v)} }
+
+// LinVal wraps a linear expression as an integer value.
+func LinVal(e solver.LinExpr) Value { return Value{Kind: KindInt, Lin: e} }
+
+// CondVal wraps a deferred comparison outcome (1 when c holds, else 0).
+func CondVal(c solver.Constraint) Value { return Value{Kind: KindInt, Cond: c, IsCond: true} }
+
+// StrVal returns a concrete string value.
+func StrVal(s string) Value {
+	return Value{Kind: KindString, Str: &SymString{Lit: s, IsLit: true}}
+}
+
+// SymStrVal wraps a symbolic string.
+func SymStrVal(s *SymString) Value { return Value{Kind: KindString, Str: s} }
+
+// BufVal wraps a buffer.
+func BufVal(b *SymBuffer) Value { return Value{Kind: KindBuf, Buf: b} }
+
+// IsConcreteInt reports whether the value is an integer with a known
+// constant.
+func (v Value) IsConcreteInt() (int64, bool) {
+	if v.Kind != KindInt || v.IsCond || !v.Lin.IsConst() {
+		return 0, false
+	}
+	return v.Lin.Const, true
+}
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		if v.IsCond {
+			return fmt.Sprintf("cond(%s)", v.Cond.String(nil))
+		}
+		return v.Lin.String(nil)
+	case KindString:
+		return v.Str.Describe()
+	case KindBuf:
+		return fmt.Sprintf("buf[%d]", v.Buf.Cap)
+	default:
+		return "<invalid>"
+	}
+}
+
+// SymString is a (possibly symbolic) string. Concrete strings set IsLit.
+// Symbolic strings are identified by ID; their length is the solver
+// variable LenVar and their bytes are materialized lazily through the
+// executor's byte registry, so a given (string, index) pair always maps to
+// the same solver variable in every state.
+type SymString struct {
+	IsLit bool
+	Lit   string
+
+	ID     int
+	Label  string
+	LenVar solver.Var
+}
+
+// LenExpr returns the string's length as a linear expression.
+func (s *SymString) LenExpr() solver.LinExpr {
+	if s.IsLit {
+		return solver.ConstExpr(int64(len(s.Lit)))
+	}
+	return solver.VarExpr(s.LenVar)
+}
+
+// Describe renders the string for diagnostics.
+func (s *SymString) Describe() string {
+	if s.IsLit {
+		return fmt.Sprintf("%q", s.Lit)
+	}
+	return fmt.Sprintf("sym-str(%s#%d)", s.Label, s.ID)
+}
+
+// SymBuffer is a fixed-capacity buffer of integer cells. Capacities are
+// always concrete (buffer sizes are declaration literals). Cells hold
+// integer values that may be symbolic.
+type SymBuffer struct {
+	Cap  int
+	Data []Value
+	// Smeared marks buffers written through a symbolic index: individual
+	// cell contents are no longer tracked precisely, and reads return
+	// fresh unconstrained values.
+	Smeared bool
+}
+
+// NewSymBuffer allocates a zeroed buffer.
+func NewSymBuffer(capacity int) *SymBuffer {
+	b := &SymBuffer{Cap: capacity, Data: make([]Value, capacity)}
+	for i := range b.Data {
+		b.Data[i] = IntVal(0)
+	}
+	return b
+}
+
+// clone deep-copies the buffer (cell values are immutable, so a slice copy
+// suffices).
+func (b *SymBuffer) clone() *SymBuffer {
+	nb := &SymBuffer{Cap: b.Cap, Data: make([]Value, len(b.Data)), Smeared: b.Smeared}
+	copy(nb.Data, b.Data)
+	return nb
+}

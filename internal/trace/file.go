@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"compress/gzip"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// WriteFile serializes the corpus to path; a ".gz" suffix enables gzip
+// compression (runtime logs compress ~10x — relevant for grep-sized
+// corpora). Returns the bytes written to disk.
+func (c *Corpus) WriteFile(path string) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".gz") {
+		zw := gzip.NewWriter(f)
+		if _, err := c.WriteTo(zw); err != nil {
+			return 0, err
+		}
+		if err := zw.Close(); err != nil {
+			return 0, err
+		}
+	} else {
+		if _, err := c.WriteTo(f); err != nil {
+			return 0, err
+		}
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		return info.Size(), err
+	}
+	return info.Size(), nil
+}
+
+// ReadFile loads a corpus written by WriteFile, transparently handling the
+// ".gz" suffix.
+func ReadFile(path string) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %s: %w", path, err)
+		}
+		defer zr.Close()
+		return ReadCorpus(zr)
+	}
+	return ReadCorpus(f)
+}

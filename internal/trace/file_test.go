@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func readAll(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func writeAll(path string, data []byte) error { return os.WriteFile(path, data, 0o644) }
+
+func sampleCorpus() *Corpus {
+	c := &Corpus{Program: "sample"}
+	for i := 0; i < 20; i++ {
+		run := Run{ID: i, Faulty: i%3 == 0}
+		if run.Faulty {
+			run.FaultKind = "buffer-overflow"
+			run.FaultFunc = "sink"
+		}
+		for j := 0; j < 5; j++ {
+			run.Records = append(run.Records, Record{
+				Loc: Location{Func: "f", Kind: EventEnter},
+				Obs: []Observation{
+					{Var: "x", Class: ClassParam, Kind: ValueInt, Int: int64(i * j)},
+					{Var: "s", Class: ClassGlobal, Kind: ValueString, Str: "abcdefghij"},
+				},
+			})
+		}
+		c.Runs = append(c.Runs, run)
+	}
+	return c
+}
+
+func TestWriteReadFilePlain(t *testing.T) {
+	c := sampleCorpus()
+	path := filepath.Join(t.TempDir(), "corpus.log")
+	n, err := c.WriteFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing written")
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Program != c.Program || len(back.Runs) != len(c.Runs) {
+		t.Fatalf("round trip lost data: %d runs", len(back.Runs))
+	}
+}
+
+func TestWriteReadFileGzip(t *testing.T) {
+	c := sampleCorpus()
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "corpus.log")
+	gz := filepath.Join(dir, "corpus.log.gz")
+	np, err := c.WriteFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, err := c.WriteFile(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng >= np {
+		t.Errorf("gzip did not shrink the corpus: %d vs %d bytes", ng, np)
+	}
+	back, err := ReadFile(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Runs) != len(c.Runs) {
+		t.Fatalf("gzip round trip lost runs: %d", len(back.Runs))
+	}
+	for i := range c.Runs {
+		if len(back.Runs[i].Records) != len(c.Runs[i].Records) {
+			t.Fatalf("run %d records differ", i)
+		}
+	}
+}
+
+func TestReadFileErrors(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.log")); err == nil {
+		t.Error("missing file accepted")
+	}
+	// A non-gzip file with .gz suffix must fail cleanly.
+	path := filepath.Join(t.TempDir(), "fake.log.gz")
+	c := sampleCorpus()
+	plain := filepath.Join(t.TempDir(), "real.log")
+	if _, err := c.WriteFile(plain); err != nil {
+		t.Fatal(err)
+	}
+	data, err := readAll(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeAll(path, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Error("plain data with .gz suffix accepted")
+	}
+}

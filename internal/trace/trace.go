@@ -1,0 +1,283 @@
+// Package trace defines the runtime-log data model shared by the program
+// monitor (which produces logs), and the statistical-analysis and
+// candidate-path modules (which consume them). A log corresponds to one
+// program run and contains records captured at function entry and exit
+// points — the observation model of the paper (§III-B): global variables,
+// function parameters, and return values, possibly subsampled.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// EventKind distinguishes function-entry from function-exit records.
+type EventKind int
+
+// Event kinds.
+const (
+	EventEnter EventKind = iota + 1
+	EventLeave
+)
+
+// String returns "enter" or "leave".
+func (k EventKind) String() string {
+	switch k {
+	case EventEnter:
+		return "enter"
+	case EventLeave:
+		return "leave"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Location identifies an instrumentation point: a function entry or exit.
+// The paper's candidate paths are sequences of such locations.
+type Location struct {
+	Func string    `json:"func"`
+	Kind EventKind `json:"kind"`
+}
+
+// String renders the location in the paper's notation, e.g.
+// "convert_fileName():enter".
+func (l Location) String() string {
+	return l.Func + "():" + l.Kind.String()
+}
+
+// ParseLocation parses the String form back into a Location.
+func ParseLocation(s string) (Location, error) {
+	i := strings.Index(s, "():")
+	if i < 0 {
+		return Location{}, fmt.Errorf("trace: malformed location %q", s)
+	}
+	var kind EventKind
+	switch s[i+3:] {
+	case "enter":
+		kind = EventEnter
+	case "leave":
+		kind = EventLeave
+	default:
+		return Location{}, fmt.Errorf("trace: malformed location kind in %q", s)
+	}
+	return Location{Func: s[:i], Kind: kind}, nil
+}
+
+// VarClass categorizes an observed variable, mirroring the paper's logging
+// targets (Fig. 8 labels: GLOBAL, FUNCPARAM, RETURN).
+type VarClass int
+
+// Variable classes.
+const (
+	ClassGlobal VarClass = iota + 1
+	ClassParam
+	ClassReturn
+)
+
+// String returns the paper-style class label.
+func (c VarClass) String() string {
+	switch c {
+	case ClassGlobal:
+		return "GLOBAL"
+	case ClassParam:
+		return "FUNCPARAM"
+	case ClassReturn:
+		return "RETURN"
+	default:
+		return fmt.Sprintf("VarClass(%d)", int(c))
+	}
+}
+
+// ValueKind is the dynamic type of an observed value.
+type ValueKind int
+
+// Value kinds. Strings are logged by value but analyzed by length (the
+// paper's numeric transform and its privacy guidance both reduce strings to
+// their lengths).
+const (
+	ValueInt ValueKind = iota + 1
+	ValueString
+)
+
+// Observation is a single (variable, value) capture at a location.
+type Observation struct {
+	Var   string    `json:"var"`
+	Class VarClass  `json:"class"`
+	Kind  ValueKind `json:"valkind"`
+	Int   int64     `json:"int,omitempty"`
+	Str   string    `json:"str,omitempty"`
+}
+
+// Numeric returns the numeric view of the observation: the value itself for
+// ints, the length for strings (the paper's step (b): "transform
+// non-numerical variables' characteristics to numerical values").
+func (o Observation) Numeric() int64 {
+	if o.Kind == ValueString {
+		return int64(len(o.Str))
+	}
+	return o.Int
+}
+
+// Record is one instrumentation event with its observations.
+type Record struct {
+	Loc Location      `json:"loc"`
+	Obs []Observation `json:"obs,omitempty"`
+}
+
+// Run is one logged program execution, annotated (as in §VII-A) with
+// whether it was correct or faulty.
+type Run struct {
+	ID        int      `json:"id"`
+	Faulty    bool     `json:"faulty"`
+	FaultKind string   `json:"faultKind,omitempty"`
+	FaultFunc string   `json:"faultFunc,omitempty"`
+	Records   []Record `json:"records"`
+}
+
+// FinalLocation returns the last logged location and true, or false for an
+// empty run.
+func (r *Run) FinalLocation() (Location, bool) {
+	if len(r.Records) == 0 {
+		return Location{}, false
+	}
+	return r.Records[len(r.Records)-1].Loc, true
+}
+
+// Locations returns the run's location sequence.
+func (r *Run) Locations() []Location {
+	locs := make([]Location, len(r.Records))
+	for i, rec := range r.Records {
+		locs[i] = rec.Loc
+	}
+	return locs
+}
+
+// Corpus is a collection of runs fed to statistical analysis.
+type Corpus struct {
+	Program string `json:"program"`
+	Runs    []Run  `json:"runs"`
+}
+
+// Split partitions the corpus into correct and faulty runs (step (a) of the
+// paper's algorithm).
+func (c *Corpus) Split() (correct, faulty []*Run) {
+	for i := range c.Runs {
+		r := &c.Runs[i]
+		if r.Faulty {
+			faulty = append(faulty, r)
+		} else {
+			correct = append(correct, r)
+		}
+	}
+	return correct, faulty
+}
+
+// Counts reports (#runs, #distinct locations, #distinct logged variables),
+// the n(R), n(L), n(V) preprocessing counts of the paper's algorithm.
+func (c *Corpus) Counts() (runs, locs, vars int) {
+	locSet := make(map[Location]struct{})
+	varSet := make(map[string]struct{})
+	for i := range c.Runs {
+		for _, rec := range c.Runs[i].Records {
+			locSet[rec.Loc] = struct{}{}
+			for _, ob := range rec.Obs {
+				varSet[ob.Var] = struct{}{}
+			}
+		}
+	}
+	return len(c.Runs), len(locSet), len(varSet)
+}
+
+// LocationSet returns every distinct location in the corpus.
+func (c *Corpus) LocationSet() map[Location]struct{} {
+	set := make(map[Location]struct{})
+	for i := range c.Runs {
+		for _, rec := range c.Runs[i].Records {
+			set[rec.Loc] = struct{}{}
+		}
+	}
+	return set
+}
+
+// SizeBytes approximates the serialized size of the corpus. Table II/III
+// discussion uses log size to explain which module dominates runtime.
+func (c *Corpus) SizeBytes() int {
+	n := 0
+	for i := range c.Runs {
+		for _, rec := range c.Runs[i].Records {
+			n += 16 + len(rec.Loc.Func)
+			for _, ob := range rec.Obs {
+				n += 24 + len(ob.Var) + len(ob.Str)
+			}
+		}
+	}
+	return n
+}
+
+// WriteTo serializes the corpus as JSON lines: a header line followed by one
+// line per run.
+func (c *Corpus) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	hdr, err := json.Marshal(struct {
+		Program string `json:"program"`
+		Runs    int    `json:"runs"`
+	}{c.Program, len(c.Runs)})
+	if err != nil {
+		return 0, err
+	}
+	n, err := bw.Write(append(hdr, '\n'))
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for i := range c.Runs {
+		line, err := json.Marshal(&c.Runs[i])
+		if err != nil {
+			return total, err
+		}
+		n, err := bw.Write(append(line, '\n'))
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// ReadCorpus parses a corpus previously written with WriteTo.
+func ReadCorpus(r io.Reader) (*Corpus, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trace: empty corpus stream")
+	}
+	var hdr struct {
+		Program string `json:"program"`
+		Runs    int    `json:"runs"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("trace: bad corpus header: %w", err)
+	}
+	c := &Corpus{Program: hdr.Program, Runs: make([]Run, 0, hdr.Runs)}
+	for sc.Scan() {
+		var run Run
+		if err := json.Unmarshal(sc.Bytes(), &run); err != nil {
+			return nil, fmt.Errorf("trace: bad run record: %w", err)
+		}
+		c.Runs = append(c.Runs, run)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if hdr.Runs != len(c.Runs) {
+		return nil, fmt.Errorf("trace: corpus header declares %d runs, found %d", hdr.Runs, len(c.Runs))
+	}
+	return c, nil
+}

@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLocationString(t *testing.T) {
+	l := Location{Func: "defang", Kind: EventEnter}
+	if l.String() != "defang():enter" {
+		t.Errorf("String = %q", l.String())
+	}
+	l.Kind = EventLeave
+	if l.String() != "defang():leave" {
+		t.Errorf("String = %q", l.String())
+	}
+}
+
+func TestParseLocationRoundTrip(t *testing.T) {
+	for _, l := range []Location{
+		{Func: "main", Kind: EventEnter},
+		{Func: "convert_fileName", Kind: EventLeave},
+		{Func: "a_b_c", Kind: EventEnter},
+	} {
+		back, err := ParseLocation(l.String())
+		if err != nil {
+			t.Fatalf("ParseLocation(%q): %v", l.String(), err)
+		}
+		if back != l {
+			t.Errorf("round trip %v -> %v", l, back)
+		}
+	}
+}
+
+func TestParseLocationErrors(t *testing.T) {
+	for _, s := range []string{"", "main", "main():", "main():inside", "():"} {
+		if _, err := ParseLocation(s); err == nil && s != "():" {
+			// "():" with empty func parses but has an invalid kind; all
+			// listed strings must error.
+			t.Errorf("ParseLocation(%q) succeeded", s)
+		}
+	}
+}
+
+// TestParseLocationProperty: any function name without "():" substring
+// survives the round trip.
+func TestParseLocationProperty(t *testing.T) {
+	f := func(name string) bool {
+		if strings.Contains(name, "():") {
+			return true
+		}
+		l := Location{Func: name, Kind: EventEnter}
+		back, err := ParseLocation(l.String())
+		return err == nil && back == l
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObservationNumeric(t *testing.T) {
+	if (Observation{Kind: ValueInt, Int: -7}).Numeric() != -7 {
+		t.Error("int numeric")
+	}
+	if (Observation{Kind: ValueString, Str: "hello"}).Numeric() != 5 {
+		t.Error("string numeric should be length")
+	}
+}
+
+func TestRunHelpers(t *testing.T) {
+	r := &Run{Records: []Record{
+		{Loc: Location{Func: "a", Kind: EventEnter}},
+		{Loc: Location{Func: "b", Kind: EventEnter}},
+	}}
+	fin, ok := r.FinalLocation()
+	if !ok || fin.Func != "b" {
+		t.Errorf("final = %v, %v", fin, ok)
+	}
+	locs := r.Locations()
+	if len(locs) != 2 || locs[0].Func != "a" {
+		t.Errorf("locations = %v", locs)
+	}
+	empty := &Run{}
+	if _, ok := empty.FinalLocation(); ok {
+		t.Error("empty run has a final location")
+	}
+}
+
+func TestCorpusSplitAndCounts(t *testing.T) {
+	c := &Corpus{Runs: []Run{
+		{ID: 0, Faulty: false, Records: []Record{{
+			Loc: Location{Func: "a", Kind: EventEnter},
+			Obs: []Observation{{Var: "x", Kind: ValueInt, Int: 1}},
+		}}},
+		{ID: 1, Faulty: true, Records: []Record{{
+			Loc: Location{Func: "b", Kind: EventEnter},
+			Obs: []Observation{{Var: "y", Kind: ValueInt, Int: 2}},
+		}}},
+		{ID: 2, Faulty: true},
+	}}
+	correct, faulty := c.Split()
+	if len(correct) != 1 || len(faulty) != 2 {
+		t.Errorf("split = %d/%d", len(correct), len(faulty))
+	}
+	runs, locs, vars := c.Counts()
+	if runs != 3 || locs != 2 || vars != 2 {
+		t.Errorf("counts = %d/%d/%d", runs, locs, vars)
+	}
+	if c.SizeBytes() == 0 {
+		t.Error("SizeBytes = 0")
+	}
+	set := c.LocationSet()
+	if len(set) != 2 {
+		t.Errorf("location set = %v", set)
+	}
+}
+
+func TestCorpusSerializationRoundTrip(t *testing.T) {
+	c := &Corpus{
+		Program: "demo",
+		Runs: []Run{
+			{ID: 0, Faulty: false, Records: []Record{{
+				Loc: Location{Func: "f", Kind: EventEnter},
+				Obs: []Observation{
+					{Var: "n", Class: ClassParam, Kind: ValueInt, Int: 42},
+					{Var: "s", Class: ClassGlobal, Kind: ValueString, Str: "hi\nthere"},
+				},
+			}}},
+			{ID: 1, Faulty: true, FaultKind: "buffer-overflow", FaultFunc: "f"},
+		},
+	}
+	var buf bytes.Buffer
+	n, err := c.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo returned %d, wrote %d", n, buf.Len())
+	}
+	back, err := ReadCorpus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Program != "demo" || len(back.Runs) != 2 {
+		t.Fatalf("read back %+v", back)
+	}
+	r0 := back.Runs[0]
+	if len(r0.Records) != 1 || r0.Records[0].Obs[1].Str != "hi\nthere" {
+		t.Errorf("record content lost: %+v", r0)
+	}
+	r1 := back.Runs[1]
+	if !r1.Faulty || r1.FaultFunc != "f" {
+		t.Errorf("fault annotation lost: %+v", r1)
+	}
+}
+
+func TestReadCorpusErrors(t *testing.T) {
+	if _, err := ReadCorpus(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := ReadCorpus(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage header accepted")
+	}
+	if _, err := ReadCorpus(strings.NewReader(`{"program":"x","runs":2}` + "\n")); err == nil {
+		t.Error("truncated corpus accepted")
+	}
+}
+
+func TestVarClassStrings(t *testing.T) {
+	if ClassGlobal.String() != "GLOBAL" || ClassParam.String() != "FUNCPARAM" || ClassReturn.String() != "RETURN" {
+		t.Error("class labels wrong")
+	}
+	if EventEnter.String() != "enter" || EventLeave.String() != "leave" {
+		t.Error("event labels wrong")
+	}
+}

@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+)
+
+func TestBuildCorpusParallelDeterministic(t *testing.T) {
+	app, _ := apps.Get("ctree")
+	opts := Options{SampleRate: 0.3, Seed: 5, Correct: 15, Faulty: 15}
+	c1, err := BuildCorpusParallel(app, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := BuildCorpusParallel(app, opts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1.Runs) != len(c2.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(c1.Runs), len(c2.Runs))
+	}
+	for i := range c1.Runs {
+		a, b := c1.Runs[i], c2.Runs[i]
+		if a.Faulty != b.Faulty || len(a.Records) != len(b.Records) {
+			t.Fatalf("run %d differs across worker counts", i)
+		}
+	}
+	correct, faulty := c1.Split()
+	if len(correct) != 15 || len(faulty) != 15 {
+		t.Errorf("quotas: %d/%d", len(correct), len(faulty))
+	}
+}
+
+func TestBuildCorpusParallelUsableByPipeline(t *testing.T) {
+	app, _ := apps.Get("polymorph")
+	corpus, err := BuildCorpusParallel(app, Options{SampleRate: 0.3, Seed: 1, Correct: 40, Faulty: 40}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, locs, vars := corpus.Counts()
+	if runs != 80 || locs == 0 || vars == 0 {
+		t.Errorf("counts = %d/%d/%d", runs, locs, vars)
+	}
+	for i := range corpus.Runs {
+		if corpus.Runs[i].ID != i {
+			t.Fatalf("run IDs not renumbered: run %d has ID %d", i, corpus.Runs[i].ID)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package workload assembles labeled log corpora for the evaluation
+// programs. It emulates the paper's log collection (§VII-A): generate a
+// large number of random user runs, label each correct or faulty by its
+// concrete outcome, and sample a balanced set (one hundred of each in the
+// paper) at the configured logging rate.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/apps"
+	"repro/internal/interp"
+	"repro/internal/monitor"
+	"repro/internal/trace"
+)
+
+// Options configures corpus construction.
+type Options struct {
+	// SampleRate is the per-event logging probability (1.0 or 0.3 in the
+	// paper's main tables; 0.2–1.0 in the sensitivity study).
+	SampleRate float64
+	// Seed drives both input generation and log sampling.
+	Seed int64
+	// Correct and Faulty are the run counts to collect (default 100/100).
+	Correct, Faulty int
+}
+
+// DefaultRuns is the paper's per-class run count.
+const DefaultRuns = 100
+
+// BuildCorpus generates inputs with the app's workload generator, executes
+// them under the program monitor, and returns a balanced labeled corpus.
+func BuildCorpus(app *apps.App, opts Options) (*trace.Corpus, error) {
+	nc, nf := opts.Correct, opts.Faulty
+	if nc == 0 {
+		nc = DefaultRuns
+	}
+	if nf == 0 {
+		nf = DefaultRuns
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	gen := func(i int) *interp.Input { return app.NewInput(rng) }
+	cfg := monitor.Config{SampleRate: opts.SampleRate, Seed: opts.Seed}
+	corpus, err := monitor.BalancedCorpus(app.Program(), gen, nc, nf, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %s: %w", app.Name, err)
+	}
+	return corpus, nil
+}
+
+// BuildCorpusParallel is BuildCorpus with parallel run collection: inputs
+// are generated sequentially (the generator's RNG stream stays
+// deterministic), executed under the monitor by a worker pool, and the
+// first quota of each class (in generation order) is kept — so the result
+// is deterministic for a given seed regardless of worker count.
+func BuildCorpusParallel(app *apps.App, opts Options, workers int) (*trace.Corpus, error) {
+	nc, nf := opts.Correct, opts.Faulty
+	if nc == 0 {
+		nc = DefaultRuns
+	}
+	if nf == 0 {
+		nf = DefaultRuns
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	cfg := monitor.Config{SampleRate: opts.SampleRate, Seed: opts.Seed}
+	out := &trace.Corpus{Program: app.Name}
+	haveC, haveF := 0, 0
+	limit := (nc + nf) * 100
+	generated := 0
+	for generated < limit && (haveC < nc || haveF < nf) {
+		batch := (nc + nf) * 2
+		if generated+batch > limit {
+			batch = limit - generated
+		}
+		inputs := make([]*interp.Input, batch)
+		for i := range inputs {
+			inputs[i] = app.NewInput(rng)
+		}
+		generated += batch
+		part, err := monitor.CollectCorpusParallel(app.Program(), inputs, cfg, workers)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s: %w", app.Name, err)
+		}
+		for i := range part.Runs {
+			run := part.Runs[i]
+			if run.Faulty {
+				if haveF >= nf {
+					continue
+				}
+				haveF++
+			} else {
+				if haveC >= nc {
+					continue
+				}
+				haveC++
+			}
+			run.ID = len(out.Runs)
+			out.Runs = append(out.Runs, run)
+		}
+	}
+	if haveC < nc || haveF < nf {
+		return nil, fmt.Errorf("workload: %s: generator yielded %d correct / %d faulty runs, want %d/%d",
+			app.Name, haveC, haveF, nc, nf)
+	}
+	return out, nil
+}
+
+// FaultRate estimates the generator's raw fault probability over n runs
+// (diagnostics for workload tuning).
+func FaultRate(app *apps.App, seed int64, n int) (float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	faults := 0
+	for i := 0; i < n; i++ {
+		res, err := interp.Run(app.Program(), app.NewInput(rng), interp.Config{})
+		if err != nil {
+			return 0, err
+		}
+		if res.Faulty() {
+			faults++
+		}
+	}
+	return float64(faults) / float64(n), nil
+}

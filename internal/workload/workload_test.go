@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+)
+
+func TestBuildCorpusBalanced(t *testing.T) {
+	for _, name := range []string{"polymorph", "ctree"} {
+		app, err := apps.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus, err := BuildCorpus(app, Options{SampleRate: 0.5, Seed: 2, Correct: 20, Faulty: 20})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		correct, faulty := corpus.Split()
+		if len(correct) != 20 || len(faulty) != 20 {
+			t.Errorf("%s: split = %d/%d, want 20/20", name, len(correct), len(faulty))
+		}
+		if corpus.Program != name {
+			t.Errorf("%s: corpus labeled %q", name, corpus.Program)
+		}
+		// Every faulty run carries its fault annotation (needed by the
+		// failure-point identification and clustering).
+		for _, r := range faulty {
+			if r.FaultFunc == "" || r.FaultKind == "" {
+				t.Errorf("%s: faulty run %d lacks fault annotation", name, r.ID)
+			}
+		}
+	}
+}
+
+func TestBuildCorpusDefaults(t *testing.T) {
+	app, _ := apps.Get("msgtool")
+	corpus, err := BuildCorpus(app, Options{SampleRate: 1.0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus.Runs) != 2*DefaultRuns {
+		t.Errorf("default corpus size = %d, want %d", len(corpus.Runs), 2*DefaultRuns)
+	}
+}
+
+func TestBuildCorpusDeterministic(t *testing.T) {
+	app, _ := apps.Get("polymorph")
+	c1, err := BuildCorpus(app, Options{SampleRate: 0.3, Seed: 9, Correct: 10, Faulty: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := BuildCorpus(app, Options{SampleRate: 0.3, Seed: 9, Correct: 10, Faulty: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1.Runs) != len(c2.Runs) {
+		t.Fatal("corpus sizes differ")
+	}
+	for i := range c1.Runs {
+		a, b := c1.Runs[i], c2.Runs[i]
+		if a.Faulty != b.Faulty || len(a.Records) != len(b.Records) {
+			t.Fatalf("run %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestFaultRate(t *testing.T) {
+	for _, name := range []string{"polymorph", "ctree", "thttpd", "grep", "msgtool"} {
+		app, _ := apps.Get(name)
+		rate, err := FaultRate(app, 4, 200)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Generators are tuned to produce a healthy mix of both classes.
+		if rate < 0.1 || rate > 0.9 {
+			t.Errorf("%s: fault rate %.2f outside [0.1, 0.9]", name, rate)
+		}
+	}
+}
