@@ -10,6 +10,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bench"
@@ -27,7 +28,7 @@ func BenchmarkTable1ProgramStats(b *testing.B) {
 func benchModuleTable(b *testing.B, rate float64) {
 	budgets := bench.DefaultBudgets()
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.TableModule(rate, bench.DefaultSeed, budgets)
+		rows, err := bench.TableModule(context.Background(), rate, bench.DefaultSeed, budgets)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -46,7 +47,7 @@ func BenchmarkTable3Sampling30(b *testing.B) { benchModuleTable(b, 0.3) }
 func BenchmarkTable4GuidedVsPure(b *testing.B) {
 	budgets := bench.DefaultBudgets()
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.Table4(bench.DefaultSeed, budgets)
+		rows, err := bench.Table4(context.Background(), bench.DefaultSeed, budgets)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -60,7 +61,7 @@ func BenchmarkTable4GuidedVsPure(b *testing.B) {
 
 func BenchmarkTable5Predicates(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		lines, err := bench.Table5("polymorph", 10, bench.DefaultSeed)
+		lines, err := bench.Table5(context.Background(), "polymorph", 10, bench.DefaultSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +73,7 @@ func BenchmarkTable5Predicates(b *testing.B) {
 
 func BenchmarkFigure7PathLengths(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.Figure7(bench.DefaultSeed)
+		rows, err := bench.Figure7(context.Background(), bench.DefaultSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -84,7 +85,7 @@ func BenchmarkFigure7PathLengths(b *testing.B) {
 
 func BenchmarkFigure9CandidatePaths(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		lines, err := bench.Figure9("polymorph", bench.DefaultSeed)
+		lines, err := bench.Figure9(context.Background(), "polymorph", bench.DefaultSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -98,7 +99,7 @@ func BenchmarkFigure10Sensitivity(b *testing.B) {
 	// The full sweep is expensive; the benchmark uses three rates.
 	rates := []float64{0.2, 0.5, 1.0}
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.Figure10([]string{"polymorph", "ctree"}, rates, bench.DefaultSeed)
+		rows, err := bench.Figure10(context.Background(), []string{"polymorph", "ctree"}, rates, bench.DefaultSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -113,7 +114,7 @@ func BenchmarkFigure10Sensitivity(b *testing.B) {
 func BenchmarkAblationScheduler(b *testing.B) {
 	budgets := bench.DefaultBudgets()
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.AblationScheduler(bench.DefaultSeed, budgets); err != nil {
+		if _, err := bench.AblationScheduler(context.Background(), bench.DefaultSeed, budgets); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -122,7 +123,7 @@ func BenchmarkAblationScheduler(b *testing.B) {
 func BenchmarkAblationGuidance(b *testing.B) {
 	budgets := bench.DefaultBudgets()
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.AblationGuidance(bench.DefaultSeed, budgets); err != nil {
+		if _, err := bench.AblationGuidance(context.Background(), bench.DefaultSeed, budgets); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -131,7 +132,7 @@ func BenchmarkAblationGuidance(b *testing.B) {
 func BenchmarkAblationTau(b *testing.B) {
 	budgets := bench.DefaultBudgets()
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.AblationTau("thttpd", nil, bench.DefaultSeed, budgets); err != nil {
+		if _, err := bench.AblationTau(context.Background(), "thttpd", nil, bench.DefaultSeed, budgets); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -140,7 +141,7 @@ func BenchmarkAblationTau(b *testing.B) {
 func BenchmarkAblationSolverCache(b *testing.B) {
 	budgets := bench.DefaultBudgets()
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.AblationSolverCache(budgets); err != nil {
+		if _, err := bench.AblationSolverCache(context.Background(), budgets); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -5,11 +5,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/bench"
 )
@@ -27,11 +30,19 @@ func run() error {
 		figure   = flag.Int("figure", 0, "regenerate one figure (7-10); 0 = all")
 		ablation = flag.String("ablation", "", "run an ablation: scheduler, guidance, tau, cache, all")
 		seed     = flag.Int64("seed", bench.DefaultSeed, "workload seed")
+		parallel = flag.Int("parallel", 1, "candidate-verification workers per pipeline run (1: sequential)")
 		only     = flag.Bool("only", false, "run only the selected table/figure")
 		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 	)
 	flag.Parse()
 	budgets := bench.DefaultBudgets()
+	budgets.Parallel = *parallel
+
+	// SIGINT/SIGTERM cancel the in-flight experiment cooperatively; the
+	// partial rows computed so far are discarded, but the process exits
+	// cleanly instead of being killed mid-run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	emit := func(name string, rows any, text string) {
 		if *asJSON {
@@ -61,28 +72,28 @@ func run() error {
 		emit("table1", rows, bench.FormatTable1(rows))
 	}
 	if selected(2, 0) {
-		rows, err := bench.TableModule(1.0, *seed, budgets)
+		rows, err := bench.TableModule(ctx, 1.0, *seed, budgets)
 		if err != nil {
 			return err
 		}
 		emit("table2", rows, bench.FormatTableModule("TABLE II: Module breakdown at 100% sampling", rows))
 	}
 	if selected(3, 0) {
-		rows, err := bench.TableModule(0.3, *seed, budgets)
+		rows, err := bench.TableModule(ctx, 0.3, *seed, budgets)
 		if err != nil {
 			return err
 		}
 		emit("table3", rows, bench.FormatTableModule("TABLE III: Module breakdown at 30% sampling", rows))
 	}
 	if selected(4, 0) {
-		rows, err := bench.Table4(*seed, budgets)
+		rows, err := bench.Table4(ctx, *seed, budgets)
 		if err != nil {
 			return err
 		}
 		emit("table4", rows, bench.FormatTable4(rows))
 	}
 	if selected(5, 0) {
-		lines, err := bench.Table5("polymorph", 10, *seed)
+		lines, err := bench.Table5(ctx, "polymorph", 10, *seed)
 		if err != nil {
 			return err
 		}
@@ -93,7 +104,7 @@ func run() error {
 		fmt.Println()
 	}
 	if selected(0, 7) {
-		rows, err := bench.Figure7(*seed)
+		rows, err := bench.Figure7(ctx, *seed)
 		if err != nil {
 			return err
 		}
@@ -112,7 +123,7 @@ func run() error {
 		fmt.Println()
 	}
 	if selected(0, 9) {
-		lines, err := bench.Figure9("polymorph", *seed)
+		lines, err := bench.Figure9(ctx, "polymorph", *seed)
 		if err != nil {
 			return err
 		}
@@ -123,7 +134,7 @@ func run() error {
 		fmt.Println()
 	}
 	if selected(0, 10) {
-		rows, err := bench.Figure10([]string{"polymorph", "ctree"}, nil, *seed)
+		rows, err := bench.Figure10(ctx, []string{"polymorph", "ctree"}, nil, *seed)
 		if err != nil {
 			return err
 		}
@@ -133,46 +144,46 @@ func run() error {
 	switch *ablation {
 	case "":
 	case "scheduler":
-		rows, err := bench.AblationScheduler(*seed, budgets)
+		rows, err := bench.AblationScheduler(ctx, *seed, budgets)
 		if err != nil {
 			return err
 		}
 		fmt.Println(bench.FormatAblation("ABLATION: schedulers vs StatSym guidance", rows))
 	case "guidance":
-		rows, err := bench.AblationGuidance(*seed, budgets)
+		rows, err := bench.AblationGuidance(ctx, *seed, budgets)
 		if err != nil {
 			return err
 		}
 		fmt.Println(bench.FormatAblation("ABLATION: guidance mechanisms (inter/intra)", rows))
 	case "tau":
-		rows, err := bench.AblationTau("thttpd", nil, *seed, budgets)
+		rows, err := bench.AblationTau(ctx, "thttpd", nil, *seed, budgets)
 		if err != nil {
 			return err
 		}
 		fmt.Println(bench.FormatAblation("ABLATION: hop threshold τ (thttpd)", rows))
 	case "cache":
-		rows, err := bench.AblationSolverCache(budgets)
+		rows, err := bench.AblationSolverCache(ctx, budgets)
 		if err != nil {
 			return err
 		}
 		fmt.Println(bench.FormatAblation("ABLATION: solver query cache (polymorph, pure)", rows))
 	case "all":
-		rows, err := bench.AblationScheduler(*seed, budgets)
+		rows, err := bench.AblationScheduler(ctx, *seed, budgets)
 		if err != nil {
 			return err
 		}
 		fmt.Println(bench.FormatAblation("ABLATION: schedulers vs StatSym guidance", rows))
-		rows, err = bench.AblationGuidance(*seed, budgets)
+		rows, err = bench.AblationGuidance(ctx, *seed, budgets)
 		if err != nil {
 			return err
 		}
 		fmt.Println(bench.FormatAblation("ABLATION: guidance mechanisms (inter/intra)", rows))
-		rows, err = bench.AblationTau("thttpd", nil, *seed, budgets)
+		rows, err = bench.AblationTau(ctx, "thttpd", nil, *seed, budgets)
 		if err != nil {
 			return err
 		}
 		fmt.Println(bench.FormatAblation("ABLATION: hop threshold τ (thttpd)", rows))
-		rows, err = bench.AblationSolverCache(budgets)
+		rows, err = bench.AblationSolverCache(ctx, budgets)
 		if err != nil {
 			return err
 		}

@@ -7,9 +7,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/apps"
@@ -40,6 +43,7 @@ func run() error {
 		maxStates = flag.Int("max-states", 0, "live-state budget (0: default)")
 		maxSteps  = flag.Int64("max-steps", 0, "instruction budget (0: default)")
 		timeout   = flag.Duration("timeout", 0, "wall-clock bound for symbolic execution (0: none)")
+		parallel  = flag.Int("parallel", 1, "verify candidate paths with this many concurrent workers (1: the paper's sequential loop)")
 		verbose   = flag.Bool("v", false, "print predicates and candidate paths")
 		minimize  = flag.Bool("minimize", false, "shrink the witness input via concrete replays")
 		dotOut    = flag.String("dot", "", "write the transition graph (Graphviz DOT) to this file")
@@ -47,6 +51,12 @@ func run() error {
 		htmlOut   = flag.String("html", "", "write a self-contained HTML report to this file")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the pipeline cooperatively: symbolic execution
+	// stops within one scheduling quantum and the partial report (and any
+	// requested artifacts) is still emitted below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	app, err := apps.Get(*appName)
 	if err != nil {
@@ -57,7 +67,7 @@ func run() error {
 	if *pure {
 		fmt.Println("-- pure symbolic execution (baseline)")
 		start := time.Now()
-		res := core.RunPure(app.Program(), app.Spec, *maxStates, *maxSteps, *timeout)
+		res := core.RunPureContext(ctx, app.Program(), app.Spec, *maxStates, *maxSteps, *timeout)
 		printPureResult(res, time.Since(start))
 		return nil
 	}
@@ -101,8 +111,9 @@ func run() error {
 			return 0
 		}(),
 		MaxStates: *maxStates,
+		Parallel:  *parallel,
 	}
-	rep, err := core.Run(app.Program(), corpus, cfg)
+	rep, err := core.RunContext(ctx, app.Program(), corpus, cfg)
 	if err != nil {
 		return err
 	}
@@ -134,17 +145,44 @@ func run() error {
 	fmt.Printf("-- symbolic execution: %v\n", rep.SymTime.Round(time.Millisecond))
 	for _, c := range rep.Candidates {
 		status := "no vulnerability"
-		if c.Found {
+		switch {
+		case c.Found:
 			status = "VULNERABLE PATH FOUND"
-		} else if c.Infeasible {
+		case c.Cancelled:
+			status = "cancelled"
+		case c.Infeasible:
 			status = "infeasible / abandoned"
 		}
 		fmt.Printf("   candidate %d (len %d): %s — %d paths, %d steps, %d suspensions, %v\n",
 			c.Index, c.PathLen, status, c.Paths, c.Steps, c.Suspends, c.Elapsed.Round(time.Millisecond))
 	}
-	if !rep.Found() {
-		fmt.Println("RESULT: vulnerable path not found")
+	writeHTML := func() error {
+		if *htmlOut == "" {
+			return nil
+		}
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			return err
+		}
+		err = report.WriteHTML(f, rep, time.Now().Format("2006-01-02 15:04:05"))
+		cerr := f.Close()
+		if err != nil {
+			return err
+		}
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Printf("   HTML report written to %s\n", *htmlOut)
 		return nil
+	}
+	if !rep.Found() {
+		if rep.Cancelled {
+			fmt.Printf("RESULT: interrupted — partial report (%d of %d candidates attempted)\n",
+				len(rep.Candidates), len(rep.PathRes.Candidates))
+		} else {
+			fmt.Println("RESULT: vulnerable path not found")
+		}
+		return writeHTML()
 	}
 	v := rep.Vuln
 	fmt.Printf("RESULT: %s in %s at %s (candidate %d, %d paths total)\n",
@@ -183,20 +221,8 @@ func run() error {
 			fmt.Println()
 		}
 	}
-	if *htmlOut != "" {
-		f, err := os.Create(*htmlOut)
-		if err != nil {
-			return err
-		}
-		err = report.WriteHTML(f, rep, time.Now().Format("2006-01-02 15:04:05"))
-		cerr := f.Close()
-		if err != nil {
-			return err
-		}
-		if cerr != nil {
-			return cerr
-		}
-		fmt.Printf("   HTML report written to %s\n", *htmlOut)
+	if err := writeHTML(); err != nil {
+		return err
 	}
 	if *witOut != "" && v.Witness != nil {
 		if err := interp.SaveInput(*witOut, v.Witness); err != nil {
@@ -248,6 +274,9 @@ func printPureResult(res *symexec.Result, elapsed time.Duration) {
 		fmt.Printf("RESULT: FAILED — step budget exhausted after %d paths (%v)\n", res.Paths, elapsed.Round(time.Millisecond))
 	case res.TimedOut:
 		fmt.Printf("RESULT: FAILED — timed out after %d paths (%v)\n", res.Paths, elapsed.Round(time.Millisecond))
+	case res.Cancelled:
+		fmt.Printf("RESULT: interrupted after %d paths, %d steps (%v)\n",
+			res.Paths, res.Steps, elapsed.Round(time.Millisecond))
 	default:
 		fmt.Printf("RESULT: explored all %d paths without finding a vulnerability (%v)\n",
 			res.Paths, elapsed.Round(time.Millisecond))

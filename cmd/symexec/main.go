@@ -4,10 +4,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"repro/internal/apps"
@@ -94,8 +97,13 @@ func run() error {
 		return fmt.Errorf("unknown scheduler %q", *schedName)
 	}
 
+	// SIGINT/SIGTERM stop exploration cooperatively; the partial result
+	// (paths, coverage, any vulnerabilities found so far) is still printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	ex := symexec.New(prog, spec, opts)
-	res := ex.Run()
+	res := ex.RunContext(ctx)
 	fmt.Printf("scheduler=%s paths=%d states=%d forks=%d steps=%d solver-checks=%d elapsed=%v\n",
 		opts.Sched.Name(), res.Paths, res.StatesCreated, res.Forks, res.Steps,
 		res.SolverChecks, res.Elapsed.Round(time.Millisecond))
@@ -118,6 +126,8 @@ func run() error {
 		fmt.Println("status: FAILED (instruction budget exhausted)")
 	case res.TimedOut:
 		fmt.Println("status: FAILED (timed out)")
+	case res.Cancelled:
+		fmt.Println("status: interrupted (partial results)")
 	default:
 		fmt.Println("status: completed")
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,7 @@ import (
 
 func main() {
 	rates := []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
-	rows, err := bench.Figure10([]string{"polymorph", "ctree"}, rates, bench.DefaultSeed)
+	rows, err := bench.Figure10(context.Background(), []string{"polymorph", "ctree"}, rates, bench.DefaultSeed)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -44,7 +45,7 @@ func FormatAblation(title string, rows []AblationRow) string {
 // coverage) against StatSym guidance on every app. It isolates how much of
 // StatSym's win is scheduling (depth-first chase) versus statistical
 // pruning.
-func AblationScheduler(seed int64, budgets Budgets) ([]AblationRow, error) {
+func AblationScheduler(ctx context.Context, seed int64, budgets Budgets) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, app := range apps.All() {
 		scheds := []func() symexec.Scheduler{
@@ -54,8 +55,11 @@ func AblationScheduler(seed int64, budgets Budgets) ([]AblationRow, error) {
 			func() symexec.Scheduler { return symexec.NewCoverage() },
 		}
 		for _, mk := range scheds {
+			if err := ctx.Err(); err != nil {
+				return rows, err
+			}
 			sched := mk()
-			res := pureWithScheduler(app, sched, budgets)
+			res := pureWithScheduler(ctx, app, sched, budgets)
 			rows = append(rows, AblationRow{
 				Program: app.Name,
 				Config:  "pure/" + sched.Name(),
@@ -66,7 +70,7 @@ func AblationScheduler(seed int64, budgets Budgets) ([]AblationRow, error) {
 				Failed:  !res.Found() && (res.Exhausted || res.StepLimited || res.TimedOut),
 			})
 		}
-		rep, err := RunPipeline(app, 0.3, seed, budgets)
+		rep, err := RunPipeline(ctx, app, 0.3, seed, budgets)
 		if err != nil {
 			return nil, err
 		}
@@ -86,7 +90,7 @@ func AblationScheduler(seed int64, budgets Budgets) ([]AblationRow, error) {
 // AblationGuidance disables StatSym's two guidance mechanisms one at a
 // time: full guidance, inter-function only (no predicates), intra-function
 // only (no hop suspension), and neither (guided scheduler alone).
-func AblationGuidance(seed int64, budgets Budgets) ([]AblationRow, error) {
+func AblationGuidance(ctx context.Context, seed int64, budgets Budgets) ([]AblationRow, error) {
 	configs := []struct {
 		name               string
 		disInter, disPreds bool
@@ -103,14 +107,18 @@ func AblationGuidance(seed int64, budgets Budgets) ([]AblationRow, error) {
 			return nil, err
 		}
 		for _, c := range configs {
+			if err := ctx.Err(); err != nil {
+				return rows, err
+			}
 			cfg := core.Config{
 				Spec:                 app.Spec,
 				PerCandidateTimeout:  budgets.GuidedTimeout,
 				PerCandidateMaxSteps: budgets.GuidedMaxSteps,
+				Parallel:             budgets.Parallel,
 				DisableInter:         c.disInter,
 				DisablePredicates:    c.disPreds,
 			}
-			rep, err := core.Run(app.Program(), corpus, cfg)
+			rep, err := core.RunContext(ctx, app.Program(), corpus, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -130,7 +138,7 @@ func AblationGuidance(seed int64, budgets Budgets) ([]AblationRow, error) {
 
 // AblationTau sweeps the hop threshold τ on one app (default thttpd, whose
 // candidate paths are longest).
-func AblationTau(appName string, taus []int, seed int64, budgets Budgets) ([]AblationRow, error) {
+func AblationTau(ctx context.Context, appName string, taus []int, seed int64, budgets Budgets) ([]AblationRow, error) {
 	if len(taus) == 0 {
 		taus = []int{0, 1, 2, 5, 10, 20, 50}
 	}
@@ -144,17 +152,21 @@ func AblationTau(appName string, taus []int, seed int64, budgets Budgets) ([]Abl
 	}
 	var rows []AblationRow
 	for _, tau := range taus {
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
 		cfg := core.Config{
 			Spec:                 app.Spec,
 			Tau:                  tau,
 			MinPredScore:         core.DefaultMinPredScore,
 			PerCandidateTimeout:  budgets.GuidedTimeout,
 			PerCandidateMaxSteps: budgets.GuidedMaxSteps,
+			Parallel:             budgets.Parallel,
 		}
 		if tau == 0 {
 			cfg.Tau = -1 // τ=0: any off-path hop suspends (Config treats 0 as default)
 		}
-		rep, err := core.Run(app.Program(), corpus, cfg)
+		rep, err := core.RunContext(ctx, app.Program(), corpus, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -174,13 +186,16 @@ func AblationTau(appName string, taus []int, seed int64, budgets Budgets) ([]Abl
 // AblationSolverCache compares cached versus effectively-uncached
 // constraint solving on polymorph's pure baseline, quantifying what KLEE's
 // query caching buys this engine.
-func AblationSolverCache(budgets Budgets) ([]AblationRow, error) {
+func AblationSolverCache(ctx context.Context, budgets Budgets) ([]AblationRow, error) {
 	app, err := apps.Get("polymorph")
 	if err != nil {
 		return nil, err
 	}
 	var rows []AblationRow
 	for _, cached := range []bool{true, false} {
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
 		opts := symexec.DefaultOptions()
 		opts.Sched = symexec.NewBFS()
 		opts.MaxStates = budgets.PureMaxStates
@@ -191,7 +206,7 @@ func AblationSolverCache(budgets Budgets) ([]AblationRow, error) {
 			ex.Solver = solver.NewCached(solver.New())
 			ex.Solver.MaxEntries = 1 // effectively disables memoization
 		}
-		res := ex.Run()
+		res := ex.RunContext(ctx)
 		name := "solver-cache=on"
 		if !cached {
 			name = "solver-cache=off"

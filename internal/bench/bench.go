@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -33,6 +34,13 @@ type Budgets struct {
 
 	GuidedMaxSteps int64
 	GuidedTimeout  time.Duration
+
+	// Parallel is the candidate-verification worker count handed to
+	// core.Config.Parallel by every experiment that runs the guided
+	// pipeline. 0 and 1 keep the sequential loop; the reported counters
+	// are identical either way (the parallel engine's determinism
+	// guarantee), only wall-clock time changes.
+	Parallel int
 }
 
 // DefaultBudgets returns the standard experiment budgets.
@@ -95,7 +103,9 @@ type ModuleRow struct {
 
 // RunPipeline executes the full StatSym pipeline for one app at the given
 // sampling rate and returns the report (shared by several experiments).
-func RunPipeline(app *apps.App, rate float64, seed int64, budgets Budgets) (*core.Report, error) {
+// Cancelling ctx aborts the guided search and surfaces the partial report's
+// error state to the experiment driver.
+func RunPipeline(ctx context.Context, app *apps.App, rate float64, seed int64, budgets Budgets) (*core.Report, error) {
 	corpus, err := workload.BuildCorpus(app, workload.Options{SampleRate: rate, Seed: seed})
 	if err != nil {
 		return nil, err
@@ -104,16 +114,20 @@ func RunPipeline(app *apps.App, rate float64, seed int64, budgets Budgets) (*cor
 		Spec:                 app.Spec,
 		PerCandidateTimeout:  budgets.GuidedTimeout,
 		PerCandidateMaxSteps: budgets.GuidedMaxSteps,
+		Parallel:             budgets.Parallel,
 	}
-	return core.Run(app.Program(), corpus, cfg)
+	return core.RunContext(ctx, app.Program(), corpus, cfg)
 }
 
 // TableModule runs every app at the given sampling rate — Table II with
 // rate=1.0, Table III with rate=0.3.
-func TableModule(rate float64, seed int64, budgets Budgets) ([]ModuleRow, error) {
+func TableModule(ctx context.Context, rate float64, seed int64, budgets Budgets) ([]ModuleRow, error) {
 	var rows []ModuleRow
 	for _, app := range apps.All() {
-		rep, err := RunPipeline(app, rate, seed, budgets)
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
+		rep, err := RunPipeline(ctx, app, rate, seed, budgets)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", app.Name, err)
 		}
@@ -161,10 +175,13 @@ type Table4Row struct {
 }
 
 // Table4 runs the comparison at 30% sampling (the paper's setting).
-func Table4(seed int64, budgets Budgets) ([]Table4Row, error) {
+func Table4(ctx context.Context, seed int64, budgets Budgets) ([]Table4Row, error) {
 	var rows []Table4Row
 	for _, app := range apps.All() {
-		rep, err := RunPipeline(app, 0.3, seed, budgets)
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
+		rep, err := RunPipeline(ctx, app, 0.3, seed, budgets)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", app.Name, err)
 		}
@@ -174,7 +191,7 @@ func Table4(seed int64, budgets Budgets) ([]Table4Row, error) {
 			GuidedTime:  rep.StatTime + rep.SymTime,
 			GuidedFound: rep.Found(),
 		}
-		pure := core.RunPure(app.Program(), app.Spec,
+		pure := core.RunPureContext(ctx, app.Program(), app.Spec,
 			budgets.PureMaxStates, budgets.PureMaxSteps, budgets.PureTimeout)
 		row.PurePaths = pure.Paths
 		row.PureTime = pure.Elapsed
@@ -211,12 +228,12 @@ func FormatTable4(rows []Table4Row) string {
 // --- Table V (top predicates, polymorph) ---
 
 // Table5 returns the top-k ranked predicates for an app at 30% sampling.
-func Table5(appName string, k int, seed int64) ([]string, error) {
+func Table5(ctx context.Context, appName string, k int, seed int64) ([]string, error) {
 	app, err := apps.Get(appName)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := RunPipeline(app, 0.3, seed, DefaultBudgets())
+	rep, err := RunPipeline(ctx, app, 0.3, seed, DefaultBudgets())
 	if err != nil {
 		return nil, err
 	}
@@ -240,10 +257,13 @@ type Fig7Row struct {
 }
 
 // Figure7 computes candidate path length statistics at 30% sampling.
-func Figure7(seed int64) ([]Fig7Row, error) {
+func Figure7(ctx context.Context, seed int64) ([]Fig7Row, error) {
 	var rows []Fig7Row
 	for _, app := range apps.All() {
-		rep, err := RunPipeline(app, 0.3, seed, DefaultBudgets())
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
+		rep, err := RunPipeline(ctx, app, 0.3, seed, DefaultBudgets())
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", app.Name, err)
 		}
@@ -315,12 +335,12 @@ func Figure8(appName string) ([]string, []string, error) {
 // --- Figure 9 (candidate paths, polymorph) ---
 
 // Figure9 renders an app's ranked candidate paths at 30% sampling.
-func Figure9(appName string, seed int64) ([]string, error) {
+func Figure9(ctx context.Context, appName string, seed int64) ([]string, error) {
 	app, err := apps.Get(appName)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := RunPipeline(app, 0.3, seed, DefaultBudgets())
+	rep, err := RunPipeline(ctx, app, 0.3, seed, DefaultBudgets())
 	if err != nil {
 		return nil, err
 	}
@@ -347,7 +367,7 @@ type Fig10Row struct {
 
 // Figure10 sweeps sampling rates for the given apps (the paper uses
 // polymorph and CTree, 20%–100%).
-func Figure10(appNames []string, rates []float64, seed int64) ([]Fig10Row, error) {
+func Figure10(ctx context.Context, appNames []string, rates []float64, seed int64) ([]Fig10Row, error) {
 	if len(rates) == 0 {
 		rates = []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
 	}
@@ -358,7 +378,10 @@ func Figure10(appNames []string, rates []float64, seed int64) ([]Fig10Row, error
 			return nil, err
 		}
 		for _, rate := range rates {
-			rep, err := RunPipeline(app, rate, seed, DefaultBudgets())
+			if err := ctx.Err(); err != nil {
+				return rows, err
+			}
+			rep, err := RunPipeline(ctx, app, rate, seed, DefaultBudgets())
 			if err != nil {
 				return nil, fmt.Errorf("%s@%.0f%%: %w", name, rate*100, err)
 			}
@@ -394,12 +417,12 @@ func FormatFigure10(rows []Fig10Row) string {
 
 // pureWithScheduler runs unguided symbolic execution under a given
 // scheduler.
-func pureWithScheduler(app *apps.App, sched symexec.Scheduler, budgets Budgets) *symexec.Result {
+func pureWithScheduler(ctx context.Context, app *apps.App, sched symexec.Scheduler, budgets Budgets) *symexec.Result {
 	opts := symexec.DefaultOptions()
 	opts.Sched = sched
 	opts.MaxStates = budgets.PureMaxStates
 	opts.MaxSteps = budgets.PureMaxSteps
 	opts.Timeout = budgets.PureTimeout
 	ex := symexec.New(app.Program(), app.Spec, opts)
-	return ex.Run()
+	return ex.RunContext(ctx)
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -38,7 +39,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestTableModuleAllFound(t *testing.T) {
-	rows, err := TableModule(0.3, DefaultSeed, smallBudgets())
+	rows, err := TableModule(context.Background(), 0.3, DefaultSeed, smallBudgets())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestTableModuleAllFound(t *testing.T) {
 }
 
 func TestTable4Shape(t *testing.T) {
-	rows, err := Table4(DefaultSeed, smallBudgets())
+	rows, err := Table4(context.Background(), DefaultSeed, smallBudgets())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestTable4Shape(t *testing.T) {
 }
 
 func TestTable5Predicates(t *testing.T) {
-	lines, err := Table5("polymorph", 10, DefaultSeed)
+	lines, err := Table5(context.Background(), "polymorph", 10, DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestTable5Predicates(t *testing.T) {
 }
 
 func TestFigure7Shape(t *testing.T) {
-	rows, err := Figure7(DefaultSeed)
+	rows, err := Figure7(context.Background(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestFigure8Polymorph(t *testing.T) {
 }
 
 func TestFigure9Polymorph(t *testing.T) {
-	lines, err := Figure9("polymorph", DefaultSeed)
+	lines, err := Figure9(context.Background(), "polymorph", DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestFigure9Polymorph(t *testing.T) {
 }
 
 func TestFigure10Shape(t *testing.T) {
-	rows, err := Figure10([]string{"polymorph"}, []float64{0.2, 1.0}, DefaultSeed)
+	rows, err := Figure10(context.Background(), []string{"polymorph"}, []float64{0.2, 1.0}, DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestFigure10Shape(t *testing.T) {
 }
 
 func TestAblationGuidanceShape(t *testing.T) {
-	rows, err := AblationGuidance(DefaultSeed, smallBudgets())
+	rows, err := AblationGuidance(context.Background(), DefaultSeed, smallBudgets())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestAblationGuidanceShape(t *testing.T) {
 }
 
 func TestAblationTauShape(t *testing.T) {
-	rows, err := AblationTau("polymorph", []int{1, 10}, DefaultSeed, smallBudgets())
+	rows, err := AblationTau(context.Background(), "polymorph", []int{1, 10}, DefaultSeed, smallBudgets())
 	if err != nil {
 		t.Fatal(err)
 	}

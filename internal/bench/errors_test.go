@@ -1,25 +1,26 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
 )
 
 func TestUnknownAppErrors(t *testing.T) {
-	if _, err := Table5("nope", 10, 1); err == nil {
+	if _, err := Table5(context.Background(), "nope", 10, 1); err == nil {
 		t.Error("Table5 accepted unknown app")
 	}
 	if _, _, err := Figure8("nope"); err == nil {
 		t.Error("Figure8 accepted unknown app")
 	}
-	if _, err := Figure9("nope", 1); err == nil {
+	if _, err := Figure9(context.Background(), "nope", 1); err == nil {
 		t.Error("Figure9 accepted unknown app")
 	}
-	if _, err := Figure10([]string{"nope"}, []float64{0.3}, 1); err == nil {
+	if _, err := Figure10(context.Background(), []string{"nope"}, []float64{0.3}, 1); err == nil {
 		t.Error("Figure10 accepted unknown app")
 	}
-	if _, err := AblationTau("nope", nil, 1, DefaultBudgets()); err == nil {
+	if _, err := AblationTau(context.Background(), "nope", nil, 1, DefaultBudgets()); err == nil {
 		t.Error("AblationTau accepted unknown app")
 	}
 }

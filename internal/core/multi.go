@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/bytecode"
@@ -44,6 +45,13 @@ func (m *MultiReport) Found() int {
 // cluster, pairing each cluster's faulty logs with the full set of correct
 // logs. Clusters are processed in decreasing size.
 func RunMulti(prog *bytecode.Program, corpus *trace.Corpus, cfg Config) (*MultiReport, error) {
+	return RunMultiContext(context.Background(), prog, corpus, cfg)
+}
+
+// RunMultiContext is RunMulti under a context: cancellation stops after
+// the in-flight cluster's pipeline winds down, returning the clusters
+// processed so far.
+func RunMultiContext(ctx context.Context, prog *bytecode.Program, corpus *trace.Corpus, cfg Config) (*MultiReport, error) {
 	correct, faulty := corpus.Split()
 
 	type key struct{ fn, kind string }
@@ -69,6 +77,9 @@ func RunMulti(prog *bytecode.Program, corpus *trace.Corpus, cfg Config) (*MultiR
 
 	out := &MultiReport{}
 	for _, k := range keys {
+		if ctx.Err() != nil {
+			break
+		}
 		members := clusters[k]
 		sub := &trace.Corpus{Program: corpus.Program}
 		for _, r := range correct {
@@ -77,7 +88,7 @@ func RunMulti(prog *bytecode.Program, corpus *trace.Corpus, cfg Config) (*MultiR
 		for _, r := range members {
 			sub.Runs = append(sub.Runs, *r)
 		}
-		rep, err := Run(prog, sub, cfg)
+		rep, err := RunContext(ctx, prog, sub, cfg)
 		if err != nil {
 			return out, err
 		}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/bytecode"
+	"repro/internal/pathid"
+	"repro/internal/symexec"
+)
+
+// Parallel candidate verification (modeled on monitor.CollectCorpusParallel).
+//
+// The Fig. 5 loop verifies ranked candidate paths one at a time; the
+// attempts are independent symbolic executions (each builds its own
+// executor, solver, and guidance state over the shared read-only program),
+// so they parallelize like the monitor's corpus collection does. The
+// engine preserves the sequential loop's semantics exactly:
+//
+//   - candidates are dispatched to a bounded worker pool in rank order;
+//   - when the candidate at rank r verifies the vulnerability, every
+//     higher-ranked sibling (rank > r) is cancelled — they could only be
+//     reached after a rank-r failure, which now cannot happen. Candidates
+//     ranked below r keep running: one of them may succeed at an even
+//     lower rank, which is the answer the sequential loop would give;
+//   - outcomes merge in rank order up to and including the lowest
+//     successful rank, so Report.Candidates, CandidateUsed, TotalPaths,
+//     and TotalSteps are byte-identical to a sequential run whenever the
+//     per-candidate budgets are deterministic (step/state bounds).
+//     Wall-clock budgets remain timing-dependent, in parallel and
+//     sequential runs alike.
+
+// verifyCandidatesParallel verifies cands concurrently and merges the
+// outcomes into rep deterministically. Invoked by RunContext when
+// cfg.Parallel > 1.
+func verifyCandidatesParallel(ctx context.Context, prog *bytecode.Program, cands []*pathid.CandidatePath, cfg Config, rep *Report) {
+	workers := cfg.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+
+	type attempt struct {
+		outcome  CandidateOutcome
+		vuln     *symexec.Vulnerability
+		complete bool // ran to its own stop condition, not cancelled/skipped
+	}
+	attempts := make([]attempt, len(cands))
+	ctxs := make([]context.Context, len(cands))
+	cancels := make([]context.CancelFunc, len(cands))
+	for i := range cands {
+		ctxs[i], cancels[i] = context.WithCancel(ctx)
+	}
+	defer func() {
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}()
+
+	// winner is the lowest successful 1-based rank so far (0: none).
+	var mu sync.Mutex
+	winner := 0
+	noteSuccess := func(rank int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if winner != 0 && winner <= rank {
+			return
+		}
+		winner = rank
+		// First-success cancel: siblings at rank > winner are pointless.
+		for i := rank; i < len(cancels); i++ {
+			cancels[i]()
+		}
+	}
+	beyondWinner := func(rank int) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return winner != 0 && rank > winner
+	}
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				rank := i + 1
+				if beyondWinner(rank) || ctxs[i].Err() != nil {
+					continue
+				}
+				outcome, vuln := VerifyCandidateCtx(ctxs[i], prog, cands[i], rank, cfg)
+				attempts[i] = attempt{
+					outcome:  outcome,
+					vuln:     vuln,
+					complete: !outcome.Cancelled,
+				}
+				if vuln != nil {
+					noteSuccess(rank)
+				}
+			}
+		}()
+	}
+	for i := range cands {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+
+	// Deterministic merge: replay the sequential loop over the recorded
+	// attempts. Ranks past the first success were cancelled or skipped and
+	// are discarded, exactly as the sequential loop never runs them. An
+	// incomplete attempt below the winner can only mean the caller's
+	// context was cancelled; the merged prefix is the partial report.
+	for i := range attempts {
+		a := &attempts[i]
+		if !a.complete {
+			break
+		}
+		rep.Candidates = append(rep.Candidates, a.outcome)
+		rep.TotalPaths += a.outcome.Paths
+		rep.TotalSteps += a.outcome.Steps
+		if a.vuln != nil {
+			rep.Vuln = a.vuln
+			rep.CandidateUsed = i + 1
+			break
+		}
+	}
+}

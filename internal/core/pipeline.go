@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -34,10 +35,31 @@ type Config struct {
 	// TotalTimeout bounds the whole symbolic-execution phase.
 	TotalTimeout time.Duration
 
+	// Parallel is the candidate-verification worker count. Values above 1
+	// verify the ranked candidate paths concurrently (see parallel.go);
+	// 0 and 1 keep the sequential Fig. 5 loop. Outcomes and report
+	// counters are deterministic in rank order regardless of the value,
+	// provided the per-candidate budgets are step/state bounds rather
+	// than wall-clock ones.
+	Parallel int
+
 	// DisableInter / DisablePredicates switch off the two guidance
 	// mechanisms independently (ablations).
 	DisableInter      bool
 	DisablePredicates bool
+}
+
+// withDefaults returns cfg with unset tunables replaced by the paper
+// defaults. Every pipeline entry point (sequential, parallel, and direct
+// candidate verification) normalizes its Config through this single place.
+func (cfg Config) withDefaults() Config {
+	if cfg.Tau == 0 {
+		cfg.Tau = DefaultTau
+	}
+	if cfg.MinPredScore == 0 {
+		cfg.MinPredScore = DefaultMinPredScore
+	}
+	return cfg
 }
 
 // CandidateOutcome records one guided exploration attempt.
@@ -53,6 +75,10 @@ type CandidateOutcome struct {
 	// Infeasible marks candidates abandoned with every prioritized state
 	// suspended or exhausted (the thttpd first-candidate case, §VII-C2).
 	Infeasible bool
+	// Cancelled marks attempts interrupted by context cancellation
+	// (user interrupt or a lower-ranked candidate winning the parallel
+	// race); their counters reflect only the work done before the stop.
+	Cancelled bool
 }
 
 // Report is the pipeline's full output.
@@ -80,6 +106,10 @@ type Report struct {
 	// TotalPaths sums paths explored across attempts (Table IV).
 	TotalPaths int
 	TotalSteps int64
+	// Cancelled reports that the symbolic-execution phase was interrupted
+	// by context cancellation before it could finish; the report carries
+	// whatever the pipeline completed up to that point.
+	Cancelled bool
 }
 
 // Found reports whether the pipeline verified a vulnerable path.
@@ -101,12 +131,18 @@ func (r *Report) Detours() int {
 //	(e)     statistics-guided symbolic execution per candidate path until
 //	        a vulnerable path is verified or candidates run out.
 func Run(prog *bytecode.Program, corpus *trace.Corpus, cfg Config) (*Report, error) {
-	if cfg.Tau == 0 {
-		cfg.Tau = DefaultTau
-	}
-	if cfg.MinPredScore == 0 {
-		cfg.MinPredScore = DefaultMinPredScore
-	}
+	return RunContext(context.Background(), prog, corpus, cfg)
+}
+
+// RunContext is Run under a context. Cancelling ctx stops the
+// symbolic-execution phase cooperatively: the in-flight candidate
+// attempt(s) wind down within one scheduling quantum, the partial report
+// (statistics, completed attempts, counters so far) is still returned, and
+// Report.Cancelled is set. With cfg.Parallel > 1 the ranked candidates are
+// verified by a bounded worker pool instead of the sequential loop; the
+// resulting report is deterministic and identical to the sequential one.
+func RunContext(ctx context.Context, prog *bytecode.Program, corpus *trace.Corpus, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
 	rep := &Report{Program: prog.Name}
 	rep.Runs, rep.Locations, rep.Variables = corpus.Counts()
 	rep.LogBytes = corpus.SizeBytes()
@@ -123,52 +159,62 @@ func Run(prog *bytecode.Program, corpus *trace.Corpus, cfg Config) (*Report, err
 
 	// Statistics-guided symbolic execution module.
 	symStart := time.Now()
-	var symDeadline time.Time
+	symCtx := ctx
 	if cfg.TotalTimeout > 0 {
-		symDeadline = symStart.Add(cfg.TotalTimeout)
+		var cancel context.CancelFunc
+		symCtx, cancel = context.WithTimeout(ctx, cfg.TotalTimeout)
+		defer cancel()
 	}
-	for i, cand := range pres.Candidates {
-		if !symDeadline.IsZero() && time.Now().After(symDeadline) {
-			break
-		}
-		outcome := runCandidate(prog, cand, i+1, cfg)
-		rep.Candidates = append(rep.Candidates, outcome.CandidateOutcome)
-		rep.TotalPaths += outcome.Paths
-		rep.TotalSteps += outcome.Steps
-		if outcome.Found {
-			rep.Vuln = outcome.vuln
-			rep.CandidateUsed = i + 1
-			break
-		}
+	if cfg.Parallel > 1 && len(pres.Candidates) > 1 {
+		verifyCandidatesParallel(symCtx, prog, pres.Candidates, cfg, rep)
+	} else {
+		verifyCandidatesSequential(symCtx, prog, pres.Candidates, cfg, rep)
+	}
+	// A cancellation of the caller's context is surfaced as such; an
+	// expired TotalTimeout is the pipeline completing at its budget, the
+	// same as before contexts.
+	if ctx.Err() != nil && !rep.Found() {
+		rep.Cancelled = true
 	}
 	rep.SymTime = time.Since(symStart)
 	return rep, nil
 }
 
-type candidateResult struct {
-	CandidateOutcome
-	vuln *symexec.Vulnerability
-}
-
-// runCandidate performs one statistics-guided exploration (step e.2).
-func runCandidate(prog *bytecode.Program, cand *pathid.CandidatePath, rank int, cfg Config) candidateResult {
-	out, vuln := VerifyCandidate(prog, cand, cfg)
-	out.Index = rank
-	return candidateResult{CandidateOutcome: out, vuln: vuln}
+// verifyCandidatesSequential is the paper's Fig. 5 loop: attempt candidates
+// in rank order, stop at the first verified vulnerable path.
+func verifyCandidatesSequential(ctx context.Context, prog *bytecode.Program, cands []*pathid.CandidatePath, cfg Config, rep *Report) {
+	for i, cand := range cands {
+		if ctx.Err() != nil {
+			break
+		}
+		outcome, vuln := VerifyCandidateCtx(ctx, prog, cand, i+1, cfg)
+		rep.Candidates = append(rep.Candidates, outcome)
+		rep.TotalPaths += outcome.Paths
+		rep.TotalSteps += outcome.Steps
+		if vuln != nil {
+			rep.Vuln = vuln
+			rep.CandidateUsed = i + 1
+			break
+		}
+	}
 }
 
 // VerifyCandidate runs statistics-guided symbolic execution against one
 // candidate vulnerable path (step e.2 of Fig. 5) and reports the outcome
-// together with the vulnerability, if verified. Callers that construct
-// their own candidate lists (tests, alternative ranking strategies) can
-// drive the verification loop directly.
+// together with the vulnerability, if verified. The outcome's Index is 1;
+// callers holding a ranked list should use VerifyCandidateCtx with the
+// candidate's true rank.
 func VerifyCandidate(prog *bytecode.Program, cand *pathid.CandidatePath, cfg Config) (CandidateOutcome, *symexec.Vulnerability) {
-	if cfg.Tau == 0 {
-		cfg.Tau = DefaultTau
-	}
-	if cfg.MinPredScore == 0 {
-		cfg.MinPredScore = DefaultMinPredScore
-	}
+	return VerifyCandidateCtx(context.Background(), prog, cand, 1, cfg)
+}
+
+// VerifyCandidateCtx verifies one candidate path under a context. rank is
+// the candidate's 1-based position in the ranked list and is recorded as
+// the outcome's Index, so direct callers (tests, alternative ranking
+// strategies, the parallel engine) get correct indices without patching
+// the outcome afterwards.
+func VerifyCandidateCtx(ctx context.Context, prog *bytecode.Program, cand *pathid.CandidatePath, rank int, cfg Config) (CandidateOutcome, *symexec.Vulnerability) {
+	cfg = cfg.withDefaults()
 	g := NewGuidance(cand)
 	g.Tau = cfg.Tau
 	g.MinPredScore = cfg.MinPredScore
@@ -185,29 +231,38 @@ func VerifyCandidate(prog *bytecode.Program, cand *pathid.CandidatePath, cfg Con
 		opts.MaxStates = cfg.MaxStates
 	}
 	ex := symexec.New(prog, cfg.Spec, opts)
-	res := ex.Run()
+	res := ex.RunContext(ctx)
 	out := CandidateOutcome{
-		Index:    1,
-		PathLen:  cand.Len(),
-		Found:    res.Found(),
-		Paths:    res.Paths,
-		Steps:    res.Steps,
-		Suspends: g.Suspends,
-		Matches:  g.Matches,
-		Elapsed:  res.Elapsed,
+		Index:     rank,
+		PathLen:   cand.Len(),
+		Found:     res.Found(),
+		Paths:     res.Paths,
+		Steps:     res.Steps,
+		Suspends:  g.Suspends,
+		Matches:   g.Matches,
+		Elapsed:   res.Elapsed,
+		Cancelled: res.Cancelled,
 	}
 	if res.Found() {
 		return out, res.Vulns[0]
 	}
 	// Candidate abandoned: either the guided frontier died out
-	// (infeasible candidate) or a resource bound hit.
-	out.Infeasible = res.TimedOut || res.Exhausted || res.StepLimited || res.SuspendedAtEnd > 0
+	// (infeasible candidate) or a resource bound hit. A cancelled attempt
+	// is neither — it simply never finished.
+	out.Infeasible = !res.Cancelled &&
+		(res.TimedOut || res.Exhausted || res.StepLimited || res.SuspendedAtEnd > 0)
 	return out, nil
 }
 
 // RunPure executes the pure-symbolic-execution baseline (unmodified KLEE in
 // the paper's Table IV) with the same input spec and resource bounds.
 func RunPure(prog *bytecode.Program, spec *symexec.InputSpec, maxStates int, maxSteps int64, timeout time.Duration) *symexec.Result {
+	return RunPureContext(context.Background(), prog, spec, maxStates, maxSteps, timeout)
+}
+
+// RunPureContext is RunPure under a context (cancellation stops the
+// baseline the same way it stops guided attempts).
+func RunPureContext(ctx context.Context, prog *bytecode.Program, spec *symexec.InputSpec, maxStates int, maxSteps int64, timeout time.Duration) *symexec.Result {
 	opts := symexec.DefaultOptions()
 	opts.Sched = symexec.NewBFS()
 	if maxStates > 0 {
@@ -218,5 +273,5 @@ func RunPure(prog *bytecode.Program, spec *symexec.InputSpec, maxStates int, max
 	}
 	opts.Timeout = timeout
 	ex := symexec.New(prog, spec, opts)
-	return ex.Run()
+	return ex.RunContext(ctx)
 }

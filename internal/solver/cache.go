@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"hash/fnv"
 	"sort"
 	"strconv"
@@ -33,13 +34,24 @@ func NewCached(s *Solver) *CachedSolver {
 
 // Check is Solver.Check with memoization.
 func (cs *CachedSolver) Check(t *VarTable, cons []Constraint) (Result, Model) {
+	return cs.CheckCtx(context.Background(), t, cons)
+}
+
+// CheckCtx is Check under a context. Results produced while the context is
+// cancelled are not cached: such queries resolve to Unknown as an artifact
+// of cancellation, and memoizing them would poison later retries of the
+// same conjunction.
+func (cs *CachedSolver) CheckCtx(ctx context.Context, t *VarTable, cons []Constraint) (Result, Model) {
 	key := hashConstraints(cons)
 	if r, ok := cs.cache[key]; ok {
 		cs.Hits++
 		return r.res, r.model
 	}
 	cs.Misses++
-	res, model := cs.S.Check(t, cons)
+	res, model := cs.S.CheckCtx(ctx, t, cons)
+	if ctx != nil && ctx.Err() != nil {
+		return res, model
+	}
 	if len(cs.cache) >= cs.MaxEntries {
 		cs.cache = make(map[uint64]cachedResult)
 	}

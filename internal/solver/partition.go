@@ -1,5 +1,7 @@
 package solver
 
+import "context"
+
 // Partition splits a conjunction into independent components: two
 // constraints belong to the same component iff they (transitively) share a
 // variable. Since components are variable-disjoint, the conjunction is
@@ -76,14 +78,21 @@ func Partition(cons []Constraint) [][]Constraint {
 // results memoize individually, so a long path condition that grows by one
 // constraint re-solves only the affected component.
 func (cs *CachedSolver) CheckPartitioned(t *VarTable, cons []Constraint) (Result, Model) {
+	return cs.CheckPartitionedCtx(context.Background(), t, cons)
+}
+
+// CheckPartitionedCtx is CheckPartitioned under a context; the context is
+// consulted per component, so a wide conjunction stops between components
+// once the caller is cancelled.
+func (cs *CachedSolver) CheckPartitionedCtx(ctx context.Context, t *VarTable, cons []Constraint) (Result, Model) {
 	comps := Partition(cons)
 	if len(comps) <= 1 {
-		return cs.Check(t, cons)
+		return cs.CheckCtx(ctx, t, cons)
 	}
 	merged := make(Model)
 	result := Sat
 	for _, comp := range comps {
-		res, m := cs.Check(t, comp)
+		res, m := cs.CheckCtx(ctx, t, comp)
 		switch res {
 		case Unsat:
 			// One unsatisfiable component refutes the conjunction.

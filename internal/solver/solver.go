@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"sort"
 )
 
@@ -70,7 +71,21 @@ func (s *Solver) maxFM() int {
 // returned model assigns every variable that occurs in cons (other
 // variables are unconstrained; use their intrinsic bounds or zero).
 func (s *Solver) Check(t *VarTable, cons []Constraint) (Result, Model) {
+	return s.CheckCtx(context.Background(), t, cons)
+}
+
+// CheckCtx is Check under a context. A cancelled or expired context makes
+// the query resolve to Unknown without searching — callers that explore
+// optimistically on Unknown stay sound, and the enclosing executor observes
+// the same cancellation at its own loop and stops. Every individual query
+// is already bounded by the solver budgets, so the context is consulted
+// between the solving stages rather than inside the inner search loops.
+func (s *Solver) CheckCtx(ctx context.Context, t *VarTable, cons []Constraint) (Result, Model) {
 	s.Stats.Checks++
+	if ctx != nil && ctx.Err() != nil {
+		s.Stats.Unknown++
+		return Unknown, nil
+	}
 	// Trivial screening.
 	live := make([]Constraint, 0, len(cons))
 	for _, c := range cons {
@@ -101,8 +116,8 @@ func (s *Solver) Check(t *VarTable, cons []Constraint) (Result, Model) {
 	// Model search failed: attempt a rational infeasibility proof (sound
 	// for the integer problem too). Fourier–Motzkin is quadratic in the
 	// variable count, so it is the last resort and is skipped for very
-	// wide systems.
-	if len(p.vars) <= s.maxFMVars() {
+	// wide systems — and under a cancelled context.
+	if (ctx == nil || ctx.Err() == nil) && len(p.vars) <= s.maxFMVars() {
 		if feasible, ok := p.fourierMotzkin(s.maxFM()); ok && !feasible {
 			s.Stats.Unsat++
 			return Unsat, nil

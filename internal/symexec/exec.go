@@ -1,6 +1,7 @@
 package symexec
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -109,7 +110,11 @@ type Result struct {
 	Exhausted   bool
 	StepLimited bool
 	TimedOut    bool
-	Elapsed     time.Duration
+	// Cancelled reports that the run's context was cancelled by the
+	// caller (user interrupt, a sibling candidate winning the race) —
+	// distinct from TimedOut, which reports an expired wall-clock budget.
+	Cancelled bool
+	Elapsed   time.Duration
 	// SuspendedAtEnd counts states still suspended when the run stopped.
 	SuspendedAtEnd int
 	// Revivals counts suspended-pool revivals (guidance fallback events).
@@ -131,10 +136,10 @@ type Executor struct {
 	suspended []*State
 	res       *Result
 
-	nextID   int
-	nextSeq  int
-	deadline time.Time
-	stopped  bool
+	nextID  int
+	nextSeq int
+	ctx     context.Context
+	stopped bool
 
 	visits [][]int64
 }
@@ -194,10 +199,28 @@ func (ex *Executor) recordVisit(fnIndex, pc int) {
 // StopAtFirstVuln), state space exhausted, budget exceeded, or no states
 // remain.
 func (ex *Executor) Run() *Result {
+	return ex.RunContext(context.Background())
+}
+
+// RunContext is Run under a context: the step loop checks the context
+// cooperatively once per scheduling quantum, so cancellation latency is
+// bounded by one batch of instructions (plus at most one solver query,
+// each of which is itself budget-bounded). Options.Timeout, when set, is
+// layered on top of ctx as a deadline; an expired deadline is recorded as
+// TimedOut, an explicit cancellation as Cancelled. Either way the Result
+// is complete and internally consistent — counters reflect exactly the
+// work done before the stop.
+func (ex *Executor) RunContext(ctx context.Context) *Result {
 	start := time.Now()
-	if ex.Opts.Timeout > 0 {
-		ex.deadline = start.Add(ex.Opts.Timeout)
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	if ex.Opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, ex.Opts.Timeout)
+		defer cancel()
+	}
+	ex.ctx = ctx
 	st, err := ex.initialState()
 	if err != nil {
 		// Initialization of globals cannot fork or fault in checked
@@ -211,8 +234,8 @@ func (ex *Executor) Run() *Result {
 			ex.res.StepLimited = true
 			break
 		}
-		if !ex.deadline.IsZero() && time.Now().After(ex.deadline) {
-			ex.res.TimedOut = true
+		if err := ctx.Err(); err != nil {
+			ex.noteInterrupt(err)
 			break
 		}
 		cur := ex.sched.Next()
@@ -239,6 +262,25 @@ func (ex *Executor) Run() *Result {
 	ex.res.SolverUnknowns = ex.Solver.S.Stats.Unknown
 	ex.res.Elapsed = time.Since(start)
 	return ex.res
+}
+
+// noteInterrupt records why the context stopped the run: a deadline is a
+// timeout (the classic resource abort), anything else is a cancellation.
+func (ex *Executor) noteInterrupt(err error) {
+	if err == context.DeadlineExceeded {
+		ex.res.TimedOut = true
+		return
+	}
+	ex.res.Cancelled = true
+}
+
+// runCtx returns the active run context (Background outside RunContext,
+// e.g. for hook-driven solver calls issued from tests).
+func (ex *Executor) runCtx() context.Context {
+	if ex.ctx == nil {
+		return context.Background()
+	}
+	return ex.ctx
 }
 
 // initialState runs $init (straight-line global initializers) and returns
@@ -356,7 +398,7 @@ func (ex *Executor) satisfiable(st *State, extra ...solver.Constraint) (bool, so
 		return false, nil
 	}
 	if st.LastModel != nil && ex.disjointFromPC(st, extra) {
-		res, m := ex.Solver.Check(ex.Table, extra)
+		res, m := ex.Solver.CheckCtx(ex.runCtx(), ex.Table, extra)
 		switch res {
 		case solver.Sat:
 			merged := make(solver.Model, len(st.LastModel)+len(m))
@@ -378,7 +420,7 @@ func (ex *Executor) satisfiable(st *State, extra ...solver.Constraint) (bool, so
 	// Independent-component solving (KLEE's independence optimization):
 	// only the components touched by the new constraints re-solve; the
 	// rest hit the query cache.
-	res, m := ex.Solver.CheckPartitioned(ex.Table, query)
+	res, m := ex.Solver.CheckPartitionedCtx(ex.runCtx(), ex.Table, query)
 	switch res {
 	case solver.Sat:
 		return true, m
