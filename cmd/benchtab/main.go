@@ -9,12 +9,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -26,13 +30,17 @@ func main() {
 
 func run() error {
 	var (
-		table    = flag.Int("table", 0, "regenerate one table (1-5); 0 = all")
-		figure   = flag.Int("figure", 0, "regenerate one figure (7-10); 0 = all")
-		ablation = flag.String("ablation", "", "run an ablation: scheduler, guidance, tau, cache, all")
-		seed     = flag.Int64("seed", bench.DefaultSeed, "workload seed")
-		parallel = flag.Int("parallel", 1, "candidate-verification workers per pipeline run (1: sequential)")
-		only     = flag.Bool("only", false, "run only the selected table/figure")
-		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+		table     = flag.Int("table", 0, "regenerate one table (1-5); 0 = all")
+		figure    = flag.Int("figure", 0, "regenerate one figure (7-10); 0 = all")
+		ablation  = flag.String("ablation", "", "run an ablation: scheduler, guidance, tau, cache, all")
+		seed      = flag.Int64("seed", bench.DefaultSeed, "workload seed")
+		parallel  = flag.Int("parallel", 1, "candidate-verification workers per pipeline run (1: sequential)")
+		only      = flag.Bool("only", false, "run only the selected table/figure")
+		asJSON    = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+		traceOut  = flag.String("trace", "", "stream a JSONL event trace of every pipeline run to this file")
+		traceInt  = flag.Duration("trace-interval", time.Second, "progress-snapshot period for -trace")
+		metrics   = flag.Bool("metrics", false, "print the accumulated metrics registry at exit")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	budgets := bench.DefaultBudgets()
@@ -43,6 +51,29 @@ func run() error {
 	// cleanly instead of being killed mid-run.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab: pprof:", err)
+			}
+		}()
+	}
+	o, closeTrace, err := obs.Setup(*traceOut, *traceInt, *metrics)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := closeTrace(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab: trace:", err)
+		}
+	}()
+	if o != nil {
+		ctx = obs.NewContext(ctx, o)
+		if *metrics {
+			defer func() { fmt.Print(o.Metrics.Format()) }()
+		}
+	}
 
 	emit := func(name string, rows any, text string) {
 		if *asJSON {

@@ -8,8 +8,11 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -18,6 +21,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/symexec"
 	"repro/internal/trace"
@@ -49,6 +53,10 @@ func run() error {
 		dotOut    = flag.String("dot", "", "write the transition graph (Graphviz DOT) to this file")
 		witOut    = flag.String("witness-out", "", "write the witness input (JSON) to this file for replay")
 		htmlOut   = flag.String("html", "", "write a self-contained HTML report to this file")
+		traceOut  = flag.String("trace", "", "stream a JSONL event trace (spans, progress, warnings) to this file")
+		traceInt  = flag.Duration("trace-interval", time.Second, "progress-snapshot period for -trace")
+		metrics   = flag.Bool("metrics", false, "print the metrics registry at exit (and embed it in -html)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -57,6 +65,26 @@ func run() error {
 	// requested artifacts) is still emitted below.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	startPprof("statsym", *pprofAddr)
+	o, closeTrace, err := obs.Setup(*traceOut, *traceInt, *metrics)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := closeTrace(); err != nil {
+			fmt.Fprintln(os.Stderr, "statsym: trace:", err)
+		}
+	}()
+	if o != nil {
+		ctx = obs.NewContext(ctx, o)
+	}
+	dumpMetrics := func() {
+		if o != nil && *metrics {
+			fmt.Print(o.Metrics.Format())
+		}
+	}
+	defer dumpMetrics()
 
 	app, err := apps.Get(*appName)
 	if err != nil {
@@ -67,10 +95,17 @@ func run() error {
 	if *pure {
 		fmt.Println("-- pure symbolic execution (baseline)")
 		start := time.Now()
-		res := core.RunPureContext(ctx, app.Program(), app.Spec, *maxStates, *maxSteps, *timeout)
+		pctx, pspan := obs.StartSpan(ctx, "pure", obs.A("app", app.Name))
+		res := core.RunPureContext(pctx, app.Program(), app.Spec, *maxStates, *maxSteps, *timeout)
+		pspan.End(obs.A("paths", res.Paths), obs.A("steps", res.Steps), obs.A("found", res.Found()))
 		printPureResult(res, time.Since(start))
 		return nil
 	}
+
+	// One root span covers corpus collection and the guided pipeline;
+	// core.RunContext reuses it instead of opening a second root.
+	ctx, root := obs.StartSpan(ctx, "pipeline", obs.A("app", app.Name), obs.A("rate", *rate))
+	defer root.End()
 
 	var corpus *trace.Corpus
 	var monElapsed time.Duration
@@ -88,10 +123,16 @@ func run() error {
 		fmt.Printf("-- collecting %d correct + %d faulty runs at %.0f%% sampling\n", *runs, *runs, *rate*100)
 		monStart := time.Now()
 		var err error
-		corpus, err = workload.BuildCorpus(app, workload.Options{
+		corpus, err = workload.BuildCorpusCtx(ctx, app, workload.Options{
 			SampleRate: *rate, Seed: *seed, Correct: *runs, Faulty: *runs,
 		})
 		if err != nil {
+			// A SIGINT during collection is a cooperative stop, not a
+			// failure; there is no corpus yet, so there is no report.
+			if errors.Is(err, context.Canceled) {
+				fmt.Println("RESULT: interrupted during log collection — no report")
+				return nil
+			}
 			return err
 		}
 		monElapsed = time.Since(monStart)
@@ -117,6 +158,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	rep.MonTime = monElapsed
 
 	fmt.Printf("-- statistical analysis: %v (predicates: %d, detours: %d, candidates: %d)\n",
 		rep.StatTime.Round(time.Millisecond), len(rep.Analysis.Predicates),
@@ -153,8 +195,9 @@ func run() error {
 		case c.Infeasible:
 			status = "infeasible / abandoned"
 		}
-		fmt.Printf("   candidate %d (len %d): %s — %d paths, %d steps, %d suspensions, %v\n",
-			c.Index, c.PathLen, status, c.Paths, c.Steps, c.Suspends, c.Elapsed.Round(time.Millisecond))
+		fmt.Printf("   candidate %d (len %d): %s — %d paths, %d steps, %d suspensions, %v (solver: %d checks, %d hits / %d misses, %v)\n",
+			c.Index, c.PathLen, status, c.Paths, c.Steps, c.Suspends, c.Elapsed.Round(time.Millisecond),
+			c.SolverChecks, c.CacheHits, c.CacheMisses, c.SolverTime.Round(time.Millisecond))
 	}
 	writeHTML := func() error {
 		if *htmlOut == "" {
@@ -164,7 +207,11 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		err = report.WriteHTML(f, rep, time.Now().Format("2006-01-02 15:04:05"))
+		if o != nil {
+			err = report.WriteHTMLWithMetrics(f, rep, time.Now().Format("2006-01-02 15:04:05"), o.Metrics.Snapshot())
+		} else {
+			err = report.WriteHTML(f, rep, time.Now().Format("2006-01-02 15:04:05"))
+		}
 		cerr := f.Close()
 		if err != nil {
 			return err
@@ -252,6 +299,19 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// startPprof serves net/http/pprof (registered on the default mux by the
+// blank import above) on addr; empty addr disables it.
+func startPprof(binary, addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: pprof: %v\n", binary, err)
+		}
+	}()
 }
 
 func summarize(s string) string {

@@ -7,6 +7,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
 	"sort"
@@ -16,6 +18,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/bytecode"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/symexec"
 )
 
@@ -39,6 +42,10 @@ func run() error {
 		all       = flag.Bool("all", false, "keep searching after the first vulnerability")
 		replay    = flag.String("replay", "", "seed exploration with a witness input (JSON, from statsym -witness-out)")
 		cov       = flag.Bool("cov", false, "report instruction coverage after the run")
+		traceOut  = flag.String("trace", "", "stream a JSONL event trace (spans, progress) to this file")
+		traceInt  = flag.Duration("trace-interval", time.Second, "progress-snapshot period for -trace")
+		metrics   = flag.Bool("metrics", false, "print the metrics registry at exit")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -101,6 +108,33 @@ func run() error {
 	// (paths, coverage, any vulnerabilities found so far) is still printed.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "symexec: pprof:", err)
+			}
+		}()
+	}
+	o, closeTrace, err := obs.Setup(*traceOut, *traceInt, *metrics)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := closeTrace(); err != nil {
+			fmt.Fprintln(os.Stderr, "symexec: trace:", err)
+		}
+	}()
+	if o != nil {
+		ctx = obs.NewContext(ctx, o)
+		var span *obs.Span
+		ctx, span = obs.StartSpan(ctx, "symexec",
+			obs.A("program", prog.Name), obs.A("sched", opts.Sched.Name()))
+		defer span.End()
+		if *metrics {
+			defer func() { fmt.Print(o.Metrics.Format()) }()
+		}
+	}
 
 	ex := symexec.New(prog, spec, opts)
 	res := ex.RunContext(ctx)

@@ -1,0 +1,128 @@
+// Command tracecheck validates a JSONL event trace produced by the
+// -trace flag of statsym, symexec, or benchtab: every line must parse as
+// an obs.Event with a known type, every span must open exactly once
+// before it closes, parents must refer to already-opened spans, and no
+// span may remain open at end of trace. It exits non-zero on the first
+// class of violation found, so CI can smoke-test the observability layer
+// with a real pipeline run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck FILE.jsonl")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	problems, summary, err := check(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	fmt.Println(summary)
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "tracecheck:", p)
+		}
+		os.Exit(1)
+	}
+}
+
+func check(path string) (problems []string, summary string, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+
+	flag := func(format string, args ...any) {
+		if len(problems) < 20 {
+			problems = append(problems, fmt.Sprintf(format, args...))
+		}
+	}
+
+	opened := map[int64]obs.Event{} // still-open spans
+	closed := map[int64]bool{}
+	counts := map[string]int{}
+	lines := 0
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			flag("line %d: empty", lines)
+			continue
+		}
+		var ev obs.Event
+		if jerr := json.Unmarshal(line, &ev); jerr != nil {
+			flag("line %d: not valid JSON: %v", lines, jerr)
+			continue
+		}
+		counts[ev.Type]++
+		if ev.Time.IsZero() {
+			flag("line %d: missing timestamp", lines)
+		}
+		switch ev.Type {
+		case obs.EventSpanOpen:
+			if ev.Span == 0 {
+				flag("line %d: span.open without a span ID", lines)
+				continue
+			}
+			if _, dup := opened[ev.Span]; dup || closed[ev.Span] {
+				flag("line %d: span %d opened twice", lines, ev.Span)
+			}
+			if ev.Parent != 0 {
+				if _, ok := opened[ev.Parent]; !ok {
+					flag("line %d: span %d has unknown parent %d", lines, ev.Span, ev.Parent)
+				}
+			}
+			opened[ev.Span] = ev
+		case obs.EventSpanClose:
+			open, ok := opened[ev.Span]
+			if !ok {
+				flag("line %d: span %d closed without an open", lines, ev.Span)
+				continue
+			}
+			if open.Name != ev.Name {
+				flag("line %d: span %d closes as %q but opened as %q", lines, ev.Span, ev.Name, open.Name)
+			}
+			if ev.DurUS < 0 {
+				flag("line %d: span %d has negative duration", lines, ev.Span)
+			}
+			delete(opened, ev.Span)
+			closed[ev.Span] = true
+		case obs.EventProgress, obs.EventWarn:
+			if ev.Span != 0 && !closed[ev.Span] {
+				if _, ok := opened[ev.Span]; !ok {
+					flag("line %d: %s on unknown span %d", lines, ev.Type, ev.Span)
+				}
+			}
+		default:
+			flag("line %d: unknown event type %q", lines, ev.Type)
+		}
+	}
+	if serr := sc.Err(); serr != nil {
+		return nil, "", serr
+	}
+	for id, ev := range opened {
+		flag("span %d (%s) never closed", id, ev.Name)
+	}
+	summary = fmt.Sprintf("tracecheck: %s: %d lines — %d span pairs, %d progress, %d warn, %d problems",
+		path, lines, counts[obs.EventSpanClose], counts[obs.EventProgress], counts[obs.EventWarn], len(problems))
+	return problems, summary, nil
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/minic"
+	"repro/internal/obs"
 	"repro/internal/symexec"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -104,19 +105,30 @@ type ModuleRow struct {
 // RunPipeline executes the full StatSym pipeline for one app at the given
 // sampling rate and returns the report (shared by several experiments).
 // Cancelling ctx aborts the guided search and surfaces the partial report's
-// error state to the experiment driver.
+// error state to the experiment driver. When an observability handle rides
+// in ctx, the whole run — corpus collection included — is wrapped in one
+// "pipeline" root span (core.RunContext reuses it rather than opening a
+// second root), and the report carries the monitor phase's wall time.
 func RunPipeline(ctx context.Context, app *apps.App, rate float64, seed int64, budgets Budgets) (*core.Report, error) {
-	corpus, err := workload.BuildCorpus(app, workload.Options{SampleRate: rate, Seed: seed})
+	ctx, root := obs.StartSpan(ctx, "pipeline", obs.A("app", app.Name), obs.A("rate", rate))
+	defer root.End()
+	monStart := time.Now()
+	corpus, err := workload.BuildCorpusCtx(ctx, app, workload.Options{SampleRate: rate, Seed: seed})
 	if err != nil {
 		return nil, err
 	}
+	monTime := time.Since(monStart)
 	cfg := core.Config{
 		Spec:                 app.Spec,
 		PerCandidateTimeout:  budgets.GuidedTimeout,
 		PerCandidateMaxSteps: budgets.GuidedMaxSteps,
 		Parallel:             budgets.Parallel,
 	}
-	return core.RunContext(ctx, app.Program(), corpus, cfg)
+	rep, err := core.RunContext(ctx, app.Program(), corpus, cfg)
+	if rep != nil {
+		rep.MonTime = monTime
+	}
+	return rep, err
 }
 
 // TableModule runs every app at the given sampling rate — Table II with

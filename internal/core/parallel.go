@@ -29,7 +29,11 @@ import (
 //     and TotalSteps are byte-identical to a sequential run whenever the
 //     per-candidate budgets are deterministic (step/state bounds).
 //     Wall-clock budgets remain timing-dependent, in parallel and
-//     sequential runs alike.
+//     sequential runs alike;
+//   - a caller cancellation mirrors the sequential loop's accounting:
+//     the lowest-ranked attempt caught mid-flight is recorded with its
+//     partial counters (Cancelled=true) and everything after it is
+//     discarded — see mergeAttempts.
 
 // verifyCandidatesParallel verifies cands concurrently and merges the
 // outcomes into rep deterministically. Invoked by RunContext when
@@ -43,11 +47,6 @@ func verifyCandidatesParallel(ctx context.Context, prog *bytecode.Program, cands
 		workers = len(cands)
 	}
 
-	type attempt struct {
-		outcome  CandidateOutcome
-		vuln     *symexec.Vulnerability
-		complete bool // ran to its own stop condition, not cancelled/skipped
-	}
 	attempts := make([]attempt, len(cands))
 	ctxs := make([]context.Context, len(cands))
 	cancels := make([]context.CancelFunc, len(cands))
@@ -110,19 +109,46 @@ func verifyCandidatesParallel(ctx context.Context, prog *bytecode.Program, cands
 	close(indices)
 	wg.Wait()
 
-	// Deterministic merge: replay the sequential loop over the recorded
-	// attempts. Ranks past the first success were cancelled or skipped and
-	// are discarded, exactly as the sequential loop never runs them. An
-	// incomplete attempt below the winner can only mean the caller's
-	// context was cancelled; the merged prefix is the partial report.
+	mergeAttempts(rep, attempts)
+}
+
+// attempt records one candidate verification for the rank-order merge.
+type attempt struct {
+	outcome  CandidateOutcome
+	vuln     *symexec.Vulnerability
+	complete bool // ran to its own stop condition, not cancelled/skipped
+}
+
+// started reports whether the attempt actually ran (a zero attempt is a
+// rank that was skipped before starting — beyond the winner, or after the
+// caller's context died).
+func (a *attempt) started() bool { return a.outcome.Index != 0 }
+
+// mergeAttempts replays the sequential loop over the recorded attempts so
+// the merged report is deterministic and rank-ordered:
+//
+//   - complete attempts accumulate in rank order up to and including the
+//     first success, exactly like the Fig. 5 loop;
+//   - ranks past the first success are discarded — the sequential loop
+//     never runs them, so their counters (including any partial work done
+//     before the first-success cancel reached them) must not leak into
+//     TotalPaths/TotalSteps;
+//   - an incomplete attempt below the winner means the caller's context
+//     died mid-flight. The sequential loop records that in-flight attempt
+//     with its partial counters and Cancelled=true before stopping, so
+//     the merge includes the first such attempt (and only the first: a
+//     sequential run has exactly one attempt in flight when the cancel
+//     lands) and stops there.
+func mergeAttempts(rep *Report, attempts []attempt) {
 	for i := range attempts {
 		a := &attempts[i]
 		if !a.complete {
+			if a.started() && a.outcome.Cancelled {
+				rep.addOutcome(a.outcome)
+			}
 			break
 		}
-		rep.Candidates = append(rep.Candidates, a.outcome)
-		rep.TotalPaths += a.outcome.Paths
-		rep.TotalSteps += a.outcome.Steps
+		rep.addOutcome(a.outcome)
 		if a.vuln != nil {
 			rep.Vuln = a.vuln
 			rep.CandidateUsed = i + 1

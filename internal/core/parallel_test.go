@@ -65,9 +65,11 @@ func TestParallelMatchesSequential(t *testing.T) {
 			}
 			for i := range seq.Candidates {
 				s, p := seq.Candidates[i], par.Candidates[i]
-				// Elapsed is wall-clock and legitimately differs; zero it
-				// before comparing the outcome structs field-for-field.
+				// Elapsed and SolverTime are wall-clock and legitimately
+				// differ; zero them before comparing the outcome structs
+				// field-for-field.
 				s.Elapsed, p.Elapsed = 0, 0
+				s.SolverTime, p.SolverTime = 0, 0
 				if s != p {
 					t.Errorf("candidate %d outcome diverged:\n  sequential %+v\n  parallel   %+v", i+1, s, p)
 				}

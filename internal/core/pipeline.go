@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/bytecode"
+	"repro/internal/obs"
 	"repro/internal/pathid"
 	"repro/internal/stats"
 	"repro/internal/symexec"
@@ -79,6 +80,30 @@ type CandidateOutcome struct {
 	// (user interrupt or a lower-ranked candidate winning the parallel
 	// race); their counters reflect only the work done before the stop.
 	Cancelled bool
+
+	// Solver effort for this attempt: total satisfiability queries, the
+	// query-cache split, and the wall clock spent inside non-memoized
+	// solver checks (previously computed in internal/solver but dropped
+	// outside the ablation bench).
+	SolverChecks int
+	CacheHits    int
+	CacheMisses  int
+	SolverTime   time.Duration
+}
+
+// Label is the outcome's one-word status, shared by the CLIs, the HTML
+// report, and verify-span close events.
+func (o CandidateOutcome) Label() string {
+	switch {
+	case o.Found:
+		return "found"
+	case o.Cancelled:
+		return "cancelled"
+	case o.Infeasible:
+		return "abandoned"
+	default:
+		return "no-vuln"
+	}
 }
 
 // Report is the pipeline's full output.
@@ -103,9 +128,27 @@ type Report struct {
 	Vuln *symexec.Vulnerability
 	// CandidateUsed is the 1-based rank of the successful candidate.
 	CandidateUsed int
+	// MonTime is the corpus-collection (monitor) wall time when the
+	// caller collected logs as part of this run; zero when a pre-built
+	// corpus was loaded. Set by the caller (cmd/statsym, bench) since
+	// collection happens before RunContext.
+	MonTime time.Duration
+
 	// TotalPaths sums paths explored across attempts (Table IV).
+	// TotalSteps sums instruction counts the same way. Both include the
+	// partial counters of an attempt interrupted mid-flight by a caller
+	// cancellation (that attempt appears in Candidates with
+	// Cancelled=true) but never the work of ranks the run did not reach —
+	// in parallel runs, attempts cancelled because a lower rank already
+	// verified the vulnerability are discarded, matching the sequential
+	// loop which never starts them (see parallel.go).
 	TotalPaths int
 	TotalSteps int64
+	// CacheHits/CacheMisses/SolverTime aggregate the per-candidate solver
+	// effort across the recorded attempts.
+	CacheHits   int
+	CacheMisses int
+	SolverTime  time.Duration
 	// Cancelled reports that the symbolic-execution phase was interrupted
 	// by context cancellation before it could finish; the report carries
 	// whatever the pipeline completed up to that point.
@@ -147,14 +190,32 @@ func RunContext(ctx context.Context, prog *bytecode.Program, corpus *trace.Corpu
 	rep.Runs, rep.Locations, rep.Variables = corpus.Counts()
 	rep.LogBytes = corpus.SizeBytes()
 
+	// The "pipeline" span is the trace root. When the caller already
+	// opened one (cmd/statsym and bench wrap corpus collection plus this
+	// call in a single root so the monitor phase nests under it), reuse
+	// it instead of opening a second root.
+	if obs.SpanFromContext(ctx) == nil {
+		var pspan *obs.Span
+		ctx, pspan = obs.StartSpan(ctx, "pipeline", obs.A("program", prog.Name))
+		defer func() {
+			pspan.End(obs.A("found", rep.Found()), obs.A("cancelled", rep.Cancelled),
+				obs.A("paths", rep.TotalPaths), obs.A("steps", rep.TotalSteps))
+		}()
+	}
+
 	// Statistical analysis module.
 	statStart := time.Now()
+	_, aspan := obs.StartSpan(ctx, "stats")
 	rep.Analysis = stats.Analyze(corpus)
+	aspan.End(obs.A("predicates", len(rep.Analysis.Predicates)))
+	_, cspan := obs.StartSpan(ctx, "candidates")
 	pres, err := pathid.Build(corpus, rep.Analysis, cfg.Path)
 	rep.StatTime = time.Since(statStart)
 	if err != nil {
+		cspan.End(obs.A("error", err.Error()))
 		return rep, fmt.Errorf("core: candidate path construction: %w", err)
 	}
+	cspan.End(obs.A("candidates", len(pres.Candidates)), obs.A("detours", len(pres.Detours)))
 	rep.PathRes = pres
 
 	// Statistics-guided symbolic execution module.
@@ -180,6 +241,18 @@ func RunContext(ctx context.Context, prog *bytecode.Program, corpus *trace.Corpu
 	return rep, nil
 }
 
+// addOutcome appends one attempt to the report and folds its counters
+// into the totals — the single accumulation point shared by the
+// sequential loop and the parallel merge, so the two stay consistent.
+func (r *Report) addOutcome(o CandidateOutcome) {
+	r.Candidates = append(r.Candidates, o)
+	r.TotalPaths += o.Paths
+	r.TotalSteps += o.Steps
+	r.CacheHits += o.CacheHits
+	r.CacheMisses += o.CacheMisses
+	r.SolverTime += o.SolverTime
+}
+
 // verifyCandidatesSequential is the paper's Fig. 5 loop: attempt candidates
 // in rank order, stop at the first verified vulnerable path.
 func verifyCandidatesSequential(ctx context.Context, prog *bytecode.Program, cands []*pathid.CandidatePath, cfg Config, rep *Report) {
@@ -188,9 +261,7 @@ func verifyCandidatesSequential(ctx context.Context, prog *bytecode.Program, can
 			break
 		}
 		outcome, vuln := VerifyCandidateCtx(ctx, prog, cand, i+1, cfg)
-		rep.Candidates = append(rep.Candidates, outcome)
-		rep.TotalPaths += outcome.Paths
-		rep.TotalSteps += outcome.Steps
+		rep.addOutcome(outcome)
 		if vuln != nil {
 			rep.Vuln = vuln
 			rep.CandidateUsed = i + 1
@@ -230,28 +301,83 @@ func VerifyCandidateCtx(ctx context.Context, prog *bytecode.Program, cand *pathi
 	if cfg.MaxStates > 0 {
 		opts.MaxStates = cfg.MaxStates
 	}
+	// The verify span rides into the executor through the context, so
+	// progress snapshots attach to this candidate's span. In parallel
+	// runs every worker derives its context from the pipeline root, so
+	// the concurrent verify spans all nest under it deterministically.
+	ctx, vspan := obs.StartSpan(ctx, "verify", obs.A("rank", rank), obs.A("path_len", cand.Len()))
+	runStart := time.Now()
 	ex := symexec.New(prog, cfg.Spec, opts)
 	res := ex.RunContext(ctx)
 	out := CandidateOutcome{
-		Index:     rank,
-		PathLen:   cand.Len(),
-		Found:     res.Found(),
-		Paths:     res.Paths,
-		Steps:     res.Steps,
-		Suspends:  g.Suspends,
-		Matches:   g.Matches,
-		Elapsed:   res.Elapsed,
-		Cancelled: res.Cancelled,
+		Index:        rank,
+		PathLen:      cand.Len(),
+		Found:        res.Found(),
+		Paths:        res.Paths,
+		Steps:        res.Steps,
+		Suspends:     g.Suspends,
+		Matches:      g.Matches,
+		Elapsed:      res.Elapsed,
+		Cancelled:    res.Cancelled,
+		SolverChecks: res.SolverChecks,
+		CacheHits:    res.CacheHits,
+		CacheMisses:  res.CacheMisses,
+		SolverTime:   res.SolverTime,
 	}
+	var vuln *symexec.Vulnerability
 	if res.Found() {
-		return out, res.Vulns[0]
+		vuln = res.Vulns[0]
+	} else {
+		// Candidate abandoned: either the guided frontier died out
+		// (infeasible candidate) or a resource bound hit. A cancelled
+		// attempt is neither — it simply never finished.
+		out.Infeasible = !res.Cancelled &&
+			(res.TimedOut || res.Exhausted || res.StepLimited || res.SuspendedAtEnd > 0)
+		if !res.Cancelled {
+			// One-line warning so logs distinguish budget exhaustion
+			// (timeout / step / state limits) from τ-divergence.
+			obs.Warn(ctx, "candidate abandoned",
+				obs.A("rank", rank), obs.A("reason", abandonReason(res)),
+				obs.A("steps", res.Steps), obs.A("paths", res.Paths))
+		}
 	}
-	// Candidate abandoned: either the guided frontier died out
-	// (infeasible candidate) or a resource bound hit. A cancelled attempt
-	// is neither — it simply never finished.
-	out.Infeasible = !res.Cancelled &&
-		(res.TimedOut || res.Exhausted || res.StepLimited || res.SuspendedAtEnd > 0)
-	return out, nil
+	if o := obs.FromContext(ctx); o != nil {
+		m := o.Metrics
+		m.Counter(obs.MetricCandidateAttempts).Inc()
+		if vuln != nil {
+			m.Counter(obs.MetricCandidateFound).Inc()
+		} else if out.Infeasible {
+			m.Counter(obs.MetricCandidateInfeasible).Inc()
+		}
+	}
+	// The aggregated solver effort renders as a synthetic child span: its
+	// duration is the candidate's accumulated solver wall time, not one
+	// contiguous interval.
+	vspan.EmitChild("solver", runStart, res.SolverTime,
+		obs.A("checks", res.SolverChecks), obs.A("sat", res.SolverSat),
+		obs.A("unsat", res.SolverUnsat), obs.A("unknown", res.SolverUnknowns),
+		obs.A("cache_hits", res.CacheHits), obs.A("cache_misses", res.CacheMisses))
+	vspan.End(obs.A("rank", rank), obs.A("outcome", out.Label()),
+		obs.A("paths", out.Paths), obs.A("steps", out.Steps))
+	return out, vuln
+}
+
+// abandonReason classifies why an attempt stopped without a verified
+// vulnerability: the three budget exhaustions are distinguishable from
+// τ-divergence (the guided frontier suspended or died out) in event logs.
+func abandonReason(res *symexec.Result) string {
+	switch {
+	case res.TimedOut:
+		return "per-candidate-timeout"
+	case res.StepLimited:
+		return "max-steps"
+	case res.Exhausted:
+		return "max-states"
+	case res.SuspendedAtEnd > 0:
+		return "tau-divergence"
+	default:
+		return "frontier-exhausted"
+	}
 }
 
 // RunPure executes the pure-symbolic-execution baseline (unmodified KLEE in

@@ -1,0 +1,121 @@
+package monitor
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/interp"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Context-aware corpus collection. These variants are the observability
+// entry points: each opens a "monitor" span under whatever parent rides in
+// ctx, folds run and record counts into the metrics registry, and checks
+// ctx between concrete runs so a caller cancellation stops collection
+// promptly. Unlike the pipeline (which returns a partial report), an
+// interrupted collection returns ctx.Err(): a truncated corpus would
+// silently skew the statistical analysis downstream.
+
+// CollectCorpusCtx is CollectCorpus with cancellation and tracing.
+func CollectCorpusCtx(ctx context.Context, prog *bytecode.Program, inputs []*interp.Input, cfg Config) (*trace.Corpus, error) {
+	_, sp := obs.StartSpan(ctx, "monitor", obs.A("inputs", len(inputs)))
+	corpus, err := collectSeq(ctx, prog, inputs, cfg)
+	if err != nil {
+		sp.End(obs.A("error", err.Error()))
+		return nil, err
+	}
+	records := 0
+	for i := range corpus.Runs {
+		records += len(corpus.Runs[i].Records)
+	}
+	noteRuns(ctx, len(corpus.Runs), records)
+	sp.End(obs.A("runs", len(corpus.Runs)), obs.A("records", records))
+	return corpus, nil
+}
+
+// BalancedCorpusCtx is BalancedCorpus with cancellation, tracing, and
+// periodic progress snapshots (the balanced loop can run up to 100× the
+// requested count when faults are rare, so it is the long pole worth
+// watching live).
+func BalancedCorpusCtx(ctx context.Context, prog *bytecode.Program, gen func(i int) *interp.Input,
+	wantCorrect, wantFaulty int, cfg Config) (*trace.Corpus, error) {
+	_, sp := obs.StartSpan(ctx, "monitor",
+		obs.A("want_correct", wantCorrect), obs.A("want_faulty", wantFaulty))
+	o := obs.FromContext(ctx)
+	lastSnap := time.Now()
+
+	corpus := &trace.Corpus{Program: prog.Name}
+	nc, nf, records := 0, 0, 0
+	limit := (wantCorrect + wantFaulty) * 100
+	for i := 0; i < limit && (nc < wantCorrect || nf < wantFaulty); i++ {
+		if err := ctx.Err(); err != nil {
+			sp.End(obs.A("cancelled", true))
+			return nil, err
+		}
+		run, err := CollectRun(prog, gen(i), cfg, i)
+		if err != nil {
+			sp.End(obs.A("error", err.Error()))
+			return nil, err
+		}
+		if o != nil && o.Interval > 0 && time.Since(lastSnap) >= o.Interval {
+			lastSnap = time.Now()
+			o.Progress(sp,
+				obs.A("generated", i+1),
+				obs.A("correct", nc), obs.A("faulty", nf))
+		}
+		if run.Faulty {
+			if nf >= wantFaulty {
+				continue
+			}
+			nf++
+		} else {
+			if nc >= wantCorrect {
+				continue
+			}
+			nc++
+		}
+		records += len(run.Records)
+		run.ID = len(corpus.Runs)
+		corpus.Runs = append(corpus.Runs, *run)
+	}
+	if nc < wantCorrect || nf < wantFaulty {
+		sp.End(obs.A("error", "generator exhausted"))
+		return nil, fmt.Errorf("monitor: generator yielded %d correct / %d faulty runs, want %d/%d",
+			nc, nf, wantCorrect, wantFaulty)
+	}
+	noteRuns(ctx, len(corpus.Runs), records)
+	sp.End(obs.A("runs", len(corpus.Runs)), obs.A("records", records))
+	return corpus, nil
+}
+
+// CollectCorpusParallelCtx is CollectCorpusParallel with cancellation and
+// tracing. The span covers the whole pool; workers poll ctx between runs.
+func CollectCorpusParallelCtx(ctx context.Context, prog *bytecode.Program, inputs []*interp.Input, cfg Config, workers int) (*trace.Corpus, error) {
+	_, sp := obs.StartSpan(ctx, "monitor",
+		obs.A("inputs", len(inputs)), obs.A("workers", workers))
+	corpus, err := collectParallel(ctx, prog, inputs, cfg, workers)
+	if err != nil {
+		sp.End(obs.A("error", err.Error()))
+		return nil, err
+	}
+	records := 0
+	for i := range corpus.Runs {
+		records += len(corpus.Runs[i].Records)
+	}
+	noteRuns(ctx, len(corpus.Runs), records)
+	sp.End(obs.A("runs", len(corpus.Runs)), obs.A("records", records))
+	return corpus, nil
+}
+
+// noteRuns folds collection counts into the registry, if one is attached.
+func noteRuns(ctx context.Context, runs, records int) {
+	o := obs.FromContext(ctx)
+	if o == nil {
+		return
+	}
+	o.Metrics.Counter(obs.MetricMonitorRuns).Add(int64(runs))
+	o.Metrics.Counter(obs.MetricMonitorRecords).Add(int64(records))
+}

@@ -7,6 +7,7 @@
 package monitor
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -91,15 +92,7 @@ func observe(name string, class trace.VarClass, v interp.Value) trace.Observatio
 // CollectCorpus runs every input and assembles the labeled corpus the
 // statistical module consumes.
 func CollectCorpus(prog *bytecode.Program, inputs []*interp.Input, cfg Config) (*trace.Corpus, error) {
-	corpus := &trace.Corpus{Program: prog.Name}
-	for i, in := range inputs {
-		run, err := CollectRun(prog, in, cfg, i)
-		if err != nil {
-			return nil, err
-		}
-		corpus.Runs = append(corpus.Runs, *run)
-	}
-	return corpus, nil
+	return CollectCorpusCtx(context.Background(), prog, inputs, cfg)
 }
 
 // BalancedCorpus collects logs until it has wantCorrect correct and
@@ -108,31 +101,5 @@ func CollectCorpus(prog *bytecode.Program, inputs []*interp.Input, cfg Config) (
 // produce the requested mix within 100× the requested run count.
 func BalancedCorpus(prog *bytecode.Program, gen func(i int) *interp.Input,
 	wantCorrect, wantFaulty int, cfg Config) (*trace.Corpus, error) {
-	corpus := &trace.Corpus{Program: prog.Name}
-	nc, nf := 0, 0
-	limit := (wantCorrect + wantFaulty) * 100
-	for i := 0; i < limit && (nc < wantCorrect || nf < wantFaulty); i++ {
-		run, err := CollectRun(prog, gen(i), cfg, i)
-		if err != nil {
-			return nil, err
-		}
-		if run.Faulty {
-			if nf >= wantFaulty {
-				continue
-			}
-			nf++
-		} else {
-			if nc >= wantCorrect {
-				continue
-			}
-			nc++
-		}
-		run.ID = len(corpus.Runs)
-		corpus.Runs = append(corpus.Runs, *run)
-	}
-	if nc < wantCorrect || nf < wantFaulty {
-		return nil, fmt.Errorf("monitor: generator yielded %d correct / %d faulty runs, want %d/%d",
-			nc, nf, wantCorrect, wantFaulty)
-	}
-	return corpus, nil
+	return BalancedCorpusCtx(context.Background(), prog, gen, wantCorrect, wantFaulty, cfg)
 }

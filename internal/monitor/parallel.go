@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -15,6 +16,13 @@ import (
 // log collection is embarrassingly parallel (each run is an independent VM
 // execution); this is the throughput path for large corpora.
 func CollectCorpusParallel(prog *bytecode.Program, inputs []*interp.Input, cfg Config, workers int) (*trace.Corpus, error) {
+	return CollectCorpusParallelCtx(context.Background(), prog, inputs, cfg, workers)
+}
+
+// collectParallel is the worker-pool engine behind CollectCorpusParallelCtx.
+// Workers poll ctx between runs, so a cancellation stops the pool within
+// one concrete execution per worker.
+func collectParallel(ctx context.Context, prog *bytecode.Program, inputs []*interp.Input, cfg Config, workers int) (*trace.Corpus, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -22,7 +30,7 @@ func CollectCorpusParallel(prog *bytecode.Program, inputs []*interp.Input, cfg C
 		workers = len(inputs)
 	}
 	if workers <= 1 {
-		return CollectCorpus(prog, inputs, cfg)
+		return collectSeq(ctx, prog, inputs, cfg)
 	}
 
 	runs := make([]*trace.Run, len(inputs))
@@ -44,6 +52,10 @@ func CollectCorpusParallel(prog *bytecode.Program, inputs []*interp.Input, cfg C
 		go func() {
 			defer wg.Done()
 			for i := range indices {
+				if err := ctx.Err(); err != nil {
+					setErr(err)
+					continue
+				}
 				run, err := CollectRun(prog, inputs[i], cfg, i)
 				if err != nil {
 					setErr(err)
@@ -65,6 +77,24 @@ func CollectCorpusParallel(prog *bytecode.Program, inputs []*interp.Input, cfg C
 	corpus := &trace.Corpus{Program: prog.Name, Runs: make([]trace.Run, 0, len(runs))}
 	for _, r := range runs {
 		corpus.Runs = append(corpus.Runs, *r)
+	}
+	return corpus, nil
+}
+
+// collectSeq is the sequential collection loop shared by CollectCorpusCtx
+// and the single-worker fallback of collectParallel. No span of its own —
+// callers own the "monitor" span.
+func collectSeq(ctx context.Context, prog *bytecode.Program, inputs []*interp.Input, cfg Config) (*trace.Corpus, error) {
+	corpus := &trace.Corpus{Program: prog.Name}
+	for i, in := range inputs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		run, err := CollectRun(prog, in, cfg, i)
+		if err != nil {
+			return nil, err
+		}
+		corpus.Runs = append(corpus.Runs, *run)
 	}
 	return corpus, nil
 }

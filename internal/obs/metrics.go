@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Standard metric names. Instrumented layers register under these so
+// traces from different runs and tools line up; ad-hoc names are allowed
+// but the report and CLI dumps are built around this set.
+const (
+	// Solver effort (internal/solver).
+	MetricSolverChecks  = "solver.checks"
+	MetricSolverSat     = "solver.sat"
+	MetricSolverUnsat   = "solver.unsat"
+	MetricSolverUnknown = "solver.unknown"
+	MetricCacheHits     = "solver.cache.hits"
+	MetricCacheMisses   = "solver.cache.misses"
+
+	// Symbolic execution (internal/symexec).
+	MetricSteps         = "exec.steps"
+	MetricForks         = "exec.forks"
+	MetricPaths         = "exec.paths"
+	MetricStatesCreated = "exec.states.created"
+	MetricStatesLive    = "exec.states.live" // gauge: peak live states
+	MetricStatesPruned  = "exec.states.pruned"
+	MetricRevivals      = "exec.revivals"
+
+	// Guidance (internal/core): distribution of diverted-hop counts at
+	// the moment states are suspended — the τ pressure profile.
+	MetricDivertedHops = "guidance.diverted_hops"
+
+	// Candidate verification (internal/core).
+	MetricCandidateAttempts   = "candidate.attempts"
+	MetricCandidateFound      = "candidate.found"
+	MetricCandidateInfeasible = "candidate.infeasible"
+
+	// Corpus collection (internal/monitor).
+	MetricMonitorRuns    = "monitor.runs"
+	MetricMonitorRecords = "monitor.records"
+)
+
+// HopBuckets is the standard bucketing for MetricDivertedHops: fine near
+// zero (on-path states) and coarser toward and beyond typical τ values.
+var HopBuckets = []int64{0, 1, 2, 3, 5, 8, 13, 21}
+
+// Registry is a race-safe named-metric registry. Metrics are created on
+// first use and live for the registry's lifetime; lookups take a mutex,
+// updates on the returned handles are lock-free atomics — hot paths
+// resolve a handle once and hammer the atomic.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Nil-safe:
+// a nil registry returns a nil counter, whose methods are no-ops.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use (nil-safe).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending bucket upper bounds on first use; later calls reuse the
+// existing instance and ignore bounds (nil-safe).
+func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot flattens every metric into name→value pairs: counters and
+// gauges map directly; a histogram expands to name.count, name.sum, and
+// one name.le_B entry per bucket (plus name.le_inf for the overflow
+// bucket). Safe to call while updates are in flight — values are
+// per-metric atomic reads, not a consistent cut.
+func (r *Registry) Snapshot() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters)+len(r.gauges)+8*len(r.hists))
+	for n, c := range r.counters {
+		out[n] = c.Load()
+	}
+	for n, g := range r.gauges {
+		out[n] = g.Load()
+	}
+	for n, h := range r.hists {
+		out[n+".count"] = h.count.Load()
+		out[n+".sum"] = h.sum.Load()
+		for i, b := range h.bounds {
+			out[fmt.Sprintf("%s.le_%d", n, b)] = h.counts[i].Load()
+		}
+		out[n+".le_inf"] = h.counts[len(h.bounds)].Load()
+	}
+	return out
+}
+
+// Format renders the snapshot as a sorted two-column text table (the
+// binaries' -metrics dump).
+func (r *Registry) Format() string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&sb, "%-36s %12d\n", n, snap[n])
+	}
+	return sb.String()
+}
+
+// Counter is a monotonically increasing metric. The zero value is ready;
+// all methods are nil-safe no-ops on a nil receiver.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (0 on nil).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a set-to-current-value metric (nil-safe like Counter).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// SetMax ratchets the gauge up to n if n exceeds the current value
+// (lock-free; used for peak trackers shared across goroutines).
+func (g *Gauge) SetMax(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Load returns the current value (0 on nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into ≤-bound buckets with an implicit
+// +inf overflow bucket, plus running count and sum. Observations are
+// lock-free atomics (nil-safe).
+type Histogram struct {
+	bounds     []int64
+	counts     []atomic.Int64
+	count, sum atomic.Int64
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[len(h.bounds)].Add(1)
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}

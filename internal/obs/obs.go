@@ -1,0 +1,105 @@
+// Package obs is the pipeline's observability layer: a race-safe metrics
+// registry (counters, gauges, histograms), hierarchical spans that ride
+// the context.Context plumbing of the pipeline, and a JSONL event sink
+// streaming span open/close events, periodic progress snapshots, and
+// warnings so long runs emit machine-readable progress while they run.
+//
+// The layer is opt-in and zero-dependency (standard library only). A run
+// without an Obs in its context pays one context lookup per executor run
+// and nothing else: every entry point is nil-safe, so instrumented code
+// calls it unconditionally and a disabled handle compiles down to a nil
+// check.
+package obs
+
+import (
+	"context"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// Obs bundles a metrics registry with an event sink and the snapshot
+// cadence. One Obs observes one logical run (a pipeline invocation, a
+// benchmark sweep); concurrent phases share it freely — the registry and
+// sink are race-safe.
+type Obs struct {
+	// Metrics is the run's metric registry (never nil on a non-nil Obs).
+	Metrics *Registry
+	// Interval is the period between progress snapshots emitted by
+	// long-running phases. Zero disables snapshots; span and warn events
+	// still flow.
+	Interval time.Duration
+
+	sink Sink
+	ids  atomic.Int64
+}
+
+// New returns an Obs emitting to sink (nil sink: metrics only).
+func New(sink Sink) *Obs {
+	return &Obs{Metrics: NewRegistry(), sink: sink}
+}
+
+// Emit forwards ev to the sink, stamping the time if unset. No-op on a
+// nil Obs or nil sink.
+func (o *Obs) Emit(ev Event) {
+	if o == nil || o.sink == nil {
+		return
+	}
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	o.sink.Emit(ev)
+}
+
+// nextID allocates a process-unique span ID (IDs start at 1; 0 means "no
+// span" in parent references).
+func (o *Obs) nextID() int64 { return o.ids.Add(1) }
+
+type obsKey struct{}
+
+// NewContext returns ctx carrying o. A nil o returns ctx unchanged, so
+// callers wire the flag value through without branching.
+func NewContext(ctx context.Context, o *Obs) context.Context {
+	if o == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, obsKey{}, o)
+}
+
+// FromContext returns the context's Obs, or nil when observability is
+// disabled for this run.
+func FromContext(ctx context.Context) *Obs {
+	if ctx == nil {
+		return nil
+	}
+	o, _ := ctx.Value(obsKey{}).(*Obs)
+	return o
+}
+
+// Setup builds the Obs for a binary from its flag values: tracePath
+// streams JSONL events to a file (empty: no trace), interval sets the
+// progress-snapshot cadence, and metrics requests a registry even without
+// a trace (for the -metrics dump at exit). The returned close function
+// flushes and closes the trace file; it is never nil. When neither a
+// trace nor metrics is requested the Obs is nil and the whole layer stays
+// disabled.
+func Setup(tracePath string, interval time.Duration, metrics bool) (*Obs, func() error, error) {
+	noop := func() error { return nil }
+	var sink Sink
+	closer := noop
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, noop, err
+		}
+		js := NewJSONLSink(f)
+		sink = js
+		closer = js.Close
+	}
+	if sink == nil && !metrics {
+		return nil, noop, nil
+	}
+	o := New(sink)
+	o.Interval = interval
+	return o, closer, nil
+}

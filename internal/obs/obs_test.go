@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryRace hammers one registry from many goroutines through the
+// named-lookup path (not pre-resolved handles) — meaningful under -race —
+// and checks the final values.
+func TestRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	const workers, ops = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").SetMax(int64(w*ops + i))
+				r.Histogram("h", HopBuckets...).Observe(int64(i % 30))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("c").Load(); got != workers*ops {
+		t.Errorf("counter = %d, want %d", got, workers*ops)
+	}
+	if got := r.Gauge("g").Load(); got != workers*ops-1 {
+		t.Errorf("gauge max = %d, want %d", got, workers*ops-1)
+	}
+	if got := r.Histogram("h").Count(); got != workers*ops {
+		t.Errorf("histogram count = %d, want %d", got, workers*ops)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]int64{0, 2, 5})
+	for _, v := range []int64{0, 1, 2, 3, 5, 6, 100} {
+		h.Observe(v)
+	}
+	want := []int64{1, 2, 2, 2} // ≤0, ≤2, ≤5, +inf
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 7 || h.Sum() != 117 {
+		t.Errorf("count/sum = %d/%d, want 7/117", h.Count(), h.Sum())
+	}
+}
+
+func TestSnapshotFlattensHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Gauge("b").Set(7)
+	r.Histogram("h", 1, 2).Observe(2)
+	snap := r.Snapshot()
+	for key, want := range map[string]int64{
+		"a": 3, "b": 7, "h.count": 1, "h.sum": 2, "h.le_1": 0, "h.le_2": 1, "h.le_inf": 0,
+	} {
+		if snap[key] != want {
+			t.Errorf("snapshot[%q] = %d, want %d", key, snap[key], want)
+		}
+	}
+	if !strings.Contains(r.Format(), "h.le_2") {
+		t.Errorf("Format missing histogram bucket:\n%s", r.Format())
+	}
+}
+
+// TestNilSafety: every handle and entry point must be a no-op when
+// observability is disabled — this is the "near-zero overhead" contract.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(1)
+	r.Gauge("x").Set(1)
+	r.Histogram("x").Observe(1)
+	if r.Snapshot() != nil {
+		t.Error("nil registry snapshot should be nil")
+	}
+	var o *Obs
+	o.Emit(Event{Type: EventWarn})
+	o.Progress(nil, A("k", 1))
+
+	ctx := context.Background()
+	if FromContext(ctx) != nil {
+		t.Error("FromContext on bare context should be nil")
+	}
+	ctx2, sp := StartSpan(ctx, "x")
+	if sp != nil || ctx2 != ctx {
+		t.Error("StartSpan without an Obs must return the context unchanged and a nil span")
+	}
+	sp.End()                                   // nil-safe
+	sp.EmitChild("y", time.Now(), time.Second) // nil-safe
+	Warn(ctx, "nothing")                       // nil-safe
+	if NewContext(ctx, nil) != ctx {
+		t.Error("NewContext with nil Obs must return ctx unchanged")
+	}
+}
+
+func TestSpanNestingAndEvents(t *testing.T) {
+	rec := &Recorder{}
+	o := New(rec)
+	ctx := NewContext(context.Background(), o)
+
+	ctx, root := StartSpan(ctx, "root", A("k", "v"))
+	cctx, child := StartSpan(ctx, "child")
+	if child.Parent != root.ID {
+		t.Fatalf("child parent = %d, want %d", child.Parent, root.ID)
+	}
+	_, grand := StartSpan(cctx, "grand")
+	if grand.Parent != child.ID {
+		t.Fatalf("grandchild parent = %d, want %d", grand.Parent, child.ID)
+	}
+	// A sibling started from the root context still parents under root,
+	// exactly how concurrent verify workers derive their contexts.
+	_, sib := StartSpan(ctx, "sibling")
+	if sib.Parent != root.ID {
+		t.Fatalf("sibling parent = %d, want %d", sib.Parent, root.ID)
+	}
+	grand.End()
+	child.End()
+	sib.End()
+	Warn(cctx, "w", A("rank", 2))
+	root.End()
+
+	events := rec.Events()
+	opens, closes, warns := 0, 0, 0
+	for _, ev := range events {
+		switch ev.Type {
+		case EventSpanOpen:
+			opens++
+		case EventSpanClose:
+			closes++
+			if ev.DurUS < 0 {
+				t.Errorf("span %d negative duration", ev.Span)
+			}
+		case EventWarn:
+			warns++
+			if ev.Span != child.ID {
+				t.Errorf("warn attached to span %d, want %d", ev.Span, child.ID)
+			}
+		}
+	}
+	if opens != 4 || closes != 4 || warns != 1 {
+		t.Errorf("events = %d opens / %d closes / %d warns, want 4/4/1", opens, closes, warns)
+	}
+}
+
+func TestJSONLSinkOutputParses(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	o := New(sink)
+	ctx := NewContext(context.Background(), o)
+	ctx, sp := StartSpan(ctx, "root", A("program", "p"))
+	o.Progress(sp, A("steps", int64(10)))
+	Warn(ctx, "candidate abandoned", A("reason", "max-steps"))
+	sp.EmitChild("solver", sp.Start, 42*time.Microsecond, A("checks", 3))
+	sp.End(A("found", true))
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines, want 6:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d does not parse: %v\n%s", i+1, err, line)
+		}
+		if ev.Type == "" || ev.Time.IsZero() {
+			t.Errorf("line %d missing type or time: %s", i+1, line)
+		}
+	}
+}
+
+func TestSetupDisabled(t *testing.T) {
+	o, closer, err := Setup("", time.Second, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != nil {
+		t.Error("Setup with no trace and no metrics must return a nil Obs")
+	}
+	if err := closer(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetupTraceFile(t *testing.T) {
+	path := t.TempDir() + "/trace.jsonl"
+	o, closer, err := Setup(path, 100*time.Millisecond, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o == nil || o.Metrics == nil || o.Interval != 100*time.Millisecond {
+		t.Fatalf("Setup returned %+v", o)
+	}
+	_, sp := StartSpan(NewContext(context.Background(), o), "root")
+	sp.End()
+	if err := closer(); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"span.open"`) {
+		t.Errorf("trace file missing span.open:\n%s", blob)
+	}
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one record of the JSONL trace. Field meaning by Type:
+//
+//	span.open   Span/Parent/Name identify the new span; Attrs carry
+//	            open-time attributes (e.g. rank, program).
+//	span.close  same identity plus DurUS (microseconds) and close-time
+//	            attributes (outcome, counters).
+//	progress    a periodic snapshot attached to the enclosing span;
+//	            Attrs carry the live counters.
+//	warn        a one-line diagnostic (Msg) attached to a span.
+//
+// One event per line; the schema is documented in DESIGN.md §9.
+type Event struct {
+	Time   time.Time      `json:"t"`
+	Type   string         `json:"type"`
+	Span   int64          `json:"span,omitempty"`
+	Parent int64          `json:"parent,omitempty"`
+	Name   string         `json:"name,omitempty"`
+	Msg    string         `json:"msg,omitempty"`
+	DurUS  int64          `json:"dur_us,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// Event types.
+const (
+	EventSpanOpen  = "span.open"
+	EventSpanClose = "span.close"
+	EventProgress  = "progress"
+	EventWarn      = "warn"
+)
+
+// Sink consumes events. Implementations must be safe for concurrent Emit.
+type Sink interface {
+	Emit(Event)
+}
+
+// JSONLSink streams events as JSON lines through a buffered writer. Emit
+// errors are swallowed: an unwritable trace must never fail the pipeline
+// it observes.
+type JSONLSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	c   io.Closer
+}
+
+// NewJSONLSink wraps w. If w is an io.Closer (a file), Close closes it
+// after flushing.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	s := &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Emit writes one event line.
+func (s *JSONLSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.enc.Encode(ev)
+}
+
+// Close flushes buffered lines and closes the underlying writer when it
+// is closable.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.bw.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Recorder is an in-memory sink for tests: it keeps every event in
+// arrival order.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink.
+func (r *Recorder) Emit(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, ev)
+}
+
+// Events returns a copy of the recorded events.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Attr is one key/value span or event attribute.
+type Attr struct {
+	Key string
+	Val any
+}
+
+// A is shorthand for building an Attr at a call site.
+func A(key string, val any) Attr { return Attr{Key: key, Val: val} }
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Val
+	}
+	return m
+}
+
+// Span is one node of the trace tree. Spans nest through the context:
+// StartSpan parents the new span under the context's current span, so
+// concurrent children (the parallel verify workers) each derive their own
+// context from the same parent and the tree stays deterministic
+// regardless of scheduling.
+type Span struct {
+	ID     int64
+	Parent int64
+	Name   string
+	Start  time.Time
+
+	o *Obs
+}
+
+type spanKey struct{}
+
+// StartSpan opens a span named name as a child of the context's current
+// span (a root when there is none) and returns a derived context carrying
+// it. With no Obs in ctx it returns (ctx, nil); a nil *Span is a valid
+// no-op handle, so callers never branch.
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	o := FromContext(ctx)
+	if o == nil {
+		return ctx, nil
+	}
+	var parent int64
+	if ps := SpanFromContext(ctx); ps != nil {
+		parent = ps.ID
+	}
+	s := &Span{ID: o.nextID(), Parent: parent, Name: name, Start: time.Now(), o: o}
+	o.Emit(Event{Time: s.Start, Type: EventSpanOpen, Span: s.ID, Parent: parent, Name: name, Attrs: attrMap(attrs)})
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// SpanFromContext returns the context's current span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// End closes the span, recording its duration and any close-time
+// attributes. No-op on nil.
+func (s *Span) End(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.o.Emit(Event{
+		Time: now, Type: EventSpanClose, Span: s.ID, Parent: s.Parent,
+		Name: s.Name, DurUS: now.Sub(s.Start).Microseconds(), Attrs: attrMap(attrs),
+	})
+}
+
+// EmitChild records an already-measured child span of s as an open/close
+// event pair. Used for aggregated sub-phases that are not practical to
+// span live — e.g. the per-candidate "solver" span, whose duration is the
+// candidate's accumulated solver wall time rather than one contiguous
+// interval. No-op on nil.
+func (s *Span) EmitChild(name string, start time.Time, dur time.Duration, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	id := s.o.nextID()
+	s.o.Emit(Event{Time: start, Type: EventSpanOpen, Span: id, Parent: s.ID, Name: name})
+	s.o.Emit(Event{
+		Time: start.Add(dur), Type: EventSpanClose, Span: id, Parent: s.ID,
+		Name: name, DurUS: dur.Microseconds(), Attrs: attrMap(attrs),
+	})
+}
+
+// Progress emits a snapshot event attached to sp (sp may be nil: the
+// event then carries span 0, a rootless snapshot). No-op on a nil Obs.
+func (o *Obs) Progress(sp *Span, attrs ...Attr) {
+	if o == nil {
+		return
+	}
+	ev := Event{Type: EventProgress, Attrs: attrMap(attrs)}
+	if sp != nil {
+		ev.Span = sp.ID
+		ev.Name = sp.Name
+	}
+	o.Emit(ev)
+}
+
+// Warn emits a one-line warning event attached to the context's current
+// span. No-op when observability is disabled.
+func Warn(ctx context.Context, msg string, attrs ...Attr) {
+	o := FromContext(ctx)
+	if o == nil {
+		return
+	}
+	ev := Event{Type: EventWarn, Msg: msg, Attrs: attrMap(attrs)}
+	if s := SpanFromContext(ctx); s != nil {
+		ev.Span = s.ID
+		ev.Name = s.Name
+	}
+	o.Emit(ev)
+}

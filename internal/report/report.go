@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"html/template"
 	"io"
+	"sort"
 	"strings"
 	"time"
 
@@ -25,10 +26,26 @@ type Model struct {
 	LogKB                      int
 	StatTime, SymTime          string
 
+	// Phases is the per-phase wall-time breakdown (monitor / statistical
+	// analysis / symbolic execution); the monitor row is present only when
+	// the caller measured collection (reports built from a loaded corpus
+	// have no monitor phase).
+	Phases []PhaseRow
+
+	// Solver totals across every attempt, with the constraint-cache hit
+	// rate (empty when no solver query ran).
+	SolverTime string
+	CacheHits  int
+	CacheRate  string
+
 	Predicates []PredicateRow
 	Skeleton   []string
 	Candidates []CandidateRow
 	Attempts   []AttemptRow
+
+	// Metrics is the flattened registry snapshot, present only when the
+	// run was traced with -metrics (WriteHTMLWithMetrics).
+	Metrics []MetricRow
 
 	Found         bool
 	VulnKind      string
@@ -63,11 +80,27 @@ type CandidateRow struct {
 
 // AttemptRow is one guided exploration attempt.
 type AttemptRow struct {
-	Index   int
-	Status  string
-	Paths   int
-	Steps   int64
-	Elapsed string
+	Index        int
+	Status       string
+	Paths        int
+	Steps        int64
+	SolverChecks int
+	CacheHits    int
+	CacheMisses  int
+	SolverTime   string
+	Elapsed      string
+}
+
+// PhaseRow is one pipeline phase's wall time.
+type PhaseRow struct {
+	Phase string
+	Time  string
+}
+
+// MetricRow is one registry entry from a traced run.
+type MetricRow struct {
+	Name  string
+	Value int64
 }
 
 // Build assembles the template model from a pipeline report. now is
@@ -83,6 +116,18 @@ func Build(rep *core.Report, now string) *Model {
 		LogKB:       rep.LogBytes / 1024,
 		StatTime:    rep.StatTime.Round(time.Microsecond).String(),
 		SymTime:     rep.SymTime.Round(time.Microsecond).String(),
+	}
+	if rep.MonTime > 0 {
+		m.Phases = append(m.Phases, PhaseRow{"log collection (monitor)", rep.MonTime.Round(time.Microsecond).String()})
+	}
+	m.Phases = append(m.Phases,
+		PhaseRow{"statistical analysis", m.StatTime},
+		PhaseRow{"symbolic execution", m.SymTime})
+	if queries := rep.CacheHits + rep.CacheMisses; queries > 0 {
+		m.SolverTime = rep.SolverTime.Round(time.Microsecond).String()
+		m.CacheHits = rep.CacheHits
+		m.CacheRate = fmt.Sprintf("%.1f%%", 100*float64(rep.CacheHits)/float64(queries))
+		m.Phases = append(m.Phases, PhaseRow{"└ constraint solving", m.SolverTime})
 	}
 	for i, p := range rep.Analysis.Top(15) {
 		m.Predicates = append(m.Predicates, PredicateRow{
@@ -108,17 +153,24 @@ func Build(rep *core.Report, now string) *Model {
 	}
 	for _, a := range rep.Candidates {
 		status := "no vulnerability"
-		if a.Found {
+		switch {
+		case a.Found:
 			status = "vulnerable path found"
-		} else if a.Infeasible {
+		case a.Cancelled:
+			status = "cancelled"
+		case a.Infeasible:
 			status = "infeasible / abandoned"
 		}
 		m.Attempts = append(m.Attempts, AttemptRow{
-			Index:   a.Index,
-			Status:  status,
-			Paths:   a.Paths,
-			Steps:   a.Steps,
-			Elapsed: a.Elapsed.Round(time.Microsecond).String(),
+			Index:        a.Index,
+			Status:       status,
+			Paths:        a.Paths,
+			Steps:        a.Steps,
+			SolverChecks: a.SolverChecks,
+			CacheHits:    a.CacheHits,
+			CacheMisses:  a.CacheMisses,
+			SolverTime:   a.SolverTime.Round(time.Microsecond).String(),
+			Elapsed:      a.Elapsed.Round(time.Microsecond).String(),
 		})
 	}
 	if rep.Found() {
@@ -194,7 +246,13 @@ var page = template.Must(template.New("report").Parse(`<!DOCTYPE html>
 <span class="chip">{{.LogKB}} KB logs</span>
 <span class="chip">statistical analysis {{.StatTime}}</span>
 <span class="chip">symbolic execution {{.SymTime}}</span>
+{{if .CacheRate}}<span class="chip">solver cache {{.CacheRate}}</span>{{end}}
 </p>
+
+<h2>Phase timing</h2>
+<table><tr><th>phase</th><th>wall time</th></tr>
+{{range .Phases}}<tr><td>{{.Phase}}</td><td class="mono">{{.Time}}</td></tr>{{end}}
+</table>
 
 {{if .Found}}
 <h2 class="found">Vulnerable path found: {{.VulnKind}} in {{.VulnFunc}} (at {{.VulnPos}})</h2>
@@ -228,9 +286,16 @@ var page = template.Must(template.New("report").Parse(`<!DOCTYPE html>
 </table>
 
 <h2>Exploration attempts</h2>
-<table><tr><th>candidate</th><th>status</th><th>paths</th><th>steps</th><th>time</th></tr>
-{{range .Attempts}}<tr><td>{{.Index}}</td><td>{{.Status}}</td><td>{{.Paths}}</td><td>{{.Steps}}</td><td>{{.Elapsed}}</td></tr>{{end}}
+<table><tr><th>candidate</th><th>status</th><th>paths</th><th>steps</th><th>solver checks</th><th>cache hits</th><th>cache misses</th><th>solver time</th><th>time</th></tr>
+{{range .Attempts}}<tr><td>{{.Index}}</td><td>{{.Status}}</td><td>{{.Paths}}</td><td>{{.Steps}}</td><td>{{.SolverChecks}}</td><td>{{.CacheHits}}</td><td>{{.CacheMisses}}</td><td>{{.SolverTime}}</td><td>{{.Elapsed}}</td></tr>{{end}}
 </table>
+
+{{if .Metrics}}
+<h2>Metrics</h2>
+<table><tr><th>metric</th><th>value</th></tr>
+{{range .Metrics}}<tr><td class="mono">{{.Name}}</td><td class="mono">{{.Value}}</td></tr>{{end}}
+</table>
+{{end}}
 </body>
 </html>
 `))
@@ -238,6 +303,22 @@ var page = template.Must(template.New("report").Parse(`<!DOCTYPE html>
 // WriteHTML renders the pipeline report to w.
 func WriteHTML(w io.Writer, rep *core.Report, now string) error {
 	return page.Execute(w, Build(rep, now))
+}
+
+// WriteHTMLWithMetrics renders the pipeline report plus a flattened
+// metrics-registry snapshot (obs.Registry.Snapshot) as an extra section,
+// sorted by metric name. A nil or empty snapshot is the same as WriteHTML.
+func WriteHTMLWithMetrics(w io.Writer, rep *core.Report, now string, snap map[string]int64) error {
+	m := Build(rep, now)
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m.Metrics = append(m.Metrics, MetricRow{Name: name, Value: snap[name]})
+	}
+	return page.Execute(w, m)
 }
 
 // HTML renders to a string (convenience for tests and callers).

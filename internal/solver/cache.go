@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"strconv"
+	"time"
 )
 
 // CachedSolver memoizes Check results keyed by the canonicalized constraint
@@ -18,8 +19,14 @@ type CachedSolver struct {
 	MaxEntries int
 
 	cache map[uint64]cachedResult
-	// Hits and Misses count cache effectiveness (for the ablation bench).
+	// Hits and Misses count cache effectiveness (for the ablation bench
+	// and the per-candidate solver columns of core.Report).
 	Hits, Misses int
+	// Wall accumulates wall-clock time spent inside non-memoized checks.
+	// Cache hits are excluded so the hit fast path stays clock-free; the
+	// sum is the candidate's real solver effort (Report/HTML "solver
+	// time" column).
+	Wall time.Duration
 }
 
 type cachedResult struct {
@@ -48,7 +55,9 @@ func (cs *CachedSolver) CheckCtx(ctx context.Context, t *VarTable, cons []Constr
 		return r.res, r.model
 	}
 	cs.Misses++
+	start := time.Now()
 	res, model := cs.S.CheckCtx(ctx, t, cons)
+	cs.Wall += time.Since(start)
 	if ctx != nil && ctx.Err() != nil {
 		return res, model
 	}

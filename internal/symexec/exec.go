@@ -8,6 +8,7 @@ import (
 	"repro/internal/bytecode"
 	"repro/internal/interp"
 	"repro/internal/minic"
+	"repro/internal/obs"
 	"repro/internal/solver"
 	"repro/internal/trace"
 )
@@ -102,9 +103,18 @@ type Result struct {
 	Steps         int64
 	Forks         int
 	// SolverChecks/SolverUnknowns count satisfiability queries issued to
-	// the solver (excluding model-cache fast paths).
+	// the solver (excluding model-cache fast paths); SolverSat/SolverUnsat
+	// split the decided queries by verdict.
 	SolverChecks   int
 	SolverUnknowns int
+	SolverSat      int
+	SolverUnsat    int
+	// CacheHits/CacheMisses are the solver query-cache counters and
+	// SolverTime the wall clock spent inside non-memoized solver checks —
+	// surfaced here so pipeline reports need not reach into the solver.
+	CacheHits   int
+	CacheMisses int
+	SolverTime  time.Duration
 	// Exhausted reports the state-budget abort (KLEE OOM analogue);
 	// StepLimited and TimedOut report the other resource aborts.
 	Exhausted   bool
@@ -142,6 +152,17 @@ type Executor struct {
 	stopped bool
 
 	visits [][]int64
+
+	// Observability (nil when disabled — the only cost is nil checks).
+	// obsv/span are resolved once per RunContext from the context; hops is
+	// the pre-resolved diverted-hop histogram so the suspension path does
+	// not take the registry lock; suspensions feeds the pruned-states
+	// counter.
+	obsv        *obs.Obs
+	span        *obs.Span
+	hops        *obs.Histogram
+	lastSnap    time.Time
+	suspensions int64
 }
 
 // New prepares an executor for prog with the given symbolic-input spec.
@@ -221,6 +242,12 @@ func (ex *Executor) RunContext(ctx context.Context) *Result {
 		defer cancel()
 	}
 	ex.ctx = ctx
+	if o := obs.FromContext(ctx); o != nil {
+		ex.obsv = o
+		ex.span = obs.SpanFromContext(ctx)
+		ex.hops = o.Metrics.Histogram(obs.MetricDivertedHops, obs.HopBuckets...)
+		ex.lastSnap = start
+	}
 	st, err := ex.initialState()
 	if err != nil {
 		// Initialization of globals cannot fork or fault in checked
@@ -237,6 +264,10 @@ func (ex *Executor) RunContext(ctx context.Context) *Result {
 		if err := ctx.Err(); err != nil {
 			ex.noteInterrupt(err)
 			break
+		}
+		if ex.obsv != nil && ex.obsv.Interval > 0 && time.Since(ex.lastSnap) >= ex.obsv.Interval {
+			ex.emitProgress()
+			ex.lastSnap = time.Now()
 		}
 		cur := ex.sched.Next()
 		if cur == nil {
@@ -260,8 +291,54 @@ func (ex *Executor) RunContext(ctx context.Context) *Result {
 	ex.res.SuspendedAtEnd = len(ex.suspended)
 	ex.res.SolverChecks = ex.Solver.S.Stats.Checks
 	ex.res.SolverUnknowns = ex.Solver.S.Stats.Unknown
+	ex.res.SolverSat = ex.Solver.S.Stats.Sat
+	ex.res.SolverUnsat = ex.Solver.S.Stats.Unsat
+	ex.res.CacheHits = ex.Solver.Hits
+	ex.res.CacheMisses = ex.Solver.Misses
+	ex.res.SolverTime = ex.Solver.Wall
 	ex.res.Elapsed = time.Since(start)
+	if ex.obsv != nil {
+		ex.mirrorMetrics()
+	}
 	return ex.res
+}
+
+// emitProgress streams a snapshot of the live counters to the event sink,
+// attached to the enclosing span (the per-candidate verify span in the
+// pipeline). Called at most once per Obs.Interval from the scheduling
+// loop, so a long quantum delays a snapshot by at most one batch.
+func (ex *Executor) emitProgress() {
+	ex.obsv.Progress(ex.span,
+		obs.A("steps", ex.res.Steps),
+		obs.A("paths", ex.res.Paths),
+		obs.A("states_live", ex.liveStates()),
+		obs.A("states_created", ex.res.StatesCreated),
+		obs.A("suspended", len(ex.suspended)),
+		obs.A("solver_checks", ex.Solver.S.Stats.Checks),
+		obs.A("cache_hits", ex.Solver.Hits),
+		obs.A("cache_misses", ex.Solver.Misses),
+	)
+}
+
+// mirrorMetrics folds the run's final counters into the shared metrics
+// registry under the standard names. Done once at the end of the run —
+// the hot loop touches no metric except the pre-resolved hop histogram.
+func (ex *Executor) mirrorMetrics() {
+	m := ex.obsv.Metrics
+	r := ex.res
+	m.Counter(obs.MetricSteps).Add(r.Steps)
+	m.Counter(obs.MetricForks).Add(int64(r.Forks))
+	m.Counter(obs.MetricPaths).Add(int64(r.Paths))
+	m.Counter(obs.MetricStatesCreated).Add(int64(r.StatesCreated))
+	m.Counter(obs.MetricStatesPruned).Add(ex.suspensions)
+	m.Counter(obs.MetricRevivals).Add(int64(r.Revivals))
+	m.Gauge(obs.MetricStatesLive).SetMax(int64(r.MaxLive))
+	m.Counter(obs.MetricSolverChecks).Add(int64(r.SolverChecks))
+	m.Counter(obs.MetricSolverSat).Add(int64(r.SolverSat))
+	m.Counter(obs.MetricSolverUnsat).Add(int64(r.SolverUnsat))
+	m.Counter(obs.MetricSolverUnknown).Add(int64(r.SolverUnknowns))
+	m.Counter(obs.MetricCacheHits).Add(int64(r.CacheHits))
+	m.Counter(obs.MetricCacheMisses).Add(int64(r.CacheMisses))
 }
 
 // noteInterrupt records why the context stopped the run: a deadline is a
@@ -356,6 +433,10 @@ func (ex *Executor) runQuantum(st *State) {
 		if suspend {
 			st.Status = StatusSuspended
 			ex.suspended = append(ex.suspended, st)
+			ex.suspensions++
+			if ex.hops != nil {
+				ex.hops.Observe(int64(st.Diverted))
+			}
 			return
 		}
 		if done {

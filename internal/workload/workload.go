@@ -6,6 +6,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -32,6 +33,13 @@ const DefaultRuns = 100
 // BuildCorpus generates inputs with the app's workload generator, executes
 // them under the program monitor, and returns a balanced labeled corpus.
 func BuildCorpus(app *apps.App, opts Options) (*trace.Corpus, error) {
+	return BuildCorpusCtx(context.Background(), app, opts)
+}
+
+// BuildCorpusCtx is BuildCorpus with cancellation and tracing: the
+// monitor's collection span and run/record counters attach to whatever
+// observability handle rides in ctx.
+func BuildCorpusCtx(ctx context.Context, app *apps.App, opts Options) (*trace.Corpus, error) {
 	nc, nf := opts.Correct, opts.Faulty
 	if nc == 0 {
 		nc = DefaultRuns
@@ -42,7 +50,7 @@ func BuildCorpus(app *apps.App, opts Options) (*trace.Corpus, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	gen := func(i int) *interp.Input { return app.NewInput(rng) }
 	cfg := monitor.Config{SampleRate: opts.SampleRate, Seed: opts.Seed}
-	corpus, err := monitor.BalancedCorpus(app.Program(), gen, nc, nf, cfg)
+	corpus, err := monitor.BalancedCorpusCtx(ctx, app.Program(), gen, nc, nf, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("workload: %s: %w", app.Name, err)
 	}
@@ -55,6 +63,12 @@ func BuildCorpus(app *apps.App, opts Options) (*trace.Corpus, error) {
 // first quota of each class (in generation order) is kept — so the result
 // is deterministic for a given seed regardless of worker count.
 func BuildCorpusParallel(app *apps.App, opts Options, workers int) (*trace.Corpus, error) {
+	return BuildCorpusParallelCtx(context.Background(), app, opts, workers)
+}
+
+// BuildCorpusParallelCtx is BuildCorpusParallel with cancellation and
+// tracing. Each collection batch opens its own monitor span.
+func BuildCorpusParallelCtx(ctx context.Context, app *apps.App, opts Options, workers int) (*trace.Corpus, error) {
 	nc, nf := opts.Correct, opts.Faulty
 	if nc == 0 {
 		nc = DefaultRuns
@@ -78,7 +92,7 @@ func BuildCorpusParallel(app *apps.App, opts Options, workers int) (*trace.Corpu
 			inputs[i] = app.NewInput(rng)
 		}
 		generated += batch
-		part, err := monitor.CollectCorpusParallel(app.Program(), inputs, cfg, workers)
+		part, err := monitor.CollectCorpusParallelCtx(ctx, app.Program(), inputs, cfg, workers)
 		if err != nil {
 			return nil, fmt.Errorf("workload: %s: %w", app.Name, err)
 		}
