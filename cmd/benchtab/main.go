@@ -35,6 +35,7 @@ func run() error {
 		ablation  = flag.String("ablation", "", "run an ablation: scheduler, guidance, tau, cache, all")
 		seed      = flag.Int64("seed", bench.DefaultSeed, "workload seed")
 		parallel  = flag.Int("parallel", 1, "candidate-verification workers per pipeline run (1: sequential)")
+		sharedCch = flag.Bool("shared-cache", true, "share solver verdicts across candidate verifications (wall-clock only; counters are unaffected)")
 		only      = flag.Bool("only", false, "run only the selected table/figure")
 		asJSON    = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 		traceOut  = flag.String("trace", "", "stream a JSONL event trace of every pipeline run to this file")
@@ -45,6 +46,7 @@ func run() error {
 	flag.Parse()
 	budgets := bench.DefaultBudgets()
 	budgets.Parallel = *parallel
+	budgets.DisableSharedCache = !*sharedCch
 
 	// SIGINT/SIGTERM cancel the in-flight experiment cooperatively; the
 	// partial rows computed so far are discarded, but the process exits
@@ -179,46 +181,46 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(bench.FormatAblation("ABLATION: schedulers vs StatSym guidance", rows))
+		emit("ablation-scheduler", rows, bench.FormatAblation("ABLATION: schedulers vs StatSym guidance", rows))
 	case "guidance":
 		rows, err := bench.AblationGuidance(ctx, *seed, budgets)
 		if err != nil {
 			return err
 		}
-		fmt.Println(bench.FormatAblation("ABLATION: guidance mechanisms (inter/intra)", rows))
+		emit("ablation-guidance", rows, bench.FormatAblation("ABLATION: guidance mechanisms (inter/intra)", rows))
 	case "tau":
 		rows, err := bench.AblationTau(ctx, "thttpd", nil, *seed, budgets)
 		if err != nil {
 			return err
 		}
-		fmt.Println(bench.FormatAblation("ABLATION: hop threshold τ (thttpd)", rows))
+		emit("ablation-tau", rows, bench.FormatAblation("ABLATION: hop threshold τ (thttpd)", rows))
 	case "cache":
 		rows, err := bench.AblationSolverCache(ctx, budgets)
 		if err != nil {
 			return err
 		}
-		fmt.Println(bench.FormatAblation("ABLATION: solver query cache (polymorph, pure)", rows))
+		emit("ablation-cache", rows, bench.FormatAblation("ABLATION: solver query cache (polymorph, pure)", rows))
 	case "all":
 		rows, err := bench.AblationScheduler(ctx, *seed, budgets)
 		if err != nil {
 			return err
 		}
-		fmt.Println(bench.FormatAblation("ABLATION: schedulers vs StatSym guidance", rows))
+		emit("ablation-scheduler", rows, bench.FormatAblation("ABLATION: schedulers vs StatSym guidance", rows))
 		rows, err = bench.AblationGuidance(ctx, *seed, budgets)
 		if err != nil {
 			return err
 		}
-		fmt.Println(bench.FormatAblation("ABLATION: guidance mechanisms (inter/intra)", rows))
+		emit("ablation-guidance", rows, bench.FormatAblation("ABLATION: guidance mechanisms (inter/intra)", rows))
 		rows, err = bench.AblationTau(ctx, "thttpd", nil, *seed, budgets)
 		if err != nil {
 			return err
 		}
-		fmt.Println(bench.FormatAblation("ABLATION: hop threshold τ (thttpd)", rows))
+		emit("ablation-tau", rows, bench.FormatAblation("ABLATION: hop threshold τ (thttpd)", rows))
 		rows, err = bench.AblationSolverCache(ctx, budgets)
 		if err != nil {
 			return err
 		}
-		fmt.Println(bench.FormatAblation("ABLATION: solver query cache (polymorph, pure)", rows))
+		emit("ablation-cache", rows, bench.FormatAblation("ABLATION: solver query cache (polymorph, pure)", rows))
 	default:
 		return fmt.Errorf("unknown ablation %q", *ablation)
 	}

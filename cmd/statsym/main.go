@@ -48,6 +48,7 @@ func run() error {
 		maxSteps  = flag.Int64("max-steps", 0, "instruction budget (0: default)")
 		timeout   = flag.Duration("timeout", 0, "wall-clock bound for symbolic execution (0: none)")
 		parallel  = flag.Int("parallel", 1, "verify candidate paths with this many concurrent workers (1: the paper's sequential loop)")
+		sharedCch = flag.Bool("shared-cache", true, "share solver verdicts across candidate verifications (wall-clock only; counters are unaffected)")
 		verbose   = flag.Bool("v", false, "print predicates and candidate paths")
 		minimize  = flag.Bool("minimize", false, "shrink the witness input via concrete replays")
 		dotOut    = flag.String("dot", "", "write the transition graph (Graphviz DOT) to this file")
@@ -151,8 +152,9 @@ func run() error {
 			}
 			return 0
 		}(),
-		MaxStates: *maxStates,
-		Parallel:  *parallel,
+		MaxStates:          *maxStates,
+		Parallel:           *parallel,
+		DisableSharedCache: !*sharedCch,
 	}
 	rep, err := core.RunContext(ctx, app.Program(), corpus, cfg)
 	if err != nil {
@@ -195,9 +197,9 @@ func run() error {
 		case c.Infeasible:
 			status = "infeasible / abandoned"
 		}
-		fmt.Printf("   candidate %d (len %d): %s — %d paths, %d steps, %d suspensions, %v (solver: %d checks, %d hits / %d misses, %v)\n",
+		fmt.Printf("   candidate %d (len %d): %s — %d paths, %d steps, %d suspensions, %v (solver: %d checks, %d hits / %d misses, %d fast-paths, %v)\n",
 			c.Index, c.PathLen, status, c.Paths, c.Steps, c.Suspends, c.Elapsed.Round(time.Millisecond),
-			c.SolverChecks, c.CacheHits, c.CacheMisses, c.SolverTime.Round(time.Millisecond))
+			c.SolverChecks, c.CacheHits, c.CacheMisses, c.CacheFastSat+c.CacheFastUnsat, c.SolverTime.Round(time.Millisecond))
 	}
 	writeHTML := func() error {
 		if *htmlOut == "" {

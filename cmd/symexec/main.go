@@ -42,6 +42,7 @@ func run() error {
 		all       = flag.Bool("all", false, "keep searching after the first vulnerability")
 		replay    = flag.String("replay", "", "seed exploration with a witness input (JSON, from statsym -witness-out)")
 		cov       = flag.Bool("cov", false, "report instruction coverage after the run")
+		fastPaths = flag.Bool("fast-paths", false, "enable heuristic solver-cache shortcuts (UNSAT-core subsumption, Sat-model reuse); may change exploration")
 		traceOut  = flag.String("trace", "", "stream a JSONL event trace (spans, progress) to this file")
 		traceInt  = flag.Duration("trace-interval", time.Second, "progress-snapshot period for -trace")
 		metrics   = flag.Bool("metrics", false, "print the metrics registry at exit")
@@ -85,6 +86,7 @@ func run() error {
 	opts := symexec.DefaultOptions()
 	opts.StopAtFirstVuln = !*all
 	opts.Timeout = *timeout
+	opts.SolverFastPaths = *fastPaths
 	if *maxStates > 0 {
 		opts.MaxStates = *maxStates
 	}
@@ -141,6 +143,9 @@ func run() error {
 	fmt.Printf("scheduler=%s paths=%d states=%d forks=%d steps=%d solver-checks=%d elapsed=%v\n",
 		opts.Sched.Name(), res.Paths, res.StatesCreated, res.Forks, res.Steps,
 		res.SolverChecks, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("solver-cache: hits=%d misses=%d fast-sat=%d fast-unsat=%d evictions=%d solver-time=%v\n",
+		res.CacheHits, res.CacheMisses, res.CacheFastSat, res.CacheFastUnsat,
+		res.CacheEvictions, res.SolverTime.Round(time.Millisecond))
 	if *cov {
 		fmt.Printf("coverage: %.1f%% of instructions\n", ex.TotalCoverage()*100)
 		byFunc := ex.Coverage()

@@ -21,22 +21,38 @@ type AblationRow struct {
 	Paths   int
 	Steps   int64
 	Elapsed time.Duration
-	Failed  bool // resource exhaustion without a find
+	// SolverWall is the wall clock spent inside physical solver checks
+	// (cache hits excluded), when the ablation records it.
+	SolverWall time.Duration
+	Failed     bool // resource exhaustion without a find
 }
 
 // FormatAblation renders any ablation row set.
 func FormatAblation(title string, rows []AblationRow) string {
 	var sb strings.Builder
 	sb.WriteString(title + "\n")
-	fmt.Fprintf(&sb, "%-10s %-22s %6s %8s %12s %12s\n",
-		"Program", "config", "found", "paths", "steps", "time")
+	solverCol := false
+	for _, r := range rows {
+		if r.SolverWall > 0 {
+			solverCol = true
+		}
+	}
+	fmt.Fprintf(&sb, "%-10s %-22s %6s %8s %12s %12s", "Program", "config", "found", "paths", "steps", "time")
+	if solverCol {
+		fmt.Fprintf(&sb, " %12s", "solver")
+	}
+	sb.WriteString("\n")
 	for _, r := range rows {
 		status := fmt.Sprintf("%v", r.Found)
 		if r.Failed {
 			status = "FAILED"
 		}
-		fmt.Fprintf(&sb, "%-10s %-22s %6s %8d %12d %12s\n",
+		fmt.Fprintf(&sb, "%-10s %-22s %6s %8d %12d %12s",
 			r.Program, r.Config, status, r.Paths, r.Steps, r.Elapsed.Round(time.Millisecond))
+		if solverCol {
+			fmt.Fprintf(&sb, " %12s", r.SolverWall.Round(time.Millisecond))
+		}
+		sb.WriteString("\n")
 	}
 	return sb.String()
 }
@@ -115,6 +131,7 @@ func AblationGuidance(ctx context.Context, seed int64, budgets Budgets) ([]Ablat
 				PerCandidateTimeout:  budgets.GuidedTimeout,
 				PerCandidateMaxSteps: budgets.GuidedMaxSteps,
 				Parallel:             budgets.Parallel,
+				DisableSharedCache:   budgets.DisableSharedCache,
 				DisableInter:         c.disInter,
 				DisablePredicates:    c.disPreds,
 			}
@@ -162,6 +179,7 @@ func AblationTau(ctx context.Context, appName string, taus []int, seed int64, bu
 			PerCandidateTimeout:  budgets.GuidedTimeout,
 			PerCandidateMaxSteps: budgets.GuidedMaxSteps,
 			Parallel:             budgets.Parallel,
+			DisableSharedCache:   budgets.DisableSharedCache,
 		}
 		if tau == 0 {
 			cfg.Tau = -1 // τ=0: any off-path hop suspends (Config treats 0 as default)
@@ -183,16 +201,17 @@ func AblationTau(ctx context.Context, appName string, taus []int, seed int64, bu
 	return rows, nil
 }
 
-// AblationSolverCache compares cached versus effectively-uncached
-// constraint solving on polymorph's pure baseline, quantifying what KLEE's
-// query caching buys this engine.
+// AblationSolverCache compares the exact-match cache (the default), the
+// cache with the opt-in KLEE-style heuristic fast paths, and effectively
+// uncached constraint solving on polymorph's pure baseline, quantifying
+// what each query-caching layer buys this engine.
 func AblationSolverCache(ctx context.Context, budgets Budgets) ([]AblationRow, error) {
 	app, err := apps.Get("polymorph")
 	if err != nil {
 		return nil, err
 	}
 	var rows []AblationRow
-	for _, cached := range []bool{true, false} {
+	for _, name := range []string{"solver-cache=on", "solver-cache=fastpaths", "solver-cache=off"} {
 		if err := ctx.Err(); err != nil {
 			return rows, err
 		}
@@ -201,23 +220,21 @@ func AblationSolverCache(ctx context.Context, budgets Budgets) ([]AblationRow, e
 		opts.MaxStates = budgets.PureMaxStates
 		opts.MaxSteps = budgets.PureMaxSteps
 		opts.Timeout = budgets.PureTimeout
+		opts.SolverFastPaths = name == "solver-cache=fastpaths"
 		ex := symexec.New(app.Program(), app.Spec, opts)
-		if !cached {
+		if name == "solver-cache=off" {
 			ex.Solver = solver.NewCached(solver.New())
-			ex.Solver.MaxEntries = 1 // effectively disables memoization
+			ex.Solver.Disabled = true // every query goes straight to the solver
 		}
 		res := ex.RunContext(ctx)
-		name := "solver-cache=on"
-		if !cached {
-			name = "solver-cache=off"
-		}
 		rows = append(rows, AblationRow{
-			Program: app.Name,
-			Config:  name,
-			Found:   res.Found(),
-			Paths:   res.Paths,
-			Steps:   res.Steps,
-			Elapsed: res.Elapsed,
+			Program:    app.Name,
+			Config:     name,
+			Found:      res.Found(),
+			Paths:      res.Paths,
+			Steps:      res.Steps,
+			Elapsed:    res.Elapsed,
+			SolverWall: res.SolverTime,
 		})
 	}
 	return rows, nil

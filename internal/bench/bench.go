@@ -42,6 +42,11 @@ type Budgets struct {
 	// are identical either way (the parallel engine's determinism
 	// guarantee), only wall-clock time changes.
 	Parallel int
+
+	// DisableSharedCache switches off the cross-candidate solver cache in
+	// every guided pipeline run (A/B comparisons; counters are identical
+	// either way, only solver wall time changes).
+	DisableSharedCache bool
 }
 
 // DefaultBudgets returns the standard experiment budgets.
@@ -123,6 +128,7 @@ func RunPipeline(ctx context.Context, app *apps.App, rate float64, seed int64, b
 		PerCandidateTimeout:  budgets.GuidedTimeout,
 		PerCandidateMaxSteps: budgets.GuidedMaxSteps,
 		Parallel:             budgets.Parallel,
+		DisableSharedCache:   budgets.DisableSharedCache,
 	}
 	rep, err := core.RunContext(ctx, app.Program(), corpus, cfg)
 	if rep != nil {

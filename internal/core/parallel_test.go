@@ -78,6 +78,67 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestSharedCacheDeterminism: the shared solver cache is a wall-clock
+// optimization only. Sequential and parallel runs, with the shared cache on
+// and off, must produce identical report counters and identical per-candidate
+// outcomes (Elapsed/SolverTime excepted) — the invariant that lets the cache
+// default to on.
+func TestSharedCacheDeterminism(t *testing.T) {
+	for _, name := range []string{"polymorph", "thttpd"} {
+		t.Run(name, func(t *testing.T) {
+			app, err := apps.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			corpus, err := workload.BuildCorpus(app, workload.Options{SampleRate: 0.3, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			configs := []Config{
+				{Spec: app.Spec}, // sequential, shared cache on
+				{Spec: app.Spec, DisableSharedCache: true},              // sequential, off
+				{Spec: app.Spec, Parallel: 4},                           // parallel, on
+				{Spec: app.Spec, Parallel: 4, DisableSharedCache: true}, // parallel, off
+			}
+			var ref *Report
+			for ci, cfg := range configs {
+				rep, err := Run(app.Program(), corpus, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ref == nil {
+					ref = rep
+					continue
+				}
+				if rep.Found() != ref.Found() || rep.CandidateUsed != ref.CandidateUsed {
+					t.Errorf("config %d: found=%v used=%d, want found=%v used=%d",
+						ci, rep.Found(), rep.CandidateUsed, ref.Found(), ref.CandidateUsed)
+				}
+				if rep.TotalPaths != ref.TotalPaths || rep.TotalSteps != ref.TotalSteps ||
+					rep.CacheHits != ref.CacheHits || rep.CacheMisses != ref.CacheMisses ||
+					rep.CacheFastSat != ref.CacheFastSat || rep.CacheFastUnsat != ref.CacheFastUnsat {
+					t.Errorf("config %d counters diverged:\n  got  paths=%d steps=%d hits=%d misses=%d fastSat=%d fastUnsat=%d\n  want paths=%d steps=%d hits=%d misses=%d fastSat=%d fastUnsat=%d",
+						ci, rep.TotalPaths, rep.TotalSteps,
+						rep.CacheHits, rep.CacheMisses, rep.CacheFastSat, rep.CacheFastUnsat,
+						ref.TotalPaths, ref.TotalSteps,
+						ref.CacheHits, ref.CacheMisses, ref.CacheFastSat, ref.CacheFastUnsat)
+				}
+				if len(rep.Candidates) != len(ref.Candidates) {
+					t.Fatalf("config %d: %d candidates, want %d", ci, len(rep.Candidates), len(ref.Candidates))
+				}
+				for i := range ref.Candidates {
+					a, b := ref.Candidates[i], rep.Candidates[i]
+					a.Elapsed, b.Elapsed = 0, 0
+					a.SolverTime, b.SolverTime = 0, 0
+					if a != b {
+						t.Errorf("config %d candidate %d diverged:\n  reference %+v\n  got       %+v", ci, i+1, a, b)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestParallelWorkerCountInvariance: the merged report must not depend on
 // the worker count (1 worker through more workers than candidates).
 func TestParallelWorkerCountInvariance(t *testing.T) {

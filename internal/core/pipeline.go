@@ -8,6 +8,7 @@ import (
 	"repro/internal/bytecode"
 	"repro/internal/obs"
 	"repro/internal/pathid"
+	"repro/internal/solver"
 	"repro/internal/stats"
 	"repro/internal/symexec"
 	"repro/internal/trace"
@@ -48,6 +49,16 @@ type Config struct {
 	// mechanisms independently (ablations).
 	DisableInter      bool
 	DisablePredicates bool
+
+	// DisableSharedCache turns off the cross-candidate solver cache that
+	// RunContext otherwise installs (ablations and A/B determinism tests).
+	// The shared cache only ever changes wall-clock time — verdicts and
+	// Report counters are identical with it on or off.
+	DisableSharedCache bool
+
+	// sharedCache is the cross-candidate solver cache threaded by
+	// RunContext into every candidate verification of one pipeline run.
+	sharedCache *solver.SharedCache
 }
 
 // withDefaults returns cfg with unset tunables replaced by the paper
@@ -82,13 +93,16 @@ type CandidateOutcome struct {
 	Cancelled bool
 
 	// Solver effort for this attempt: total satisfiability queries, the
-	// query-cache split, and the wall clock spent inside non-memoized
-	// solver checks (previously computed in internal/solver but dropped
-	// outside the ablation bench).
-	SolverChecks int
-	CacheHits    int
-	CacheMisses  int
-	SolverTime   time.Duration
+	// query-cache split (exact hits, misses, and the KLEE-style fast-path
+	// answers within the misses), and the wall clock spent inside
+	// non-memoized solver checks (previously computed in internal/solver
+	// but dropped outside the ablation bench).
+	SolverChecks   int
+	CacheHits      int
+	CacheMisses    int
+	CacheFastSat   int
+	CacheFastUnsat int
+	SolverTime     time.Duration
 }
 
 // Label is the outcome's one-word status, shared by the CLIs, the HTML
@@ -144,11 +158,13 @@ type Report struct {
 	// loop which never starts them (see parallel.go).
 	TotalPaths int
 	TotalSteps int64
-	// CacheHits/CacheMisses/SolverTime aggregate the per-candidate solver
-	// effort across the recorded attempts.
-	CacheHits   int
-	CacheMisses int
-	SolverTime  time.Duration
+	// CacheHits/CacheMisses/fast-path counters/SolverTime aggregate the
+	// per-candidate solver effort across the recorded attempts.
+	CacheHits      int
+	CacheMisses    int
+	CacheFastSat   int
+	CacheFastUnsat int
+	SolverTime     time.Duration
 	// Cancelled reports that the symbolic-execution phase was interrupted
 	// by context cancellation before it could finish; the report carries
 	// whatever the pipeline completed up to that point.
@@ -226,10 +242,25 @@ func RunContext(ctx context.Context, prog *bytecode.Program, corpus *trace.Corpu
 		symCtx, cancel = context.WithTimeout(ctx, cfg.TotalTimeout)
 		defer cancel()
 	}
+	// One shared solver cache per parallel pipeline run: concurrent
+	// candidate verifications reuse each other's verdicts. Wall-clock
+	// only — counters and outcomes are unaffected. Sequential runs skip
+	// it: anything a lone worker could hit is already in its local LRU,
+	// so the shared layer would pay a lock-and-copy per miss for nothing.
+	if !cfg.DisableSharedCache && cfg.Parallel > 1 && len(pres.Candidates) > 1 {
+		cfg.sharedCache = solver.NewSharedCache(0)
+	}
 	if cfg.Parallel > 1 && len(pres.Candidates) > 1 {
 		verifyCandidatesParallel(symCtx, prog, pres.Candidates, cfg, rep)
 	} else {
 		verifyCandidatesSequential(symCtx, prog, pres.Candidates, cfg, rep)
+	}
+	if cfg.sharedCache != nil {
+		if o := obs.FromContext(ctx); o != nil {
+			c := cfg.sharedCache.Counters()
+			o.Metrics.Counter(obs.MetricSharedCacheStores).Add(c.Stores)
+			o.Metrics.Counter(obs.MetricSharedCacheEvictions).Add(c.Evictions)
+		}
 	}
 	// A cancellation of the caller's context is surfaced as such; an
 	// expired TotalTimeout is the pipeline completing at its budget, the
@@ -250,6 +281,8 @@ func (r *Report) addOutcome(o CandidateOutcome) {
 	r.TotalSteps += o.Steps
 	r.CacheHits += o.CacheHits
 	r.CacheMisses += o.CacheMisses
+	r.CacheFastSat += o.CacheFastSat
+	r.CacheFastUnsat += o.CacheFastUnsat
 	r.SolverTime += o.SolverTime
 }
 
@@ -294,6 +327,7 @@ func VerifyCandidateCtx(ctx context.Context, prog *bytecode.Program, cand *pathi
 	opts := symexec.DefaultOptions()
 	opts.Sched = NewGuidedScheduler()
 	opts.Hook = g.Hook
+	opts.SharedCache = cfg.sharedCache
 	opts.Timeout = cfg.PerCandidateTimeout
 	if cfg.PerCandidateMaxSteps > 0 {
 		opts.MaxSteps = cfg.PerCandidateMaxSteps
@@ -310,19 +344,21 @@ func VerifyCandidateCtx(ctx context.Context, prog *bytecode.Program, cand *pathi
 	ex := symexec.New(prog, cfg.Spec, opts)
 	res := ex.RunContext(ctx)
 	out := CandidateOutcome{
-		Index:        rank,
-		PathLen:      cand.Len(),
-		Found:        res.Found(),
-		Paths:        res.Paths,
-		Steps:        res.Steps,
-		Suspends:     g.Suspends,
-		Matches:      g.Matches,
-		Elapsed:      res.Elapsed,
-		Cancelled:    res.Cancelled,
-		SolverChecks: res.SolverChecks,
-		CacheHits:    res.CacheHits,
-		CacheMisses:  res.CacheMisses,
-		SolverTime:   res.SolverTime,
+		Index:          rank,
+		PathLen:        cand.Len(),
+		Found:          res.Found(),
+		Paths:          res.Paths,
+		Steps:          res.Steps,
+		Suspends:       g.Suspends,
+		Matches:        g.Matches,
+		Elapsed:        res.Elapsed,
+		Cancelled:      res.Cancelled,
+		SolverChecks:   res.SolverChecks,
+		CacheHits:      res.CacheHits,
+		CacheMisses:    res.CacheMisses,
+		CacheFastSat:   res.CacheFastSat,
+		CacheFastUnsat: res.CacheFastUnsat,
+		SolverTime:     res.SolverTime,
 	}
 	var vuln *symexec.Vulnerability
 	if res.Found() {
@@ -356,7 +392,8 @@ func VerifyCandidateCtx(ctx context.Context, prog *bytecode.Program, cand *pathi
 	vspan.EmitChild("solver", runStart, res.SolverTime,
 		obs.A("checks", res.SolverChecks), obs.A("sat", res.SolverSat),
 		obs.A("unsat", res.SolverUnsat), obs.A("unknown", res.SolverUnknowns),
-		obs.A("cache_hits", res.CacheHits), obs.A("cache_misses", res.CacheMisses))
+		obs.A("cache_hits", res.CacheHits), obs.A("cache_misses", res.CacheMisses),
+		obs.A("cache_fast_sat", res.CacheFastSat), obs.A("cache_fast_unsat", res.CacheFastUnsat))
 	vspan.End(obs.A("rank", rank), obs.A("outcome", out.Label()),
 		obs.A("paths", out.Paths), obs.A("steps", out.Steps))
 	return out, vuln

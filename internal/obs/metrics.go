@@ -20,6 +20,19 @@ const (
 	MetricCacheHits     = "solver.cache.hits"
 	MetricCacheMisses   = "solver.cache.misses"
 
+	// Query-cache fast paths and eviction pressure (internal/solver).
+	MetricCacheFastSat   = "solver.cache.fast_sat"
+	MetricCacheFastUnsat = "solver.cache.fast_unsat"
+	MetricCacheEvictions = "solver.cache.evictions"
+
+	// Shared cross-executor cache (parallel candidate verification).
+	// Timing dependent under concurrency: telemetry only, never part of
+	// the deterministic Report counters.
+	MetricSharedCacheHits      = "solver.shared.hits"
+	MetricSharedCacheMisses    = "solver.shared.misses"
+	MetricSharedCacheStores    = "solver.shared.stores"
+	MetricSharedCacheEvictions = "solver.shared.evictions"
+
 	// Symbolic execution (internal/symexec).
 	MetricSteps         = "exec.steps"
 	MetricForks         = "exec.forks"

@@ -1,42 +1,119 @@
 package solver
 
 import (
+	"container/list"
 	"context"
-	"hash/fnv"
-	"sort"
-	"strconv"
+	"sync/atomic"
 	"time"
 )
 
-// CachedSolver memoizes Check results keyed by the canonicalized constraint
-// conjunction. KLEE caches solver queries for the same reason: symbolic
-// execution re-issues many identical path-condition prefixes.
+// CachedSolver memoizes Check results keyed by an incremental digest of the
+// constraint conjunction. KLEE caches solver queries for the same reason:
+// symbolic execution re-issues many identical path-condition prefixes.
+//
+// Layers, cheapest first:
+//
+//  1. a bounded LRU of exact conjunctions (digest-keyed, with the stored
+//     conjunction verified on every hit so an FNV-64 collision can never
+//     return a wrong verdict);
+//  2. opt-in KLEE-style fast paths on an exact miss (FastPaths): a
+//     remembered UNSAT core that is a subset of the query proves Unsat; a
+//     recent model that satisfies every query constraint proves Sat with
+//     model reuse;
+//  3. an optional per-run SharedCache consulted before solving, so
+//     parallel candidate verifications reuse each other's work;
+//  4. the underlying Solver.
+//
+// A CachedSolver is single-goroutine like the executor that owns it; only
+// the wall-clock accumulator is atomic, so progress snapshots and shared
+// concurrent accounting can read it safely (see WallTime).
 type CachedSolver struct {
 	S *Solver
 
-	// MaxEntries bounds memory; when exceeded the cache is reset (simple
-	// and adequate for bounded explorations).
+	// MaxEntries bounds the exact-match LRU; the least recently used entry
+	// is evicted when it is full (a hot cache is never dropped wholesale).
 	MaxEntries int
 
-	cache map[uint64]cachedResult
-	// Hits and Misses count cache effectiveness (for the ablation bench
-	// and the per-candidate solver columns of core.Report).
-	Hits, Misses int
-	// Wall accumulates wall-clock time spent inside non-memoized checks.
-	// Cache hits are excluded so the hit fast path stays clock-free; the
-	// sum is the candidate's real solver effort (Report/HTML "solver
-	// time" column).
-	Wall time.Duration
-}
+	// Shared, when set, is consulted after a local miss and fed after a
+	// local solve. Shared results are byte-identical to what a local solve
+	// would produce (the solver is deterministic), so enabling it changes
+	// wall-clock only — never verdicts, models, or the logical counters.
+	Shared *SharedCache
 
-type cachedResult struct {
-	res   Result
-	model Model
+	// FastPaths enables the heuristic layer (UNSAT-core subsumption and
+	// Sat-model reuse). Off by default: both can change what a fresh solve
+	// would have returned — a reused model carries different (equally
+	// valid) values, and a subsumed core can answer Unsat where a large
+	// query would have exhausted the solver's budget into Unknown — and
+	// the executor concretizes strings and indices from model values, so
+	// enabling this changes exploration. Exact-match layers (LRU, Shared)
+	// always replay the canonical verdict and model and need no gate.
+	FastPaths bool
+
+	// Disabled bypasses every cache layer (ablation support): each query
+	// goes straight to the solver, with only the logical counters and the
+	// wall clock maintained.
+	Disabled bool
+
+	// Hits/Misses count the exact-match layer. FastSat/FastUnsat count
+	// layer-2 shortcut answers (a subclass of Misses); Evictions counts LRU
+	// evictions. All are deterministic per query sequence.
+	Hits, Misses       int
+	FastSat, FastUnsat int
+	Evictions          int
+
+	// Queries are the logical solver verdicts: one Check per query that
+	// passed the local fast paths, split by outcome. Unlike S.Stats (which
+	// counts physical solves), Queries is independent of whether the Shared
+	// cache served the result, so Report counters built from it stay
+	// deterministic across sequential, parallel, shared and unshared runs.
+	Queries Stats
+
+	// SharedHits/SharedMisses count Shared-layer lookups. They are timing
+	// dependent in parallel runs (whoever solves first populates the cache)
+	// and are surfaced through obs metrics, never through Report.
+	SharedHits, SharedMisses int
+
+	// wallNanos accumulates wall-clock time spent inside physical solver
+	// checks, atomically (shared concurrent readers, and writers that
+	// record from multiple goroutines in tests, must not race).
+	wallNanos atomic.Int64
+
+	lru    lruCache
+	cores  coreRing
+	models modelRing
 }
 
 // NewCached wraps s with a query cache.
 func NewCached(s *Solver) *CachedSolver {
-	return &CachedSolver{S: s, MaxEntries: 1 << 16, cache: make(map[uint64]cachedResult)}
+	return &CachedSolver{S: s, MaxEntries: DefaultCacheEntries}
+}
+
+// DefaultCacheEntries is the default exact-match LRU capacity.
+const DefaultCacheEntries = 1 << 16
+
+// WallTime returns the wall clock accumulated inside physical solver
+// checks. Cache hits and fast paths are excluded, so the sum is the real
+// solving effort (Report/HTML "solver time" column).
+func (cs *CachedSolver) WallTime() time.Duration {
+	return time.Duration(cs.wallNanos.Load())
+}
+
+// recordWall adds one solve's duration to the wall clock (atomic: safe
+// under shared concurrent use).
+func (cs *CachedSolver) recordWall(d time.Duration) { cs.wallNanos.Add(int64(d)) }
+
+// note tallies a logical solver verdict.
+func (st *Stats) note(res Result) {
+	st.Checks++
+	switch res {
+	case Sat:
+		st.Sat++
+	case Unsat:
+		st.Unsat++
+	default:
+		st.Unknown++
+	}
 }
 
 // Check is Solver.Check with memoization.
@@ -49,50 +126,306 @@ func (cs *CachedSolver) Check(t *VarTable, cons []Constraint) (Result, Model) {
 // of cancellation, and memoizing them would poison later retries of the
 // same conjunction.
 func (cs *CachedSolver) CheckCtx(ctx context.Context, t *VarTable, cons []Constraint) (Result, Model) {
-	key := hashConstraints(cons)
-	if r, ok := cs.cache[key]; ok {
-		cs.Hits++
-		return r.res, r.model
-	}
-	cs.Misses++
-	start := time.Now()
-	res, model := cs.S.CheckCtx(ctx, t, cons)
-	cs.Wall += time.Since(start)
-	if ctx != nil && ctx.Err() != nil {
+	return cs.checkDigest(ctx, t, cons, DigestOf(cons), nil)
+}
+
+// CheckDigestCtx is CheckCtx for callers that maintain the conjunction's
+// digest incrementally (the executor's per-state rolling digest), skipping
+// the O(n) re-hash.
+func (cs *CachedSolver) CheckDigestCtx(ctx context.Context, t *VarTable, cons []Constraint, d Digest) (Result, Model) {
+	return cs.checkDigest(ctx, t, cons, d, nil)
+}
+
+// checkDigest is the cache pipeline. hashes, when non-nil, are the
+// precomputed per-constraint hashes of cons (the partitioned path computes
+// them once for component digests and passes them through).
+func (cs *CachedSolver) checkDigest(ctx context.Context, t *VarTable, cons []Constraint, d Digest, hashes []uint64) (Result, Model) {
+	if cs.Disabled {
+		start := time.Now()
+		res, model := cs.S.CheckCtx(ctx, t, cons)
+		cs.recordWall(time.Since(start))
+		cs.Queries.note(res)
 		return res, model
 	}
-	if len(cs.cache) >= cs.MaxEntries {
-		cs.cache = make(map[uint64]cachedResult)
+	// The local LRU holds only this executor's own queries, all over one
+	// fixed VarTable, so a verified conjunction match implies matching
+	// intrinsic bounds — no signature needed on the lookup hot path.
+	if res, m, ok := cs.lru.lookup(d, cons); ok {
+		cs.Hits++
+		return res, m
 	}
-	cs.cache[key] = cachedResult{res: res, model: model}
+	cs.Misses++
+	// The bounds signature matters only across executors (the SharedCache
+	// refuses hits whose variables carry different intrinsic bounds), so
+	// it is computed lazily, on a miss.
+	var bsig uint64
+	if cs.Shared != nil {
+		bsig = boundsSig(t, cons)
+	}
+	if cs.FastPaths {
+		// The rings need per-constraint hashes; computed only here so the
+		// default path never pays for them.
+		if hashes == nil {
+			hashes = hashAll(cons)
+		}
+		// Fast path: a remembered UNSAT core contained in the query
+		// refutes it (adding constraints preserves unsatisfiability).
+		if cs.cores.subsetOf(cons, hashes) {
+			cs.FastUnsat++
+			cs.store(d, bsig, cons, Unsat, nil)
+			return Unsat, nil
+		}
+		// Fast path: a recent model satisfying every constraint of the
+		// query is a Sat witness (typically from a superset conjunction).
+		if m, ok := cs.models.satisfying(cons); ok {
+			cs.FastSat++
+			cs.store(d, bsig, cons, Sat, m)
+			return Sat, m
+		}
+	}
+	var res Result
+	var model Model
+	served := false
+	if cs.Shared != nil {
+		if r, m, ok := cs.Shared.lookup(d, bsig, cons); ok {
+			res, model, served = r, m, true
+			cs.SharedHits++
+		} else {
+			cs.SharedMisses++
+		}
+	}
+	if !served {
+		start := time.Now()
+		res, model = cs.S.CheckCtx(ctx, t, cons)
+		cs.recordWall(time.Since(start))
+		if ctx != nil && ctx.Err() != nil {
+			cs.Queries.note(res)
+			return res, model
+		}
+		if cs.Shared != nil {
+			cs.Shared.store(d, bsig, cons, res, model)
+		}
+	}
+	cs.Queries.note(res)
+	cs.store(d, bsig, cons, res, model)
+	if cs.FastPaths {
+		switch res {
+		case Unsat:
+			cs.cores.add(cons, hashes)
+		case Sat:
+			cs.models.add(model)
+		}
+	}
 	return res, model
 }
 
-// hashConstraints produces an order-insensitive digest of the conjunction.
-func hashConstraints(cons []Constraint) uint64 {
-	keys := make([]string, len(cons))
-	for i, c := range cons {
-		keys[i] = constraintKey(c)
+// store inserts the verdict into the exact-match LRU, counting evictions.
+func (cs *CachedSolver) store(d Digest, bsig uint64, cons []Constraint, res Result, model Model) {
+	max := cs.MaxEntries
+	if max <= 0 {
+		max = DefaultCacheEntries
 	}
-	sort.Strings(keys)
-	h := fnv.New64a()
-	for _, k := range keys {
-		h.Write([]byte(k))
-		h.Write([]byte{0})
-	}
-	return h.Sum64()
+	cs.Evictions += cs.lru.add(d, bsig, cons, res, model, max)
 }
 
-func constraintKey(c Constraint) string {
-	buf := make([]byte, 0, 16+12*len(c.E.Terms))
-	buf = strconv.AppendInt(buf, int64(c.Op), 10)
-	buf = append(buf, '|')
-	buf = strconv.AppendInt(buf, c.E.Const, 10)
-	for _, tm := range c.E.Terms {
-		buf = append(buf, ';')
-		buf = strconv.AppendInt(buf, int64(tm.Var), 10)
-		buf = append(buf, '*')
-		buf = strconv.AppendInt(buf, tm.Coeff, 10)
+// --- exact-match LRU ---
+
+// cacheEntry stores a decided conjunction with everything needed to make a
+// hit collision-proof: the canonical constraint multiset and the intrinsic
+// bounds signature of its variables.
+type cacheEntry struct {
+	d     Digest
+	bsig  uint64
+	cons  []Constraint
+	res   Result
+	model Model
+}
+
+// lruCache is a digest-keyed LRU. The zero value is ready to use. It is
+// shared by the per-executor cache (no lock) and, per shard under a mutex,
+// by SharedCache.
+type lruCache struct {
+	ll  *list.List // front: most recently used; values are *cacheEntry
+	idx map[Digest]*list.Element
+}
+
+func (c *lruCache) init() {
+	if c.ll == nil {
+		c.ll = list.New()
+		c.idx = make(map[Digest]*list.Element)
 	}
-	return string(buf)
+}
+
+// lookup returns the verdict stored for the conjunction. A digest match
+// with a different stored conjunction (hash collision) is a miss, never a
+// wrong answer. This is the single-table path: all entries and queries
+// come from one VarTable, so a conjunction match implies matching
+// intrinsic bounds.
+func (c *lruCache) lookup(d Digest, cons []Constraint) (Result, Model, bool) {
+	if c.ll == nil {
+		return Unknown, nil, false
+	}
+	el, ok := c.idx[d]
+	if !ok {
+		return Unknown, nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if !sameConjunction(e.cons, cons) {
+		return Unknown, nil, false
+	}
+	c.ll.MoveToFront(el)
+	return e.res, e.model, true
+}
+
+// lookupBsig is lookup for caches shared across VarTables: a hit must also
+// carry the same intrinsic-bounds signature, because a Var ID recurring in
+// another executor's table can be bounded differently and flip the verdict.
+func (c *lruCache) lookupBsig(d Digest, bsig uint64, cons []Constraint) (Result, Model, bool) {
+	if c.ll == nil {
+		return Unknown, nil, false
+	}
+	el, ok := c.idx[d]
+	if !ok {
+		return Unknown, nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.bsig != bsig || !sameConjunction(e.cons, cons) {
+		return Unknown, nil, false
+	}
+	c.ll.MoveToFront(el)
+	return e.res, e.model, true
+}
+
+// add inserts (or refreshes) an entry and returns the number of evictions
+// performed to respect max.
+func (c *lruCache) add(d Digest, bsig uint64, cons []Constraint, res Result, model Model, max int) int {
+	c.init()
+	if el, ok := c.idx[d]; ok {
+		// Digest already present: keep the newest conjunction for this
+		// digest (collisions are astronomically rare; the verified lookup
+		// keeps this safe either way).
+		e := el.Value.(*cacheEntry)
+		e.bsig, e.cons, e.res, e.model = bsig, append([]Constraint(nil), cons...), res, model
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	e := &cacheEntry{d: d, bsig: bsig, cons: append([]Constraint(nil), cons...), res: res, model: model}
+	c.idx[d] = c.ll.PushFront(e)
+	evicted := 0
+	for c.ll.Len() > max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.idx, back.Value.(*cacheEntry).d)
+		evicted++
+	}
+	return evicted
+}
+
+// len returns the number of cached entries.
+func (c *lruCache) len() int {
+	if c.ll == nil {
+		return 0
+	}
+	return c.ll.Len()
+}
+
+// --- UNSAT-core ring ---
+
+// Core retention limits: only small refuted conjunctions are kept (small
+// cores subsume the most future queries, and the subset test stays cheap).
+const (
+	maxUnsatCores = 16
+	maxCoreSize   = 8
+)
+
+type unsatCore struct {
+	cons   []Constraint
+	hashes []uint64
+}
+
+// coreRing is a fixed-size ring of recently refuted small conjunctions.
+type coreRing struct {
+	cores []unsatCore
+	next  int
+}
+
+func (r *coreRing) add(cons []Constraint, hashes []uint64) {
+	if len(cons) == 0 || len(cons) > maxCoreSize {
+		return
+	}
+	core := unsatCore{
+		cons:   append([]Constraint(nil), cons...),
+		hashes: append([]uint64(nil), hashes...),
+	}
+	if len(r.cores) < maxUnsatCores {
+		r.cores = append(r.cores, core)
+		return
+	}
+	r.cores[r.next] = core
+	r.next = (r.next + 1) % maxUnsatCores
+}
+
+// subsetOf reports whether any remembered core is a sub-multiset of the
+// query (hashes are the query's per-constraint hashes).
+func (r *coreRing) subsetOf(cons []Constraint, hashes []uint64) bool {
+nextCore:
+	for ci := range r.cores {
+		core := &r.cores[ci]
+		if len(core.cons) > len(cons) {
+			continue
+		}
+	nextCons:
+		for i, ch := range core.hashes {
+			for j, qh := range hashes {
+				if ch == qh && constraintEq(core.cons[i], cons[j]) {
+					continue nextCons
+				}
+			}
+			continue nextCore
+		}
+		return true
+	}
+	return false
+}
+
+// --- recent-model ring ---
+
+// maxRecentModels bounds the Sat-model reuse window.
+const maxRecentModels = 8
+
+type modelRing struct {
+	models []Model
+	next   int
+}
+
+func (r *modelRing) add(m Model) {
+	if m == nil {
+		return
+	}
+	if len(r.models) < maxRecentModels {
+		r.models = append(r.models, m)
+		return
+	}
+	r.models[r.next] = m
+	r.next = (r.next + 1) % maxRecentModels
+}
+
+// satisfying returns a remembered model under which every constraint of
+// cons holds (variables missing from the model read 0, matching the
+// executor's witness semantics).
+func (r *modelRing) satisfying(cons []Constraint) (Model, bool) {
+	if len(cons) == 0 {
+		return nil, false
+	}
+nextModel:
+	for i := len(r.models) - 1; i >= 0; i-- {
+		m := r.models[i]
+		for _, c := range cons {
+			if !c.Holds(m) {
+				continue nextModel
+			}
+		}
+		return m, true
+	}
+	return nil, false
 }

@@ -85,14 +85,25 @@ func (cs *CachedSolver) CheckPartitioned(t *VarTable, cons []Constraint) (Result
 // consulted per component, so a wide conjunction stops between components
 // once the caller is cancelled.
 func (cs *CachedSolver) CheckPartitionedCtx(ctx context.Context, t *VarTable, cons []Constraint) (Result, Model) {
+	return cs.CheckPartitionedDigestCtx(ctx, t, cons, DigestOf(cons))
+}
+
+// CheckPartitionedDigestCtx is CheckPartitionedCtx for callers that
+// maintain the whole-conjunction digest incrementally (the executor's
+// rolling per-state digest). The digest keys the single-component path
+// directly; the multi-component path digests each component from its
+// per-constraint hashes, so component verdicts memoize individually and a
+// path condition that grows by one constraint re-solves only the affected
+// component.
+func (cs *CachedSolver) CheckPartitionedDigestCtx(ctx context.Context, t *VarTable, cons []Constraint, d Digest) (Result, Model) {
 	comps := Partition(cons)
 	if len(comps) <= 1 {
-		return cs.CheckCtx(ctx, t, cons)
+		return cs.checkDigest(ctx, t, cons, d, nil)
 	}
 	merged := make(Model)
 	result := Sat
 	for _, comp := range comps {
-		res, m := cs.CheckCtx(ctx, t, comp)
+		res, m := cs.checkDigest(ctx, t, comp, DigestOf(comp), nil)
 		switch res {
 		case Unsat:
 			// One unsatisfiable component refutes the conjunction.

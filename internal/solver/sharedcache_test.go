@@ -1,0 +1,152 @@
+package solver
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// sharedWorkload builds one deterministic query set: a mix of sat, unsat
+// and repeated conjunctions over tbl's variables.
+func sharedWorkload(tbl *VarTable, vars []Var) [][]Constraint {
+	var qs [][]Constraint
+	for i, v := range vars {
+		k := int64(i)
+		qs = append(qs,
+			[]Constraint{Ge(VarExpr(v), ConstExpr(k)), Le(VarExpr(v), ConstExpr(k+10))},
+			[]Constraint{Ge(VarExpr(v), ConstExpr(k+10)), Lt(VarExpr(v), ConstExpr(k))},
+			[]Constraint{Ge(VarExpr(v), ConstExpr(k)), Le(VarExpr(v), ConstExpr(k+10))}, // repeat
+		)
+	}
+	for i := 0; i+1 < len(vars); i++ {
+		qs = append(qs, []Constraint{
+			Lt(VarExpr(vars[i]), VarExpr(vars[i+1])),
+			Lt(VarExpr(vars[i+1]), VarExpr(vars[i])),
+		})
+	}
+	return qs
+}
+
+// TestSharedCacheConcurrentWorkers: N goroutines, each with its own
+// CachedSolver over the same VarTable, share one SharedCache while running
+// the same workload. Every verdict must match an uncached reference solver,
+// and every worker's logical counters must be identical — the determinism
+// contract (run under -race in CI).
+func TestSharedCacheConcurrentWorkers(t *testing.T) {
+	tbl := NewVarTable()
+	vars := make([]Var, 6)
+	for i := range vars {
+		vars[i] = tbl.NewVarBounded(fmt.Sprintf("v%d", i), -100, 100)
+	}
+	queries := sharedWorkload(tbl, vars)
+
+	// Reference verdicts from a bare solver.
+	want := make([]Result, len(queries))
+	for i, q := range queries {
+		want[i], _ = New().Check(tbl, q)
+	}
+
+	const workers = 8
+	shared := NewSharedCache(0)
+	solvers := make([]*CachedSolver, workers)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*len(queries))
+	for w := 0; w < workers; w++ {
+		cs := NewCached(New())
+		cs.Shared = shared
+		solvers[w] = cs
+		wg.Add(1)
+		go func(w int, cs *CachedSolver) {
+			defer wg.Done()
+			for i, q := range queries {
+				res, m := cs.Check(tbl, q)
+				if res != want[i] {
+					errs <- fmt.Errorf("worker %d query %d: %v, want %v", w, i, res, want[i])
+					continue
+				}
+				if res == Sat {
+					for _, c := range q {
+						if !c.Holds(m) {
+							errs <- fmt.Errorf("worker %d query %d: model %v violates %s",
+								w, i, m, c.String(tbl))
+						}
+					}
+				}
+			}
+		}(w, cs)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Logical counters are per-worker deterministic regardless of who won
+	// the race to populate the shared cache.
+	ref := solvers[0].Queries
+	for w, cs := range solvers {
+		if cs.Queries != ref {
+			t.Errorf("worker %d logical counters %+v diverge from worker 0 %+v",
+				w, cs.Queries, ref)
+		}
+		if cs.Hits+cs.Misses != len(queries) {
+			t.Errorf("worker %d: hits+misses = %d, want %d",
+				w, cs.Hits+cs.Misses, len(queries))
+		}
+	}
+	c := shared.Counters()
+	if c.Stores == 0 || c.Hits == 0 {
+		t.Errorf("shared cache unused: %+v", c)
+	}
+	// Only shared misses that went on to a physical solve store back.
+	if c.Stores > c.Misses {
+		t.Errorf("more stores than misses: %+v", c)
+	}
+}
+
+// TestSharedCacheCrossTableBounds: two workers whose VarTables assign the
+// same Var ID different intrinsic bounds must not poison each other through
+// the shared cache — the bounds signature keeps entries table-specific.
+func TestSharedCacheCrossTableBounds(t *testing.T) {
+	shared := NewSharedCache(0)
+
+	wide := NewVarTable()
+	xw := wide.NewVar("x")
+	csW := NewCached(New())
+	csW.Shared = shared
+
+	narrow := NewVarTable()
+	xn := narrow.NewVarBounded("x", 0, 255)
+	csN := NewCached(New())
+	csN.Shared = shared
+
+	if xw != xn {
+		t.Fatalf("test premise broken: var IDs differ")
+	}
+	cons := []Constraint{Ge(VarExpr(xw), ConstExpr(300))}
+	if res, _ := csW.Check(wide, cons); res != Sat {
+		t.Fatalf("unbounded table: %v, want sat", res)
+	}
+	if res, _ := csN.Check(narrow, cons); res != Unsat {
+		t.Fatalf("bounded table served the other table's verdict: %v, want unsat", res)
+	}
+}
+
+// TestSharedCacheEviction: a tiny shared cache evicts under pressure and
+// stays within its capacity.
+func TestSharedCacheEviction(t *testing.T) {
+	tbl := NewVarTable()
+	x := tbl.NewVar("x")
+	shared := NewSharedCache(sharedCacheShards) // one entry per shard
+	cs := NewCached(New())
+	cs.Shared = shared
+	for i := 0; i < 200; i++ {
+		cs.Check(tbl, []Constraint{Eq(VarExpr(x), ConstExpr(int64(i)))})
+	}
+	if got := shared.Len(); got > sharedCacheShards {
+		t.Errorf("shared cache holds %d entries, capacity %d", got, sharedCacheShards)
+	}
+	if shared.Counters().Evictions == 0 {
+		t.Errorf("no evictions recorded under pressure: %+v", shared.Counters())
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"repro/internal/bytecode"
+	"repro/internal/solver"
+	"repro/internal/trace"
 )
 
 // BenchmarkSymexecConcreteChain measures single-path symbolic execution
@@ -75,5 +77,110 @@ func main() int {
 		if !res.Found() {
 			b.Fatal("overflow not found")
 		}
+	}
+}
+
+// benchForkState builds a state shaped like mid-exploration reality: a
+// deep call stack with populated locals/stacks, globals, a written buffer,
+// a grown path condition and its variable bookkeeping.
+func benchForkState(depth, localsPerFrame, nCons int) *State {
+	tbl := solver.NewVarTable()
+	st := &State{ID: 1, Status: StatusActive}
+	for d := 0; d < depth; d++ {
+		fr := &Frame{Fn: &bytecode.Fn{Name: "f"}, PC: d}
+		for l := 0; l < localsPerFrame; l++ {
+			fr.Locals = append(fr.Locals, IntVal(int64(d*100+l)))
+		}
+		fr.Stack = append(fr.Stack, IntVal(int64(d)))
+		st.Frames = append(st.Frames, fr)
+	}
+	for g := 0; g < 8; g++ {
+		st.Globals = append(st.Globals, IntVal(int64(g)))
+	}
+	buf := NewSymBuffer(64)
+	st.bufCellsForWrite(buf).data[0] = IntVal(1)
+	for i := 0; i < nCons; i++ {
+		v := tbl.NewVarBounded("v", 0, 255)
+		c := solver.Ge(solver.VarExpr(v), solver.ConstExpr(int64(i%16)))
+		st.appendConstraint(c)
+		st.noteVars(c)
+	}
+	return st
+}
+
+// legacyFork reproduces the pre-copy-on-write fork: deep-copy every frame,
+// the globals, the constraint and trace slices, the bookkeeping maps and
+// the buffer heap. Kept as the benchmark baseline for State.fork.
+func legacyFork(st *State) *State {
+	ns := &State{ID: -1, Status: StatusActive, Depth: st.Depth,
+		PathIndex: st.PathIndex, Diverted: st.Diverted, Revived: st.Revived,
+		LastModel: st.LastModel, pcDigest: st.pcDigest}
+	ns.Frames = make([]*Frame, len(st.Frames))
+	for i, f := range st.Frames {
+		ns.Frames[i] = f.ownedCopy()
+	}
+	ns.Globals = append([]Value(nil), st.Globals...)
+	ns.Constraints = make([]solver.Constraint, len(st.Constraints), len(st.Constraints)+4)
+	copy(ns.Constraints, st.Constraints)
+	ns.Trace = make([]trace.Location, len(st.Trace), len(st.Trace)+4)
+	copy(ns.Trace, st.Trace)
+	if st.pcVars != nil {
+		ns.pcVars = make(map[solver.Var]struct{}, len(st.pcVars))
+		for v := range st.pcVars {
+			ns.pcVars[v] = struct{}{}
+		}
+	}
+	if st.bounds != nil {
+		ns.bounds = make(map[solver.Var]VarBounds, len(st.bounds))
+		for v, b := range st.bounds {
+			ns.bounds[v] = b
+		}
+	}
+	if st.heap != nil {
+		ns.heap = make(map[*SymBuffer]*bufCells, len(st.heap))
+		for b, c := range st.heap {
+			ns.heap[b] = &bufCells{data: append([]Value(nil), c.data...), smeared: c.smeared, owner: ns}
+		}
+	}
+	return ns
+}
+
+// BenchmarkForkDeepCopy is the old eager fork on a deep state.
+func BenchmarkForkDeepCopy(b *testing.B) {
+	st := benchForkState(8, 16, 32)
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		if legacyFork(st) == nil {
+			b.Fatal("nil fork")
+		}
+	}
+}
+
+// BenchmarkForkCoW is the copy-on-write fork on the same state (only the
+// top frame is copied eagerly).
+func BenchmarkForkCoW(b *testing.B) {
+	st := benchForkState(8, 16, 32)
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		if st.fork() == nil {
+			b.Fatal("nil fork")
+		}
+	}
+}
+
+// BenchmarkForkCoWThenTouch forks and immediately performs the typical
+// post-fork writes (append a constraint, mutate the top frame), charging
+// the copy-on-write costs a real fork incurs on its first step.
+func BenchmarkForkCoWThenTouch(b *testing.B) {
+	st := benchForkState(8, 16, 32)
+	tbl := solver.NewVarTable()
+	v := tbl.NewVarBounded("w", 0, 255)
+	c := solver.Ge(solver.VarExpr(v), solver.ConstExpr(1))
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		child := st.fork()
+		child.appendConstraint(c)
+		child.noteVars(c)
+		child.Top().Locals[0] = IntVal(int64(n))
 	}
 }

@@ -309,8 +309,8 @@ func (ex *Executor) stepBufWrite(st *State, buf *SymBuffer, iv, val Value, pos m
 			st.Status = StatusFaulted
 			return nil, false, true
 		}
-		if !buf.Smeared {
-			buf.Data[ic] = val
+		if !st.bufSmeared(buf) {
+			st.bufCellsForWrite(buf).data[ic] = val
 		}
 		return nil, false, false
 	}
@@ -340,7 +340,7 @@ func (ex *Executor) stepBufWrite(st *State, buf *SymBuffer, iv, val Value, pos m
 	}
 	ex.commit(st, m, inB...)
 	// Unknown destination cell: the buffer's precise contents are lost.
-	buf.Smeared = true
+	st.bufCellsForWrite(buf).smeared = true
 	return nil, false, false
 }
 
@@ -355,7 +355,7 @@ func (ex *Executor) stepBufRead(st *State, buf *SymBuffer, iv Value, pos minic.P
 			st.Status = StatusFaulted
 			return nil, false, true
 		}
-		if buf.Smeared {
+		if st.bufSmeared(buf) {
 			fresh := ex.Table.NewVar("bufcell")
 			if st.LastModel != nil {
 				ex.extendModel(st, fresh, 0)
@@ -363,7 +363,7 @@ func (ex *Executor) stepBufRead(st *State, buf *SymBuffer, iv Value, pos minic.P
 			st.push(LinVal(solver.VarExpr(fresh)))
 			return nil, false, false
 		}
-		st.push(buf.Data[ic])
+		st.push(st.bufCell(buf, int(ic)))
 		return nil, false, false
 	}
 	capC := solver.ConstExpr(int64(buf.Cap))
@@ -403,7 +403,7 @@ func (ex *Executor) stepBufRead(st *State, buf *SymBuffer, iv Value, pos minic.P
 // is concrete, a fresh symbolic string otherwise.
 func (ex *Executor) stepBufStr(st *State, buf *SymBuffer, nv Value) Value {
 	nc, nok := nv.IsConcreteInt()
-	if nok && !buf.Smeared {
+	if nok && !st.bufSmeared(buf) {
 		if nc < 0 {
 			nc = 0
 		}
@@ -413,7 +413,7 @@ func (ex *Executor) stepBufStr(st *State, buf *SymBuffer, nv Value) Value {
 		bs := make([]byte, 0, nc)
 		concrete := true
 		for i := int64(0); i < nc; i++ {
-			if c, ok := buf.Data[i].IsConcreteInt(); ok {
+			if c, ok := st.bufCell(buf, int(i)).IsConcreteInt(); ok {
 				bs = append(bs, byte(c))
 			} else {
 				concrete = false

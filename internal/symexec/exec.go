@@ -53,6 +53,18 @@ type Options struct {
 	CheckStringReads bool
 	// Hook is the guidance hook (nil for pure symbolic execution).
 	Hook LocationHook
+	// SharedCache, when set, lets this executor's solver reuse verdicts
+	// solved by other executors (parallel candidate verification). Purely
+	// a wall-clock optimization: verdicts, models, and all Result counters
+	// are unaffected (the solver is deterministic and the local logical
+	// counters are maintained identically on shared hits).
+	SharedCache *solver.SharedCache
+	// SolverFastPaths enables the solver cache's heuristic layer
+	// (UNSAT-core subsumption, Sat-model reuse). Unlike the exact-match
+	// caches this can change exploration — reused models carry different
+	// concrete values and subsumption can sharpen Unknown into Unsat — so
+	// it is opt-in (see solver.CachedSolver.FastPaths).
+	SolverFastPaths bool
 }
 
 // Default limits.
@@ -112,9 +124,15 @@ type Result struct {
 	// CacheHits/CacheMisses are the solver query-cache counters and
 	// SolverTime the wall clock spent inside non-memoized solver checks —
 	// surfaced here so pipeline reports need not reach into the solver.
-	CacheHits   int
-	CacheMisses int
-	SolverTime  time.Duration
+	// CacheFastSat/CacheFastUnsat count queries answered by the KLEE-style
+	// subset/superset shortcuts (a subclass of CacheMisses), and
+	// CacheEvictions counts LRU evictions from the exact-match cache.
+	CacheHits      int
+	CacheMisses    int
+	CacheFastSat   int
+	CacheFastUnsat int
+	CacheEvictions int
+	SolverTime     time.Duration
 	// Exhausted reports the state-budget abort (KLEE OOM analogue);
 	// StepLimited and TimedOut report the other resource aborts.
 	Exhausted   bool
@@ -193,6 +211,8 @@ func New(prog *bytecode.Program, spec *InputSpec, opts Options) *Executor {
 		res:    &Result{},
 		visits: make([][]int64, len(prog.Funcs)),
 	}
+	ex.Solver.Shared = opts.SharedCache
+	ex.Solver.FastPaths = opts.SolverFastPaths
 	if cov, ok := opts.Sched.(*CoverageScheduler); ok {
 		cov.SetVisitFunc(ex.visitCount)
 	}
@@ -289,13 +309,19 @@ func (ex *Executor) RunContext(ctx context.Context) *Result {
 		ex.runQuantum(cur)
 	}
 	ex.res.SuspendedAtEnd = len(ex.suspended)
-	ex.res.SolverChecks = ex.Solver.S.Stats.Checks
-	ex.res.SolverUnknowns = ex.Solver.S.Stats.Unknown
-	ex.res.SolverSat = ex.Solver.S.Stats.Sat
-	ex.res.SolverUnsat = ex.Solver.S.Stats.Unsat
+	// Logical solver counters (CachedSolver.Queries, not S.Stats): they
+	// are identical whether or not a SharedCache served some verdicts, so
+	// Report counters stay deterministic across run configurations.
+	ex.res.SolverChecks = ex.Solver.Queries.Checks
+	ex.res.SolverUnknowns = ex.Solver.Queries.Unknown
+	ex.res.SolverSat = ex.Solver.Queries.Sat
+	ex.res.SolverUnsat = ex.Solver.Queries.Unsat
 	ex.res.CacheHits = ex.Solver.Hits
 	ex.res.CacheMisses = ex.Solver.Misses
-	ex.res.SolverTime = ex.Solver.Wall
+	ex.res.CacheFastSat = ex.Solver.FastSat
+	ex.res.CacheFastUnsat = ex.Solver.FastUnsat
+	ex.res.CacheEvictions = ex.Solver.Evictions
+	ex.res.SolverTime = ex.Solver.WallTime()
 	ex.res.Elapsed = time.Since(start)
 	if ex.obsv != nil {
 		ex.mirrorMetrics()
@@ -314,7 +340,7 @@ func (ex *Executor) emitProgress() {
 		obs.A("states_live", ex.liveStates()),
 		obs.A("states_created", ex.res.StatesCreated),
 		obs.A("suspended", len(ex.suspended)),
-		obs.A("solver_checks", ex.Solver.S.Stats.Checks),
+		obs.A("solver_checks", ex.Solver.Queries.Checks),
 		obs.A("cache_hits", ex.Solver.Hits),
 		obs.A("cache_misses", ex.Solver.Misses),
 	)
@@ -339,6 +365,15 @@ func (ex *Executor) mirrorMetrics() {
 	m.Counter(obs.MetricSolverUnknown).Add(int64(r.SolverUnknowns))
 	m.Counter(obs.MetricCacheHits).Add(int64(r.CacheHits))
 	m.Counter(obs.MetricCacheMisses).Add(int64(r.CacheMisses))
+	m.Counter(obs.MetricCacheFastSat).Add(int64(r.CacheFastSat))
+	m.Counter(obs.MetricCacheFastUnsat).Add(int64(r.CacheFastUnsat))
+	m.Counter(obs.MetricCacheEvictions).Add(int64(r.CacheEvictions))
+	if ex.Solver.Shared != nil {
+		// Per-executor contributions; summed across executors they equal
+		// the SharedCache's own totals.
+		m.Counter(obs.MetricSharedCacheHits).Add(int64(ex.Solver.SharedHits))
+		m.Counter(obs.MetricSharedCacheMisses).Add(int64(ex.Solver.SharedMisses))
+	}
 }
 
 // noteInterrupt records why the context stopped the run: a deadline is a
@@ -497,11 +532,17 @@ func (ex *Executor) satisfiable(st *State, extra ...solver.Constraint) (bool, so
 	}
 	query := make([]solver.Constraint, 0, len(st.Constraints)+len(extra))
 	query = append(query, st.Constraints...)
-	query = append(query, extra...)
+	// The query digest extends the state's rolling path-condition digest,
+	// so the whole conjunction is never re-hashed.
+	qd := st.pcDigest
+	for _, c := range extra {
+		query = append(query, c)
+		qd = qd.Add(solver.HashConstraint(c))
+	}
 	// Independent-component solving (KLEE's independence optimization):
 	// only the components touched by the new constraints re-solve; the
 	// rest hit the query cache.
-	res, m := ex.Solver.CheckPartitionedCtx(ex.runCtx(), ex.Table, query)
+	res, m := ex.Solver.CheckPartitionedDigestCtx(ex.runCtx(), ex.Table, query, qd)
 	switch res {
 	case solver.Sat:
 		return true, m
@@ -665,12 +706,12 @@ func addPathConstraint(st *State, c solver.Constraint) {
 			}
 			// Same form: coeff·v + k ≤ 0. Larger k is tighter.
 			if c.E.Const >= old.E.Const {
-				st.Constraints[i] = c
+				st.replaceConstraint(i, c)
 			}
 			return
 		}
 	}
-	st.Constraints = append(st.Constraints, c)
+	st.appendConstraint(c)
 }
 
 // --- vulnerability reporting ---

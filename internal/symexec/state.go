@@ -19,33 +19,29 @@ const (
 )
 
 // Frame is one activation record of the symbolic machine.
+//
+// Frames are shared between a state and its forked children copy-on-write:
+// refs counts the extra states referencing the frame (0 = exclusively
+// owned). The executor maintains the invariant that a state's top frame is
+// always exclusively owned — every step mutates it (PC, operand stack) —
+// so only frames buried under a call are ever shared, and they are
+// privatized when a return exposes them (see State.ensureTopOwned).
 type Frame struct {
 	Fn     *bytecode.Fn
 	PC     int
 	Locals []Value
 	Stack  []Value
+
+	refs int32
 }
 
-func (f *Frame) clone() *Frame {
+// ownedCopy returns a private copy of the frame. Values are immutable
+// (buffer cells live in the state heap), so slice copies suffice.
+func (f *Frame) ownedCopy() *Frame {
 	nf := &Frame{Fn: f.Fn, PC: f.PC}
-	nf.Locals = make([]Value, len(f.Locals))
-	nf.Stack = make([]Value, len(f.Stack))
-	for i, v := range f.Locals {
-		nf.Locals[i] = cloneValue(v)
-	}
-	for i, v := range f.Stack {
-		nf.Stack[i] = cloneValue(v)
-	}
+	nf.Locals = append([]Value(nil), f.Locals...)
+	nf.Stack = append([]Value(nil), f.Stack...)
 	return nf
-}
-
-// cloneValue copies a value for a forked state. Only buffers are mutable;
-// everything else is immutable and shared.
-func cloneValue(v Value) Value {
-	if v.Kind == KindBuf && v.Buf != nil {
-		v.Buf = v.Buf.clone()
-	}
-	return v
 }
 
 // State is one symbolic execution path in progress — the unit KLEE
@@ -53,6 +49,13 @@ func cloneValue(v Value) Value {
 // condition, the trace of instrumentation locations it has crossed, and
 // the guidance bookkeeping used by StatSym's state manager (candidate-path
 // progress and diverted hops, §VI-C).
+//
+// Forking is copy-on-write throughout: frames below the top are shared
+// with a reference count, globals / buffer heaps / path-condition
+// bookkeeping are shared behind dirty flags and copied on first write, and
+// the constraint and trace slices share their backing array with the child
+// holding a capacity-clamped view (only the parent, whose capacity extends
+// past the shared prefix, may append in place; children reallocate).
 type State struct {
 	ID     int
 	Status StateStatus
@@ -60,8 +63,9 @@ type State struct {
 	Frames  []*Frame
 	Globals []Value
 
-	// Constraints is the path condition (a conjunction). Forked children
-	// copy it, so it is append-only per state.
+	// Constraints is the path condition (a conjunction). It grows by
+	// appending; the only in-place mutation is single-variable bound
+	// compaction, which must respect consShared.
 	Constraints []solver.Constraint
 
 	// Trace is the sequence of function entry/exit locations crossed.
@@ -92,8 +96,30 @@ type State struct {
 	// Together they power two incremental fast paths: constraints over
 	// variables disjoint from the path condition can be solved in
 	// isolation, and single-variable contradictions refute in O(1).
+	// Shared with forked children until first write (varsShared).
 	pcVars map[solver.Var]struct{}
 	bounds map[solver.Var]VarBounds
+
+	// pcDigest is the rolling order-insensitive digest of Constraints,
+	// maintained incrementally so solver queries never re-hash the whole
+	// path condition.
+	pcDigest solver.Digest
+
+	// heap maps buffer identities to their cell storage. Forks share the
+	// map (heapShared) and revoke per-block ownership, so both sides copy
+	// blocks (and the map itself) on first write.
+	heap       map[*SymBuffer]*bufCells
+	heapShared bool
+
+	// globalsShared / varsShared mark Globals and pcVars/bounds as shared
+	// with another state; the next write copies first.
+	globalsShared bool
+	varsShared    bool
+
+	// consShared is the length of the Constraints prefix shared with a
+	// forked child. In-place writes below it must copy the slice first;
+	// an append that reallocates clears it.
+	consShared int
 
 	// seq is an insertion sequence number assigned by the executor; used
 	// by schedulers for deterministic tie-breaking.
@@ -121,12 +147,46 @@ func (st *State) pop() Value {
 	return v
 }
 
+// PCDigest returns the rolling digest of the path condition. It always
+// equals solver.DigestOf(st.Constraints).
+func (st *State) PCDigest() solver.Digest { return st.pcDigest }
+
 // AddConstraint appends c to the path condition.
 func (st *State) AddConstraint(c solver.Constraint) {
-	st.Constraints = append(st.Constraints, c)
+	st.appendConstraint(c)
 }
 
-// fork deep-copies the state (the executor assigns the child a fresh ID).
+// appendConstraint grows the path condition, keeping the rolling digest
+// and the shared-prefix marker coherent. Appending is always safe with
+// respect to forked children: a child's view is capacity-clamped at the
+// shared prefix, so in-place growth lands beyond what any child can see,
+// and a reallocation makes the array private.
+func (st *State) appendConstraint(c solver.Constraint) {
+	oldCap := cap(st.Constraints)
+	st.Constraints = append(st.Constraints, c)
+	if cap(st.Constraints) != oldCap {
+		st.consShared = 0
+	}
+	st.pcDigest = st.pcDigest.Add(solver.HashConstraint(c))
+}
+
+// replaceConstraint overwrites Constraints[i] (single-variable bound
+// compaction), copying the slice first when i falls inside a prefix shared
+// with a forked child.
+func (st *State) replaceConstraint(i int, c solver.Constraint) {
+	old := st.Constraints[i]
+	if i < st.consShared {
+		st.Constraints = append([]solver.Constraint(nil), st.Constraints...)
+		st.consShared = 0
+	}
+	st.Constraints[i] = c
+	st.pcDigest = st.pcDigest.Remove(solver.HashConstraint(old)).Add(solver.HashConstraint(c))
+}
+
+// fork returns a copy-on-write child (the executor assigns it a fresh ID).
+// Only the child's top frame is copied eagerly — both sides mutate their
+// top frame on every step, so sharing it would be pure overhead — and
+// everything else is shared until first write.
 func (st *State) fork() *State {
 	ns := &State{
 		ID:        -1,
@@ -136,32 +196,143 @@ func (st *State) fork() *State {
 		Diverted:  st.Diverted,
 		Revived:   st.Revived,
 		LastModel: st.LastModel,
+		pcDigest:  st.pcDigest,
 	}
+	// Frames: share all but the top, which the child copies eagerly.
 	ns.Frames = make([]*Frame, len(st.Frames))
-	for i, f := range st.Frames {
-		ns.Frames[i] = f.clone()
+	copy(ns.Frames, st.Frames)
+	top := len(st.Frames) - 1
+	for _, f := range st.Frames[:top] {
+		f.refs++
 	}
-	ns.Globals = make([]Value, len(st.Globals))
-	for i, v := range st.Globals {
-		ns.Globals[i] = cloneValue(v)
-	}
-	ns.Constraints = make([]solver.Constraint, len(st.Constraints), len(st.Constraints)+4)
-	copy(ns.Constraints, st.Constraints)
-	ns.Trace = make([]trace.Location, len(st.Trace), len(st.Trace)+4)
-	copy(ns.Trace, st.Trace)
-	if st.pcVars != nil {
-		ns.pcVars = make(map[solver.Var]struct{}, len(st.pcVars))
-		for v := range st.pcVars {
-			ns.pcVars[v] = struct{}{}
+	ns.Frames[top] = st.Frames[top].ownedCopy()
+	// Globals: share the slice behind a dirty flag on both sides.
+	ns.Globals = st.Globals
+	ns.globalsShared = true
+	st.globalsShared = true
+	// Constraints/Trace: the child gets a capacity-clamped view, so its
+	// own appends reallocate while the parent keeps appending in place
+	// (growth past the clamp is invisible to the child).
+	n := len(st.Constraints)
+	ns.Constraints = st.Constraints[:n:n]
+	ns.consShared = n
+	st.consShared = n
+	m := len(st.Trace)
+	ns.Trace = st.Trace[:m:m]
+	// pcVars/bounds: shared maps behind a dirty flag.
+	ns.pcVars = st.pcVars
+	ns.bounds = st.bounds
+	ns.varsShared = true
+	st.varsShared = true
+	// Heap: share the map and revoke block ownership so either side's
+	// next buffer write copies the block.
+	if st.heap != nil {
+		for _, c := range st.heap {
+			c.owner = nil
 		}
-	}
-	if st.bounds != nil {
-		ns.bounds = make(map[solver.Var]VarBounds, len(st.bounds))
-		for v, b := range st.bounds {
-			ns.bounds[v] = b
-		}
+		ns.heap = st.heap
+		ns.heapShared = true
+		st.heapShared = true
 	}
 	return ns
+}
+
+// ensureTopOwned privatizes the top frame if it is shared. The executor
+// calls it whenever a return exposes a buried (potentially shared) frame,
+// restoring the owned-top invariant before the next step mutates PC or
+// the operand stack.
+func (st *State) ensureTopOwned() {
+	i := len(st.Frames) - 1
+	if i < 0 {
+		return
+	}
+	f := st.Frames[i]
+	if f.refs > 0 {
+		f.refs--
+		st.Frames[i] = f.ownedCopy()
+	}
+}
+
+// ensureGlobalsOwned privatizes the globals slice before a write.
+func (st *State) ensureGlobalsOwned() {
+	if st.globalsShared {
+		st.Globals = append([]Value(nil), st.Globals...)
+		st.globalsShared = false
+	}
+}
+
+// ensureVarsOwned privatizes the path-condition bookkeeping maps before a
+// write.
+func (st *State) ensureVarsOwned() {
+	if !st.varsShared {
+		return
+	}
+	if st.pcVars != nil {
+		nv := make(map[solver.Var]struct{}, len(st.pcVars)+4)
+		for v := range st.pcVars {
+			nv[v] = struct{}{}
+		}
+		st.pcVars = nv
+	}
+	if st.bounds != nil {
+		nb := make(map[solver.Var]VarBounds, len(st.bounds)+4)
+		for v, b := range st.bounds {
+			nb[v] = b
+		}
+		st.bounds = nb
+	}
+	st.varsShared = false
+}
+
+// bufSmeared reports whether the buffer has been smeared by a
+// symbolic-index write in this state.
+func (st *State) bufSmeared(b *SymBuffer) bool {
+	if c := st.heap[b]; c != nil {
+		return c.smeared
+	}
+	return false
+}
+
+// bufCell reads one buffer cell. Buffers without heap storage read as
+// zeroes.
+func (st *State) bufCell(b *SymBuffer, i int) Value {
+	if c := st.heap[b]; c != nil {
+		return c.data[i]
+	}
+	return IntVal(0)
+}
+
+// bufCellsForWrite returns the buffer's cell block, exclusively owned by
+// this state: it privatizes the heap map if shared, materializes zeroed
+// storage for untouched buffers, and copies blocks owned elsewhere.
+func (st *State) bufCellsForWrite(b *SymBuffer) *bufCells {
+	if st.heapShared {
+		nh := make(map[*SymBuffer]*bufCells, len(st.heap)+2)
+		for k, v := range st.heap {
+			nh[k] = v
+		}
+		st.heap = nh
+		st.heapShared = false
+	}
+	if st.heap == nil {
+		st.heap = make(map[*SymBuffer]*bufCells, 4)
+	}
+	c := st.heap[b]
+	if c == nil {
+		data := make([]Value, b.Cap)
+		for i := range data {
+			data[i] = IntVal(0)
+		}
+		c = &bufCells{data: data, owner: st}
+		st.heap[b] = c
+		return c
+	}
+	if c.owner != st {
+		nc := &bufCells{data: append([]Value(nil), c.data...), smeared: c.smeared, owner: st}
+		st.heap[b] = nc
+		return nc
+	}
+	return c
 }
 
 // VarBounds is the interval a state's single-variable path constraints
@@ -180,6 +351,7 @@ func (st *State) mentions(v solver.Var) bool {
 // noteVars records the constraint's variables and updates the cached
 // bounds for single-variable forms.
 func (st *State) noteVars(c solver.Constraint) {
+	st.ensureVarsOwned()
 	if st.pcVars == nil {
 		st.pcVars = make(map[solver.Var]struct{}, 8)
 	}

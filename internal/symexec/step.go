@@ -32,6 +32,7 @@ func (ex *Executor) step(st *State) (children []*State, suspend, done bool) {
 	case bytecode.OpLoadGlobal:
 		st.push(st.Globals[in.A])
 	case bytecode.OpStoreGlobal:
+		st.ensureGlobalsOwned()
 		st.Globals[in.A] = st.pop()
 	case bytecode.OpNewBuf:
 		fr.Locals[in.A] = BufVal(NewSymBuffer(in.B))
@@ -97,6 +98,7 @@ func (ex *Executor) step(st *State) (children []*State, suspend, done bool) {
 					st.Status = StatusTerminated
 					return nil, false, true
 				}
+				st.ensureTopOwned()
 				if retPtr != nil {
 					st.push(ret)
 				}
@@ -108,6 +110,7 @@ func (ex *Executor) step(st *State) (children []*State, suspend, done bool) {
 			st.Status = StatusTerminated
 			return nil, false, true
 		}
+		st.ensureTopOwned()
 		if retPtr != nil {
 			st.push(ret)
 		}

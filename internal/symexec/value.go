@@ -129,31 +129,33 @@ func (s *SymString) Describe() string {
 	return fmt.Sprintf("sym-str(%s#%d)", s.Label, s.ID)
 }
 
-// SymBuffer is a fixed-capacity buffer of integer cells. Capacities are
-// always concrete (buffer sizes are declaration literals). Cells hold
-// integer values that may be symbolic.
+// SymBuffer is the identity of a fixed-capacity buffer of integer cells.
+// Capacities are always concrete (buffer sizes are declaration literals).
+// The cell contents live in the owning State's heap (see State.bufCells):
+// keeping the identity separate from the storage is what lets forked
+// states share buffer contents copy-on-write while aliases within one
+// state (the same buffer reachable through a local and the operand stack)
+// keep observing each other's writes.
 type SymBuffer struct {
-	Cap  int
-	Data []Value
-	// Smeared marks buffers written through a symbolic index: individual
+	Cap int
+}
+
+// NewSymBuffer allocates a buffer identity. A buffer with no heap entry
+// reads as all zeroes and not smeared, so a fresh buffer needs no storage
+// until first written.
+func NewSymBuffer(capacity int) *SymBuffer {
+	return &SymBuffer{Cap: capacity}
+}
+
+// bufCells is the mutable storage of one buffer within one state's heap.
+type bufCells struct {
+	data []Value
+	// smeared marks buffers written through a symbolic index: individual
 	// cell contents are no longer tracked precisely, and reads return
 	// fresh unconstrained values.
-	Smeared bool
-}
-
-// NewSymBuffer allocates a zeroed buffer.
-func NewSymBuffer(capacity int) *SymBuffer {
-	b := &SymBuffer{Cap: capacity, Data: make([]Value, capacity)}
-	for i := range b.Data {
-		b.Data[i] = IntVal(0)
-	}
-	return b
-}
-
-// clone deep-copies the buffer (cell values are immutable, so a slice copy
-// suffices).
-func (b *SymBuffer) clone() *SymBuffer {
-	nb := &SymBuffer{Cap: b.Cap, Data: make([]Value, len(b.Data)), Smeared: b.Smeared}
-	copy(nb.Data, b.Data)
-	return nb
+	smeared bool
+	// owner is the state allowed to mutate this block in place; forking
+	// revokes ownership (sets it nil) so every post-fork write on either
+	// side copies first.
+	owner *State
 }
