@@ -32,9 +32,10 @@ func run() error {
 	var (
 		table     = flag.Int("table", 0, "regenerate one table (1-5); 0 = all")
 		figure    = flag.Int("figure", 0, "regenerate one figure (7-10); 0 = all")
-		ablation  = flag.String("ablation", "", "run an ablation: scheduler, guidance, tau, cache, all")
+		ablation  = flag.String("ablation", "", "run an ablation: scheduler, guidance, tau, cache, frontier, all")
 		seed      = flag.Int64("seed", bench.DefaultSeed, "workload seed")
 		parallel  = flag.Int("parallel", 1, "candidate-verification workers per pipeline run (1: sequential)")
+		workers   = flag.Int("workers", 0, "in-candidate frontier workers per symbolic execution (0: sequential engine)")
 		sharedCch = flag.Bool("shared-cache", true, "share solver verdicts across candidate verifications (wall-clock only; counters are unaffected)")
 		only      = flag.Bool("only", false, "run only the selected table/figure")
 		asJSON    = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
@@ -46,6 +47,7 @@ func run() error {
 	flag.Parse()
 	budgets := bench.DefaultBudgets()
 	budgets.Parallel = *parallel
+	budgets.Workers = *workers
 	budgets.DisableSharedCache = !*sharedCch
 
 	// SIGINT/SIGTERM cancel the in-flight experiment cooperatively; the
@@ -200,6 +202,12 @@ func run() error {
 			return err
 		}
 		emit("ablation-cache", rows, bench.FormatAblation("ABLATION: solver query cache (polymorph, pure)", rows))
+	case "frontier":
+		rows, err := bench.AblationFrontier(ctx, nil, *seed, budgets)
+		if err != nil {
+			return err
+		}
+		emit("ablation-frontier", rows, bench.FormatAblation("ABLATION: frontier worker scaling (guided + pure)", rows))
 	case "all":
 		rows, err := bench.AblationScheduler(ctx, *seed, budgets)
 		if err != nil {
@@ -221,6 +229,11 @@ func run() error {
 			return err
 		}
 		emit("ablation-cache", rows, bench.FormatAblation("ABLATION: solver query cache (polymorph, pure)", rows))
+		rows, err = bench.AblationFrontier(ctx, nil, *seed, budgets)
+		if err != nil {
+			return err
+		}
+		emit("ablation-frontier", rows, bench.FormatAblation("ABLATION: frontier worker scaling (guided + pure)", rows))
 	default:
 		return fmt.Errorf("unknown ablation %q", *ablation)
 	}

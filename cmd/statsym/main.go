@@ -48,6 +48,7 @@ func run() error {
 		maxSteps  = flag.Int64("max-steps", 0, "instruction budget (0: default)")
 		timeout   = flag.Duration("timeout", 0, "wall-clock bound for symbolic execution (0: none)")
 		parallel  = flag.Int("parallel", 1, "verify candidate paths with this many concurrent workers (1: the paper's sequential loop)")
+		workers   = flag.Int("workers", 0, "in-candidate frontier workers (0: sequential engine; >=1: deterministic epoch engine, results independent of the count)")
 		sharedCch = flag.Bool("shared-cache", true, "share solver verdicts across candidate verifications (wall-clock only; counters are unaffected)")
 		verbose   = flag.Bool("v", false, "print predicates and candidate paths")
 		minimize  = flag.Bool("minimize", false, "shrink the witness input via concrete replays")
@@ -97,7 +98,7 @@ func run() error {
 		fmt.Println("-- pure symbolic execution (baseline)")
 		start := time.Now()
 		pctx, pspan := obs.StartSpan(ctx, "pure", obs.A("app", app.Name))
-		res := core.RunPureContext(pctx, app.Program(), app.Spec, *maxStates, *maxSteps, *timeout)
+		res := core.RunPureWorkers(pctx, app.Program(), app.Spec, *maxStates, *maxSteps, *timeout, *workers)
 		pspan.End(obs.A("paths", res.Paths), obs.A("steps", res.Steps), obs.A("found", res.Found()))
 		printPureResult(res, time.Since(start))
 		return nil
@@ -154,6 +155,7 @@ func run() error {
 		}(),
 		MaxStates:          *maxStates,
 		Parallel:           *parallel,
+		Workers:            *workers,
 		DisableSharedCache: !*sharedCch,
 	}
 	rep, err := core.RunContext(ctx, app.Program(), corpus, cfg)

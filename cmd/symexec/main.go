@@ -43,6 +43,8 @@ func run() error {
 		replay    = flag.String("replay", "", "seed exploration with a witness input (JSON, from statsym -witness-out)")
 		cov       = flag.Bool("cov", false, "report instruction coverage after the run")
 		fastPaths = flag.Bool("fast-paths", false, "enable heuristic solver-cache shortcuts (UNSAT-core subsumption, Sat-model reuse); may change exploration")
+		workers   = flag.Int("workers", 0, "frontier workers (0: sequential engine; >=1: deterministic epoch engine, results independent of the count)")
+		freeRun   = flag.Bool("free-run", false, "with -workers > 1, drop the deterministic epoch barrier (maximum throughput, nondeterministic counters)")
 		traceOut  = flag.String("trace", "", "stream a JSONL event trace (spans, progress) to this file")
 		traceInt  = flag.Duration("trace-interval", time.Second, "progress-snapshot period for -trace")
 		metrics   = flag.Bool("metrics", false, "print the metrics registry at exit")
@@ -87,6 +89,11 @@ func run() error {
 	opts.StopAtFirstVuln = !*all
 	opts.Timeout = *timeout
 	opts.SolverFastPaths = *fastPaths
+	opts.Workers = *workers
+	opts.FreeRun = *freeRun
+	if *freeRun && *workers <= 1 {
+		return fmt.Errorf("-free-run requires -workers > 1")
+	}
 	if *maxStates > 0 {
 		opts.MaxStates = *maxStates
 	}

@@ -201,6 +201,75 @@ func AblationTau(ctx context.Context, appName string, taus []int, seed int64, bu
 	return rows, nil
 }
 
+// AblationFrontier sweeps the in-candidate frontier worker count on the
+// three widest-frontier apps, in two regimes: the guided pipeline
+// ("guided/workers=N", symbolic-execution wall time) and the pure BFS
+// baseline ("pure-bfs/workers=N", whole-run wall time). workers=0 is the
+// sequential engine; workers>=1 is the epoch engine, whose counters are
+// identical across worker counts within each regime — the determinism
+// guarantee — so any row-to-row delta among them is pure wall-clock
+// scaling (epoch rows can differ from workers=0 only at budget
+// boundaries; see DESIGN.md §11).
+func AblationFrontier(ctx context.Context, workerCounts []int, seed int64, budgets Budgets) ([]AblationRow, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{0, 1, 2, 4}
+	}
+	var rows []AblationRow
+	for _, name := range []string{"polymorph", "thttpd", "grep"} {
+		app, err := apps.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		corpus, err := workload.BuildCorpus(app, workload.Options{SampleRate: 0.3, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range workerCounts {
+			if err := ctx.Err(); err != nil {
+				return rows, err
+			}
+			cfg := core.Config{
+				Spec:                 app.Spec,
+				PerCandidateTimeout:  budgets.GuidedTimeout,
+				PerCandidateMaxSteps: budgets.GuidedMaxSteps,
+				Workers:              w,
+				DisableSharedCache:   budgets.DisableSharedCache,
+			}
+			rep, err := core.RunContext(ctx, app.Program(), corpus, cfg)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationRow{
+				Program: app.Name,
+				Config:  fmt.Sprintf("guided/workers=%d", w),
+				Found:   rep.Found(),
+				Paths:   rep.TotalPaths,
+				Steps:   rep.TotalSteps,
+				Elapsed: rep.SymTime,
+				Failed:  !rep.Found(),
+			})
+		}
+		for _, w := range workerCounts {
+			if err := ctx.Err(); err != nil {
+				return rows, err
+			}
+			res := core.RunPureWorkers(ctx, app.Program(), app.Spec,
+				budgets.PureMaxStates, budgets.PureMaxSteps, budgets.PureTimeout, w)
+			rows = append(rows, AblationRow{
+				Program:    app.Name,
+				Config:     fmt.Sprintf("pure-bfs/workers=%d", w),
+				Found:      res.Found(),
+				Paths:      res.Paths,
+				Steps:      res.Steps,
+				Elapsed:    res.Elapsed,
+				SolverWall: res.SolverTime,
+				Failed:     !res.Found() && (res.Exhausted || res.StepLimited || res.TimedOut),
+			})
+		}
+	}
+	return rows, nil
+}
+
 // AblationSolverCache compares the exact-match cache (the default), the
 // cache with the opt-in KLEE-style heuristic fast paths, and effectively
 // uncached constraint solving on polymorph's pure baseline, quantifying

@@ -47,6 +47,13 @@ type Budgets struct {
 	// every guided pipeline run (A/B comparisons; counters are identical
 	// either way, only solver wall time changes).
 	DisableSharedCache bool
+
+	// Workers is the in-candidate frontier worker count handed to
+	// core.Config.Workers by every experiment that runs the guided
+	// pipeline. 0 keeps the sequential engine; any value >= 1 selects the
+	// epoch engine, whose counters are worker-count-invariant — as with
+	// Parallel, only wall-clock time changes.
+	Workers int
 }
 
 // DefaultBudgets returns the standard experiment budgets.
@@ -128,6 +135,7 @@ func RunPipeline(ctx context.Context, app *apps.App, rate float64, seed int64, b
 		PerCandidateTimeout:  budgets.GuidedTimeout,
 		PerCandidateMaxSteps: budgets.GuidedMaxSteps,
 		Parallel:             budgets.Parallel,
+		Workers:              budgets.Workers,
 		DisableSharedCache:   budgets.DisableSharedCache,
 	}
 	rep, err := core.RunContext(ctx, app.Program(), corpus, cfg)

@@ -18,6 +18,7 @@ package core
 
 import (
 	"container/heap"
+	"sync/atomic"
 
 	"repro/internal/pathid"
 	"repro/internal/solver"
@@ -32,6 +33,11 @@ const DefaultTau = 10
 // DefaultMinPredScore is the minimum confidence score for a predicate to
 // be used as an intra-function gate.
 const DefaultMinPredScore = 0.5
+
+// GuidedEpochWidth is the epoch draft width for guided attempts under the
+// parallel frontier engine (symexec.Options.EpochWidth). Guided search
+// wants a narrow draft — see VerifyCandidateCtx.
+const GuidedEpochWidth = 4
 
 // Guidance is StatSym's state-manager logic for one candidate path. Wire
 // Hook into symexec.Options.Hook and NewGuidedScheduler into Options.Sched.
@@ -50,11 +56,14 @@ type Guidance struct {
 	DisableInter      bool
 	DisablePredicates bool
 
-	// Counters for reporting.
-	Matches    int
-	Suspends   int
-	PredApply  int
-	PredReject int
+	// Counters for reporting. Atomic because under the parallel frontier
+	// engine the hook fires concurrently on worker goroutines; the totals
+	// are order-independent sums over a deterministic set of quanta, so the
+	// final values stay deterministic.
+	Matches    atomic.Int64
+	Suspends   atomic.Int64
+	PredApply  atomic.Int64
+	PredReject atomic.Int64
 
 	// onPath is the set of candidate-path locations: crossing one of them
 	// out of order (e.g. a function re-entered by a loop) is neutral, not
@@ -99,15 +108,15 @@ func (g *Guidance) Hook(ex *symexec.Executor, st *symexec.State, loc trace.Locat
 		node := nodes[match]
 		st.PathIndex = match + 1
 		st.Diverted = 0
-		g.Matches++
+		g.Matches.Add(1)
 		if !g.DisablePredicates && node.Pred != nil && node.Pred.Score >= g.MinPredScore {
 			switch g.applyPredicate(ex, st, node.Pred, view) {
 			case predConflict:
-				g.Suspends++
-				g.PredReject++
+				g.Suspends.Add(1)
+				g.PredReject.Add(1)
 				return symexec.HookSuspend
 			case predApplied:
-				g.PredApply++
+				g.PredApply.Add(1)
 			}
 		}
 		return symexec.HookContinue
@@ -123,7 +132,7 @@ func (g *Guidance) Hook(ex *symexec.Executor, st *symexec.State, loc trace.Locat
 	// Off-path hop.
 	st.Diverted++
 	if st.Diverted > g.Tau {
-		g.Suspends++
+		g.Suspends.Add(1)
 		return symexec.HookSuspend
 	}
 	return symexec.HookContinue

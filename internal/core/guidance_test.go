@@ -84,8 +84,8 @@ func TestHookCountsOffPathHops(t *testing.T) {
 	if d := g.Hook(ex, st, loc("y", trace.EventEnter), nil); d != symexec.HookSuspend {
 		t.Fatal("expected suspension beyond tau")
 	}
-	if g.Suspends != 1 {
-		t.Errorf("suspends = %d", g.Suspends)
+	if g.Suspends.Load() != 1 {
+		t.Errorf("suspends = %d", g.Suspends.Load())
 	}
 }
 

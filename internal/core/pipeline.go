@@ -45,6 +45,16 @@ type Config struct {
 	// than wall-clock ones.
 	Parallel int
 
+	// Workers is the in-candidate frontier worker count handed to the
+	// symbolic executor (symexec.Options.Workers). 0 keeps the sequential
+	// per-candidate engine; >= 1 selects the deterministic epoch engine,
+	// whose results are identical for every worker count. When combined
+	// with Parallel > 1 the two multiply, so the budget is divided:
+	// each concurrent attempt gets max(1, Workers/Parallel) frontier
+	// workers — which leaves outcomes unchanged (the epoch engine is
+	// worker-count-invariant), only the wall-clock split.
+	Workers int
+
 	// DisableInter / DisablePredicates switch off the two guidance
 	// mechanisms independently (ablations).
 	DisableInter      bool
@@ -59,6 +69,24 @@ type Config struct {
 	// sharedCache is the cross-candidate solver cache threaded by
 	// RunContext into every candidate verification of one pipeline run.
 	sharedCache *solver.SharedCache
+}
+
+// effectiveWorkers returns the frontier worker count for one candidate
+// attempt: the full Workers budget when attempts run one at a time, an
+// even share (at least 1, keeping the epoch engine and its invariance)
+// when Parallel attempts run concurrently.
+func (cfg Config) effectiveWorkers() int {
+	w := cfg.Workers
+	if w <= 0 {
+		return 0
+	}
+	if cfg.Parallel > 1 {
+		w /= cfg.Parallel
+		if w < 1 {
+			w = 1
+		}
+	}
+	return w
 }
 
 // withDefaults returns cfg with unset tunables replaced by the paper
@@ -328,6 +356,15 @@ func VerifyCandidateCtx(ctx context.Context, prog *bytecode.Program, cand *pathi
 	opts.Sched = NewGuidedScheduler()
 	opts.Hook = g.Hook
 	opts.SharedCache = cfg.sharedCache
+	opts.Workers = cfg.effectiveWorkers()
+	// Guided attempts draft a narrow epoch: the guidance concentrates the
+	// budget on states tracking the candidate path, and a wide draft
+	// force-steps off-path states the sequential loop would leave parked,
+	// multiplying steps-to-detection by the width. Width 4 keeps the
+	// epoch engine's detections aligned with the sequential engine on the
+	// bundled apps while still overlapping four quanta per epoch. (Pure
+	// exploration keeps the wider default — breadth is the point there.)
+	opts.EpochWidth = GuidedEpochWidth
 	opts.Timeout = cfg.PerCandidateTimeout
 	if cfg.PerCandidateMaxSteps > 0 {
 		opts.MaxSteps = cfg.PerCandidateMaxSteps
@@ -349,8 +386,8 @@ func VerifyCandidateCtx(ctx context.Context, prog *bytecode.Program, cand *pathi
 		Found:          res.Found(),
 		Paths:          res.Paths,
 		Steps:          res.Steps,
-		Suspends:       g.Suspends,
-		Matches:        g.Matches,
+		Suspends:       int(g.Suspends.Load()),
+		Matches:        int(g.Matches.Load()),
 		Elapsed:        res.Elapsed,
 		Cancelled:      res.Cancelled,
 		SolverChecks:   res.SolverChecks,
@@ -426,6 +463,12 @@ func RunPure(prog *bytecode.Program, spec *symexec.InputSpec, maxStates int, max
 // RunPureContext is RunPure under a context (cancellation stops the
 // baseline the same way it stops guided attempts).
 func RunPureContext(ctx context.Context, prog *bytecode.Program, spec *symexec.InputSpec, maxStates int, maxSteps int64, timeout time.Duration) *symexec.Result {
+	return RunPureWorkers(ctx, prog, spec, maxStates, maxSteps, timeout, 0)
+}
+
+// RunPureWorkers is RunPureContext with an in-run frontier worker count
+// (0: sequential engine; >= 1: the deterministic epoch engine).
+func RunPureWorkers(ctx context.Context, prog *bytecode.Program, spec *symexec.InputSpec, maxStates int, maxSteps int64, timeout time.Duration, workers int) *symexec.Result {
 	opts := symexec.DefaultOptions()
 	opts.Sched = symexec.NewBFS()
 	if maxStates > 0 {
@@ -435,6 +478,7 @@ func RunPureContext(ctx context.Context, prog *bytecode.Program, spec *symexec.I
 		opts.MaxSteps = maxSteps
 	}
 	opts.Timeout = timeout
+	opts.Workers = workers
 	ex := symexec.New(prog, spec, opts)
 	return ex.RunContext(ctx)
 }

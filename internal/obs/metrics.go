@@ -42,6 +42,13 @@ const (
 	MetricStatesPruned  = "exec.states.pruned"
 	MetricRevivals      = "exec.revivals"
 
+	// Parallel frontier engine (internal/symexec/frontier.go).
+	MetricEpochs          = "exec.epochs"
+	MetricEpochFill       = "exec.epoch.fill"       // histogram: states drafted per epoch
+	MetricWorkers         = "exec.workers"          // gauge: configured worker count
+	MetricWorkerBusyNanos = "exec.workers.busy_ns"  // counter: summed worker busy time
+	MetricWorkerUtilPct   = "exec.workers.util_pct" // gauge: busy / (workers × elapsed)
+
 	// Guidance (internal/core): distribution of diverted-hop counts at
 	// the moment states are suspended — the τ pressure profile.
 	MetricDivertedHops = "guidance.diverted_hops"
@@ -59,6 +66,10 @@ const (
 // HopBuckets is the standard bucketing for MetricDivertedHops: fine near
 // zero (on-path states) and coarser toward and beyond typical τ values.
 var HopBuckets = []int64{0, 1, 2, 3, 5, 8, 13, 21}
+
+// EpochFillBuckets is the standard bucketing for MetricEpochFill: how many
+// states each epoch actually drafted, up to the configured width.
+var EpochFillBuckets = []int64{1, 2, 4, 8, 16, 32}
 
 // Registry is a race-safe named-metric registry. Metrics are created on
 // first use and live for the registry's lifetime; lookups take a mutex,

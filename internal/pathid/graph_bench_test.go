@@ -1,0 +1,43 @@
+package pathid
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// benchCorpus builds a corpus of long faulty runs over a moderate location
+// alphabet — the shape that made string-keyed transition counting the
+// allocation hot spot of BuildGraph (two Location.String calls per step).
+func benchCorpus(runs, steps, funcs int) *trace.Corpus {
+	locs := make([]trace.Location, funcs*2)
+	for i := 0; i < funcs; i++ {
+		name := fmt.Sprintf("fn%03d", i)
+		locs[2*i] = trace.Location{Func: name, Kind: trace.EventEnter}
+		locs[2*i+1] = trace.Location{Func: name, Kind: trace.EventLeave}
+	}
+	c := &trace.Corpus{Program: "bench"}
+	for r := 0; r < runs; r++ {
+		run := trace.Run{ID: r, Faulty: true, FaultFunc: "fn000"}
+		for s := 0; s < steps; s++ {
+			// Deterministic walk that revisits locations heavily, like a
+			// sampled execution trace with loops.
+			run.Records = append(run.Records, trace.Record{Loc: locs[(r*7+s*3)%len(locs)]})
+		}
+		c.Runs = append(c.Runs, run)
+	}
+	return c
+}
+
+func BenchmarkBuildGraph(b *testing.B) {
+	corpus := benchCorpus(50, 400, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := BuildGraph(corpus, Config{})
+		if len(g.Nodes) == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}

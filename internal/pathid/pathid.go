@@ -100,30 +100,40 @@ type Graph struct {
 // BuildGraph mines transitions from the faulty runs of the corpus.
 func BuildGraph(corpus *trace.Corpus, cfg Config) *Graph {
 	_, faulty := corpus.Split()
-	occ := make(map[trace.Location]int)
-	pair := make(map[[2]string]int)
-	pairLoc := make(map[[2]string][2]trace.Location)
+	// Locations are interned to dense ids once per corpus, so transition
+	// counting keys on [2]int32. (The previous keys rendered both locations
+	// to strings on every step — two allocations per logged transition,
+	// the dominant cost of graph construction on large corpora.)
+	ids := make(map[trace.Location]int32)
+	var nodes []trace.Location
+	var occ []int // occurrence count, indexed by interned id
+	intern := func(l trace.Location) int32 {
+		id, ok := ids[l]
+		if !ok {
+			id = int32(len(nodes))
+			ids[l] = id
+			nodes = append(nodes, l)
+			occ = append(occ, 0)
+		}
+		return id
+	}
+	pair := make(map[[2]int32]int)
 	finals := make(map[trace.Location]int)
 	faultFuncs := make(map[string]int)
-	nodeSet := make(map[trace.Location]struct{})
-	var nodes []trace.Location
 
 	for _, run := range faulty {
 		if run.FaultFunc != "" {
 			faultFuncs[run.FaultFunc]++
 		}
 		locs := run.Locations()
-		for i, l := range locs {
-			occ[l]++
-			if _, ok := nodeSet[l]; !ok {
-				nodeSet[l] = struct{}{}
-				nodes = append(nodes, l)
+		prev := int32(-1)
+		for _, l := range locs {
+			id := intern(l)
+			occ[id]++
+			if prev >= 0 {
+				pair[[2]int32{prev, id}]++
 			}
-			if i+1 < len(locs) {
-				key := [2]string{l.String(), locs[i+1].String()}
-				pair[key]++
-				pairLoc[key] = [2]trace.Location{l, locs[i+1]}
-			}
+			prev = id
 		}
 		if fin, ok := run.FinalLocation(); ok {
 			finals[fin]++
@@ -133,15 +143,14 @@ func BuildGraph(corpus *trace.Corpus, cfg Config) *Graph {
 	g := &Graph{Nodes: nodes, Succ: make(map[trace.Location][]Edge)}
 	hasIncoming := make(map[trace.Location]bool)
 	for key, count := range pair {
-		locs := pairLoc[key]
 		if count < cfg.minSupport() {
 			continue
 		}
-		conf := float64(count) / float64(occ[locs[0]])
+		conf := float64(count) / float64(occ[key[0]])
 		if conf < cfg.minConfidence() {
 			continue
 		}
-		e := Edge{From: locs[0], To: locs[1], Count: count, Confidence: conf}
+		e := Edge{From: nodes[key[0]], To: nodes[key[1]], Count: count, Confidence: conf}
 		g.Succ[e.From] = append(g.Succ[e.From], e)
 		hasIncoming[e.To] = true
 	}
@@ -174,7 +183,7 @@ func BuildGraph(corpus *trace.Corpus, cfg Config) *Graph {
 	}
 	if bestFault != "" {
 		enter := trace.Location{Func: bestFault, Kind: trace.EventEnter}
-		if _, ok := nodeSet[enter]; ok {
+		if _, ok := ids[enter]; ok {
 			g.Failure = enter
 			return g
 		}

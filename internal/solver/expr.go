@@ -31,57 +31,6 @@ type Var int32
 // NoVar is an invalid variable sentinel.
 const NoVar Var = -1
 
-// VarInfo carries a variable's metadata.
-type VarInfo struct {
-	Name string
-	// Intrinsic bounds; Lo/Hi are ignored when the corresponding flag is
-	// false.
-	HasLo, HasHi bool
-	Lo, Hi       int64
-}
-
-// VarTable allocates variables. It is append-only so symbolic-execution
-// states can share one table while keeping independent constraint sets.
-type VarTable struct {
-	vars []VarInfo
-}
-
-// NewVarTable returns an empty table.
-func NewVarTable() *VarTable { return &VarTable{} }
-
-// NewVar allocates an unbounded variable.
-func (t *VarTable) NewVar(name string) Var {
-	t.vars = append(t.vars, VarInfo{Name: name})
-	return Var(len(t.vars) - 1)
-}
-
-// NewVarBounded allocates a variable with intrinsic bounds [lo, hi].
-func (t *VarTable) NewVarBounded(name string, lo, hi int64) Var {
-	t.vars = append(t.vars, VarInfo{Name: name, HasLo: true, Lo: lo, HasHi: true, Hi: hi})
-	return Var(len(t.vars) - 1)
-}
-
-// NewVarMin allocates a variable with only a lower bound (e.g. a string
-// length, which is ≥ 0).
-func (t *VarTable) NewVarMin(name string, lo int64) Var {
-	t.vars = append(t.vars, VarInfo{Name: name, HasLo: true, Lo: lo})
-	return Var(len(t.vars) - 1)
-}
-
-// Len returns the number of allocated variables.
-func (t *VarTable) Len() int { return len(t.vars) }
-
-// Info returns the variable's metadata.
-func (t *VarTable) Info(v Var) VarInfo { return t.vars[v] }
-
-// Name returns the variable's name.
-func (t *VarTable) Name(v Var) string {
-	if v < 0 || int(v) >= len(t.vars) {
-		return fmt.Sprintf("v%d?", int(v))
-	}
-	return t.vars[v].Name
-}
-
 // Term is a coefficient–variable product.
 type Term struct {
 	Coeff int64

@@ -9,7 +9,10 @@ package stats
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/trace"
 )
@@ -181,9 +184,40 @@ func Analyze(corpus *trace.Corpus) *Analysis {
 		collect(run, run.Faulty)
 	}
 
-	// Step (c): construct one predicate per (location, variable).
-	for _, key := range order {
-		if p := buildPredicate(samples[key]); p != nil {
+	// Step (c): construct one predicate per (location, variable). Each
+	// sample set is independent, so construction fans out over a bounded
+	// worker pool; results land in a slice indexed by first-seen key order,
+	// and the stable sort below sees exactly the sequence the sequential
+	// loop produced — the ranked output is byte-identical either way.
+	built := make([]*Predicate, len(order))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(order) {
+		workers = len(order)
+	}
+	if workers <= 1 {
+		for i, key := range order {
+			built[i] = buildPredicate(samples[key])
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(order) {
+						return
+					}
+					built[i] = buildPredicate(samples[order[i]])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, p := range built {
+		if p != nil {
 			a.Predicates = append(a.Predicates, p)
 		}
 	}

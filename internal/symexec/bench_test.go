@@ -98,7 +98,7 @@ func benchForkState(depth, localsPerFrame, nCons int) *State {
 		st.Globals = append(st.Globals, IntVal(int64(g)))
 	}
 	buf := NewSymBuffer(64)
-	st.bufCellsForWrite(buf).data[0] = IntVal(1)
+	st.setBufCell(buf, 0, IntVal(1))
 	for i := 0; i < nCons; i++ {
 		v := tbl.NewVarBounded("v", 0, 255)
 		c := solver.Ge(solver.VarExpr(v), solver.ConstExpr(int64(i%16)))
@@ -138,8 +138,17 @@ func legacyFork(st *State) *State {
 	}
 	if st.heap != nil {
 		ns.heap = make(map[*SymBuffer]*bufCells, len(st.heap))
+		ns.heapTok = new(heapToken)
 		for b, c := range st.heap {
-			ns.heap[b] = &bufCells{data: append([]Value(nil), c.data...), smeared: c.smeared, owner: ns}
+			nc := &bufCells{owner: ns.heapTok, smeared: c.smeared,
+				chunks: make([]*cellChunk, len(c.chunks))}
+			for i, ch := range c.chunks {
+				if ch != nil {
+					nch := &cellChunk{owner: ns.heapTok, data: ch.data}
+					nc.chunks[i] = nch
+				}
+			}
+			ns.heap[b] = nc
 		}
 	}
 	return ns

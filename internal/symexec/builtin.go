@@ -40,7 +40,7 @@ func (ex *Executor) stepBuiltin(st *State, b minic.Builtin, nargs int, pos minic
 		// Symbolic string: the parsed value is over-approximated by a
 		// fresh integer (content-to-number relations are beyond the
 		// linear fragment).
-		fresh := ex.Table.NewVar("atoi(" + s.Label + ")")
+		fresh := ex.newVar("atoi(" + s.Label + ")")
 		if st.LastModel != nil {
 			ex.extendModel(st, fresh, atoiC(ex.inputs.materialize(s, st.LastModel)))
 		}
@@ -73,7 +73,7 @@ func (ex *Executor) stepBuiltin(st *State, b minic.Builtin, nargs int, pos minic
 		} else {
 			// Symbolic argument index: unusual; over-approximate with an
 			// anonymous symbolic string.
-			st.push(SymStrVal(ex.inputs.freshStr("argv", ex.inputs.spec.strLenMax("argv"))))
+			st.push(SymStrVal(ex.freshStr("argv", ex.inputs.spec.strLenMax("argv"))))
 		}
 	case minic.BuiltinNargs:
 		st.push(IntVal(int64(ex.inputs.spec.NArgs)))
@@ -229,7 +229,7 @@ func (ex *Executor) stepChar(st *State, s *SymString, iv Value, pos minic.Pos) (
 	case s.IsLit:
 		// Concrete string, symbolic index: over-approximate with a fresh
 		// byte, seeding the model with the actual byte at the model index.
-		fresh := ex.Table.NewVarBounded("char", 0, 255)
+		fresh := ex.newVarBounded("char", 0, 255)
 		if st.LastModel != nil {
 			idx := iv.Lin.Eval(st.LastModel)
 			if idx >= 0 && idx < int64(len(s.Lit)) {
@@ -239,7 +239,7 @@ func (ex *Executor) stepChar(st *State, s *SymString, iv Value, pos minic.Pos) (
 		st.push(LinVal(solver.VarExpr(fresh)))
 	default:
 		// Symbolic string and index: fresh unconstrained byte.
-		fresh := ex.Table.NewVarBounded("char", 0, 255)
+		fresh := ex.newVarBounded("char", 0, 255)
 		if st.LastModel != nil {
 			ex.extendModel(st, fresh, int64(defaultWitnessByte))
 		}
@@ -275,7 +275,7 @@ func (ex *Executor) stepSubstr(st *State, s *SymString, iv, jv Value) Value {
 			maxLen = 0
 		}
 	}
-	out := ex.inputs.freshStr("substr", maxLen)
+	out := ex.freshStr("substr", maxLen)
 	// The result is never longer than the source.
 	addPathConstraint(st, solver.Le(solver.VarExpr(out.LenVar), s.LenExpr()))
 	if st.LastModel != nil {
@@ -310,7 +310,7 @@ func (ex *Executor) stepBufWrite(st *State, buf *SymBuffer, iv, val Value, pos m
 			return nil, false, true
 		}
 		if !st.bufSmeared(buf) {
-			st.bufCellsForWrite(buf).data[ic] = val
+			st.setBufCell(buf, int(ic), val)
 		}
 		return nil, false, false
 	}
@@ -356,7 +356,7 @@ func (ex *Executor) stepBufRead(st *State, buf *SymBuffer, iv Value, pos minic.P
 			return nil, false, true
 		}
 		if st.bufSmeared(buf) {
-			fresh := ex.Table.NewVar("bufcell")
+			fresh := ex.newVar("bufcell")
 			if st.LastModel != nil {
 				ex.extendModel(st, fresh, 0)
 			}
@@ -391,7 +391,7 @@ func (ex *Executor) stepBufRead(st *State, buf *SymBuffer, iv Value, pos minic.P
 		return nil, false, true
 	}
 	ex.commit(st, m, inB...)
-	fresh := ex.Table.NewVar("bufcell")
+	fresh := ex.newVar("bufcell")
 	if st.LastModel != nil {
 		ex.extendModel(st, fresh, 0)
 	}
@@ -428,7 +428,7 @@ func (ex *Executor) stepBufStr(st *State, buf *SymBuffer, nv Value) Value {
 	if nok && nc >= 0 && nc < maxLen {
 		maxLen = nc
 	}
-	out := ex.inputs.freshStr("bufstr", maxLen)
+	out := ex.freshStr("bufstr", maxLen)
 	if st.LastModel != nil {
 		ex.extendModel(st, out.LenVar, 0)
 	}

@@ -109,10 +109,10 @@ func TestForkBufferIsolation(t *testing.T) {
 	if v, _ := st.bufCell(buf, 2).IsConcreteInt(); v != 0 {
 		t.Fatalf("fresh buffer cell = %v, want 0", v)
 	}
-	st.bufCellsForWrite(buf).data[2] = IntVal(5)
+	st.setBufCell(buf, 2, IntVal(5))
 	child := st.fork()
 	// Parent write after the fork stays private.
-	st.bufCellsForWrite(buf).data[2] = IntVal(6)
+	st.setBufCell(buf, 2, IntVal(6))
 	if v, _ := child.bufCell(buf, 2).IsConcreteInt(); v != 5 {
 		t.Errorf("child buffer cell changed with parent: %v", child.bufCell(buf, 2))
 	}

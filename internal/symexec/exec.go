@@ -3,6 +3,7 @@ package symexec
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bytecode"
@@ -65,14 +66,34 @@ type Options struct {
 	// concrete values and subsumption can sharpen Unknown into Unsat — so
 	// it is opt-in (see solver.CachedSolver.FastPaths).
 	SolverFastPaths bool
+	// Workers selects the engine. 0 (the default) runs the original
+	// sequential loop. >= 1 runs the epoch-based parallel frontier engine
+	// (frontier.go) with that many worker goroutines: states are drafted
+	// from the scheduler in canonical order, stepped concurrently, and
+	// merged back in draft order. Results depend only on EpochWidth, never
+	// on the worker count, so Workers=1 and Workers=8 produce identical
+	// Results (and the race detector stays clean). Note the epoch engine is
+	// a different deterministic engine from the sequential loop: variable
+	// numbering is laned and input channels are pre-registered, so its
+	// exploration can differ from Workers=0 on programs where those matter.
+	Workers int
+	// EpochWidth is the number of states drafted per epoch (0:
+	// DefaultEpochWidth). It, not Workers, determines the schedule.
+	EpochWidth int
+	// FreeRun, with Workers > 1, drops the epoch barrier: workers pull
+	// states continuously and merge under a lock. Fastest wall-clock, but
+	// exploration order — and therefore counters and which vulnerability is
+	// found first — becomes timing-dependent. Off by default.
+	FreeRun bool
 }
 
 // Default limits.
 const (
-	DefaultMaxStates = 20_000
-	DefaultMaxSteps  = 20_000_000
-	DefaultBatchSize = 64
-	DefaultMaxDepth  = 128
+	DefaultMaxStates  = 20_000
+	DefaultMaxSteps   = 20_000_000
+	DefaultBatchSize  = 64
+	DefaultMaxDepth   = 128
+	DefaultEpochWidth = 8
 )
 
 // DefaultOptions returns the pure-symbolic-execution defaults.
@@ -147,6 +168,10 @@ type Result struct {
 	SuspendedAtEnd int
 	// Revivals counts suspended-pool revivals (guidance fallback events).
 	Revivals int
+	// Epochs counts merge epochs of the parallel frontier engine (0 under
+	// the sequential engine). Deterministic: a function of EpochWidth and
+	// the program, never of Workers.
+	Epochs int64
 }
 
 // Found reports whether at least one vulnerability was discovered.
@@ -170,6 +195,25 @@ type Executor struct {
 	stopped bool
 
 	visits [][]int64
+
+	// Parallel frontier engine plumbing (see frontier.go). lane, when set,
+	// supplies this executor view's fresh variable IDs (each worker slot has
+	// its own lane so concurrent allocation is deterministic); parallel
+	// marks the visit counters as shared across workers (atomic updates);
+	// extraWall accumulates the worker slots' solver wall time.
+	lane      *solver.Lane
+	parallel  bool
+	extraWall time.Duration
+
+	// Epoch-engine slots buffer visit counts locally (visitDelta, with
+	// visitDirty listing the touched instructions) and flush them into the
+	// main executor's arrays at the merge barrier, where the scheduler —
+	// the only reader — runs. This replaces a contended atomic add per
+	// instruction with a plain local increment; free-run slots leave these
+	// nil and keep the atomic path, since there the scheduler reads counts
+	// while workers are mid-quantum.
+	visitDelta [][]int64
+	visitDirty []visitRef
 
 	// Observability (nil when disabled — the only cost is nil checks).
 	// obsv/span are resolved once per RunContext from the context; hops is
@@ -216,7 +260,42 @@ func New(prog *bytecode.Program, spec *InputSpec, opts Options) *Executor {
 	if cov, ok := opts.Sched.(*CoverageScheduler); ok {
 		cov.SetVisitFunc(ex.visitCount)
 	}
+	if opts.Workers > 0 {
+		ex.parallel = true
+		// Deterministic variable identity under concurrency: pre-register
+		// every literal-named input channel and reserve byte blocks for
+		// symbolic strings, so IDs never depend on which worker gets there
+		// first.
+		ex.inputs.blocks = true
+		ex.inputs.prescan(prog)
+		// Visit counters become shared across workers; allocate them all up
+		// front so recordVisit never races a lazy allocation.
+		for i, fn := range prog.Funcs {
+			ex.visits[i] = make([]int64, len(fn.Code))
+		}
+	}
 	return ex
+}
+
+// alloc returns this executor view's variable allocator: its lane under the
+// parallel frontier engine, the dense table otherwise.
+func (ex *Executor) alloc() solver.VarAllocator {
+	if ex.lane != nil {
+		return ex.lane
+	}
+	return ex.Table
+}
+
+func (ex *Executor) newVar(name string) solver.Var {
+	return ex.alloc().NewVar(name)
+}
+
+func (ex *Executor) newVarBounded(name string, lo, hi int64) solver.Var {
+	return ex.alloc().NewVarBounded(name, lo, hi)
+}
+
+func (ex *Executor) freshStr(label string, maxLen int64) *SymString {
+	return ex.inputs.freshStr(ex.alloc(), label, maxLen)
 }
 
 func (ex *Executor) visitCount(fnIndex, pc int) int64 {
@@ -224,7 +303,17 @@ func (ex *Executor) visitCount(fnIndex, pc int) int64 {
 	if v == nil || pc >= len(v) {
 		return 0
 	}
+	if ex.parallel {
+		// Free-running workers may be mid-quantum while the scheduler
+		// consults visit counts.
+		return atomic.LoadInt64(&v[pc])
+	}
 	return v[pc]
+}
+
+// visitRef names one instruction with a buffered visit delta.
+type visitRef struct {
+	fn, pc int32
 }
 
 func (ex *Executor) recordVisit(fnIndex, pc int) {
@@ -232,8 +321,36 @@ func (ex *Executor) recordVisit(fnIndex, pc int) {
 		ex.visits[fnIndex] = make([]int64, len(ex.Prog.Funcs[fnIndex].Code))
 	}
 	if pc < len(ex.visits[fnIndex]) {
+		if ex.visitDelta != nil {
+			// Epoch-engine slot: buffer locally, flushed at the merge
+			// barrier (order-independent sums keep scheduling deterministic).
+			d := ex.visitDelta[fnIndex]
+			if d[pc] == 0 {
+				ex.visitDirty = append(ex.visitDirty, visitRef{fn: int32(fnIndex), pc: int32(pc)})
+			}
+			d[pc]++
+			return
+		}
+		if ex.parallel {
+			// Free-running worker slots share the main executor's arrays;
+			// counts are order-independent sums, so atomic increments keep
+			// them coherent. (Parallel mode pre-allocates every array.)
+			atomic.AddInt64(&ex.visits[fnIndex][pc], 1)
+			return
+		}
 		ex.visits[fnIndex][pc]++
 	}
+}
+
+// flushVisits folds a slot's buffered visit counts into the main arrays.
+// Called at the merge barrier, where no worker is running.
+func (ex *Executor) flushVisits(sx *Executor) {
+	for _, ref := range sx.visitDirty {
+		d := sx.visitDelta[ref.fn]
+		ex.visits[ref.fn][ref.pc] += d[ref.pc]
+		d[ref.pc] = 0
+	}
+	sx.visitDirty = sx.visitDirty[:0]
 }
 
 // Run executes until a stop condition: vulnerability found (with
@@ -276,12 +393,43 @@ func (ex *Executor) RunContext(ctx context.Context) *Result {
 		return ex.res
 	}
 	ex.addState(st)
+	switch {
+	case ex.Opts.Workers > 1 && ex.Opts.FreeRun:
+		ex.runFree()
+	case ex.Opts.Workers > 0:
+		ex.runEpochs()
+	default:
+		ex.runSequential()
+	}
+	ex.res.SuspendedAtEnd = len(ex.suspended)
+	// Logical solver counters (CachedSolver.Queries, not S.Stats): they
+	// are identical whether or not a SharedCache served some verdicts, so
+	// Report counters stay deterministic across run configurations.
+	ex.res.SolverChecks = ex.Solver.Queries.Checks
+	ex.res.SolverUnknowns = ex.Solver.Queries.Unknown
+	ex.res.SolverSat = ex.Solver.Queries.Sat
+	ex.res.SolverUnsat = ex.Solver.Queries.Unsat
+	ex.res.CacheHits = ex.Solver.Hits
+	ex.res.CacheMisses = ex.Solver.Misses
+	ex.res.CacheFastSat = ex.Solver.FastSat
+	ex.res.CacheFastUnsat = ex.Solver.FastUnsat
+	ex.res.CacheEvictions = ex.Solver.Evictions
+	ex.res.SolverTime = ex.Solver.WallTime() + ex.extraWall
+	ex.res.Elapsed = time.Since(start)
+	if ex.obsv != nil {
+		ex.mirrorMetrics()
+	}
+	return ex.res
+}
+
+// runSequential is the original single-threaded scheduling loop.
+func (ex *Executor) runSequential() {
 	for !ex.stopped {
 		if ex.res.Steps >= ex.Opts.MaxSteps {
 			ex.res.StepLimited = true
 			break
 		}
-		if err := ctx.Err(); err != nil {
+		if err := ex.ctx.Err(); err != nil {
 			ex.noteInterrupt(err)
 			break
 		}
@@ -297,36 +445,22 @@ func (ex *Executor) RunContext(ctx context.Context) *Result {
 			// Revive the suspended pool: guidance found nothing among the
 			// prioritized states, so fall back toward pure symbolic
 			// execution (paper footnote 1).
-			ex.res.Revivals++
-			for _, s := range ex.suspended {
-				s.Revived = true
-				s.Status = StatusActive
-				ex.sched.Add(s)
-			}
-			ex.suspended = ex.suspended[:0]
+			ex.reviveSuspended()
 			continue
 		}
 		ex.runQuantum(cur)
 	}
-	ex.res.SuspendedAtEnd = len(ex.suspended)
-	// Logical solver counters (CachedSolver.Queries, not S.Stats): they
-	// are identical whether or not a SharedCache served some verdicts, so
-	// Report counters stay deterministic across run configurations.
-	ex.res.SolverChecks = ex.Solver.Queries.Checks
-	ex.res.SolverUnknowns = ex.Solver.Queries.Unknown
-	ex.res.SolverSat = ex.Solver.Queries.Sat
-	ex.res.SolverUnsat = ex.Solver.Queries.Unsat
-	ex.res.CacheHits = ex.Solver.Hits
-	ex.res.CacheMisses = ex.Solver.Misses
-	ex.res.CacheFastSat = ex.Solver.FastSat
-	ex.res.CacheFastUnsat = ex.Solver.FastUnsat
-	ex.res.CacheEvictions = ex.Solver.Evictions
-	ex.res.SolverTime = ex.Solver.WallTime()
-	ex.res.Elapsed = time.Since(start)
-	if ex.obsv != nil {
-		ex.mirrorMetrics()
+}
+
+// reviveSuspended returns every suspended state to the scheduler.
+func (ex *Executor) reviveSuspended() {
+	ex.res.Revivals++
+	for _, s := range ex.suspended {
+		s.Revived = true
+		s.Status = StatusActive
+		ex.sched.Add(s)
 	}
-	return ex.res
+	ex.suspended = ex.suspended[:0]
 }
 
 // emitProgress streams a snapshot of the live counters to the event sink,
@@ -373,6 +507,10 @@ func (ex *Executor) mirrorMetrics() {
 		// the SharedCache's own totals.
 		m.Counter(obs.MetricSharedCacheHits).Add(int64(ex.Solver.SharedHits))
 		m.Counter(obs.MetricSharedCacheMisses).Add(int64(ex.Solver.SharedMisses))
+	}
+	if r.Epochs > 0 {
+		m.Counter(obs.MetricEpochs).Add(r.Epochs)
+		m.Gauge(obs.MetricWorkers).SetMax(int64(ex.Opts.Workers))
 	}
 }
 

@@ -3,8 +3,11 @@ package symexec
 import (
 	"fmt"
 	"sort"
+	"sync"
 
+	"repro/internal/bytecode"
 	"repro/internal/interp"
+	"repro/internal/minic"
 	"repro/internal/solver"
 )
 
@@ -92,9 +95,28 @@ type byteKey struct {
 // shared by all states (as with KLEE's make_symbolic, the same named input
 // denotes the same symbolic object on every path) and materializes string
 // byte variables lazily with deterministic identity.
+//
+// The registry is safe for concurrent use — all map accesses go through mu.
+// Under the parallel frontier engine determinism additionally requires that
+// variable IDs not depend on which worker registers a channel first; the
+// engine arranges that by prescanning the bytecode for literal channel
+// names (see prescan) and by reserving byte-variable blocks per string
+// (SymString.ByteBase) so lazily touched bytes have pre-assigned IDs.
 type inputRegistry struct {
 	table *solver.VarTable
 	spec  *InputSpec
+
+	mu sync.RWMutex
+
+	// overflow, when set (parallel mode), allocates variables for channels
+	// and bytes that escaped the prescan/byte blocks — computed channel
+	// names, out-of-block byte indexes. Such late allocations are ordered
+	// by the registry lock, not by the epoch schedule, so they are the one
+	// place parallel runs may diverge; none of the bundled apps hits it.
+	// nil means allocate densely from the table (the sequential engine).
+	overflow solver.VarAllocator
+	// blocks enables byte-block reservation for newly created strings.
+	blocks bool
 
 	ints map[string]solver.Var
 	strs map[string]*SymString // keyed "s:<name>", "e:<name>", "a:<idx>"
@@ -109,6 +131,42 @@ type inputRegistry struct {
 	// seedStrs maps a seeded symbolic string's ID to the seed value, so
 	// byte variables can be seeded as they materialize.
 	seedStrs map[int]string
+}
+
+// allocLocked returns the allocator for late registrations; caller holds mu.
+func (r *inputRegistry) allocLocked() solver.VarAllocator {
+	if r.overflow != nil {
+		return r.overflow
+	}
+	return r.table
+}
+
+// prescan walks the bytecode for input builtins whose channel name is a
+// string literal (it always is in MiniC source) and registers those
+// channels — plus every argv slot — before execution begins, so channel
+// variable IDs are fixed by program text rather than by which worker
+// executes an input call first.
+func (r *inputRegistry) prescan(prog *bytecode.Program) {
+	for _, fn := range prog.Funcs {
+		for i := 0; i+1 < len(fn.Code); i++ {
+			if fn.Code[i].Op != bytecode.OpConstStr ||
+				fn.Code[i+1].Op != bytecode.OpBuiltin || fn.Code[i+1].B != 1 {
+				continue
+			}
+			name := fn.Code[i].Str
+			switch minic.Builtin(fn.Code[i+1].A) {
+			case minic.BuiltinInputInt:
+				r.intInput(name)
+			case minic.BuiltinInputString:
+				r.strInput(name)
+			case minic.BuiltinEnv:
+				r.envInput(name)
+			}
+		}
+	}
+	for i := 0; i < r.spec.NArgs; i++ {
+		r.argInput(int64(i))
+	}
 }
 
 // seedValue returns the seed's value for a channel, if seeding is active.
@@ -143,15 +201,19 @@ func (r *inputRegistry) seedStr(kind byte, name string, argIdx int64) (string, b
 
 // noteSeedStr records the seed value for a symbolic string.
 func (r *inputRegistry) noteSeedStr(id int, val string) {
+	r.mu.Lock()
 	if r.seedStrs == nil {
 		r.seedStrs = make(map[int]string)
 	}
 	r.seedStrs[id] = val
+	r.mu.Unlock()
 }
 
 // seededByte returns the seed byte for (string, index), if any.
 func (r *inputRegistry) seededByte(id int, idx int64) (int64, bool) {
+	r.mu.RLock()
 	v, ok := r.seedStrs[id]
+	r.mu.RUnlock()
 	if !ok || idx < 0 || idx >= int64(len(v)) {
 		return 0, false
 	}
@@ -176,11 +238,19 @@ func (r *inputRegistry) intInput(name string) Value {
 	if v, ok := r.spec.ConcreteInts[name]; ok {
 		return IntVal(v)
 	}
+	r.mu.RLock()
+	v, ok := r.ints[name]
+	r.mu.RUnlock()
+	if ok {
+		return LinVal(solver.VarExpr(v))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if v, ok := r.ints[name]; ok {
 		return LinVal(solver.VarExpr(v))
 	}
 	lo, hi := r.spec.intBounds()
-	v := r.table.NewVarBounded("sym_"+name, lo, hi)
+	v = r.allocLocked().NewVarBounded("sym_"+name, lo, hi)
 	r.ints[name] = v
 	r.intOrder = append(r.intOrder, name)
 	return LinVal(solver.VarExpr(v))
@@ -216,40 +286,77 @@ func (r *inputRegistry) argInput(i int64) Value {
 // symStr returns (creating on first use) the symbolic string for a channel
 // key.
 func (r *inputRegistry) symStr(key, label string) *SymString {
+	r.mu.RLock()
+	s, ok := r.strs[key]
+	r.mu.RUnlock()
+	if ok {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if s, ok := r.strs[key]; ok {
 		return s
 	}
-	r.nextStrID++
-	s := &SymString{
-		ID:     r.nextStrID,
-		Label:  label,
-		LenVar: r.table.NewVarBounded("len("+label+")", 0, r.spec.strLenMax(label)),
-	}
+	s = r.newStrLocked(r.allocLocked(), label, r.spec.strLenMax(label))
 	r.strs[key] = s
 	r.strOrder = append(r.strOrder, key)
 	return s
 }
 
-// freshStr allocates an anonymous symbolic string (results of concat,
-// substr, atoi-style approximations). It is not an input channel and does
-// not appear in witnesses.
-func (r *inputRegistry) freshStr(label string, maxLen int64) *SymString {
+// newStrLocked builds a symbolic string, reserving its byte-variable block
+// when blocks are enabled. Caller holds mu (for nextStrID).
+func (r *inputRegistry) newStrLocked(al solver.VarAllocator, label string, maxLen int64) *SymString {
 	r.nextStrID++
-	return &SymString{
+	s := &SymString{
 		ID:     r.nextStrID,
 		Label:  label,
-		LenVar: r.table.NewVarBounded("len("+label+")", 0, maxLen),
+		LenVar: al.NewVarBounded("len("+label+")", 0, maxLen),
 	}
+	if r.blocks && maxLen > 0 {
+		// A string's length never exceeds maxLen, so indexes 0..maxLen-1
+		// cover every in-bounds byte. (Out-of-range probes fall back to the
+		// locked overflow path in byteVar.)
+		s.ByteBase, s.ByteStride = al.Reserve(int(maxLen), solver.VarInfo{
+			Name: label, HasLo: true, HasHi: true, Lo: 0, Hi: 255,
+		})
+		s.ByteLen = int(maxLen)
+	}
+	return s
+}
+
+// freshStr allocates an anonymous symbolic string (results of concat,
+// substr, atoi-style approximations). It is not an input channel and does
+// not appear in witnesses. al chooses where its variables come from: the
+// sequential engine passes the dense table, parallel workers their own
+// lane.
+func (r *inputRegistry) freshStr(al solver.VarAllocator, label string, maxLen int64) *SymString {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.newStrLocked(al, label, maxLen)
 }
 
 // byteVar returns the solver variable for s[idx], materializing it on first
 // use. Identity is deterministic per (string, index).
 func (r *inputRegistry) byteVar(s *SymString, idx int64) solver.Var {
+	if s.ByteStride != 0 && idx >= 0 && idx < int64(s.ByteLen) {
+		// Pure arithmetic: the block's metadata (bounds, indexed name) was
+		// registered once at Reserve time, so first and repeat accesses
+		// alike touch no table state.
+		return s.ByteBase + solver.Var(int32(idx)*s.ByteStride)
+	}
 	key := byteKey{strID: s.ID, idx: idx}
+	r.mu.RLock()
+	v, ok := r.bytes[key]
+	r.mu.RUnlock()
+	if ok {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if v, ok := r.bytes[key]; ok {
 		return v
 	}
-	v := r.table.NewVarBounded(fmt.Sprintf("%s[%d]", s.Label, idx), 0, 255)
+	v = r.allocLocked().NewVarBounded(fmt.Sprintf("%s[%d]", s.Label, idx), 0, 255)
 	r.bytes[key] = v
 	return v
 }
@@ -274,6 +381,8 @@ func (r *inputRegistry) witness(m solver.Model) *interp.Input {
 	for name, v := range r.spec.ConcreteEnv {
 		in.Env[name] = v
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	for _, name := range r.intOrder {
 		if v, ok := m[r.ints[name]]; ok {
 			in.Ints[name] = v
@@ -283,7 +392,7 @@ func (r *inputRegistry) witness(m solver.Model) *interp.Input {
 	}
 	for _, key := range r.strOrder {
 		s := r.strs[key]
-		str := r.materialize(s, m)
+		str := r.materializeLocked(s, m)
 		switch key[0] {
 		case 's':
 			in.Strs[s.Label] = str
@@ -300,7 +409,7 @@ func (r *inputRegistry) witness(m solver.Model) *interp.Input {
 				continue
 			}
 			if s, ok := r.strs[fmt.Sprintf("a:%d", i)]; ok {
-				in.Args[i] = r.materialize(s, m)
+				in.Args[i] = r.materializeLocked(s, m)
 			}
 		}
 	}
@@ -311,6 +420,12 @@ func (r *inputRegistry) witness(m solver.Model) *interp.Input {
 // model (0 when unconstrained), bytes from materialized byte variables,
 // filler elsewhere.
 func (r *inputRegistry) materialize(s *SymString, m solver.Model) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.materializeLocked(s, m)
+}
+
+func (r *inputRegistry) materializeLocked(s *SymString, m solver.Model) string {
 	if s.IsLit {
 		return s.Lit
 	}
@@ -328,7 +443,13 @@ func (r *inputRegistry) materialize(s *SymString, m solver.Model) string {
 	buf := make([]byte, length)
 	for i := int64(0); i < length; i++ {
 		b := byte(defaultWitnessByte)
-		if v, ok := r.bytes[byteKey{strID: s.ID, idx: i}]; ok {
+		v, ok := solver.NoVar, false
+		if s.ByteStride != 0 && i < int64(s.ByteLen) {
+			v, ok = s.ByteBase+solver.Var(int32(i)*s.ByteStride), true
+		} else {
+			v, ok = r.bytes[byteKey{strID: s.ID, idx: i}]
+		}
+		if ok {
 			if mv, ok := m[v]; ok && mv >= 0 && mv <= 255 {
 				b = byte(mv)
 			}
@@ -340,6 +461,8 @@ func (r *inputRegistry) materialize(s *SymString, m solver.Model) string {
 
 // symbolicInputNames lists the registered symbolic channels (for reports).
 func (r *inputRegistry) symbolicInputNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	names := make([]string, 0, len(r.intOrder)+len(r.strOrder))
 	names = append(names, r.intOrder...)
 	for _, key := range r.strOrder {

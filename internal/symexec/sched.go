@@ -1,6 +1,9 @@
 package symexec
 
-import "math/rand"
+import (
+	"container/heap"
+	"math/rand"
+)
 
 // Scheduler selects the next state to execute — KLEE's "searcher". The
 // executor adds runnable states and repeatedly asks for the next one.
@@ -117,9 +120,18 @@ func (s *RandomScheduler) Len() int { return len(s.states) }
 // CoverageScheduler approximates KLEE's coverage-optimized search: it
 // prefers the state whose next instruction has been executed least often.
 // Visits is supplied by the executor.
+//
+// Implementation: a lazy min-heap keyed on the visit count observed when a
+// state was (re)inserted. Visit counts only grow, so a cached key is a
+// lower bound on the true score — a popped entry whose count has since
+// increased is re-sifted with its fresh key instead of returned. Each Next
+// is O(log n) plus one re-sift per stale pop, replacing the previous O(n)
+// scan of the whole frontier (which dominated profiles at 10k+ live
+// states; see BenchmarkCoverageSchedulerNext).
 type CoverageScheduler struct {
-	states []*State
+	h      coverageHeap
 	visits func(fnIndex, pc int) int64
+	stamp  int64
 }
 
 // NewCoverage returns a coverage-optimized scheduler; the executor wires
@@ -132,33 +144,69 @@ func (s *CoverageScheduler) Name() string { return "coverage" }
 // SetVisitFunc wires the instruction-visit counter (called by Executor).
 func (s *CoverageScheduler) SetVisitFunc(f func(fnIndex, pc int) int64) { s.visits = f }
 
+func (s *CoverageScheduler) score(st *State) int64 {
+	if s.visits == nil {
+		return 0
+	}
+	fr := st.Top()
+	return s.visits(fr.Fn.Index, fr.PC)
+}
+
 // Add implements Scheduler.
-func (s *CoverageScheduler) Add(st *State) { s.states = append(s.states, st) }
+func (s *CoverageScheduler) Add(st *State) {
+	s.stamp++
+	heap.Push(&s.h, coverageEntry{st: st, key: s.score(st), stamp: s.stamp})
+}
 
 // Next implements Scheduler.
 func (s *CoverageScheduler) Next() *State {
-	n := len(s.states)
-	if n == 0 {
-		return nil
-	}
-	best := 0
-	if s.visits != nil {
-		var bestScore int64 = 1<<62 - 1
-		for i, st := range s.states {
-			fr := st.Top()
-			score := s.visits(fr.Fn.Index, fr.PC)
-			if score < bestScore {
-				bestScore = score
-				best = i
-			}
+	for s.h.Len() > 0 {
+		e := s.h[0]
+		if fresh := s.score(e.st); fresh > e.key {
+			// Stale: the instruction was visited since this entry was
+			// keyed. Re-sift with the current count (still a lower bound
+			// next time around) and try the new minimum.
+			s.h[0].key = fresh
+			heap.Fix(&s.h, 0)
+			continue
 		}
+		heap.Pop(&s.h)
+		return e.st
 	}
-	st := s.states[best]
-	s.states[best] = s.states[n-1]
-	s.states[n-1] = nil
-	s.states = s.states[:n-1]
-	return st
+	return nil
 }
 
 // Len implements Scheduler.
-func (s *CoverageScheduler) Len() int { return len(s.states) }
+func (s *CoverageScheduler) Len() int { return s.h.Len() }
+
+// coverageEntry is a frontier state with its cached visit count; stamp
+// breaks ties FIFO so equal-coverage states keep insertion order.
+type coverageEntry struct {
+	st    *State
+	key   int64
+	stamp int64
+}
+
+type coverageHeap []coverageEntry
+
+func (h coverageHeap) Len() int { return len(h) }
+
+func (h coverageHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].stamp < h[j].stamp
+}
+
+func (h coverageHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *coverageHeap) Push(x any) { *h = append(*h, x.(coverageEntry)) }
+
+func (h *coverageHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = coverageEntry{}
+	*h = old[:n-1]
+	return e
+}

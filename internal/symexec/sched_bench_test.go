@@ -1,0 +1,148 @@
+package symexec
+
+import (
+	"testing"
+
+	"repro/internal/bytecode"
+)
+
+// linearCoverageScheduler is the pre-heap CoverageScheduler (O(n) scan per
+// Next), kept verbatim as the benchmark baseline.
+type linearCoverageScheduler struct {
+	states []*State
+	visits func(fnIndex, pc int) int64
+}
+
+func (s *linearCoverageScheduler) Name() string                               { return "coverage-linear" }
+func (s *linearCoverageScheduler) Add(st *State)                              { s.states = append(s.states, st) }
+func (s *linearCoverageScheduler) Len() int                                   { return len(s.states) }
+func (s *linearCoverageScheduler) SetVisitFunc(f func(fnIndex, pc int) int64) { s.visits = f }
+
+func (s *linearCoverageScheduler) Next() *State {
+	n := len(s.states)
+	if n == 0 {
+		return nil
+	}
+	best := 0
+	if s.visits != nil {
+		var bestScore int64 = 1<<62 - 1
+		for i, st := range s.states {
+			fr := st.Top()
+			score := s.visits(fr.Fn.Index, fr.PC)
+			if score < bestScore {
+				bestScore = score
+				best = i
+			}
+		}
+	}
+	st := s.states[best]
+	s.states[best] = s.states[n-1]
+	s.states[n-1] = nil
+	s.states = s.states[:n-1]
+	return st
+}
+
+// coverageBenchSetup builds an n-state frontier spread over codeLen visit
+// slots, with a visit profile that keeps popped entries frequently stale
+// (the heap's worst realistic case: every pop may re-sift).
+func coverageBenchSetup(n, codeLen int) ([]*State, []int64, func(fnIndex, pc int) int64) {
+	fn := &bytecode.Fn{Index: 0, Code: make([]bytecode.Instr, codeLen)}
+	states := make([]*State, n)
+	visits := make([]int64, codeLen)
+	for i := range states {
+		states[i] = &State{Frames: []*Frame{{Fn: fn, PC: i % codeLen}}}
+	}
+	vf := func(fnIndex, pc int) int64 { return visits[pc] }
+	return states, visits, vf
+}
+
+type coverageBenchSched interface {
+	Scheduler
+	SetVisitFunc(func(fnIndex, pc int) int64)
+}
+
+// runCoverageBench drains and refills the scheduler the way the executor
+// does: pop the minimum, bump its instruction's visit count (staleness
+// pressure), re-add. n is the steady frontier size.
+func runCoverageBench(b *testing.B, mk func() coverageBenchSched, n int) {
+	const codeLen = 257
+	states, visits, vf := coverageBenchSetup(n, codeLen)
+	s := mk()
+	s.SetVisitFunc(vf)
+	for _, st := range states {
+		s.Add(st)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := s.Next()
+		if st == nil {
+			b.Fatal("empty scheduler")
+		}
+		visits[st.Top().PC] += 3
+		s.Add(st)
+	}
+}
+
+func BenchmarkCoverageSchedulerNext10k(b *testing.B) {
+	b.Run("heap", func(b *testing.B) {
+		runCoverageBench(b, func() coverageBenchSched { return NewCoverage() }, 10_000)
+	})
+	b.Run("linear", func(b *testing.B) {
+		runCoverageBench(b, func() coverageBenchSched { return &linearCoverageScheduler{} }, 10_000)
+	})
+}
+
+func BenchmarkCoverageSchedulerNext50k(b *testing.B) {
+	b.Run("heap", func(b *testing.B) {
+		runCoverageBench(b, func() coverageBenchSched { return NewCoverage() }, 50_000)
+	})
+	b.Run("linear", func(b *testing.B) {
+		runCoverageBench(b, func() coverageBenchSched { return &linearCoverageScheduler{} }, 50_000)
+	})
+}
+
+// TestCoverageSchedulerPrefersLeastVisited pins the heap scheduler's
+// contract: the popped state is always one whose next instruction has the
+// minimum visit count, with FIFO order among equals.
+func TestCoverageSchedulerPrefersLeastVisited(t *testing.T) {
+	fn := &bytecode.Fn{Index: 0, Code: make([]bytecode.Instr, 8)}
+	visits := []int64{5, 0, 2, 7, 0, 1, 9, 3}
+	s := NewCoverage()
+	s.SetVisitFunc(func(fnIndex, pc int) int64 { return visits[pc] })
+	for pc := range visits {
+		s.Add(&State{Frames: []*Frame{{Fn: fn, PC: pc}}})
+	}
+	wantOrder := []int{1, 4, 5, 2, 7, 0, 3, 6} // by count, FIFO among the two zeros
+	for i, want := range wantOrder {
+		st := s.Next()
+		if st == nil || st.Top().PC != want {
+			t.Fatalf("pop %d: got pc %v, want %d", i, st.Top().PC, want)
+		}
+	}
+	if s.Next() != nil {
+		t.Fatal("expected empty scheduler")
+	}
+}
+
+// TestCoverageSchedulerStaleResift pins the lazy re-sift: a state whose
+// cached key went stale (its instruction was visited after insertion) must
+// not be returned ahead of a genuinely colder state.
+func TestCoverageSchedulerStaleResift(t *testing.T) {
+	fn := &bytecode.Fn{Index: 0, Code: make([]bytecode.Instr, 4)}
+	visits := make([]int64, 4)
+	s := NewCoverage()
+	s.SetVisitFunc(func(fnIndex, pc int) int64 { return visits[pc] })
+	a := &State{Frames: []*Frame{{Fn: fn, PC: 0}}}
+	b := &State{Frames: []*Frame{{Fn: fn, PC: 1}}}
+	s.Add(a) // keyed at 0
+	s.Add(b) // keyed at 0
+	// a's instruction heats up after insertion.
+	visits[0] = 10
+	if got := s.Next(); got != b {
+		t.Fatalf("expected the cold state b, got pc %d", got.Top().PC)
+	}
+	if got := s.Next(); got != a {
+		t.Fatalf("expected a second, got pc %d", got.Top().PC)
+	}
+}

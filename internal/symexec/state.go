@@ -1,6 +1,8 @@
 package symexec
 
 import (
+	"sync/atomic"
+
 	"repro/internal/bytecode"
 	"repro/internal/solver"
 	"repro/internal/trace"
@@ -26,13 +28,17 @@ const (
 // always exclusively owned — every step mutates it (PC, operand stack) —
 // so only frames buried under a call are ever shared, and they are
 // privatized when a return exposes them (see State.ensureTopOwned).
+//
+// refs is atomic because under parallel frontier execution two states
+// sharing a buried frame can fork (increment) and return (decrement-and-
+// copy) concurrently on different workers.
 type Frame struct {
 	Fn     *bytecode.Fn
 	PC     int
 	Locals []Value
 	Stack  []Value
 
-	refs int32
+	refs atomic.Int32
 }
 
 // ownedCopy returns a private copy of the frame. Values are immutable
@@ -106,10 +112,12 @@ type State struct {
 	pcDigest solver.Digest
 
 	// heap maps buffer identities to their cell storage. Forks share the
-	// map (heapShared) and revoke per-block ownership, so both sides copy
-	// blocks (and the map itself) on first write.
+	// map (heapShared) and replace the ownership token (heapTok), so both
+	// sides copy the map, the touched header, and the touched chunk on
+	// first write — everything else stays shared.
 	heap       map[*SymBuffer]*bufCells
 	heapShared bool
+	heapTok    *heapToken
 
 	// globalsShared / varsShared mark Globals and pcVars/bounds as shared
 	// with another state; the next write copies first.
@@ -203,7 +211,7 @@ func (st *State) fork() *State {
 	copy(ns.Frames, st.Frames)
 	top := len(st.Frames) - 1
 	for _, f := range st.Frames[:top] {
-		f.refs++
+		f.refs.Add(1)
 	}
 	ns.Frames[top] = st.Frames[top].ownedCopy()
 	// Globals: share the slice behind a dirty flag on both sides.
@@ -224,15 +232,14 @@ func (st *State) fork() *State {
 	ns.bounds = st.bounds
 	ns.varsShared = true
 	st.varsShared = true
-	// Heap: share the map and revoke block ownership so either side's
-	// next buffer write copies the block.
+	// Heap: share the map and drop both sides' ownership tokens, freezing
+	// every header and chunk in place (O(1) — no walk over the heap).
+	// Either side's next buffer write re-owns just what it touches.
 	if st.heap != nil {
-		for _, c := range st.heap {
-			c.owner = nil
-		}
 		ns.heap = st.heap
 		ns.heapShared = true
 		st.heapShared = true
+		st.heapTok = nil
 	}
 	return ns
 }
@@ -247,9 +254,24 @@ func (st *State) ensureTopOwned() {
 		return
 	}
 	f := st.Frames[i]
-	if f.refs > 0 {
-		f.refs--
-		st.Frames[i] = f.ownedCopy()
+	// Release protocol: a sibling sharing this frame can fork (refs++) or
+	// return (refs--) concurrently. Seeing 0 means this state is the last
+	// sharer standing — everyone else has copied out — so the frame is
+	// kept and may be mutated without a copy. The copy must complete
+	// BEFORE the decrement is published: a sibling only starts mutating
+	// the frame after it observes refs==0, which orders its writes after
+	// this state's reads. Copying after a successful decrement would let
+	// the new sole owner's pushes race the copy.
+	for {
+		r := f.refs.Load()
+		if r == 0 {
+			return
+		}
+		nf := f.ownedCopy()
+		if f.refs.CompareAndSwap(r, r-1) {
+			st.Frames[i] = nf
+			return
+		}
 	}
 }
 
@@ -293,18 +315,21 @@ func (st *State) bufSmeared(b *SymBuffer) bool {
 	return false
 }
 
-// bufCell reads one buffer cell. Buffers without heap storage read as
-// zeroes.
+// bufCell reads one buffer cell. Buffers without heap storage — and
+// untouched chunks of stored buffers — read as zeroes.
 func (st *State) bufCell(b *SymBuffer, i int) Value {
 	if c := st.heap[b]; c != nil {
-		return c.data[i]
+		if ch := c.chunks[i>>cellChunkShift]; ch != nil {
+			return ch.data[i&cellChunkMask]
+		}
 	}
 	return IntVal(0)
 }
 
-// bufCellsForWrite returns the buffer's cell block, exclusively owned by
-// this state: it privatizes the heap map if shared, materializes zeroed
-// storage for untouched buffers, and copies blocks owned elsewhere.
+// bufCellsForWrite returns the buffer's cell header, exclusively owned by
+// this state: it privatizes the heap map if shared, materializes an empty
+// chunk index for untouched buffers, and copies headers owned elsewhere
+// (sharing their frozen chunks).
 func (st *State) bufCellsForWrite(b *SymBuffer) *bufCells {
 	if st.heapShared {
 		nh := make(map[*SymBuffer]*bufCells, len(st.heap)+2)
@@ -317,22 +342,49 @@ func (st *State) bufCellsForWrite(b *SymBuffer) *bufCells {
 	if st.heap == nil {
 		st.heap = make(map[*SymBuffer]*bufCells, 4)
 	}
+	if st.heapTok == nil {
+		st.heapTok = new(heapToken)
+	}
 	c := st.heap[b]
 	if c == nil {
-		data := make([]Value, b.Cap)
-		for i := range data {
-			data[i] = IntVal(0)
+		c = &bufCells{
+			owner:  st.heapTok,
+			chunks: make([]*cellChunk, (b.Cap+cellChunkMask)>>cellChunkShift),
 		}
-		c = &bufCells{data: data, owner: st}
 		st.heap[b] = c
 		return c
 	}
-	if c.owner != st {
-		nc := &bufCells{data: append([]Value(nil), c.data...), smeared: c.smeared, owner: st}
+	if c.owner != st.heapTok {
+		nc := &bufCells{
+			owner:   st.heapTok,
+			chunks:  append([]*cellChunk(nil), c.chunks...),
+			smeared: c.smeared,
+		}
 		st.heap[b] = nc
 		return nc
 	}
 	return c
+}
+
+// setBufCell writes one buffer cell, re-owning (or materializing) only the
+// chunk that holds it.
+func (st *State) setBufCell(b *SymBuffer, i int, v Value) {
+	c := st.bufCellsForWrite(b)
+	ci := i >> cellChunkShift
+	ch := c.chunks[ci]
+	switch {
+	case ch == nil:
+		ch = &cellChunk{owner: c.owner}
+		for j := range ch.data {
+			ch.data[j] = IntVal(0)
+		}
+		c.chunks[ci] = ch
+	case ch.owner != c.owner:
+		nch := &cellChunk{owner: c.owner, data: ch.data}
+		c.chunks[ci] = nch
+		ch = nch
+	}
+	ch.data[i&cellChunkMask] = v
 }
 
 // VarBounds is the interval a state's single-variable path constraints

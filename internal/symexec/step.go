@@ -270,7 +270,7 @@ func (ex *Executor) stepBin(st *State, op minic.BinOp, pos minic.Pos) (children 
 		default:
 			// Nonlinear product: over-approximate with a fresh variable,
 			// keeping the cached model consistent.
-			fresh := ex.Table.NewVar("mul")
+			fresh := ex.newVar("mul")
 			if st.LastModel != nil {
 				ex.extendModel(st, fresh, l.Lin.Eval(st.LastModel)*r.Lin.Eval(st.LastModel))
 			}
@@ -370,7 +370,7 @@ func (ex *Executor) stepDivMod(st *State, op minic.BinOp, l, r Value, pos minic.
 		}
 		ex.commit(st, m, nz)
 		// Result over-approximated by a fresh variable.
-		fresh := ex.Table.NewVar("divres")
+		fresh := ex.newVar("divres")
 		if st.LastModel != nil {
 			den := r.Lin.Eval(st.LastModel)
 			if den != 0 {
@@ -388,14 +388,14 @@ func (ex *Executor) stepDivMod(st *State, op minic.BinOp, l, r Value, pos minic.
 	// Symbolic dividend, constant divisor.
 	if rc < 0 {
 		// Rare in the evaluation programs; over-approximate.
-		fresh := ex.Table.NewVar("divneg")
+		fresh := ex.newVar("divneg")
 		st.push(LinVal(solver.VarExpr(fresh)))
 		return nil, false, false
 	}
 	// l = q*rc + rem with 0 ≤ rem < rc (exact for non-negative dividends;
 	// MiniC programs use non-negative operands with / and %).
-	q := ex.Table.NewVar("q")
-	rem := ex.Table.NewVarBounded("r", 0, rc-1)
+	q := ex.newVar("q")
+	rem := ex.newVarBounded("r", 0, rc-1)
 	def := solver.Eq(l.Lin, solver.VarExpr(q).MulConst(rc).Add(solver.VarExpr(rem)))
 	addPathConstraint(st, def)
 	if st.LastModel != nil {
@@ -429,7 +429,7 @@ func (ex *Executor) concatStrings(st *State, a, b *SymString) Value {
 		return StrVal(a.Lit + b.Lit)
 	}
 	maxLen := ex.strMaxLen(a) + ex.strMaxLen(b)
-	out := ex.inputs.freshStr("concat", maxLen)
+	out := ex.freshStr("concat", maxLen)
 	sum := a.LenExpr().Add(b.LenExpr())
 	addPathConstraint(st, solver.Eq(solver.VarExpr(out.LenVar), sum))
 	if st.LastModel != nil {
@@ -469,7 +469,16 @@ func (ex *Executor) stringEq(st *State, a, b *SymString, eqVal, neqVal int64) (c
 		sym, lit = b, a
 	}
 	if lit.IsLit && !sym.IsLit {
-		for i := 0; i < len(lit.Lit); i++ {
+		n := len(lit.Lit)
+		if sym.ByteStride != 0 && n > sym.ByteLen {
+			// Literal longer than the symbolic string can ever be: the
+			// length-equality constraint above is already unsatisfiable
+			// against LenVar's upper bound, so the surplus byte constraints
+			// are redundant — skip them rather than allocate out-of-block
+			// byte variables through the nondeterministic overflow path.
+			n = sym.ByteLen
+		}
+		for i := 0; i < n; i++ {
 			bv := ex.inputs.byteVar(sym, int64(i))
 			if sb, ok := ex.inputs.seededByte(sym.ID, int64(i)); ok {
 				ex.seedModelValue(st, bv, sb)

@@ -111,6 +111,18 @@ type SymString struct {
 	ID     int
 	Label  string
 	LenVar solver.Var
+
+	// ByteBase/ByteStride describe a pre-reserved block of byte variables:
+	// byte i is solver.Var(ByteBase + ByteStride*i) for i < ByteLen, with
+	// metadata (bounds [0,255], name "label[i]") carried by the block's
+	// range record in the variable table. Blocks make byte variable IDs
+	// independent of which worker touches a byte first under parallel
+	// frontier execution. ByteStride == 0 means no block was reserved and
+	// bytes go through the executor's lazy map (the sequential engine's
+	// path).
+	ByteBase   solver.Var
+	ByteStride int32
+	ByteLen    int
 }
 
 // LenExpr returns the string's length as a linear expression.
@@ -147,15 +159,39 @@ func NewSymBuffer(capacity int) *SymBuffer {
 	return &SymBuffer{Cap: capacity}
 }
 
-// bufCells is the mutable storage of one buffer within one state's heap.
+// Cells are stored in fixed windows so a post-fork write copies one chunk,
+// not the whole buffer — the difference between O(cap) and O(1) per write
+// in fork-heavy loops.
+const (
+	cellChunkShift = 5 // 32 cells per chunk
+	cellChunkSize  = 1 << cellChunkShift
+	cellChunkMask  = cellChunkSize - 1
+)
+
+// heapToken is an ownership token for heap storage. Each state holds (at
+// most) one current token; chunks and cell headers stamped with it may be
+// mutated in place by that state. Forking replaces both sides' tokens, so
+// every piece of storage stamped with an older token is frozen — an O(1)
+// revocation that needs no walk over the heap and no atomics: the only
+// writes a fork performs are to the two states' private token fields.
+type heapToken struct{ _ byte }
+
+// cellChunk is one window of buffer cells. A state may write data in place
+// only while owner matches its current heap token; anyone else (including
+// the creating state after it forks) installs a copied chunk first.
+type cellChunk struct {
+	owner *heapToken
+	data  [cellChunkSize]Value
+}
+
+// bufCells is the storage of one buffer within one state's heap: a chunk
+// index sharing frozen chunks with related states. A nil chunk reads as
+// all-zero cells, so untouched windows of a buffer never materialize.
 type bufCells struct {
-	data []Value
+	owner  *heapToken
+	chunks []*cellChunk
 	// smeared marks buffers written through a symbolic index: individual
 	// cell contents are no longer tracked precisely, and reads return
 	// fresh unconstrained values.
 	smeared bool
-	// owner is the state allowed to mutate this block in place; forking
-	// revokes ownership (sets it nil) so every post-fork write on either
-	// side copies first.
-	owner *State
 }
