@@ -32,7 +32,8 @@ func run() error {
 	var (
 		table     = flag.Int("table", 0, "regenerate one table (1-5); 0 = all")
 		figure    = flag.Int("figure", 0, "regenerate one figure (7-10); 0 = all")
-		ablation  = flag.String("ablation", "", "run an ablation: scheduler, guidance, tau, cache, frontier, all")
+		ablation  = flag.String("ablation", "", "run an ablation: scheduler, guidance, tau, cache, frontier, corpus, all")
+		corpusDir = flag.String("corpus-dir", "", "directory for the corpus ablation's on-disk artifacts (default: temp, discarded)")
 		seed      = flag.Int64("seed", bench.DefaultSeed, "workload seed")
 		parallel  = flag.Int("parallel", 1, "candidate-verification workers per pipeline run (1: sequential)")
 		workers   = flag.Int("workers", 0, "in-candidate frontier workers per symbolic execution (0: sequential engine)")
@@ -208,6 +209,12 @@ func run() error {
 			return err
 		}
 		emit("ablation-frontier", rows, bench.FormatAblation("ABLATION: frontier worker scaling (guided + pure)", rows))
+	case "corpus":
+		rows, err := bench.AblationCorpusStore(ctx, *corpusDir, *seed)
+		if err != nil {
+			return err
+		}
+		emit("ablation-corpus", rows, bench.FormatCorpusAblation("ABLATION: corpus storage backends (JSON blob vs segmented store)", rows))
 	case "all":
 		rows, err := bench.AblationScheduler(ctx, *seed, budgets)
 		if err != nil {
@@ -234,6 +241,11 @@ func run() error {
 			return err
 		}
 		emit("ablation-frontier", rows, bench.FormatAblation("ABLATION: frontier worker scaling (guided + pure)", rows))
+		crows, err := bench.AblationCorpusStore(ctx, *corpusDir, *seed)
+		if err != nil {
+			return err
+		}
+		emit("ablation-corpus", crows, bench.FormatCorpusAblation("ABLATION: corpus storage backends (JSON blob vs segmented store)", crows))
 	default:
 		return fmt.Errorf("unknown ablation %q", *ablation)
 	}

@@ -6,11 +6,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/apps"
+	corpusstore "repro/internal/corpus"
 	"repro/internal/workload"
 )
 
@@ -28,6 +30,7 @@ func run() error {
 		seed    = flag.Int64("seed", 1, "workload and sampling seed")
 		runs    = flag.Int("runs", workload.DefaultRuns, "correct and faulty runs to collect (each)")
 		out     = flag.String("o", "", "output corpus file (default <app>-<rate>.log)")
+		store   = flag.String("store", "", "spill runs to a segmented binary corpus store at this directory instead of a JSON corpus file")
 	)
 	flag.Parse()
 
@@ -35,9 +38,24 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	corpus, err := workload.BuildCorpus(app, workload.Options{
-		SampleRate: *rate, Seed: *seed, Correct: *runs, Faulty: *runs,
-	})
+	opts := workload.Options{SampleRate: *rate, Seed: *seed, Correct: *runs, Faulty: *runs}
+	if *store != "" {
+		s, err := corpusstore.Create(*store, app.Name)
+		if err != nil {
+			return err
+		}
+		if err := workload.BuildCorpusStoreCtx(context.Background(), app, opts, s, corpusstore.Options{}); err != nil {
+			return err
+		}
+		nR, nL, nV, err := s.Counts()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("stored %s: %d runs (%d locations, %d variables), %d bytes in %d segments\n",
+			*store, nR, nL, nV, s.TotalBytes(), len(s.Segments()))
+		return nil
+	}
+	corpus, err := workload.BuildCorpus(app, opts)
 	if err != nil {
 		return err
 	}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	corpusstore "repro/internal/corpus"
 	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -39,6 +40,7 @@ func run() error {
 	var (
 		appName   = flag.String("app", "polymorph", "application: polymorph, ctree, thttpd, grep (paper) or msgtool, billing (extensions)")
 		corpusIn  = flag.String("corpus", "", "analyze a pre-collected corpus file (from cmd/monitor) instead of collecting logs")
+		corpusDir = flag.String("corpus-dir", "", "use a segmented on-disk corpus store at this directory: reuse it if it holds runs, otherwise collect into it; analysis then streams off disk")
 		rate      = flag.Float64("rate", 0.3, "log sampling rate (0..1]")
 		seed      = flag.Int64("seed", 1, "workload and sampling seed")
 		runs      = flag.Int("runs", workload.DefaultRuns, "correct and faulty runs to collect (each)")
@@ -109,6 +111,63 @@ func run() error {
 	ctx, root := obs.StartSpan(ctx, "pipeline", obs.A("app", app.Name), obs.A("rate", *rate))
 	defer root.End()
 
+	cfg := core.Config{
+		Tau:                 *tau,
+		Spec:                app.Spec,
+		PerCandidateTimeout: *timeout,
+		PerCandidateMaxSteps: func() int64 {
+			if *maxSteps > 0 {
+				return *maxSteps
+			}
+			return 0
+		}(),
+		MaxStates:          *maxStates,
+		Parallel:           *parallel,
+		Workers:            *workers,
+		DisableSharedCache: !*sharedCch,
+	}
+
+	if *corpusDir != "" {
+		// Store-backed pipeline: the statistical front-end streams off the
+		// segmented store instead of materializing the corpus.
+		store, err := corpusstore.Create(*corpusDir, app.Name)
+		if err != nil {
+			return err
+		}
+		var monElapsed time.Duration
+		if store.TotalRuns() > 0 {
+			fmt.Printf("-- reusing corpus store %s (%d runs, %d segments)\n",
+				*corpusDir, store.TotalRuns(), len(store.Segments()))
+		} else {
+			fmt.Printf("-- collecting %d correct + %d faulty runs at %.0f%% sampling into %s\n",
+				*runs, *runs, *rate*100, *corpusDir)
+			monStart := time.Now()
+			err := workload.BuildCorpusStoreCtx(ctx, app, workload.Options{
+				SampleRate: *rate, Seed: *seed, Correct: *runs, Faulty: *runs,
+			}, store, corpusstore.Options{})
+			if err != nil {
+				if errors.Is(err, context.Canceled) {
+					fmt.Println("RESULT: interrupted during log collection — no report")
+					return nil
+				}
+				return err
+			}
+			monElapsed = time.Since(monStart)
+		}
+		nR, nL, nV, err := store.Counts()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   corpus store: %d runs, %d locations, %d variables, %d KB on disk in %d segments (collected in %v)\n",
+			nR, nL, nV, store.TotalBytes()/1024, len(store.Segments()), monElapsed.Round(time.Millisecond))
+		rep, err := core.RunStoreContext(ctx, app.Program(), store, cfg)
+		if err != nil {
+			return err
+		}
+		rep.MonTime = monElapsed
+		return printReport(rep, app, o, verbose, dotOut, htmlOut, witOut, minimize)
+	}
+
 	var corpus *trace.Corpus
 	var monElapsed time.Duration
 	if *corpusIn != "" {
@@ -143,27 +202,18 @@ func run() error {
 	fmt.Printf("   corpus: %d runs, %d locations, %d variables, ~%d KB (collected in %v)\n",
 		nR, nL, nV, corpus.SizeBytes()/1024, monElapsed.Round(time.Millisecond))
 
-	cfg := core.Config{
-		Tau:                 *tau,
-		Spec:                app.Spec,
-		PerCandidateTimeout: *timeout,
-		PerCandidateMaxSteps: func() int64 {
-			if *maxSteps > 0 {
-				return *maxSteps
-			}
-			return 0
-		}(),
-		MaxStates:          *maxStates,
-		Parallel:           *parallel,
-		Workers:            *workers,
-		DisableSharedCache: !*sharedCch,
-	}
 	rep, err := core.RunContext(ctx, app.Program(), corpus, cfg)
 	if err != nil {
 		return err
 	}
 	rep.MonTime = monElapsed
+	return printReport(rep, app, o, verbose, dotOut, htmlOut, witOut, minimize)
+}
 
+// printReport renders the pipeline report — shared by the in-memory and
+// store-backed paths.
+func printReport(rep *core.Report, app *apps.App, o *obs.Obs,
+	verbose *bool, dotOut, htmlOut, witOut *string, minimize *bool) error {
 	fmt.Printf("-- statistical analysis: %v (predicates: %d, detours: %d, candidates: %d)\n",
 		rep.StatTime.Round(time.Millisecond), len(rep.Analysis.Predicates),
 		rep.Detours(), len(rep.PathRes.Candidates))

@@ -1,10 +1,13 @@
-// Command tracecheck validates a JSONL event trace produced by the
-// -trace flag of statsym, symexec, or benchtab: every line must parse as
-// an obs.Event with a known type, every span must open exactly once
-// before it closes, parents must refer to already-opened spans, and no
-// span may remain open at end of trace. It exits non-zero on the first
-// class of violation found, so CI can smoke-test the observability layer
-// with a real pipeline run.
+// Command tracecheck validates artifacts of the pipeline's data plane. For
+// a JSONL event trace (the -trace flag of statsym, symexec, or benchtab):
+// every line must parse as an obs.Event with a known type, every span must
+// open exactly once before it closes, parents must refer to already-opened
+// spans, and no span may remain open at end of trace. For a binary corpus
+// segment (*.seg) it verifies magic, trailer, footer checksum, block CRCs,
+// and a full record decode against the dictionaries; for a corpus store
+// directory it verifies every manifested segment plus the manifest itself.
+// It exits non-zero on the first class of violation found (including a
+// truncated segment), so CI can smoke-test both layers with real runs.
 package main
 
 import (
@@ -13,13 +16,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/corpus"
 	"repro/internal/obs"
 )
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck FILE.jsonl")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck FILE.jsonl | SEGMENT.seg | STORE-DIR")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -27,7 +32,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	problems, summary, err := check(flag.Arg(0))
+	arg := flag.Arg(0)
+	var problems []string
+	var summary string
+	var err error
+	if st, serr := os.Stat(arg); serr == nil && st.IsDir() {
+		problems, summary, err = checkStore(arg)
+	} else if strings.HasSuffix(arg, ".seg") {
+		problems, summary, err = checkSegment(arg)
+	} else {
+		problems, summary, err = check(arg)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracecheck:", err)
 		os.Exit(1)
@@ -39,6 +54,31 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// checkSegment deep-validates one binary corpus segment. A torn segment
+// surfaces as an open error (non-zero exit), corruption as problems.
+func checkSegment(path string) (problems []string, summary string, err error) {
+	rep, err := corpus.VerifySegmentFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	summary = fmt.Sprintf("tracecheck: %s: %d blocks, %d runs, %d records, %d bytes, %d problems",
+		path, rep.Blocks, rep.Runs, rep.Records, rep.Bytes, len(rep.Problems))
+	return rep.Problems, summary, nil
+}
+
+// checkStore validates a whole corpus store directory.
+func checkStore(dir string) (problems []string, summary string, err error) {
+	s, err := corpus.Open(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	rep, err := s.Verify()
+	if err != nil {
+		return nil, "", err
+	}
+	return rep.AllProblems(), "tracecheck: " + dir + ": " + rep.Summary(), nil
 }
 
 func check(path string) (problems []string, summary string, err error) {

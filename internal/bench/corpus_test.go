@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestAblationCorpusStore checks the storage-backend comparison runs on
+// every app and that both backends persist the same corpus: same run count
+// and — since the streaming front-end is pinned byte-identical elsewhere —
+// the same number of predicates.
+func TestAblationCorpusStore(t *testing.T) {
+	rows, err := AblationCorpusStore(context.Background(), "", DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byApp := map[string]map[string]CorpusRow{}
+	for _, r := range rows {
+		if r.Bytes <= 0 || r.Runs <= 0 {
+			t.Errorf("%s/%s: empty artifact: %+v", r.Program, r.Backend, r)
+		}
+		if byApp[r.Program] == nil {
+			byApp[r.Program] = map[string]CorpusRow{}
+		}
+		byApp[r.Program][r.Backend] = r
+	}
+	for app, backends := range byApp {
+		j, ok1 := backends["json"]
+		s, ok2 := backends["store"]
+		if !ok1 || !ok2 {
+			t.Fatalf("%s: missing a backend row: %v", app, backends)
+		}
+		if j.Runs != s.Runs {
+			t.Errorf("%s: run counts diverge: json %d, store %d", app, j.Runs, s.Runs)
+		}
+		if j.Preds != s.Preds {
+			t.Errorf("%s: predicate counts diverge: json %d, store %d", app, j.Preds, s.Preds)
+		}
+	}
+	out := FormatCorpusAblation("t", rows)
+	if !strings.Contains(out, "store") || !strings.Contains(out, "json") {
+		t.Errorf("formatted table lost backend labels:\n%s", out)
+	}
+}

@@ -22,6 +22,10 @@ type Config struct {
 	MinPredScore float64
 	// Path tunes candidate-path construction.
 	Path pathid.Config
+	// Stream tunes the streaming statistical front-end used by the
+	// store-backed pipeline (RunStoreContext); ignored by the in-memory
+	// path. Both settings are exact — they never change the analysis.
+	Stream stats.StreamOpts
 	// Spec is the symbolic-input configuration shared with the baseline.
 	Spec *symexec.InputSpec
 
@@ -262,7 +266,15 @@ func RunContext(ctx context.Context, prog *bytecode.Program, corpus *trace.Corpu
 	cspan.End(obs.A("candidates", len(pres.Candidates)), obs.A("detours", len(pres.Detours)))
 	rep.PathRes = pres
 
-	// Statistics-guided symbolic execution module.
+	runSymPhase(ctx, prog, cfg, rep)
+	return rep, nil
+}
+
+// runSymPhase is the statistics-guided symbolic execution module — the
+// back half of the pipeline, shared by the in-memory (RunContext) and
+// store-backed (RunStoreContext) front ends. It consumes rep.PathRes and
+// fills in the attempt outcomes, totals, and SymTime.
+func runSymPhase(ctx context.Context, prog *bytecode.Program, cfg Config, rep *Report) {
 	symStart := time.Now()
 	symCtx := ctx
 	if cfg.TotalTimeout > 0 {
@@ -270,18 +282,19 @@ func RunContext(ctx context.Context, prog *bytecode.Program, corpus *trace.Corpu
 		symCtx, cancel = context.WithTimeout(ctx, cfg.TotalTimeout)
 		defer cancel()
 	}
+	cands := rep.PathRes.Candidates
 	// One shared solver cache per parallel pipeline run: concurrent
 	// candidate verifications reuse each other's verdicts. Wall-clock
 	// only — counters and outcomes are unaffected. Sequential runs skip
 	// it: anything a lone worker could hit is already in its local LRU,
 	// so the shared layer would pay a lock-and-copy per miss for nothing.
-	if !cfg.DisableSharedCache && cfg.Parallel > 1 && len(pres.Candidates) > 1 {
+	if !cfg.DisableSharedCache && cfg.Parallel > 1 && len(cands) > 1 {
 		cfg.sharedCache = solver.NewSharedCache(0)
 	}
-	if cfg.Parallel > 1 && len(pres.Candidates) > 1 {
-		verifyCandidatesParallel(symCtx, prog, pres.Candidates, cfg, rep)
+	if cfg.Parallel > 1 && len(cands) > 1 {
+		verifyCandidatesParallel(symCtx, prog, cands, cfg, rep)
 	} else {
-		verifyCandidatesSequential(symCtx, prog, pres.Candidates, cfg, rep)
+		verifyCandidatesSequential(symCtx, prog, cands, cfg, rep)
 	}
 	if cfg.sharedCache != nil {
 		if o := obs.FromContext(ctx); o != nil {
@@ -297,7 +310,6 @@ func RunContext(ctx context.Context, prog *bytecode.Program, corpus *trace.Corpu
 		rep.Cancelled = true
 	}
 	rep.SymTime = time.Since(symStart)
-	return rep, nil
 }
 
 // addOutcome appends one attempt to the report and folds its counters

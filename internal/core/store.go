@@ -1,0 +1,80 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/corpus"
+	"repro/internal/obs"
+	"repro/internal/pathid"
+	"repro/internal/stats"
+)
+
+// RunStore executes the StatSym pipeline over an on-disk segmented corpus
+// store instead of an in-memory corpus. See RunStoreContext.
+func RunStore(prog *bytecode.Program, store *corpus.Store, cfg Config) (*Report, error) {
+	return RunStoreContext(context.Background(), prog, store, cfg)
+}
+
+// RunStoreContext is RunContext with the statistical front-end streaming
+// straight off the corpus store: predicate construction and transition
+// mining each make one bounded-memory pass over the segments (block
+// buffer + value sketches + transition counters, never the corpus), and
+// produce byte-identical Analysis and candidate output to the in-memory
+// path — so everything downstream, including the final Report modulo
+// timings, is identical too. Report.LogBytes is the store's on-disk
+// (compressed) size here, the store-path analogue of the in-memory
+// corpus's serialized size.
+func RunStoreContext(ctx context.Context, prog *bytecode.Program, store *corpus.Store, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{Program: prog.Name}
+	if store.Obs == nil {
+		store.Obs = obs.FromContext(ctx)
+	}
+	var err error
+	rep.Runs, rep.Locations, rep.Variables, err = store.Counts()
+	if err != nil {
+		return rep, fmt.Errorf("core: corpus store: %w", err)
+	}
+	rep.LogBytes = int(store.TotalBytes())
+
+	if obs.SpanFromContext(ctx) == nil {
+		var pspan *obs.Span
+		ctx, pspan = obs.StartSpan(ctx, "pipeline", obs.A("program", prog.Name), obs.A("store", store.Dir()))
+		defer func() {
+			pspan.End(obs.A("found", rep.Found()), obs.A("cancelled", rep.Cancelled),
+				obs.A("paths", rep.TotalPaths), obs.A("steps", rep.TotalSteps))
+		}()
+	}
+
+	// Statistical analysis module: two streaming passes over the store
+	// (predicates, then transitions). Each pass decodes one block at a
+	// time; the passes share nothing but the segment files.
+	statStart := time.Now()
+	_, aspan := obs.StartSpan(ctx, "stats", obs.A("streaming", true))
+	it := store.Iter()
+	rep.Analysis, err = stats.AnalyzeStream(ctx, it, cfg.Stream)
+	it.Close()
+	if err != nil {
+		aspan.End(obs.A("error", err.Error()))
+		return rep, fmt.Errorf("core: streaming analysis: %w", err)
+	}
+	aspan.End(obs.A("predicates", len(rep.Analysis.Predicates)))
+
+	_, cspan := obs.StartSpan(ctx, "candidates", obs.A("streaming", true))
+	git := store.Iter()
+	pres, err := pathid.BuildStream(git, rep.Analysis, cfg.Path)
+	git.Close()
+	rep.StatTime = time.Since(statStart)
+	if err != nil {
+		cspan.End(obs.A("error", err.Error()))
+		return rep, fmt.Errorf("core: candidate path construction: %w", err)
+	}
+	cspan.End(obs.A("candidates", len(pres.Candidates)), obs.A("detours", len(pres.Detours)))
+	rep.PathRes = pres
+
+	runSymPhase(ctx, prog, cfg, rep)
+	return rep, nil
+}

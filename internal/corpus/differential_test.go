@@ -1,0 +1,208 @@
+package corpus_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/corpus"
+	"repro/internal/pathid"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// This file is an external test package: it drives real app corpora through
+// the workload package, which itself depends on internal/corpus, so it
+// cannot live in package corpus without an import cycle.
+
+// fiveApps is the bundled evaluation set the acceptance criteria pin:
+// byte-identical streaming output on every one of them.
+var fiveApps = []string{"polymorph", "ctree", "thttpd", "grep", "msgtool"}
+
+// diffOpts forces many blocks and segments out of even a small corpus.
+var diffOpts = corpus.Options{BlockBytes: 1 << 10, SegmentBytes: 8 << 10}
+
+func buildAppCorpus(t *testing.T, app string) *trace.Corpus {
+	t.Helper()
+	a, err := apps.Get(app)
+	if err != nil {
+		t.Fatalf("apps.Get(%s): %v", app, err)
+	}
+	c, err := workload.BuildCorpus(a, workload.Options{SampleRate: 1.0, Seed: 7, Correct: 30, Faulty: 30})
+	if err != nil {
+		t.Fatalf("BuildCorpus(%s): %v", app, err)
+	}
+	return c
+}
+
+func ingestApp(t *testing.T, c *trace.Corpus, opts corpus.Options) *corpus.Store {
+	t.Helper()
+	s, err := corpus.Create(t.TempDir(), c.Program)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	w := s.NewWriter(opts)
+	for i := range c.Runs {
+		if err := w.Append(&c.Runs[i]); err != nil {
+			t.Fatalf("Append run %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return s
+}
+
+// renderAnalysis serializes an Analysis canonically so two analyses can be
+// compared byte-for-byte (every field of every predicate, in rank order;
+// %v on float64 prints the shortest uniquely-identifying decimal, so any
+// bit difference in scores or thresholds shows up).
+func renderAnalysis(a *stats.Analysis) []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "runs=%d locs=%d vars=%d\n", a.Runs, a.Locations, a.Variables)
+	for i, p := range a.Predicates {
+		fmt.Fprintf(&buf, "%3d %s | op=%d thr=%v score=%v err=%d nc=%d nf=%d class=%d str=%v\n",
+			i, p.Key(), p.Op, p.Threshold, p.Score, p.Err, p.CountC, p.CountF, p.Class, p.IsString)
+	}
+	return buf.Bytes()
+}
+
+// renderGraph serializes a transition graph canonically: nodes in intern
+// order, successor lists in their sorted order, entries, failure.
+func renderGraph(g *pathid.Graph) []byte {
+	var buf bytes.Buffer
+	for i, n := range g.Nodes {
+		fmt.Fprintf(&buf, "node %d %s\n", i, n)
+	}
+	for _, n := range g.Nodes {
+		for _, e := range g.Succ[n] {
+			fmt.Fprintf(&buf, "edge %s -> %s count=%d conf=%v\n", e.From, e.To, e.Count, e.Confidence)
+		}
+	}
+	for _, e := range g.Entries {
+		fmt.Fprintf(&buf, "entry %s\n", e)
+	}
+	fmt.Fprintf(&buf, "failure %s\n", g.Failure)
+	return buf.Bytes()
+}
+
+// TestStreamingDifferential is the acceptance-criteria pin: for all five
+// bundled apps, streaming analysis over the on-disk store must produce
+// byte-identical predicate rankings and transition graphs to the in-memory
+// path, with the reader's peak buffer bounded by the block size — never
+// the corpus.
+func TestStreamingDifferential(t *testing.T) {
+	for _, app := range fiveApps {
+		t.Run(app, func(t *testing.T) {
+			c := buildAppCorpus(t, app)
+			s := ingestApp(t, c, diffOpts)
+
+			// In-memory reference path.
+			wantA := stats.Analyze(c)
+			wantG := pathid.BuildGraph(c, pathid.Config{})
+
+			// Streaming path over the store.
+			it := s.Iter()
+			gotA, err := stats.AnalyzeStream(context.Background(), it, stats.StreamOpts{})
+			if err != nil {
+				t.Fatalf("AnalyzeStream: %v", err)
+			}
+			it.Close()
+			it2 := s.Iter()
+			gotG, err := pathid.BuildGraphStream(it2, pathid.Config{})
+			if err != nil {
+				t.Fatalf("BuildGraphStream: %v", err)
+			}
+
+			if !bytes.Equal(renderAnalysis(gotA), renderAnalysis(wantA)) {
+				t.Errorf("streaming predicate ranking differs from in-memory:\n--- streaming ---\n%s--- in-memory ---\n%s",
+					renderAnalysis(gotA), renderAnalysis(wantA))
+			}
+			if !reflect.DeepEqual(gotA, wantA) {
+				t.Errorf("Analysis structs differ beyond rendering")
+			}
+			if !bytes.Equal(renderGraph(gotG), renderGraph(wantG)) {
+				t.Errorf("streaming transition graph differs from in-memory:\n--- streaming ---\n%s--- in-memory ---\n%s",
+					renderGraph(gotG), renderGraph(wantG))
+			}
+
+			// Bounded memory: the iterator never buffered more than one
+			// block (+ one run's overshoot), far below the corpus size.
+			maxRun := 0
+			for i := range c.Runs {
+				if n := corpus.EncodedRunSize(&c.Runs[i]); n > maxRun {
+					maxRun = n
+				}
+			}
+			if max := it2.MaxBlockBytes(); max > diffOpts.BlockBytes+maxRun {
+				t.Errorf("peak block buffer %d exceeds BlockBytes %d + largest run %d", max, diffOpts.BlockBytes, maxRun)
+			}
+			it2.Close()
+
+			// Candidate construction downstream of the shared graph must
+			// agree too (BuildFromGraph is the common back half).
+			wantR, wantErr := pathid.Build(c, wantA, pathid.Config{})
+			gotR, gotErr := pathid.BuildFromGraph(gotG, gotA, pathid.Config{})
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("Build err %v vs BuildFromGraph err %v", wantErr, gotErr)
+			}
+			if wantErr == nil {
+				if len(gotR.Candidates) != len(wantR.Candidates) {
+					t.Fatalf("candidate count %d vs %d", len(gotR.Candidates), len(wantR.Candidates))
+				}
+				for i := range wantR.Candidates {
+					if gotR.Candidates[i].String() != wantR.Candidates[i].String() {
+						t.Errorf("candidate %d differs:\n%s\nvs\n%s", i, gotR.Candidates[i], wantR.Candidates[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStreamingFallbackMode forces every sketch to spill to exact raw mode
+// (MaxDistinct=1) and checks the output is still byte-identical — the cap
+// trades memory layout, never results.
+func TestStreamingFallbackMode(t *testing.T) {
+	c := buildAppCorpus(t, "polymorph")
+	s := ingestApp(t, c, diffOpts)
+
+	want := stats.Analyze(c)
+	sa := stats.NewStreamAnalyzer(stats.StreamOpts{MaxDistinct: 1})
+	it := s.Iter()
+	for {
+		run, err := it.Next()
+		if err != nil {
+			break
+		}
+		sa.Add(run)
+	}
+	it.Close()
+	if sa.Fallbacks() == 0 {
+		t.Fatalf("MaxDistinct=1 forced no fallbacks — cap not exercised")
+	}
+	got := sa.Finish()
+	if !bytes.Equal(renderAnalysis(got), renderAnalysis(want)) {
+		t.Errorf("fallback-mode analysis differs from in-memory:\n--- fallback ---\n%s--- in-memory ---\n%s",
+			renderAnalysis(got), renderAnalysis(want))
+	}
+}
+
+// TestStreamingFromCorpusIter checks the in-memory Corpus satisfies the
+// same iterator seam (trace.RunIterator) with identical results.
+func TestStreamingFromCorpusIter(t *testing.T) {
+	c := buildAppCorpus(t, "grep")
+	want := stats.Analyze(c)
+	got, err := stats.AnalyzeStream(context.Background(), c.Iter(), stats.StreamOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(renderAnalysis(got), renderAnalysis(want)) {
+		t.Errorf("corpus-iterator streaming differs from in-memory")
+	}
+	var _ trace.RunIterator = c.Iter()
+}

@@ -1,0 +1,10 @@
+package corpus
+
+import "repro/internal/trace"
+
+// EncodedRunSize reports one run's encoded size against a fresh dictionary,
+// for external tests asserting the iterator's bounded-memory invariant
+// (peak buffer <= BlockBytes + largest single-run encoding).
+func EncodedRunSize(r *trace.Run) int {
+	return len(appendRun(nil, r, newDict()))
+}

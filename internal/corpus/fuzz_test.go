@@ -1,0 +1,74 @@
+package corpus
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// fuzzDict is a fixed decode dictionary: fuzzed records reference IDs into
+// these tables, so valid inputs exist and invalid IDs are reachable.
+var (
+	fuzzLocs = []trace.Location{
+		{Func: "alpha", Kind: trace.EventEnter},
+		{Func: "alpha", Kind: trace.EventLeave},
+		{Func: "beta", Kind: trace.EventEnter},
+	}
+	fuzzVars = []string{"x", "y", "buf"}
+)
+
+// FuzzRunRecordRoundTrip throws arbitrary bytes at the record decoder.
+// Invariants: decode never panics; and when decode succeeds, re-encoding
+// the run and decoding it again must reproduce the same run exactly
+// (encode ∘ decode is the identity on the decoder's image).
+func FuzzRunRecordRoundTrip(f *testing.F) {
+	// Seed the corpus with well-formed encodings of representative runs.
+	seeds := []trace.Run{
+		{ID: 0},
+		{ID: 1, Faulty: true, FaultKind: "overflow", FaultFunc: "alpha"},
+		{ID: 7, Faulty: true, FaultKind: "", FaultFunc: "beta", Records: []trace.Record{
+			{Loc: fuzzLocs[0], Obs: []trace.Observation{
+				{Var: "x", Class: trace.ClassParam, Kind: trace.ValueInt, Int: -42},
+				{Var: "buf", Class: trace.ClassGlobal, Kind: trace.ValueString, Str: "abc\x00def"},
+			}},
+			{Loc: fuzzLocs[2], Obs: []trace.Observation{
+				{Var: "y", Class: trace.ClassReturn, Kind: trace.ValueInt, Int: 1 << 40},
+			}},
+		}},
+	}
+	for i := range seeds {
+		d := newDict()
+		for _, l := range fuzzLocs {
+			d.locID(l)
+		}
+		for _, v := range fuzzVars {
+			d.varID(v)
+		}
+		f.Add(appendRun(nil, &seeds[i], d))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &byteReader{b: data}
+		run, err := decodeRun(r, fuzzLocs, fuzzVars)
+		if err != nil {
+			return // malformed input rejected cleanly — that's the contract
+		}
+		// Re-encode with a fresh dictionary and decode again.
+		d := newDict()
+		enc := appendRun(nil, run, d)
+		r2 := &byteReader{b: enc}
+		run2, err := decodeRun(r2, d.locs, d.vars)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded run failed: %v\nrun: %+v", err, run)
+		}
+		if r2.len() != 0 {
+			t.Fatalf("re-decode left %d trailing bytes", r2.len())
+		}
+		if !reflect.DeepEqual(run, run2) {
+			t.Fatalf("round trip changed run:\n first: %+v\nsecond: %+v", run, run2)
+		}
+	})
+}

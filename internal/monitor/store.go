@@ -1,0 +1,125 @@
+package monitor
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/corpus"
+	"repro/internal/interp"
+	"repro/internal/obs"
+)
+
+// Store-backed collection: the monitor spills runs straight into a
+// segmented on-disk corpus store instead of accumulating them in memory,
+// so collection scales with disk, not RAM. Runs are appended in the same
+// order (and with the same renumbered IDs, when the store starts empty)
+// that the in-memory collectors would have produced, so downstream
+// streaming analysis is byte-identical to the in-memory pipeline.
+
+// CollectCorpusStoreCtx executes the inputs under the monitor and appends
+// every run to the store. The writer is sealed before returning; on error
+// nothing partial becomes visible beyond already-sealed segments.
+func CollectCorpusStoreCtx(ctx context.Context, prog *bytecode.Program, inputs []*interp.Input,
+	cfg Config, store *corpus.Store, wopts corpus.Options) error {
+	_, sp := obs.StartSpan(ctx, "monitor",
+		obs.A("inputs", len(inputs)), obs.A("store", store.Dir()))
+	w := store.NewWriter(wopts)
+	next := store.TotalRuns()
+	records := 0
+	for i, in := range inputs {
+		if err := ctx.Err(); err != nil {
+			sp.End(obs.A("cancelled", true))
+			return err
+		}
+		run, err := CollectRun(prog, in, cfg, i)
+		if err != nil {
+			sp.End(obs.A("error", err.Error()))
+			return err
+		}
+		run.ID = next
+		next++
+		records += len(run.Records)
+		if err := w.Append(run); err != nil {
+			sp.End(obs.A("error", err.Error()))
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		sp.End(obs.A("error", err.Error()))
+		return err
+	}
+	noteRuns(ctx, len(inputs), records)
+	sp.End(obs.A("runs", len(inputs)), obs.A("records", records),
+		obs.A("sealed_bytes", w.SealedBytes()))
+	return nil
+}
+
+// BalancedCorpusStoreCtx is BalancedCorpusCtx spilling to a store: it
+// keeps generating runs until the correct/faulty quotas fill (or the 100×
+// generation limit trips), appending accepted runs to the store as it
+// goes. Peak memory is one run plus the writer's block buffer.
+func BalancedCorpusStoreCtx(ctx context.Context, prog *bytecode.Program, gen func(i int) *interp.Input,
+	wantCorrect, wantFaulty int, cfg Config, store *corpus.Store, wopts corpus.Options) error {
+	_, sp := obs.StartSpan(ctx, "monitor",
+		obs.A("want_correct", wantCorrect), obs.A("want_faulty", wantFaulty),
+		obs.A("store", store.Dir()))
+	o := obs.FromContext(ctx)
+	lastSnap := time.Now()
+
+	w := store.NewWriter(wopts)
+	next := store.TotalRuns()
+	nc, nf, records := 0, 0, 0
+	limit := (wantCorrect + wantFaulty) * 100
+	for i := 0; i < limit && (nc < wantCorrect || nf < wantFaulty); i++ {
+		if err := ctx.Err(); err != nil {
+			w.Close() // keep what's already durable
+			sp.End(obs.A("cancelled", true))
+			return err
+		}
+		run, err := CollectRun(prog, gen(i), cfg, i)
+		if err != nil {
+			w.Close()
+			sp.End(obs.A("error", err.Error()))
+			return err
+		}
+		if o != nil && o.Interval > 0 && time.Since(lastSnap) >= o.Interval {
+			lastSnap = time.Now()
+			o.Progress(sp,
+				obs.A("generated", i+1),
+				obs.A("correct", nc), obs.A("faulty", nf))
+		}
+		if run.Faulty {
+			if nf >= wantFaulty {
+				continue
+			}
+			nf++
+		} else {
+			if nc >= wantCorrect {
+				continue
+			}
+			nc++
+		}
+		records += len(run.Records)
+		run.ID = next
+		next++
+		if err := w.Append(run); err != nil {
+			sp.End(obs.A("error", err.Error()))
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		sp.End(obs.A("error", err.Error()))
+		return err
+	}
+	if nc < wantCorrect || nf < wantFaulty {
+		sp.End(obs.A("error", "generator exhausted"))
+		return fmt.Errorf("monitor: generator yielded %d correct / %d faulty runs, want %d/%d",
+			nc, nf, wantCorrect, wantFaulty)
+	}
+	noteRuns(ctx, nc+nf, records)
+	sp.End(obs.A("runs", nc+nf), obs.A("records", records),
+		obs.A("sealed_bytes", w.SealedBytes()))
+	return nil
+}

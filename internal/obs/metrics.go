@@ -61,6 +61,15 @@ const (
 	// Corpus collection (internal/monitor).
 	MetricMonitorRuns    = "monitor.runs"
 	MetricMonitorRecords = "monitor.records"
+
+	// Segmented trace store (internal/corpus).
+	MetricCorpusRunsAppended   = "corpus.runs.appended"
+	MetricCorpusBlocksWritten  = "corpus.blocks.written"
+	MetricCorpusSegmentsSealed = "corpus.segments.sealed"
+	MetricCorpusBytesWritten   = "corpus.bytes.written" // compressed, sealed segments only
+	MetricCorpusCompactions    = "corpus.compactions"
+	MetricCorpusScanRuns       = "corpus.scan.runs"
+	MetricCorpusScanBytes      = "corpus.scan.bytes" // compressed bytes streamed by iterators
 )
 
 // HopBuckets is the standard bucketing for MetricDivertedHops: fine near

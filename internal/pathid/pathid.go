@@ -98,104 +98,17 @@ type Graph struct {
 }
 
 // BuildGraph mines transitions from the faulty runs of the corpus.
+// Locations are interned to dense ids once per corpus, so transition
+// counting keys on [2]int32 (string keys cost two allocations per logged
+// transition — the dominant cost of graph construction on large corpora).
+// The counting lives in TransitionCounter (stream.go), shared with the
+// streaming path.
 func BuildGraph(corpus *trace.Corpus, cfg Config) *Graph {
-	_, faulty := corpus.Split()
-	// Locations are interned to dense ids once per corpus, so transition
-	// counting keys on [2]int32. (The previous keys rendered both locations
-	// to strings on every step — two allocations per logged transition,
-	// the dominant cost of graph construction on large corpora.)
-	ids := make(map[trace.Location]int32)
-	var nodes []trace.Location
-	var occ []int // occurrence count, indexed by interned id
-	intern := func(l trace.Location) int32 {
-		id, ok := ids[l]
-		if !ok {
-			id = int32(len(nodes))
-			ids[l] = id
-			nodes = append(nodes, l)
-			occ = append(occ, 0)
-		}
-		return id
+	tc := NewTransitionCounter()
+	for i := range corpus.Runs {
+		tc.Add(&corpus.Runs[i])
 	}
-	pair := make(map[[2]int32]int)
-	finals := make(map[trace.Location]int)
-	faultFuncs := make(map[string]int)
-
-	for _, run := range faulty {
-		if run.FaultFunc != "" {
-			faultFuncs[run.FaultFunc]++
-		}
-		locs := run.Locations()
-		prev := int32(-1)
-		for _, l := range locs {
-			id := intern(l)
-			occ[id]++
-			if prev >= 0 {
-				pair[[2]int32{prev, id}]++
-			}
-			prev = id
-		}
-		if fin, ok := run.FinalLocation(); ok {
-			finals[fin]++
-		}
-	}
-
-	g := &Graph{Nodes: nodes, Succ: make(map[trace.Location][]Edge)}
-	hasIncoming := make(map[trace.Location]bool)
-	for key, count := range pair {
-		if count < cfg.minSupport() {
-			continue
-		}
-		conf := float64(count) / float64(occ[key[0]])
-		if conf < cfg.minConfidence() {
-			continue
-		}
-		e := Edge{From: nodes[key[0]], To: nodes[key[1]], Count: count, Confidence: conf}
-		g.Succ[e.From] = append(g.Succ[e.From], e)
-		hasIncoming[e.To] = true
-	}
-	for from := range g.Succ {
-		es := g.Succ[from]
-		sort.Slice(es, func(i, j int) bool {
-			if es[i].Confidence != es[j].Confidence {
-				return es[i].Confidence > es[j].Confidence
-			}
-			return es[i].To.String() < es[j].To.String()
-		})
-	}
-	for _, n := range g.Nodes {
-		if !hasIncoming[n] {
-			g.Entries = append(g.Entries, n)
-		}
-	}
-	sort.Slice(g.Entries, func(i, j int) bool { return g.Entries[i].String() < g.Entries[j].String() })
-	// Failure point: the crash report names the faulting function (§II:
-	// the failure point is where the crash manifests), so its entry
-	// location is the target — provided the sampled logs ever observed
-	// it. Fall back to the modal final location of faulty runs when no
-	// fault function was recorded or its entry never got sampled.
-	bestFault := ""
-	bestCount := 0
-	for fn, c := range faultFuncs {
-		if c > bestCount || (c == bestCount && fn < bestFault) {
-			bestFault, bestCount = fn, c
-		}
-	}
-	if bestFault != "" {
-		enter := trace.Location{Func: bestFault, Kind: trace.EventEnter}
-		if _, ok := ids[enter]; ok {
-			g.Failure = enter
-			return g
-		}
-	}
-	best := -1
-	for _, n := range g.Nodes {
-		if c := finals[n]; c > best {
-			best = c
-			g.Failure = n
-		}
-	}
-	return g
+	return tc.Graph(cfg)
 }
 
 // PathNode pairs a location with the best predicate at that location (nil
@@ -275,7 +188,13 @@ type Result struct {
 // Build runs the complete §V-B pipeline over a corpus and its predicate
 // analysis.
 func Build(corpus *trace.Corpus, analysis *stats.Analysis, cfg Config) (*Result, error) {
-	g := BuildGraph(corpus, cfg)
+	return BuildFromGraph(BuildGraph(corpus, cfg), analysis, cfg)
+}
+
+// BuildFromGraph runs skeleton extraction, detour identification, and
+// candidate joining on an already-mined transition graph (the steps after
+// Eq. 3). It is the shared back half of Build and BuildStream.
+func BuildFromGraph(g *Graph, analysis *stats.Analysis, cfg Config) (*Result, error) {
 	if len(g.Nodes) == 0 {
 		return nil, fmt.Errorf("pathid: no faulty-run locations in corpus")
 	}

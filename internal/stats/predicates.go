@@ -189,44 +189,62 @@ func Analyze(corpus *trace.Corpus) *Analysis {
 	// worker pool; results land in a slice indexed by first-seen key order,
 	// and the stable sort below sees exactly the sequence the sequential
 	// loop produced — the ranked output is byte-identical either way.
-	built := make([]*Predicate, len(order))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(order) {
-		workers = len(order)
-	}
-	if workers <= 1 {
-		for i, key := range order {
-			built[i] = buildPredicate(samples[key])
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(order) {
-						return
-					}
-					built[i] = buildPredicate(samples[order[i]])
-				}
-			}()
-		}
-		wg.Wait()
-	}
+	built := buildParallel(len(order), func(i int) *Predicate {
+		return buildPredicate(samples[order[i]])
+	})
 	for _, p := range built {
 		if p != nil {
 			a.Predicates = append(a.Predicates, p)
 		}
 	}
 
-	// Step (d): rank by score, then by sample count, then by name for
-	// determinism. PredNever predicates rank below value predicates of
-	// equal score (they give the symbolic executor no constraint to use).
-	sort.SliceStable(a.Predicates, func(i, j int) bool {
-		pi, pj := a.Predicates[i], a.Predicates[j]
+	// Step (d): rank for determinism.
+	rankPredicates(a.Predicates)
+	return a
+}
+
+// buildParallel evaluates build(0..n-1) over a bounded worker pool and
+// returns the results in index order, so callers see the sequence the
+// sequential loop would have produced regardless of GOMAXPROCS.
+func buildParallel(n int, build func(i int) *Predicate) []*Predicate {
+	built := make([]*Predicate, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			built[i] = build(i)
+		}
+		return built
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				built[i] = build(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return built
+}
+
+// rankPredicates sorts by score, then by sample count, then by name for
+// determinism. PredNever predicates rank below value predicates of equal
+// score (they give the symbolic executor no constraint to use). The final
+// tie-break is the unique (location, variable) key, so the ranking depends
+// only on the predicate multiset, never on construction order.
+func rankPredicates(preds []*Predicate) {
+	sort.SliceStable(preds, func(i, j int) bool {
+		pi, pj := preds[i], preds[j]
 		if pi.Score != pj.Score {
 			return pi.Score > pj.Score
 		}
@@ -239,7 +257,6 @@ func Analyze(corpus *trace.Corpus) *Analysis {
 		}
 		return pi.Key() < pj.Key()
 	})
-	return a
 }
 
 // buildPredicate constructs the optimal threshold predicate for one

@@ -4,39 +4,72 @@ import (
 	"compress/gzip"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 )
 
+// countingWriter tracks bytes that reached the underlying file, so error
+// paths can report how much really hit disk (a gzip.Writer buffers
+// internally; its Close flushes the tail and can be the first call to see
+// a write error).
+type countingWriter struct {
+	f *os.File
+	n int64
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	n, err := w.f.Write(p)
+	w.n += int64(n)
+	return n, err
+}
+
 // WriteFile serializes the corpus to path; a ".gz" suffix enables gzip
 // compression (runtime logs compress ~10x — relevant for grep-sized
-// corpora). Returns the bytes written to disk.
+// corpora). The corpus is staged in a temp file in the target directory
+// and renamed into place only after a successful sync, so a crash or a
+// full disk mid-write can never leave a truncated corpus under the final
+// name. Returns the bytes written to disk — on error, the bytes that
+// actually reached the (now removed) temp file, not a flat 0.
 func (c *Corpus) WriteFile(path string) (int64, error) {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return 0, err
 	}
-	defer f.Close()
+	cw := &countingWriter{f: f}
+	cleanup := func() {
+		f.Close()
+		os.Remove(f.Name())
+	}
 	if strings.HasSuffix(path, ".gz") {
-		zw := gzip.NewWriter(f)
+		zw := gzip.NewWriter(cw)
 		if _, err := c.WriteTo(zw); err != nil {
-			return 0, err
+			cleanup()
+			return cw.n, err
 		}
 		if err := zw.Close(); err != nil {
-			return 0, err
+			cleanup()
+			return cw.n, err
 		}
 	} else {
-		if _, err := c.WriteTo(f); err != nil {
-			return 0, err
+		if _, err := c.WriteTo(cw); err != nil {
+			cleanup()
+			return cw.n, err
 		}
 	}
-	info, err := f.Stat()
-	if err != nil {
-		return 0, err
-	}
 	if err := f.Sync(); err != nil {
-		return info.Size(), err
+		cleanup()
+		return cw.n, err
 	}
-	return info.Size(), nil
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return cw.n, err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return cw.n, err
+	}
+	return cw.n, nil
 }
 
 // ReadFile loads a corpus written by WriteFile, transparently handling the

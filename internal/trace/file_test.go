@@ -81,6 +81,51 @@ func TestWriteReadFileGzip(t *testing.T) {
 	}
 }
 
+func TestWriteFileAtomicReplace(t *testing.T) {
+	// An existing (possibly good) corpus under the final name must be
+	// replaced wholesale, and no staging temp file may survive the write.
+	c := sampleCorpus()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corpus.log.gz")
+	if err := writeAll(path, []byte("garbage from a previous crash")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("replaced corpus unreadable: %v", err)
+	}
+	if len(back.Runs) != len(c.Runs) {
+		t.Fatalf("replaced corpus lost runs: %d", len(back.Runs))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "corpus.log.gz" {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("staging residue left behind: %v", names)
+	}
+}
+
+func TestWriteFileNoPartialOnError(t *testing.T) {
+	// When the write cannot even stage (missing directory), nothing may
+	// appear under the final name.
+	c := sampleCorpus()
+	path := filepath.Join(t.TempDir(), "no-such-dir", "corpus.log")
+	if _, err := c.WriteFile(path); err == nil {
+		t.Fatal("write into missing directory succeeded")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("partial file visible under final name: %v", err)
+	}
+}
+
 func TestReadFileErrors(t *testing.T) {
 	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.log")); err == nil {
 		t.Error("missing file accepted")

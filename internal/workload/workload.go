@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"repro/internal/apps"
+	"repro/internal/corpus"
 	"repro/internal/interp"
 	"repro/internal/monitor"
 	"repro/internal/trace"
@@ -55,6 +56,28 @@ func BuildCorpusCtx(ctx context.Context, app *apps.App, opts Options) (*trace.Co
 		return nil, fmt.Errorf("workload: %s: %w", app.Name, err)
 	}
 	return corpus, nil
+}
+
+// BuildCorpusStoreCtx is BuildCorpusCtx spilling straight to a segmented
+// on-disk corpus store: the balanced collection loop appends each accepted
+// run to the store and never holds the corpus in memory. With an empty
+// store and the same options, the stored runs are identical (content,
+// order, IDs) to what BuildCorpusCtx returns.
+func BuildCorpusStoreCtx(ctx context.Context, app *apps.App, opts Options, store *corpus.Store, wopts corpus.Options) error {
+	nc, nf := opts.Correct, opts.Faulty
+	if nc == 0 {
+		nc = DefaultRuns
+	}
+	if nf == 0 {
+		nf = DefaultRuns
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	gen := func(i int) *interp.Input { return app.NewInput(rng) }
+	cfg := monitor.Config{SampleRate: opts.SampleRate, Seed: opts.Seed}
+	if err := monitor.BalancedCorpusStoreCtx(ctx, app.Program(), gen, nc, nf, cfg, store, wopts); err != nil {
+		return fmt.Errorf("workload: %s: %w", app.Name, err)
+	}
+	return nil
 }
 
 // BuildCorpusParallel is BuildCorpus with parallel run collection: inputs
