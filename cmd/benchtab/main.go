@@ -32,12 +32,14 @@ func run() error {
 	var (
 		table     = flag.Int("table", 0, "regenerate one table (1-5); 0 = all")
 		figure    = flag.Int("figure", 0, "regenerate one figure (7-10); 0 = all")
-		ablation  = flag.String("ablation", "", "run an ablation: scheduler, guidance, tau, cache, frontier, corpus, all")
+		ablation  = flag.String("ablation", "", "run an ablation: scheduler, guidance, tau, cache, frontier, corpus, summaries, all")
 		corpusDir = flag.String("corpus-dir", "", "directory for the corpus ablation's on-disk artifacts (default: temp, discarded)")
 		seed      = flag.Int64("seed", bench.DefaultSeed, "workload seed")
 		parallel  = flag.Int("parallel", 1, "candidate-verification workers per pipeline run (1: sequential)")
 		workers   = flag.Int("workers", 0, "in-candidate frontier workers per symbolic execution (0: sequential engine)")
 		sharedCch = flag.Bool("shared-cache", true, "share solver verdicts across candidate verifications (wall-clock only; counters are unaffected)")
+		scope     = flag.String("scope", "", "interpretation scope policy for guided runs (e.g. \"all\" or \"all,-logmsg\"); empty = everything in scope")
+		summaries = flag.Bool("summaries", false, "replace summarizable in-scope calls by memoized path summaries in every guided pipeline run")
 		only      = flag.Bool("only", false, "run only the selected table/figure")
 		asJSON    = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 		traceOut  = flag.String("trace", "", "stream a JSONL event trace of every pipeline run to this file")
@@ -50,6 +52,8 @@ func run() error {
 	budgets.Parallel = *parallel
 	budgets.Workers = *workers
 	budgets.DisableSharedCache = !*sharedCch
+	budgets.Scope = *scope
+	budgets.Summaries = *summaries
 
 	// SIGINT/SIGTERM cancel the in-flight experiment cooperatively; the
 	// partial rows computed so far are discarded, but the process exits
@@ -215,6 +219,12 @@ func run() error {
 			return err
 		}
 		emit("ablation-corpus", rows, bench.FormatCorpusAblation("ABLATION: corpus storage backends (JSON blob vs segmented store)", rows))
+	case "summaries":
+		rows, err := bench.AblationSummaries(ctx, *seed, budgets)
+		if err != nil {
+			return err
+		}
+		emit("ablation-summaries", rows, bench.FormatAblation("ABLATION: call interpretation vs memoized summaries", rows))
 	case "all":
 		rows, err := bench.AblationScheduler(ctx, *seed, budgets)
 		if err != nil {
@@ -246,6 +256,11 @@ func run() error {
 			return err
 		}
 		emit("ablation-corpus", crows, bench.FormatCorpusAblation("ABLATION: corpus storage backends (JSON blob vs segmented store)", crows))
+		rows, err = bench.AblationSummaries(ctx, *seed, budgets)
+		if err != nil {
+			return err
+		}
+		emit("ablation-summaries", rows, bench.FormatAblation("ABLATION: call interpretation vs memoized summaries", rows))
 	default:
 		return fmt.Errorf("unknown ablation %q", *ablation)
 	}

@@ -52,6 +52,8 @@ func run() error {
 		parallel  = flag.Int("parallel", 1, "verify candidate paths with this many concurrent workers (1: the paper's sequential loop)")
 		workers   = flag.Int("workers", 0, "in-candidate frontier workers (0: sequential engine; >=1: deterministic epoch engine, results independent of the count)")
 		sharedCch = flag.Bool("shared-cache", true, "share solver verdicts across candidate verifications (wall-clock only; counters are unaffected)")
+		scope     = flag.String("scope", "", "interpretation scope policy: \"\" or \"all\" interprets everything; \"all,-f,-g\" havocs f and g; \"f,g\" interprets exactly that list plus main")
+		summaries = flag.Bool("summaries", false, "replace summarizable in-scope calls by memoized path summaries shared across candidate attempts (detection-equivalent under a full-coverage scope)")
 		verbose   = flag.Bool("v", false, "print predicates and candidate paths")
 		minimize  = flag.Bool("minimize", false, "shrink the witness input via concrete replays")
 		dotOut    = flag.String("dot", "", "write the transition graph (Graphviz DOT) to this file")
@@ -125,6 +127,8 @@ func run() error {
 		Parallel:           *parallel,
 		Workers:            *workers,
 		DisableSharedCache: !*sharedCch,
+		Scope:              *scope,
+		Summaries:          *summaries,
 	}
 
 	if *corpusDir != "" {

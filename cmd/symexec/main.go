@@ -19,6 +19,7 @@ import (
 	"repro/internal/bytecode"
 	"repro/internal/interp"
 	"repro/internal/obs"
+	"repro/internal/summary"
 	"repro/internal/symexec"
 )
 
@@ -43,6 +44,8 @@ func run() error {
 		replay    = flag.String("replay", "", "seed exploration with a witness input (JSON, from statsym -witness-out)")
 		cov       = flag.Bool("cov", false, "report instruction coverage after the run")
 		fastPaths = flag.Bool("fast-paths", false, "enable heuristic solver-cache shortcuts (UNSAT-core subsumption, Sat-model reuse); may change exploration")
+		scope     = flag.String("scope", "", "interpretation scope policy: \"\" or \"all\" interprets everything; \"all,-f,-g\" havocs f and g; \"f,g\" interprets exactly that list plus main")
+		summaries = flag.Bool("summaries", false, "replace summarizable in-scope calls by memoized path summaries")
 		workers   = flag.Int("workers", 0, "frontier workers (0: sequential engine; >=1: deterministic epoch engine, results independent of the count)")
 		freeRun   = flag.Bool("free-run", false, "with -workers > 1, drop the deterministic epoch barrier (maximum throughput, nondeterministic counters)")
 		traceOut  = flag.String("trace", "", "stream a JSONL event trace (spans, progress) to this file")
@@ -89,6 +92,23 @@ func run() error {
 	opts.StopAtFirstVuln = !*all
 	opts.Timeout = *timeout
 	opts.SolverFastPaths = *fastPaths
+	callMode := symexec.CallInterpret
+	switch {
+	case *summaries:
+		callMode = symexec.CallSummarize
+	case *scope != "" && *scope != "all":
+		callMode = symexec.CallHavoc
+	}
+	if callMode != symexec.CallInterpret {
+		pol, err := summary.ParsePolicy(*scope)
+		if err != nil {
+			return err
+		}
+		opts.Calls, err = symexec.NewCallStrategy(prog, callMode, pol, nil)
+		if err != nil {
+			return err
+		}
+	}
 	opts.Workers = *workers
 	opts.FreeRun = *freeRun
 	if *freeRun && *workers <= 1 {

@@ -25,21 +25,34 @@ type AblationRow struct {
 	// (cache hits excluded), when the ablation records it.
 	SolverWall time.Duration
 	Failed     bool // resource exhaustion without a find
+	// Summary-cache telemetry (summaries ablation): calls replaced by
+	// memoized summaries, cache hits across every candidate attempt, and
+	// summaries mined. Hits > Mined means later attempts were served from
+	// earlier attempts' mining work.
+	SummaryCalls int   `json:",omitempty"`
+	SummaryHits  int64 `json:",omitempty"`
+	SummaryMined int64 `json:",omitempty"`
 }
 
 // FormatAblation renders any ablation row set.
 func FormatAblation(title string, rows []AblationRow) string {
 	var sb strings.Builder
 	sb.WriteString(title + "\n")
-	solverCol := false
+	solverCol, summaryCol := false, false
 	for _, r := range rows {
 		if r.SolverWall > 0 {
 			solverCol = true
+		}
+		if r.SummaryCalls > 0 || r.SummaryHits > 0 || r.SummaryMined > 0 {
+			summaryCol = true
 		}
 	}
 	fmt.Fprintf(&sb, "%-10s %-22s %6s %8s %12s %12s", "Program", "config", "found", "paths", "steps", "time")
 	if solverCol {
 		fmt.Fprintf(&sb, " %12s", "solver")
+	}
+	if summaryCol {
+		fmt.Fprintf(&sb, " %9s %9s %6s", "sumcalls", "hits", "mined")
 	}
 	sb.WriteString("\n")
 	for _, r := range rows {
@@ -51,6 +64,9 @@ func FormatAblation(title string, rows []AblationRow) string {
 			r.Program, r.Config, status, r.Paths, r.Steps, r.Elapsed.Round(time.Millisecond))
 		if solverCol {
 			fmt.Fprintf(&sb, " %12s", r.SolverWall.Round(time.Millisecond))
+		}
+		if summaryCol {
+			fmt.Fprintf(&sb, " %9d %9d %6d", r.SummaryCalls, r.SummaryHits, r.SummaryMined)
 		}
 		sb.WriteString("\n")
 	}
@@ -305,6 +321,60 @@ func AblationSolverCache(ctx context.Context, budgets Budgets) ([]AblationRow, e
 			Elapsed:    res.Elapsed,
 			SolverWall: res.SolverTime,
 		})
+	}
+	return rows, nil
+}
+
+// AblationSummaries compares full interpretation ("calls=interpret") against
+// memoized function summaries with a full-coverage scope
+// ("calls=summarize") on every app, holding the corpus fixed. Detections are
+// pinned byte-identical between the two modes by the differential tests
+// (core.DetectionDigest), so the rows quantify pure effort: wall time plus
+// the summary cache's telemetry — hits far above mined means later candidate
+// attempts were served entirely from earlier attempts' mining work. Apps
+// whose guided runs never cross a summarizable call (sumcalls=0) are the
+// control group: both rows must be step-identical.
+func AblationSummaries(ctx context.Context, seed int64, budgets Budgets) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, app := range apps.All() {
+		corpus, err := workload.BuildCorpus(app, workload.Options{SampleRate: 0.3, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		for _, summarize := range []bool{false, true} {
+			if err := ctx.Err(); err != nil {
+				return rows, err
+			}
+			cfg := core.Config{
+				Spec:                 app.Spec,
+				PerCandidateTimeout:  budgets.GuidedTimeout,
+				PerCandidateMaxSteps: budgets.GuidedMaxSteps,
+				Parallel:             budgets.Parallel,
+				DisableSharedCache:   budgets.DisableSharedCache,
+				Scope:                budgets.Scope,
+				Summaries:            summarize,
+			}
+			rep, err := core.RunContext(ctx, app.Program(), corpus, cfg)
+			if err != nil {
+				return nil, err
+			}
+			name := "calls=interpret"
+			if summarize {
+				name = "calls=summarize"
+			}
+			rows = append(rows, AblationRow{
+				Program:      app.Name,
+				Config:       name,
+				Found:        rep.Found(),
+				Paths:        rep.TotalPaths,
+				Steps:        rep.TotalSteps,
+				Elapsed:      rep.SymTime,
+				Failed:       !rep.Found(),
+				SummaryCalls: rep.SummaryCalls,
+				SummaryHits:  rep.SummaryHits,
+				SummaryMined: rep.SummaryMined,
+			})
+		}
 	}
 	return rows, nil
 }

@@ -54,6 +54,18 @@ type Budgets struct {
 	// epoch engine, whose counters are worker-count-invariant — as with
 	// Parallel, only wall-clock time changes.
 	Workers int
+
+	// Scope is the interpretation scope policy handed to core.Config.Scope
+	// by every experiment that runs the guided pipeline ("" interprets
+	// everything; see summary.ParsePolicy for the syntax).
+	Scope string
+
+	// Summaries switches the executor's call strategy to summarize mode in
+	// every guided pipeline run: summarizable leaf calls are replaced by
+	// memoized path summaries shared across candidate attempts. With a
+	// full-coverage Scope the detections are byte-identical to full
+	// interpretation (core.DetectionDigest); only effort changes.
+	Summaries bool
 }
 
 // DefaultBudgets returns the standard experiment budgets.
@@ -137,6 +149,8 @@ func RunPipeline(ctx context.Context, app *apps.App, rate float64, seed int64, b
 		Parallel:             budgets.Parallel,
 		Workers:              budgets.Workers,
 		DisableSharedCache:   budgets.DisableSharedCache,
+		Scope:                budgets.Scope,
+		Summaries:            budgets.Summaries,
 	}
 	rep, err := core.RunContext(ctx, app.Program(), corpus, cfg)
 	if rep != nil {

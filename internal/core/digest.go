@@ -1,0 +1,30 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DetectionDigest renders everything the pipeline *detected* as a canonical
+// string: whether a vulnerability was found, its site, which candidate
+// verified it, and each attempt's outcome. Two runs that detect the same
+// things produce byte-identical digests.
+//
+// This is the comparison surface of the compositional differential mode:
+// with a full-coverage scope policy, summarize mode must produce the same
+// digest as full interpretation on every app. Effort counters (steps,
+// paths, solver queries, wall times) are deliberately excluded — replacing
+// interpretation by constraint instantiation changes how much work detection
+// takes, never what is detected.
+func DetectionDigest(r *Report) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program=%s found=%v used=%d\n", r.Program, r.Found(), r.CandidateUsed)
+	if r.Vuln != nil {
+		fmt.Fprintf(&sb, "vuln=%s func=%s pos=%s\n", r.Vuln.Kind, r.Vuln.Func, r.Vuln.Pos)
+	}
+	for _, c := range r.Candidates {
+		fmt.Fprintf(&sb, "cand=%d len=%d label=%s found=%v infeasible=%v\n",
+			c.Index, c.PathLen, c.Label(), c.Found, c.Infeasible)
+	}
+	return sb.String()
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/pathid"
 	"repro/internal/solver"
 	"repro/internal/stats"
+	"repro/internal/summary"
 	"repro/internal/symexec"
 	"repro/internal/trace"
 )
@@ -70,9 +71,58 @@ type Config struct {
 	// Report counters are identical with it on or off.
 	DisableSharedCache bool
 
+	// Scope is the compositional scope policy (summary.ParsePolicy syntax:
+	// "" or "all" interprets everything; "all,-f,-g" havocs f and g;
+	// "f,g,h" interprets exactly that list plus main). Out-of-scope calls
+	// are replaced by havoc summaries — fresh symbolic return plus the
+	// callee's declared side-effect set.
+	Scope string
+	// Summaries enables summarize call mode: summarizable in-scope calls
+	// are replaced by memoized path summaries mined once per function body
+	// and reused across candidate attempts. With a full-coverage Scope this
+	// is detection-equivalent to full interpretation (the differential
+	// tests pin it); it changes step/path counters, not what is found.
+	Summaries bool
+
 	// sharedCache is the cross-candidate solver cache threaded by
 	// RunContext into every candidate verification of one pipeline run.
 	sharedCache *solver.SharedCache
+	// calls is the compositional call strategy shared by every candidate
+	// attempt of one pipeline run; summaryCache is the cross-attempt
+	// summary store behind it (the cross-attempt reuse is the point: the
+	// same function body is mined once for the whole run).
+	calls        symexec.CallStrategy
+	summaryCache *summary.Cache
+}
+
+// callMode maps the public Scope/Summaries knobs to a call-strategy mode.
+func (cfg Config) callMode() string {
+	switch {
+	case cfg.Summaries:
+		return symexec.CallSummarize
+	case cfg.Scope != "" && cfg.Scope != "all":
+		return symexec.CallHavoc
+	default:
+		return symexec.CallInterpret
+	}
+}
+
+// initCalls builds the compositional call strategy once per pipeline run
+// (no-op when one is already installed or the mode is interpret).
+func (cfg *Config) initCalls(prog *bytecode.Program) error {
+	mode := cfg.callMode()
+	if cfg.calls != nil || mode == symexec.CallInterpret {
+		return nil
+	}
+	pol, err := summary.ParsePolicy(cfg.Scope)
+	if err != nil {
+		return err
+	}
+	if mode == symexec.CallSummarize {
+		cfg.summaryCache = summary.NewCache()
+	}
+	cfg.calls, err = symexec.NewCallStrategy(prog, mode, pol, cfg.summaryCache)
+	return err
 }
 
 // effectiveWorkers returns the frontier worker count for one candidate
@@ -135,6 +185,15 @@ type CandidateOutcome struct {
 	CacheFastSat   int
 	CacheFastUnsat int
 	SolverTime     time.Duration
+
+	// Compositional-call counters for this attempt (zero under interpret
+	// mode): calls replaced by summary instantiation, feasible paths those
+	// produced, calls replaced by havoc, and paths cut by the call-depth
+	// bound. Deterministic — mirrored from symexec.Result, not the cache.
+	SummaryCalls   int
+	SummaryPaths   int
+	HavocCalls     int
+	DepthExhausted int
 }
 
 // Label is the outcome's one-word status, shared by the CLIs, the HTML
@@ -197,6 +256,19 @@ type Report struct {
 	CacheFastSat   int
 	CacheFastUnsat int
 	SolverTime     time.Duration
+	// Compositional-call totals across the recorded attempts (deterministic,
+	// from the executors' Result counters).
+	SummaryCalls   int
+	SummaryPaths   int
+	HavocCalls     int
+	DepthExhausted int
+	// Summary-cache telemetry for the run (summarize mode only): lookup
+	// hits/misses and mined/failed summary counts. Deterministic under
+	// sequential verification; approximate under Parallel > 1, where
+	// concurrent attempts race lookups — never part of DetectionDigest.
+	SummaryHits   int64
+	SummaryMisses int64
+	SummaryMined  int64
 	// Cancelled reports that the symbolic-execution phase was interrupted
 	// by context cancellation before it could finish; the report carries
 	// whatever the pipeline completed up to that point.
@@ -266,7 +338,9 @@ func RunContext(ctx context.Context, prog *bytecode.Program, corpus *trace.Corpu
 	cspan.End(obs.A("candidates", len(pres.Candidates)), obs.A("detours", len(pres.Detours)))
 	rep.PathRes = pres
 
-	runSymPhase(ctx, prog, cfg, rep)
+	if err := runSymPhase(ctx, prog, cfg, rep); err != nil {
+		return rep, err
+	}
 	return rep, nil
 }
 
@@ -274,7 +348,7 @@ func RunContext(ctx context.Context, prog *bytecode.Program, corpus *trace.Corpu
 // back half of the pipeline, shared by the in-memory (RunContext) and
 // store-backed (RunStoreContext) front ends. It consumes rep.PathRes and
 // fills in the attempt outcomes, totals, and SymTime.
-func runSymPhase(ctx context.Context, prog *bytecode.Program, cfg Config, rep *Report) {
+func runSymPhase(ctx context.Context, prog *bytecode.Program, cfg Config, rep *Report) error {
 	symStart := time.Now()
 	symCtx := ctx
 	if cfg.TotalTimeout > 0 {
@@ -291,6 +365,13 @@ func runSymPhase(ctx context.Context, prog *bytecode.Program, cfg Config, rep *R
 	if !cfg.DisableSharedCache && cfg.Parallel > 1 && len(cands) > 1 {
 		cfg.sharedCache = solver.NewSharedCache(0)
 	}
+	// The compositional call strategy is built once per run — even for
+	// sequential verification, since the summary cache's value is reusing
+	// mined summaries across candidate attempts.
+	if err := cfg.initCalls(prog); err != nil {
+		rep.SymTime = time.Since(symStart)
+		return fmt.Errorf("core: call strategy: %w", err)
+	}
 	if cfg.Parallel > 1 && len(cands) > 1 {
 		verifyCandidatesParallel(symCtx, prog, cands, cfg, rep)
 	} else {
@@ -303,6 +384,18 @@ func runSymPhase(ctx context.Context, prog *bytecode.Program, cfg Config, rep *R
 			o.Metrics.Counter(obs.MetricSharedCacheEvictions).Add(c.Evictions)
 		}
 	}
+	if cfg.summaryCache != nil {
+		c := cfg.summaryCache.Counters()
+		rep.SummaryHits = c.Hits
+		rep.SummaryMisses = c.Misses
+		rep.SummaryMined = c.Mined
+		if o := obs.FromContext(ctx); o != nil {
+			o.Metrics.Counter(obs.MetricSummaryHits).Add(c.Hits)
+			o.Metrics.Counter(obs.MetricSummaryMisses).Add(c.Misses)
+			o.Metrics.Counter(obs.MetricSummaryMined).Add(c.Mined)
+			o.Metrics.Counter(obs.MetricSummaryFailed).Add(c.Failed)
+		}
+	}
 	// A cancellation of the caller's context is surfaced as such; an
 	// expired TotalTimeout is the pipeline completing at its budget, the
 	// same as before contexts.
@@ -310,6 +403,7 @@ func runSymPhase(ctx context.Context, prog *bytecode.Program, cfg Config, rep *R
 		rep.Cancelled = true
 	}
 	rep.SymTime = time.Since(symStart)
+	return nil
 }
 
 // addOutcome appends one attempt to the report and folds its counters
@@ -324,6 +418,10 @@ func (r *Report) addOutcome(o CandidateOutcome) {
 	r.CacheFastSat += o.CacheFastSat
 	r.CacheFastUnsat += o.CacheFastUnsat
 	r.SolverTime += o.SolverTime
+	r.SummaryCalls += o.SummaryCalls
+	r.SummaryPaths += o.SummaryPaths
+	r.HavocCalls += o.HavocCalls
+	r.DepthExhausted += o.DepthExhausted
 }
 
 // verifyCandidatesSequential is the paper's Fig. 5 loop: attempt candidates
@@ -364,10 +462,18 @@ func VerifyCandidateCtx(ctx context.Context, prog *bytecode.Program, cand *pathi
 	g.MinPredScore = cfg.MinPredScore
 	g.DisableInter = cfg.DisableInter
 	g.DisablePredicates = cfg.DisablePredicates
+	// Direct callers (tests, alternative rankers) reach here without the
+	// pipeline's runSymPhase having built the call strategy; build one for
+	// this attempt. An invalid Scope is surfaced by RunContext — here it
+	// falls back to interpretation, which is always sound.
+	if cfg.calls == nil {
+		_ = cfg.initCalls(prog)
+	}
 	opts := symexec.DefaultOptions()
 	opts.Sched = NewGuidedScheduler()
 	opts.Hook = g.Hook
 	opts.SharedCache = cfg.sharedCache
+	opts.Calls = cfg.calls
 	opts.Workers = cfg.effectiveWorkers()
 	// Guided attempts draft a narrow epoch: the guidance concentrates the
 	// budget on states tracking the candidate path, and a wide draft
@@ -408,6 +514,10 @@ func VerifyCandidateCtx(ctx context.Context, prog *bytecode.Program, cand *pathi
 		CacheFastSat:   res.CacheFastSat,
 		CacheFastUnsat: res.CacheFastUnsat,
 		SolverTime:     res.SolverTime,
+		SummaryCalls:   res.SummaryCalls,
+		SummaryPaths:   res.SummaryPaths,
+		HavocCalls:     res.HavocCalls,
+		DepthExhausted: res.DepthExhausted,
 	}
 	var vuln *symexec.Vulnerability
 	if res.Found() {

@@ -75,6 +75,8 @@ func RunStoreContext(ctx context.Context, prog *bytecode.Program, store *corpus.
 	cspan.End(obs.A("candidates", len(pres.Candidates)), obs.A("detours", len(pres.Detours)))
 	rep.PathRes = pres
 
-	runSymPhase(ctx, prog, cfg, rep)
+	if err := runSymPhase(ctx, prog, cfg, rep); err != nil {
+		return rep, err
+	}
 	return rep, nil
 }

@@ -49,6 +49,19 @@ const (
 	MetricWorkerBusyNanos = "exec.workers.busy_ns"  // counter: summed worker busy time
 	MetricWorkerUtilPct   = "exec.workers.util_pct" // gauge: busy / (workers × elapsed)
 
+	// Compositional execution (internal/summary + internal/symexec).
+	// Cache hit/miss/mined/failed rates are timing dependent under
+	// concurrency (telemetry only); summary.calls/paths and havoc/depth
+	// counters mirror the deterministic Result counters.
+	MetricSummaryHits    = "summary.hits"
+	MetricSummaryMisses  = "summary.misses"
+	MetricSummaryMined   = "summary.mined"
+	MetricSummaryFailed  = "summary.failed"
+	MetricSummaryCalls   = "summary.calls"
+	MetricSummaryPaths   = "summary.paths"
+	MetricHavocCalls     = "summary.havoc_calls"
+	MetricDepthExhausted = "exec.depth_exhausted"
+
 	// Guidance (internal/core): distribution of diverted-hop counts at
 	// the moment states are suspended — the τ pressure profile.
 	MetricDivertedHops = "guidance.diverted_hops"

@@ -1,0 +1,124 @@
+package summary
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a process-wide, race-safe store of mined function summaries,
+// shared across candidate attempts (and across frontier workers) following
+// the sharded-cache pattern of solver.SharedCache. Entries are keyed by
+// function bytecode hash, so structurally identical functions — and the
+// same function across repeated candidate verifications — share one mining
+// effort.
+//
+// Mining is a pure, deterministic function of the bytecode, so serving a
+// cached summary returns exactly what local mining would have computed;
+// hit/miss counts here are timing dependent under concurrency and belong
+// in obs telemetry, never in deterministic Report counters.
+type Cache struct {
+	shards [cacheShards]cacheShard
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	stores atomic.Int64
+	mined  atomic.Int64
+	failed atomic.Int64
+}
+
+const cacheShards = 16
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[uint64]*FnSummary
+}
+
+// NewCache returns an empty summary cache. Summaries are small (bounded by
+// the mining budget) and keyed by content hash, so there is no eviction:
+// the population is bounded by the number of distinct function bodies seen.
+func NewCache() *Cache {
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64]*FnSummary)
+	}
+	return c
+}
+
+func (c *Cache) shard(key uint64) *cacheShard {
+	return &c.shards[key%cacheShards]
+}
+
+// Lookup returns the cached summary for key. The returned *FnSummary is
+// shared and must be treated as immutable.
+func (c *Cache) Lookup(key uint64) (*FnSummary, bool) {
+	if c == nil {
+		return nil, false
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	s, ok := sh.m[key]
+	sh.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return s, ok
+}
+
+// Store publishes a mined summary (or a Failed negative entry) for key.
+// First writer wins; a concurrent duplicate mine stores the identical
+// value, so dropping the loser is harmless.
+func (c *Cache) Store(key uint64, s *FnSummary) {
+	if c == nil || s == nil {
+		return
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if _, ok := sh.m[key]; !ok {
+		sh.m[key] = s
+	}
+	sh.mu.Unlock()
+	c.stores.Add(1)
+	if s.Failed {
+		c.failed.Add(1)
+	} else {
+		c.mined.Add(1)
+	}
+}
+
+// Len returns the number of cached summaries across shards.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Counters is a snapshot of the cache telemetry.
+type Counters struct {
+	Hits, Misses, Stores, Mined, Failed int64
+}
+
+// Counters snapshots the cache telemetry (approximate under concurrency —
+// these feed obs metrics and bench hit-rate reporting, not Report
+// determinism).
+func (c *Cache) Counters() Counters {
+	if c == nil {
+		return Counters{}
+	}
+	return Counters{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Stores: c.stores.Load(),
+		Mined:  c.mined.Load(),
+		Failed: c.failed.Load(),
+	}
+}

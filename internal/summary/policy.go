@@ -1,0 +1,131 @@
+// Package summary implements the compositional-execution layer of the
+// engine: scope policies deciding which functions the symbolic executor
+// interprets, a per-function bytecode effect analysis backing havoc
+// summaries for out-of-scope calls, and a sharded cache memoizing mined
+// per-function path summaries keyed by function bytecode hash.
+//
+// The package is deliberately independent of the executor: it knows about
+// bytecode, the solver's constraint language, and nothing else, so the
+// executor (internal/symexec) can consume it without an import cycle.
+package summary
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Policy decides which functions are in scope for interpretation. Calls to
+// out-of-scope functions are replaced by havoc summaries (fresh symbolic
+// return plus the callee's declared side-effect set). A nil *Policy treats
+// every function as in scope.
+//
+// Policies are immutable after construction and safe for concurrent use.
+type Policy struct {
+	all   bool
+	names map[string]bool // explicit in-scope set when !all
+	excl  map[string]bool // exclusions when all
+}
+
+// AllInScope is the default policy: every function is interpreted.
+func AllInScope() *Policy { return &Policy{all: true} }
+
+// ParsePolicy parses a -scope flag value:
+//
+//	""            everything in scope (same as "all")
+//	"all"         everything in scope
+//	"all,-f,-g"   everything except f and g
+//	"f,g,h"       exactly f, g, h (plus main, which is always in scope)
+//
+// Mixing a plain list with "-name" exclusions outside the "all" form is an
+// error.
+func ParsePolicy(spec string) (*Policy, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "all" {
+		return AllInScope(), nil
+	}
+	parts := strings.Split(spec, ",")
+	p := &Policy{}
+	for _, raw := range parts {
+		item := strings.TrimSpace(raw)
+		if item == "" {
+			continue
+		}
+		switch {
+		case item == "all":
+			p.all = true
+		case strings.HasPrefix(item, "-"):
+			name := strings.TrimPrefix(item, "-")
+			if name == "" {
+				return nil, fmt.Errorf("summary: empty exclusion in scope %q", spec)
+			}
+			if p.excl == nil {
+				p.excl = make(map[string]bool)
+			}
+			p.excl[name] = true
+		default:
+			if p.names == nil {
+				p.names = make(map[string]bool)
+			}
+			p.names[item] = true
+		}
+	}
+	if p.all && p.names != nil {
+		return nil, fmt.Errorf("summary: scope %q mixes \"all\" with an explicit list", spec)
+	}
+	if !p.all && p.excl != nil && p.names == nil {
+		// "-f,-g" without "all": treat as all-minus-exclusions.
+		p.all = true
+	}
+	if !p.all && p.names == nil {
+		return nil, fmt.Errorf("summary: scope %q selects no functions", spec)
+	}
+	if !p.all && p.excl != nil {
+		return nil, fmt.Errorf("summary: scope %q mixes a list with exclusions", spec)
+	}
+	return p, nil
+}
+
+// InScope reports whether the named function is interpreted under this
+// policy. main and the synthetic $init function are always in scope — the
+// entry point cannot be havocked. Nil policies cover everything.
+func (p *Policy) InScope(name string) bool {
+	if p == nil {
+		return true
+	}
+	if name == "main" || name == "$init" {
+		return true
+	}
+	if p.all {
+		return !p.excl[name]
+	}
+	return p.names[name]
+}
+
+// CoversAll reports whether the policy interprets every function (the
+// differential-mode precondition: with full coverage, summarize mode must
+// detect exactly what full interpretation detects).
+func (p *Policy) CoversAll() bool {
+	return p == nil || (p.all && len(p.excl) == 0)
+}
+
+// String renders the policy in -scope flag syntax.
+func (p *Policy) String() string {
+	if p.CoversAll() {
+		return "all"
+	}
+	if p.all {
+		var excl []string
+		for n := range p.excl {
+			excl = append(excl, "-"+n)
+		}
+		sort.Strings(excl)
+		return strings.Join(append([]string{"all"}, excl...), ",")
+	}
+	var names []string
+	for n := range p.names {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}

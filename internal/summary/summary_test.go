@@ -1,0 +1,247 @@
+package summary
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/solver"
+)
+
+func TestParsePolicyForms(t *testing.T) {
+	cases := []struct {
+		spec    string
+		in, out []string
+		covers  bool
+		str     string
+	}{
+		{"", []string{"main", "f", "g"}, nil, true, "all"},
+		{"all", []string{"main", "f", "g"}, nil, true, "all"},
+		{"all,-f,-g", []string{"main", "h"}, []string{"f", "g"}, false, "all,-f,-g"},
+		{"-g,-f", []string{"main", "h"}, []string{"f", "g"}, false, "all,-f,-g"},
+		{"f, g", []string{"main", "f", "g"}, []string{"h"}, false, "f,g"},
+	}
+	for _, c := range cases {
+		p, err := ParsePolicy(c.spec)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", c.spec, err)
+		}
+		for _, n := range c.in {
+			if !p.InScope(n) {
+				t.Errorf("%q: %q should be in scope", c.spec, n)
+			}
+		}
+		for _, n := range c.out {
+			if p.InScope(n) {
+				t.Errorf("%q: %q should be out of scope", c.spec, n)
+			}
+		}
+		if p.CoversAll() != c.covers {
+			t.Errorf("%q: CoversAll = %v, want %v", c.spec, p.CoversAll(), c.covers)
+		}
+		if p.String() != c.str {
+			t.Errorf("%q: String = %q, want %q", c.spec, p.String(), c.str)
+		}
+	}
+}
+
+func TestParsePolicyErrors(t *testing.T) {
+	for _, spec := range []string{"all,f", "f,-g", "-", ","} {
+		if _, err := ParsePolicy(spec); err == nil {
+			t.Errorf("ParsePolicy(%q): expected error", spec)
+		}
+	}
+}
+
+func TestPolicyEntryAlwaysInScope(t *testing.T) {
+	p, err := ParsePolicy("all,-main,-$init")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.InScope("main") || !p.InScope("$init") {
+		t.Error("main/$init must never leave scope")
+	}
+	var nilPolicy *Policy
+	if !nilPolicy.InScope("anything") || !nilPolicy.CoversAll() {
+		t.Error("nil policy must cover everything")
+	}
+}
+
+const effectsSrc = `
+global int counter = 0;
+global string label;
+
+func leaf(int a, int b) int {
+  if (a > b) { return a - b; }
+  return b - a;
+}
+func bumps() void {
+  counter = counter + 1;
+  return;
+}
+func caller(int x) int {
+  bumps();
+  return leaf(x, 2);
+}
+func fills(buf b, int n) void {
+  bufwrite(b, 0, n);
+  return;
+}
+func divides(int a, int b) int {
+  return a / b;
+}
+func main() int {
+  buf scratch[8];
+  fills(scratch, 65);
+  return caller(counter);
+}`
+
+func TestAnalyzeEffects(t *testing.T) {
+	prog := bytecode.MustCompile("effects", effectsSrc)
+	fx := Analyze(prog)
+	get := func(name string) FnEffects { return fx[prog.Fn(name).Index] }
+
+	leaf := get("leaf")
+	if !leaf.Summarizable {
+		t.Errorf("leaf should be summarizable: %+v", leaf)
+	}
+	if leaf.MayFault || leaf.WritesBuf || leaf.UsesBuiltin || len(leaf.WritesGlobals) != 0 {
+		t.Errorf("leaf should be effect-free: %+v", leaf)
+	}
+
+	bumps := get("bumps")
+	counterSlot := -1
+	for i, g := range prog.Globals {
+		if g.Name == "counter" {
+			counterSlot = i
+		}
+	}
+	if len(bumps.WritesGlobals) != 1 || bumps.WritesGlobals[0] != counterSlot {
+		t.Errorf("bumps.WritesGlobals = %v, want [%d]", bumps.WritesGlobals, counterSlot)
+	}
+	if bumps.Summarizable {
+		t.Error("global-writing function must not be summarizable")
+	}
+
+	// Transitive closure: caller inherits bumps' global write and is a
+	// non-leaf, so it is not summarizable either.
+	caller := get("caller")
+	if len(caller.WritesGlobals) != 1 || caller.WritesGlobals[0] != counterSlot {
+		t.Errorf("caller.WritesGlobals = %v, want [%d]", caller.WritesGlobals, counterSlot)
+	}
+	if caller.Summarizable {
+		t.Error("non-leaf function must not be summarizable")
+	}
+	if len(caller.Calls) != 2 {
+		t.Errorf("caller.Calls = %v, want two callees", caller.Calls)
+	}
+
+	fills := get("fills")
+	if !fills.WritesBuf || !fills.MayFault || fills.Summarizable {
+		t.Errorf("fills should write buffers and may fault: %+v", fills)
+	}
+
+	div := get("divides")
+	if !div.MayFault || div.Summarizable {
+		t.Errorf("divides should be faulting and unsummarizable: %+v", div)
+	}
+
+	m := get("main")
+	if !m.WritesBuf || !m.MayFault || len(m.WritesGlobals) != 1 {
+		t.Errorf("main should inherit transitive effects: %+v", m)
+	}
+}
+
+func TestFnHashContent(t *testing.T) {
+	p1 := bytecode.MustCompile("h1", effectsSrc)
+	p2 := bytecode.MustCompile("h2", effectsSrc)
+	// Recompiling the same source yields the same hashes.
+	h1, h2 := HashProgram(p1), HashProgram(p2)
+	if len(h1) != len(h2) {
+		t.Fatalf("hash table lengths differ: %d vs %d", len(h1), len(h2))
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Errorf("fn %s: hash differs across identical compiles", p1.Funcs[i].Name)
+		}
+	}
+	// Identical bodies under different names share one hash.
+	twin := bytecode.MustCompile("twin", `
+func f(int a, int b) int { return a + b; }
+func g(int a, int b) int { return a + b; }
+func h(int a, int b) int { return a - b; }
+func main() int { return f(1, 2) + g(3, 4) + h(5, 6); }`)
+	th := HashProgram(twin)
+	if th[twin.Fn("f").Index] != th[twin.Fn("g").Index] {
+		t.Error("identical bodies should hash equal")
+	}
+	if th[twin.Fn("f").Index] == th[twin.Fn("h").Index] {
+		t.Error("different bodies should hash differently")
+	}
+}
+
+func TestCacheStoreLookup(t *testing.T) {
+	c := NewCache()
+	if _, ok := c.Lookup(42); ok {
+		t.Fatal("empty cache hit")
+	}
+	s := &FnSummary{Name: "f", NParams: 1, Paths: []PathSummary{{Ret: ptrExpr(solver.ConstExpr(7))}}}
+	c.Store(42, s)
+	got, ok := c.Lookup(42)
+	if !ok || got != s {
+		t.Fatalf("Lookup(42) = %v, %v", got, ok)
+	}
+	// First writer wins.
+	c.Store(42, &FnSummary{Name: "other"})
+	if got, _ := c.Lookup(42); got != s {
+		t.Error("second Store overwrote first")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	ctr := c.Counters()
+	if ctr.Hits != 2 || ctr.Misses != 1 || ctr.Stores != 2 || ctr.Mined != 2 {
+		t.Errorf("counters = %+v", ctr)
+	}
+	c.Store(43, &FnSummary{Name: "bad", Failed: true})
+	if c.Counters().Failed != 1 {
+		t.Errorf("failed counter = %d, want 1", c.Counters().Failed)
+	}
+
+	var nilCache *Cache
+	if _, ok := nilCache.Lookup(1); ok {
+		t.Error("nil cache hit")
+	}
+	nilCache.Store(1, s) // must not panic
+	if nilCache.Len() != 0 {
+		t.Error("nil cache Len != 0")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := uint64(i % 37)
+				if _, ok := c.Lookup(key); !ok {
+					c.Store(key, &FnSummary{Name: "f", NParams: int(key)})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() != 37 {
+		t.Errorf("Len = %d, want 37", c.Len())
+	}
+	for k := uint64(0); k < 37; k++ {
+		if _, ok := c.Lookup(k); !ok {
+			t.Errorf("key %d missing after concurrent fill", k)
+		}
+	}
+}
+
+func ptrExpr(e solver.LinExpr) *solver.LinExpr { return &e }

@@ -54,6 +54,11 @@ type Options struct {
 	CheckStringReads bool
 	// Hook is the guidance hook (nil for pure symbolic execution).
 	Hook LocationHook
+	// Calls selects the compositional call strategy (nil: interpret every
+	// call, today's behavior). Build one with NewCallStrategy; the same
+	// strategy value is shared read-only by the frontier engine's worker
+	// slots, so implementations must be concurrency-safe.
+	Calls CallStrategy
 	// SharedCache, when set, lets this executor's solver reuse verdicts
 	// solved by other executors (parallel candidate verification). Purely
 	// a wall-clock optimization: verdicts, models, and all Result counters
@@ -135,6 +140,16 @@ type Result struct {
 	MaxLive       int
 	Steps         int64
 	Forks         int
+	// Compositional-call counters (deterministic; timing-dependent summary
+	// cache hit/miss rates live on summary.Cache instead). SummaryCalls
+	// counts calls replaced by summary instantiation, SummaryPaths the
+	// feasible paths those instantiations produced, HavocCalls the
+	// out-of-scope calls replaced by havoc summaries, and DepthExhausted
+	// the paths cut off by the MaxDepth call-stack bound.
+	SummaryCalls   int
+	SummaryPaths   int
+	HavocCalls     int
+	DepthExhausted int
 	// SolverChecks/SolverUnknowns count satisfiability queries issued to
 	// the solver (excluding model-cache fast paths); SolverSat/SolverUnsat
 	// split the decided queries by verdict.
@@ -508,6 +523,16 @@ func (ex *Executor) mirrorMetrics() {
 		m.Counter(obs.MetricSharedCacheHits).Add(int64(ex.Solver.SharedHits))
 		m.Counter(obs.MetricSharedCacheMisses).Add(int64(ex.Solver.SharedMisses))
 	}
+	if r.SummaryCalls > 0 || r.SummaryPaths > 0 {
+		m.Counter(obs.MetricSummaryCalls).Add(int64(r.SummaryCalls))
+		m.Counter(obs.MetricSummaryPaths).Add(int64(r.SummaryPaths))
+	}
+	if r.HavocCalls > 0 {
+		m.Counter(obs.MetricHavocCalls).Add(int64(r.HavocCalls))
+	}
+	if r.DepthExhausted > 0 {
+		m.Counter(obs.MetricDepthExhausted).Add(int64(r.DepthExhausted))
+	}
 	if r.Epochs > 0 {
 		m.Counter(obs.MetricEpochs).Add(r.Epochs)
 		m.Gauge(obs.MetricWorkers).SetMax(int64(ex.Opts.Workers))
@@ -576,9 +601,21 @@ func (ex *Executor) addState(st *State) {
 	}
 	st.seq = ex.nextSeq
 	ex.nextSeq++
-	st.Status = StatusActive
 	ex.res.StatesCreated++
-	ex.sched.Add(st)
+	if st.pendingSuspend {
+		// The guidance hook suspended this child at its birth (per-path
+		// Leave events of a summary application); park it directly.
+		st.pendingSuspend = false
+		st.Status = StatusSuspended
+		ex.suspended = append(ex.suspended, st)
+		ex.suspensions++
+		if ex.hops != nil {
+			ex.hops.Observe(int64(st.Diverted))
+		}
+	} else {
+		st.Status = StatusActive
+		ex.sched.Add(st)
+	}
 	if live := ex.liveStates(); live > ex.res.MaxLive {
 		ex.res.MaxLive = live
 	}

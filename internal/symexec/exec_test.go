@@ -46,55 +46,9 @@ func TestSymNoInputsTerminates(t *testing.T) {
 	}
 }
 
-func TestSymConcreteAssertFailure(t *testing.T) {
-	src := `func main() int { assert(1 == 2); return 0; }`
-	res := runSym(t, src, nil, DefaultOptions())
-	if !res.Found() {
-		t.Fatal("assertion failure not detected")
-	}
-	if res.Vulns[0].Kind != interp.FaultAssert {
-		t.Errorf("kind = %v", res.Vulns[0].Kind)
-	}
-}
-
-func TestSymBranchOnSymbolicInt(t *testing.T) {
-	// The motivating example of Fig. 2: assert(0) guarded by a >= 3 deep
-	// in a loop driven by the symbolic input.
-	src := `
-func vul_func(int a) void {
-  if (a >= 3) { assert(0); }
-  return;
-}
-func f1(int x) void {
-  if (x >= 1000 || x < 0) {
-    return;
-  }
-  int i = 0;
-  while (i < x) {
-    vul_func(i);
-    i = i + 1;
-  }
-  return;
-}
-func main() int {
-  int m = input_int("sym_m");
-  f1(m);
-  return 0;
-}`
-	res := runSym(t, src, nil, DefaultOptions())
-	if !res.Found() {
-		t.Fatalf("vulnerability not found: %+v", res)
-	}
-	v := res.Vulns[0]
-	if v.Kind != interp.FaultAssert || v.Func != "vul_func" {
-		t.Errorf("vuln = %s", v.Site())
-	}
-	// The witness must drive the concrete VM into the same assert.
-	confirmWitness(t, src, v)
-	if v.Witness.Ints["sym_m"] < 4 {
-		t.Errorf("witness m = %d, want >= 4 (loop must reach i=3)", v.Witness.Ints["sym_m"])
-	}
-}
+// TestSymConcreteAssertFailure and TestSymBranchOnSymbolicInt (the Fig. 2
+// motivating example) moved to internal/symexec/symtest, ported onto the
+// fluent harness.
 
 func TestSymBufferOverflowStringLength(t *testing.T) {
 	// The polymorph pattern: copy a symbolic string into a fixed buffer

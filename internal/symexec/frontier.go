@@ -103,6 +103,10 @@ func (ex *Executor) newSlot(lane *solver.Lane, shared *solver.SharedCache) *Exec
 func (sx *Executor) resetDeltas() {
 	sx.res.Steps = 0
 	sx.res.Forks = 0
+	sx.res.SummaryCalls = 0
+	sx.res.SummaryPaths = 0
+	sx.res.HavocCalls = 0
+	sx.res.DepthExhausted = 0
 	sx.res.Vulns = sx.res.Vulns[:0]
 	sx.stopped = false
 }
@@ -124,6 +128,10 @@ func (ex *Executor) mergeOut(sx *Executor, st *State, out quantumOut) {
 	}
 	ex.res.Steps += sx.res.Steps
 	ex.res.Forks += sx.res.Forks
+	ex.res.SummaryCalls += sx.res.SummaryCalls
+	ex.res.SummaryPaths += sx.res.SummaryPaths
+	ex.res.HavocCalls += sx.res.HavocCalls
+	ex.res.DepthExhausted += sx.res.DepthExhausted
 	for _, v := range sx.res.Vulns {
 		dup := false
 		for _, prev := range ex.res.Vulns {

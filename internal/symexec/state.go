@@ -18,6 +18,10 @@ const (
 	StatusTerminated
 	StatusFaulted
 	StatusInfeasible
+	// StatusDepthExhausted marks a path cut off by the MaxDepth call-stack
+	// bound — a resource limit, not a normal exit, so reports and metrics
+	// can tell truncated coverage from genuine termination.
+	StatusDepthExhausted
 )
 
 // Frame is one activation record of the symbolic machine.
@@ -128,6 +132,12 @@ type State struct {
 	// forked child. In-place writes below it must copy the slice first;
 	// an append that reallocates clears it.
 	consShared int
+
+	// pendingSuspend marks a freshly forked child whose guidance hook asked
+	// for suspension during the fork itself (a summary application fires
+	// per-path Leave events inside one step). addState routes such children
+	// to the suspended pool instead of the scheduler.
+	pendingSuspend bool
 
 	// seq is an insertion sequence number assigned by the executor; used
 	// by schedulers for deterministic tie-breaking.

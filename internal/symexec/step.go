@@ -64,14 +64,22 @@ func (ex *Executor) step(st *State) (children []*State, suspend, done bool) {
 	case bytecode.OpCall:
 		callee := ex.Prog.Funcs[in.A]
 		if len(st.Frames) >= ex.Opts.MaxDepth {
-			// Depth exhaustion terminates the path (KLEE would keep
-			// unrolling; our apps are not deeply recursive).
-			st.Status = StatusTerminated
+			// Depth exhaustion cuts the path (KLEE would keep unrolling; our
+			// apps are not deeply recursive) — recorded under its own status
+			// and counter so truncation is distinguishable from normal exit.
+			st.Status = StatusDepthExhausted
+			ex.res.DepthExhausted++
 			return nil, false, true
 		}
 		args := make([]Value, in.B)
 		for i := in.B - 1; i >= 0; i-- {
 			args[i] = st.pop()
+		}
+		if s := ex.Opts.Calls; s != nil {
+			children, suspend, done, handled := s.OnCall(ex, st, callee, args)
+			if handled {
+				return children, suspend, done
+			}
 		}
 		nf := &Frame{Fn: callee, Locals: make([]Value, callee.NumLocals)}
 		copy(nf.Locals, args)

@@ -1,0 +1,149 @@
+// Package symtest is a fluent test harness for the symbolic executor:
+// declare a MiniC source plus expectations and get a compiled, executed,
+// witness-replayed scenario in about ten lines. It exists so executor
+// behavior — including the compositional call modes — can be pinned with
+// tests that read as specifications:
+//
+//	symtest.Run(t, symtest.T{
+//	    Source: `func main() int { assert(1 == 2); return 0; }`,
+//	}).ExpectFault(interp.FaultAssert, "main").ConfirmWitness()
+package symtest
+
+import (
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/interp"
+	"repro/internal/summary"
+	"repro/internal/symexec"
+)
+
+// T declares one executor scenario. Source is required; everything else
+// defaults to the plain symbolic-execution configuration (interpret all
+// calls, symexec.DefaultOptions).
+type T struct {
+	// Source is the MiniC program under test.
+	Source string
+	// Spec optionally bounds the symbolic inputs.
+	Spec *symexec.InputSpec
+	// Mode selects the call strategy: "" or symexec.CallInterpret,
+	// symexec.CallHavoc, symexec.CallSummarize.
+	Mode string
+	// Scope is the -scope policy spec ("" means everything in scope).
+	Scope string
+	// Cache optionally shares mined summaries with other scenarios
+	// (summarize mode only).
+	Cache *summary.Cache
+	// Opts mutates the executor options after defaults are applied.
+	Opts func(*symexec.Options)
+}
+
+// Outcome wraps the executor result with chainable expectation helpers.
+// Every Expect* method fails the test in place (with t.Helper framing) and
+// returns the outcome for chaining.
+type Outcome struct {
+	t   *testing.T
+	src string
+	Res *symexec.Result
+}
+
+// Run compiles and executes the scenario.
+func Run(t *testing.T, tt T) *Outcome {
+	t.Helper()
+	prog := bytecode.MustCompile("symtest", tt.Source)
+	opts := symexec.DefaultOptions()
+	if tt.Opts != nil {
+		tt.Opts(&opts)
+	}
+	pol, err := summary.ParsePolicy(tt.Scope)
+	if err != nil {
+		t.Fatalf("symtest: scope %q: %v", tt.Scope, err)
+	}
+	opts.Calls, err = symexec.NewCallStrategy(prog, tt.Mode, pol, tt.Cache)
+	if err != nil {
+		t.Fatalf("symtest: call mode %q: %v", tt.Mode, err)
+	}
+	ex := symexec.New(prog, tt.Spec, opts)
+	return &Outcome{t: t, src: tt.Source, Res: ex.Run()}
+}
+
+// Vuln returns the first detected vulnerability, failing the test if none.
+func (o *Outcome) Vuln() *symexec.Vulnerability {
+	o.t.Helper()
+	if !o.Res.Found() {
+		o.t.Fatalf("symtest: no vulnerability found (paths=%d exhausted=%v)",
+			o.Res.Paths, o.Res.Exhausted)
+	}
+	return o.Res.Vulns[0]
+}
+
+// ExpectFound asserts at least one vulnerability was detected.
+func (o *Outcome) ExpectFound() *Outcome {
+	o.t.Helper()
+	o.Vuln()
+	return o
+}
+
+// ExpectClean asserts no vulnerability was detected.
+func (o *Outcome) ExpectClean() *Outcome {
+	o.t.Helper()
+	if o.Res.Found() {
+		o.t.Fatalf("symtest: unexpected vulnerability: %s", o.Res.Vulns[0].Site())
+	}
+	return o
+}
+
+// ExpectFault asserts the first vulnerability has the given kind and
+// faulting function.
+func (o *Outcome) ExpectFault(kind interp.FaultKind, fn string) *Outcome {
+	o.t.Helper()
+	v := o.Vuln()
+	if v.Kind != kind || v.Func != fn {
+		o.t.Fatalf("symtest: vuln = %s, want %v in %q", v.Site(), kind, fn)
+	}
+	return o
+}
+
+// ConfirmWitness replays the first vulnerability's witness on the concrete
+// VM and asserts the same fault fires in the same function — the end-to-end
+// soundness check every detection must pass.
+func (o *Outcome) ConfirmWitness() *Outcome {
+	o.t.Helper()
+	v := o.Vuln()
+	if v.Witness == nil {
+		o.t.Fatalf("symtest: vulnerability has no witness: %s", v.Site())
+	}
+	prog := bytecode.MustCompile("symtest-confirm", o.src)
+	res, err := interp.Run(prog, v.Witness, interp.Config{})
+	if err != nil {
+		o.t.Fatalf("symtest: concrete replay error: %v", err)
+	}
+	if res.Fault != v.Kind {
+		o.t.Fatalf("symtest: concrete replay fault = %v, want %v (witness %+v)",
+			res.Fault, v.Kind, v.Witness)
+	}
+	if res.FaultFunc != v.Func {
+		o.t.Errorf("symtest: concrete replay fault func = %q, want %q", res.FaultFunc, v.Func)
+	}
+	return o
+}
+
+// WitnessInt returns the named integer from the witness.
+func (o *Outcome) WitnessInt(name string) int64 {
+	o.t.Helper()
+	v := o.Vuln()
+	if v.Witness == nil {
+		o.t.Fatalf("symtest: vulnerability has no witness: %s", v.Site())
+	}
+	return v.Witness.Ints[name]
+}
+
+// WitnessStr returns the named string from the witness.
+func (o *Outcome) WitnessStr(name string) string {
+	o.t.Helper()
+	v := o.Vuln()
+	if v.Witness == nil {
+		o.t.Fatalf("symtest: vulnerability has no witness: %s", v.Site())
+	}
+	return v.Witness.Strs[name]
+}

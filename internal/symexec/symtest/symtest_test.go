@@ -1,0 +1,102 @@
+package symtest_test
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/symexec"
+	"repro/internal/symexec/symtest"
+)
+
+// TestSymConcreteAssertFailure is ported from the executor's internal test
+// suite onto the symtest harness.
+func TestSymConcreteAssertFailure(t *testing.T) {
+	symtest.Run(t, symtest.T{
+		Source: `func main() int { assert(1 == 2); return 0; }`,
+	}).ExpectFault(interp.FaultAssert, "main")
+}
+
+// fig2Src is the paper's motivating example (Fig. 2): assert(0) guarded by
+// a >= 3 deep in a loop driven by the symbolic input.
+const fig2Src = `
+func vul_func(int a) void {
+  if (a >= 3) { assert(0); }
+  return;
+}
+func f1(int x) void {
+  if (x >= 1000 || x < 0) {
+    return;
+  }
+  int i = 0;
+  while (i < x) {
+    vul_func(i);
+    i = i + 1;
+  }
+  return;
+}
+func main() int {
+  int m = input_int("sym_m");
+  f1(m);
+  return 0;
+}`
+
+// TestSymBranchOnSymbolicInt is ported from the executor's internal test
+// suite onto the symtest harness.
+func TestSymBranchOnSymbolicInt(t *testing.T) {
+	o := symtest.Run(t, symtest.T{Source: fig2Src}).
+		ExpectFault(interp.FaultAssert, "vul_func").
+		ConfirmWitness()
+	if m := o.WitnessInt("sym_m"); m < 4 {
+		t.Errorf("witness m = %d, want >= 4 (loop must reach i=3)", m)
+	}
+}
+
+// TestFig2UnderSummarize pins the same detection when summarizable leaves
+// are replaced by memoized path summaries.
+func TestFig2UnderSummarize(t *testing.T) {
+	o := symtest.Run(t, symtest.T{Source: fig2Src, Mode: symexec.CallSummarize}).
+		ExpectFault(interp.FaultAssert, "vul_func").
+		ConfirmWitness()
+	if m := o.WitnessInt("sym_m"); m < 4 {
+		t.Errorf("witness m = %d, want >= 4", m)
+	}
+}
+
+// TestScopedHavocHidesCalleeFault documents the havoc soundness trade in
+// harness form: an out-of-scope callee's fault is invisible, and putting it
+// back in scope restores the detection.
+func TestScopedHavocHidesCalleeFault(t *testing.T) {
+	src := `
+func check(int n) void { assert(n < 10); return; }
+func main() int {
+  check(input_int("n"));
+  return 0;
+}`
+	symtest.Run(t, symtest.T{Source: src, Mode: symexec.CallHavoc, Scope: "all,-check"}).
+		ExpectClean()
+	symtest.Run(t, symtest.T{Source: src, Mode: symexec.CallHavoc, Scope: "all"}).
+		ExpectFault(interp.FaultAssert, "check").
+		ConfirmWitness()
+}
+
+// TestSummarizedLeafReturnValueFlows checks a mined summary's return
+// expression participates in downstream faults exactly like an interpreted
+// return value would.
+func TestSummarizedLeafReturnValueFlows(t *testing.T) {
+	src := `
+func double(int a) int { return a + a; }
+func main() int {
+  int x = input_int("x");
+  assert(double(x) != 14);
+  return 0;
+}`
+	o := symtest.Run(t, symtest.T{Source: src, Mode: symexec.CallSummarize}).
+		ExpectFault(interp.FaultAssert, "main").
+		ConfirmWitness()
+	if x := o.WitnessInt("x"); x != 7 {
+		t.Errorf("witness x = %d, want 7", x)
+	}
+	if o.Res.SummaryCalls == 0 {
+		t.Error("summarize mode never applied a summary")
+	}
+}
