@@ -1,7 +1,10 @@
 // Command benchtab regenerates the paper's evaluation tables and figures
 // from this reproduction. Without flags it runs everything; -table and
 // -figure select individual artifacts; -ablation runs the design-choice
-// ablations from DESIGN.md.
+// ablations from DESIGN.md. -baseline compares this machine's ablation
+// rows against a recorded ledger (or a legacy BENCH_pr*.json) and exits
+// nonzero on regression; -ledger-out records the current rows for use as
+// a future baseline.
 package main
 
 import (
@@ -9,8 +12,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
 	"strings"
@@ -18,13 +19,45 @@ import (
 	"time"
 
 	"repro/internal/bench"
-	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/obs/live"
 )
 
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
+	}
+}
+
+// ablationTitles names the AblationRow-producing experiments; the corpus
+// ablation has its own row type and is dispatched separately.
+var ablationTitles = map[string]string{
+	"scheduler": "ABLATION: schedulers vs StatSym guidance",
+	"guidance":  "ABLATION: guidance mechanisms (inter/intra)",
+	"tau":       "ABLATION: hop threshold τ (thttpd)",
+	"cache":     "ABLATION: solver query cache (polymorph, pure)",
+	"frontier":  "ABLATION: frontier worker scaling (guided + pure)",
+	"summaries": "ABLATION: call interpretation vs memoized summaries",
+}
+
+// runAblation dispatches one AblationRow-producing ablation by name.
+func runAblation(ctx context.Context, name string, seed int64, budgets bench.Budgets) ([]bench.AblationRow, error) {
+	switch name {
+	case "scheduler":
+		return bench.AblationScheduler(ctx, seed, budgets)
+	case "guidance":
+		return bench.AblationGuidance(ctx, seed, budgets)
+	case "tau":
+		return bench.AblationTau(ctx, "thttpd", nil, seed, budgets)
+	case "cache":
+		return bench.AblationSolverCache(ctx, budgets)
+	case "frontier":
+		return bench.AblationFrontier(ctx, nil, seed, budgets)
+	case "summaries":
+		return bench.AblationSummaries(ctx, seed, budgets)
+	default:
+		return nil, fmt.Errorf("unknown ablation %q", name)
 	}
 }
 
@@ -42,10 +75,17 @@ func run() error {
 		summaries = flag.Bool("summaries", false, "replace summarizable in-scope calls by memoized path summaries in every guided pipeline run")
 		only      = flag.Bool("only", false, "run only the selected table/figure")
 		asJSON    = flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+		baseline  = flag.String("baseline", "", "regression gate: re-run the ablations recorded in this ledger (or legacy BENCH_pr*.json), compare row by row, exit nonzero on regression")
+		ledgerOut = flag.String("ledger-out", "", "write the ablation rows produced by this run as a ledger (future -baseline input)")
+		tolSteps  = flag.Float64("tol-steps", bench.DefaultTolerances().StepsPct, "allowed fractional step-count increase over the baseline (0.10 = +10%)")
+		tolTime   = flag.Float64("tol-time", 0, "flag sym time above baseline×ratio (0: wall clock not gated — it jitters across machines)")
 		traceOut  = flag.String("trace", "", "stream a JSONL event trace of every pipeline run to this file")
 		traceInt  = flag.Duration("trace-interval", time.Second, "progress-snapshot period for -trace")
 		metrics   = flag.Bool("metrics", false, "print the accumulated metrics registry at exit")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		listen    = flag.String("listen", "", "serve live introspection (/metrics, /progress, /spans, pprof) on this address (e.g. localhost:6060)")
+		pprofAddr = flag.String("pprof", "", "deprecated alias for -listen (pprof rides the same mux)")
+		flightOut = flag.String("flight", "", "dump the flight-recorder ring (JSONL) to this file on fault, panic, or interrupt")
+		flightN   = flag.Int("flight-depth", flight.DefaultDepth, "flight-recorder events retained per category")
 	)
 	flag.Parse()
 	budgets := bench.DefaultBudgets()
@@ -61,27 +101,76 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "benchtab: pprof:", err)
-			}
-		}()
-	}
-	o, closeTrace, err := obs.Setup(*traceOut, *traceInt, *metrics)
+	rt, err := live.Init(live.Options{
+		Binary: "benchtab",
+		Listen: *listen, Pprof: *pprofAddr,
+		Trace: *traceOut, Interval: *traceInt, Metrics: *metrics,
+		Flight: *flightOut, FlightDepth: *flightN,
+	})
 	if err != nil {
 		return err
 	}
 	defer func() {
-		if err := closeTrace(); err != nil {
-			fmt.Fprintln(os.Stderr, "benchtab: trace:", err)
+		if err := rt.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab: obs:", err)
 		}
 	}()
-	if o != nil {
-		ctx = obs.NewContext(ctx, o)
+	defer rt.DumpOnPanic()
+	if o := rt.Obs(); o != nil {
+		ctx = rt.Context(ctx)
 		if *metrics {
 			defer func() { fmt.Print(o.Metrics.Format()) }()
 		}
+	}
+
+	// Ablation rows accumulated this run, for -ledger-out and -baseline.
+	var ledgerRows []bench.LedgerRow
+	writeLedger := func() error {
+		if *ledgerOut == "" {
+			return nil
+		}
+		if len(ledgerRows) == 0 {
+			return fmt.Errorf("-ledger-out: no ablation rows produced (select an ablation)")
+		}
+		l := bench.Ledger{
+			Date: time.Now().Format("2006-01-02"),
+			Seed: *seed,
+			Rows: ledgerRows,
+		}
+		if err := bench.WriteLedger(*ledgerOut, l); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchtab: ledger written to %s (%d rows)\n", *ledgerOut, len(ledgerRows))
+		return nil
+	}
+
+	if *baseline != "" {
+		base, err := bench.ReadBaseline(*baseline)
+		if err != nil {
+			return err
+		}
+		needed := bench.AblationsNeeded(base)
+		if len(needed) == 0 {
+			return fmt.Errorf("baseline %s: no rows map to a known ablation", *baseline)
+		}
+		fmt.Fprintf(os.Stderr, "benchtab: baseline %s needs ablations: %s\n", *baseline, strings.Join(needed, ", "))
+		for _, name := range needed {
+			rows, err := runAblation(ctx, name, *seed, budgets)
+			if err != nil {
+				return err
+			}
+			ledgerRows = append(ledgerRows, bench.LedgerFromRows(rows)...)
+		}
+		if err := writeLedger(); err != nil {
+			return err
+		}
+		tol := bench.Tolerances{StepsPct: *tolSteps, TimeRatio: *tolTime}
+		regs := bench.CompareLedger(base, ledgerRows, tol)
+		fmt.Print(bench.FormatComparison(*baseline, len(base), len(ledgerRows), regs))
+		if len(regs) > 0 {
+			return fmt.Errorf("%d benchmark regression(s) against %s", len(regs), *baseline)
+		}
+		return nil
 	}
 
 	emit := func(name string, rows any, text string) {
@@ -181,88 +270,48 @@ func run() error {
 		emit("figure10", rows, bench.FormatFigure10(rows))
 	}
 
-	switch *ablation {
-	case "":
-	case "scheduler":
-		rows, err := bench.AblationScheduler(ctx, *seed, budgets)
+	doAblation := func(name string) error {
+		rows, err := runAblation(ctx, name, *seed, budgets)
 		if err != nil {
 			return err
 		}
-		emit("ablation-scheduler", rows, bench.FormatAblation("ABLATION: schedulers vs StatSym guidance", rows))
-	case "guidance":
-		rows, err := bench.AblationGuidance(ctx, *seed, budgets)
-		if err != nil {
-			return err
-		}
-		emit("ablation-guidance", rows, bench.FormatAblation("ABLATION: guidance mechanisms (inter/intra)", rows))
-	case "tau":
-		rows, err := bench.AblationTau(ctx, "thttpd", nil, *seed, budgets)
-		if err != nil {
-			return err
-		}
-		emit("ablation-tau", rows, bench.FormatAblation("ABLATION: hop threshold τ (thttpd)", rows))
-	case "cache":
-		rows, err := bench.AblationSolverCache(ctx, budgets)
-		if err != nil {
-			return err
-		}
-		emit("ablation-cache", rows, bench.FormatAblation("ABLATION: solver query cache (polymorph, pure)", rows))
-	case "frontier":
-		rows, err := bench.AblationFrontier(ctx, nil, *seed, budgets)
-		if err != nil {
-			return err
-		}
-		emit("ablation-frontier", rows, bench.FormatAblation("ABLATION: frontier worker scaling (guided + pure)", rows))
-	case "corpus":
-		rows, err := bench.AblationCorpusStore(ctx, *corpusDir, *seed)
-		if err != nil {
-			return err
-		}
-		emit("ablation-corpus", rows, bench.FormatCorpusAblation("ABLATION: corpus storage backends (JSON blob vs segmented store)", rows))
-	case "summaries":
-		rows, err := bench.AblationSummaries(ctx, *seed, budgets)
-		if err != nil {
-			return err
-		}
-		emit("ablation-summaries", rows, bench.FormatAblation("ABLATION: call interpretation vs memoized summaries", rows))
-	case "all":
-		rows, err := bench.AblationScheduler(ctx, *seed, budgets)
-		if err != nil {
-			return err
-		}
-		emit("ablation-scheduler", rows, bench.FormatAblation("ABLATION: schedulers vs StatSym guidance", rows))
-		rows, err = bench.AblationGuidance(ctx, *seed, budgets)
-		if err != nil {
-			return err
-		}
-		emit("ablation-guidance", rows, bench.FormatAblation("ABLATION: guidance mechanisms (inter/intra)", rows))
-		rows, err = bench.AblationTau(ctx, "thttpd", nil, *seed, budgets)
-		if err != nil {
-			return err
-		}
-		emit("ablation-tau", rows, bench.FormatAblation("ABLATION: hop threshold τ (thttpd)", rows))
-		rows, err = bench.AblationSolverCache(ctx, budgets)
-		if err != nil {
-			return err
-		}
-		emit("ablation-cache", rows, bench.FormatAblation("ABLATION: solver query cache (polymorph, pure)", rows))
-		rows, err = bench.AblationFrontier(ctx, nil, *seed, budgets)
-		if err != nil {
-			return err
-		}
-		emit("ablation-frontier", rows, bench.FormatAblation("ABLATION: frontier worker scaling (guided + pure)", rows))
+		ledgerRows = append(ledgerRows, bench.LedgerFromRows(rows)...)
+		emit("ablation-"+name, rows, bench.FormatAblation(ablationTitles[name], rows))
+		return nil
+	}
+	doCorpus := func() error {
 		crows, err := bench.AblationCorpusStore(ctx, *corpusDir, *seed)
 		if err != nil {
 			return err
 		}
 		emit("ablation-corpus", crows, bench.FormatCorpusAblation("ABLATION: corpus storage backends (JSON blob vs segmented store)", crows))
-		rows, err = bench.AblationSummaries(ctx, *seed, budgets)
-		if err != nil {
+		return nil
+	}
+	switch *ablation {
+	case "":
+	case "corpus":
+		if err := doCorpus(); err != nil {
 			return err
 		}
-		emit("ablation-summaries", rows, bench.FormatAblation("ABLATION: call interpretation vs memoized summaries", rows))
+	case "all":
+		for _, name := range []string{"scheduler", "guidance", "tau", "cache", "frontier"} {
+			if err := doAblation(name); err != nil {
+				return err
+			}
+		}
+		if err := doCorpus(); err != nil {
+			return err
+		}
+		if err := doAblation("summaries"); err != nil {
+			return err
+		}
 	default:
-		return fmt.Errorf("unknown ablation %q", *ablation)
+		if _, ok := ablationTitles[*ablation]; !ok {
+			return fmt.Errorf("unknown ablation %q", *ablation)
+		}
+		if err := doAblation(*ablation); err != nil {
+			return err
+		}
 	}
-	return nil
+	return writeLedger()
 }

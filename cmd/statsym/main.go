@@ -11,8 +11,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -23,6 +21,8 @@ import (
 	corpusstore "repro/internal/corpus"
 	"repro/internal/interp"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/obs/live"
 	"repro/internal/report"
 	"repro/internal/symexec"
 	"repro/internal/trace"
@@ -62,7 +62,10 @@ func run() error {
 		traceOut  = flag.String("trace", "", "stream a JSONL event trace (spans, progress, warnings) to this file")
 		traceInt  = flag.Duration("trace-interval", time.Second, "progress-snapshot period for -trace")
 		metrics   = flag.Bool("metrics", false, "print the metrics registry at exit (and embed it in -html)")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		listen    = flag.String("listen", "", "serve live introspection (/metrics, /progress, /spans, pprof) on this address (e.g. localhost:6060)")
+		pprofAddr = flag.String("pprof", "", "deprecated alias for -listen (pprof rides the same mux)")
+		flightOut = flag.String("flight", "", "dump the flight-recorder ring (JSONL) to this file on fault, panic, or interrupt")
+		flightN   = flag.Int("flight-depth", flight.DefaultDepth, "flight-recorder events retained per category")
 	)
 	flag.Parse()
 
@@ -72,19 +75,23 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	startPprof("statsym", *pprofAddr)
-	o, closeTrace, err := obs.Setup(*traceOut, *traceInt, *metrics)
+	rt, err := live.Init(live.Options{
+		Binary: "statsym",
+		Listen: *listen, Pprof: *pprofAddr,
+		Trace: *traceOut, Interval: *traceInt, Metrics: *metrics,
+		Flight: *flightOut, FlightDepth: *flightN,
+	})
 	if err != nil {
 		return err
 	}
 	defer func() {
-		if err := closeTrace(); err != nil {
-			fmt.Fprintln(os.Stderr, "statsym: trace:", err)
+		if err := rt.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "statsym: obs:", err)
 		}
 	}()
-	if o != nil {
-		ctx = obs.NewContext(ctx, o)
-	}
+	defer rt.DumpOnPanic()
+	o := rt.Obs()
+	ctx = rt.Context(ctx)
 	dumpMetrics := func() {
 		if o != nil && *metrics {
 			fmt.Print(o.Metrics.Format())
@@ -104,6 +111,9 @@ func run() error {
 		pctx, pspan := obs.StartSpan(ctx, "pure", obs.A("app", app.Name))
 		res := core.RunPureWorkers(pctx, app.Program(), app.Spec, *maxStates, *maxSteps, *timeout, *workers)
 		pspan.End(obs.A("paths", res.Paths), obs.A("steps", res.Steps), obs.A("found", res.Found()))
+		if res.Found() {
+			rt.NoteFault()
+		}
 		printPureResult(res, time.Since(start))
 		return nil
 	}
@@ -169,6 +179,9 @@ func run() error {
 			return err
 		}
 		rep.MonTime = monElapsed
+		if rep.Found() {
+			rt.NoteFault()
+		}
 		return printReport(rep, app, o, verbose, dotOut, htmlOut, witOut, minimize)
 	}
 
@@ -211,6 +224,9 @@ func run() error {
 		return err
 	}
 	rep.MonTime = monElapsed
+	if rep.Found() {
+		rt.NoteFault()
+	}
 	return printReport(rep, app, o, verbose, dotOut, htmlOut, witOut, minimize)
 }
 
@@ -357,19 +373,6 @@ func printReport(rep *core.Report, app *apps.App, o *obs.Obs,
 		}
 	}
 	return nil
-}
-
-// startPprof serves net/http/pprof (registered on the default mux by the
-// blank import above) on addr; empty addr disables it.
-func startPprof(binary, addr string) {
-	if addr == "" {
-		return
-	}
-	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: pprof: %v\n", binary, err)
-		}
-	}()
 }
 
 func summarize(s string) string {

@@ -7,8 +7,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
 	"sort"
@@ -19,6 +17,8 @@ import (
 	"repro/internal/bytecode"
 	"repro/internal/interp"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/obs/live"
 	"repro/internal/summary"
 	"repro/internal/symexec"
 )
@@ -51,7 +51,10 @@ func run() error {
 		traceOut  = flag.String("trace", "", "stream a JSONL event trace (spans, progress) to this file")
 		traceInt  = flag.Duration("trace-interval", time.Second, "progress-snapshot period for -trace")
 		metrics   = flag.Bool("metrics", false, "print the metrics registry at exit")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		listen    = flag.String("listen", "", "serve live introspection (/metrics, /progress, /spans, pprof) on this address (e.g. localhost:6060)")
+		pprofAddr = flag.String("pprof", "", "deprecated alias for -listen (pprof rides the same mux)")
+		flightOut = flag.String("flight", "", "dump the flight-recorder ring (JSONL) to this file on fault, panic, or interrupt")
+		flightN   = flag.Int("flight-depth", flight.DefaultDepth, "flight-recorder events retained per category")
 	)
 	flag.Parse()
 
@@ -138,24 +141,23 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "symexec: pprof:", err)
-			}
-		}()
-	}
-	o, closeTrace, err := obs.Setup(*traceOut, *traceInt, *metrics)
+	rt, err := live.Init(live.Options{
+		Binary: "symexec",
+		Listen: *listen, Pprof: *pprofAddr,
+		Trace: *traceOut, Interval: *traceInt, Metrics: *metrics,
+		Flight: *flightOut, FlightDepth: *flightN,
+	})
 	if err != nil {
 		return err
 	}
 	defer func() {
-		if err := closeTrace(); err != nil {
-			fmt.Fprintln(os.Stderr, "symexec: trace:", err)
+		if err := rt.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "symexec: obs:", err)
 		}
 	}()
-	if o != nil {
-		ctx = obs.NewContext(ctx, o)
+	defer rt.DumpOnPanic()
+	if o := rt.Obs(); o != nil {
+		ctx = rt.Context(ctx)
 		var span *obs.Span
 		ctx, span = obs.StartSpan(ctx, "symexec",
 			obs.A("program", prog.Name), obs.A("sched", opts.Sched.Name()))
@@ -167,6 +169,9 @@ func run() error {
 
 	ex := symexec.New(prog, spec, opts)
 	res := ex.RunContext(ctx)
+	if res.Found() {
+		rt.NoteFault()
+	}
 	fmt.Printf("scheduler=%s paths=%d states=%d forks=%d steps=%d solver-checks=%d elapsed=%v\n",
 		opts.Sched.Name(), res.Paths, res.StatesCreated, res.Forks, res.Steps,
 		res.SolverChecks, res.Elapsed.Round(time.Millisecond))

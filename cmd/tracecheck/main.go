@@ -2,16 +2,21 @@
 // a JSONL event trace (the -trace flag of statsym, symexec, or benchtab):
 // every line must parse as an obs.Event with a known type, every span must
 // open exactly once before it closes, parents must refer to already-opened
-// spans, and no span may remain open at end of trace. For a binary corpus
-// segment (*.seg) it verifies magic, trailer, footer checksum, block CRCs,
-// and a full record decode against the dictionaries; for a corpus store
+// spans, and no span may remain open at end of trace. A flight-recorder
+// dump (the -flight flag; first line is a flight.header record) is checked
+// with the flight package's structural validator, and a Prometheus
+// /metrics scrape (detected by its "# HELP"/"# TYPE" leader) with the
+// exposition lint from the live package. For a binary corpus segment
+// (*.seg) it verifies magic, trailer, footer checksum, block CRCs, and a
+// full record decode against the dictionaries; for a corpus store
 // directory it verifies every manifested segment plus the manifest itself.
 // It exits non-zero on the first class of violation found (including a
-// truncated segment), so CI can smoke-test both layers with real runs.
+// truncated segment), so CI can smoke-test every layer with real runs.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,11 +25,13 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/obs/live"
 )
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck FILE.jsonl | SEGMENT.seg | STORE-DIR")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck TRACE.jsonl | FLIGHT-DUMP.jsonl | METRICS.prom | SEGMENT.seg | STORE-DIR")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -41,7 +48,14 @@ func main() {
 	} else if strings.HasSuffix(arg, ".seg") {
 		problems, summary, err = checkSegment(arg)
 	} else {
-		problems, summary, err = check(arg)
+		switch sniff(arg) {
+		case "flight":
+			problems, summary, err = checkFlight(arg)
+		case "metrics":
+			problems, summary, err = checkMetrics(arg)
+		default:
+			problems, summary, err = check(arg)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracecheck:", err)
@@ -54,6 +68,68 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// sniff classifies a non-segment file by its first line: a JSON object
+// whose type is flight.header is a flight dump; a line starting with "#"
+// or a bare Prometheus sample is a /metrics scrape; anything else falls
+// through to the JSONL trace checker (whose parser reports precise
+// problems for malformed input).
+func sniff(path string) string {
+	f, err := os.Open(path)
+	if err != nil {
+		return "trace"
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return "trace"
+	}
+	line := bytes.TrimSpace(sc.Bytes())
+	if len(line) == 0 {
+		return "trace"
+	}
+	if line[0] == '{' {
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if json.Unmarshal(line, &probe) == nil && probe.Type == flight.TypeHeader {
+			return "flight"
+		}
+		return "trace"
+	}
+	if line[0] == '#' {
+		return "metrics"
+	}
+	return "trace"
+}
+
+// checkFlight validates a flight-recorder dump.
+func checkFlight(path string) (problems []string, summary string, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	problems, summary, err = flight.Validate(f)
+	return problems, "tracecheck: " + path + ": " + summary, err
+}
+
+// checkMetrics lints a Prometheus text exposition scrape.
+func checkMetrics(path string) (problems []string, summary string, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	problems, families, samples, err := live.LintExposition(f)
+	if err != nil {
+		return nil, "", err
+	}
+	summary = fmt.Sprintf("tracecheck: %s: metrics exposition — %d families, %d samples, %d problems",
+		path, families, samples, len(problems))
+	return problems, summary, nil
 }
 
 // checkSegment deep-validates one binary corpus segment. A torn segment

@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// The run ledger is the benchmark suite's regression memory: every
+// benchtab run can serialize its rows as a ledger file, and a later run
+// handed that file via -baseline compares itself row by row and exits
+// nonzero on regression. The reader also accepts the hand-written
+// BENCH_pr*.json files earlier PRs checked in (any JSON object whose
+// sections carry a "rows" array of row-shaped objects), so the existing
+// history is usable as a baseline without conversion.
+
+// LedgerSchema identifies ledger files written by WriteLedger.
+const LedgerSchema = "statsym.ledger/v1"
+
+// LedgerRow is one (program, config) outcome. The JSON field names match
+// the rows of the legacy BENCH_pr*.json files, so both formats unmarshal
+// into it directly.
+type LedgerRow struct {
+	Program string  `json:"program"`
+	Config  string  `json:"config"`
+	Found   bool    `json:"found"`
+	Paths   int     `json:"paths"`
+	Steps   int64   `json:"steps"`
+	SymMS   float64 `json:"sym_ms"`
+	Failed  bool    `json:"failed,omitempty"`
+
+	SummaryCalls int64 `json:"summary_calls,omitempty"`
+	CacheHits    int64 `json:"cache_hits,omitempty"`
+	Mined        int64 `json:"mined,omitempty"`
+}
+
+// Key identifies the row for baseline matching.
+func (r LedgerRow) Key() string { return r.Program + "|" + r.Config }
+
+// Ledger is the on-disk run record.
+type Ledger struct {
+	Schema string      `json:"schema"`
+	Title  string      `json:"title,omitempty"`
+	Date   string      `json:"date,omitempty"`
+	Seed   int64       `json:"seed,omitempty"`
+	Rows   []LedgerRow `json:"rows"`
+}
+
+// LedgerFromRows converts ablation rows into ledger rows.
+func LedgerFromRows(rows []AblationRow) []LedgerRow {
+	out := make([]LedgerRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, LedgerRow{
+			Program:      r.Program,
+			Config:       r.Config,
+			Found:        r.Found,
+			Paths:        r.Paths,
+			Steps:        r.Steps,
+			SymMS:        float64(r.Elapsed) / float64(time.Millisecond),
+			Failed:       r.Failed,
+			SummaryCalls: int64(r.SummaryCalls),
+			CacheHits:    r.SummaryHits,
+			Mined:        r.SummaryMined,
+		})
+	}
+	return out
+}
+
+// WriteLedger serializes the ledger to path (indented JSON).
+func WriteLedger(path string, l Ledger) error {
+	l.Schema = LedgerSchema
+	blob, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// ReadBaseline loads baseline rows from path. Two formats are accepted:
+// a ledger written by WriteLedger (top-level "rows"), or a legacy
+// BENCH_pr*.json — a JSON object scanned for sections that are objects
+// holding a "rows" array; every such array contributes. Rows missing a
+// program or config are dropped (prose sections don't row-shape).
+func ReadBaseline(path string) ([]LedgerRow, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &top); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	var rows []LedgerRow
+	take := func(raw json.RawMessage) {
+		var rs []LedgerRow
+		if err := json.Unmarshal(raw, &rs); err != nil {
+			return
+		}
+		for _, r := range rs {
+			if r.Program != "" && r.Config != "" {
+				rows = append(rows, r)
+			}
+		}
+	}
+	if raw, ok := top["rows"]; ok {
+		take(raw)
+	}
+	// Legacy sections: {"summaries_ablation": {"note": ..., "rows": [...]}}.
+	keys := make([]string, 0, len(top))
+	for k := range top {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if k == "rows" {
+			continue
+		}
+		var section struct {
+			Rows json.RawMessage `json:"rows"`
+		}
+		if err := json.Unmarshal(top[k], &section); err != nil || section.Rows == nil {
+			continue
+		}
+		take(section.Rows)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("baseline %s: no benchmark rows found", path)
+	}
+	return rows, nil
+}
+
+// ablationFor maps a row's config string to the ablation that produces
+// it, so a -baseline run knows which experiments to re-run.
+func ablationFor(config string) string {
+	switch {
+	case strings.Contains(config, "workers="):
+		return "frontier"
+	case strings.HasPrefix(config, "pure/"), config == "statsym":
+		return "scheduler"
+	case strings.HasPrefix(config, "guided/"):
+		return "guidance"
+	case strings.HasPrefix(config, "tau="):
+		return "tau"
+	case strings.HasPrefix(config, "solver-cache="):
+		return "cache"
+	case strings.HasPrefix(config, "calls="):
+		return "summaries"
+	default:
+		return ""
+	}
+}
+
+// AblationsNeeded returns the sorted set of ablation names required to
+// reproduce the baseline's rows. Rows whose config maps to no known
+// ablation are skipped during comparison instead of failing it.
+func AblationsNeeded(rows []LedgerRow) []string {
+	set := map[string]bool{}
+	for _, r := range rows {
+		if a := ablationFor(r.Config); a != "" {
+			set[a] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Tolerances gate the per-metric regression thresholds. Comparisons are
+// one-sided: only a worse current value is a regression.
+type Tolerances struct {
+	// StepsPct allows the current step count to exceed the baseline by
+	// this fraction (0.10 = +10%) before flagging. Steps are deterministic
+	// for a fixed seed, so the default headroom only absorbs intentional
+	// small shifts; a real search-order regression blows well past it.
+	StepsPct float64
+	// TimeRatio, when > 0, flags current sym_ms above baseline*TimeRatio.
+	// Off by default: wall clock jitters 10-20% run to run and CI machines
+	// differ from the machine that wrote the baseline.
+	TimeRatio float64
+}
+
+// DefaultTolerances is the comparator's standard gate.
+func DefaultTolerances() Tolerances { return Tolerances{StepsPct: 0.10} }
+
+// Regression is one failed row comparison.
+type Regression struct {
+	Key    string // program|config
+	Metric string // "found", "failed", "steps", "sym_ms", "missing"
+	Detail string
+}
+
+// CompareLedger checks current rows against the baseline under the
+// tolerances. Every baseline row whose config maps to a known ablation
+// must be present and no worse; current-only rows are ignored (new
+// configurations are not regressions).
+func CompareLedger(baseline, current []LedgerRow, tol Tolerances) []Regression {
+	cur := make(map[string]LedgerRow, len(current))
+	for _, r := range current {
+		cur[r.Key()] = r
+	}
+	var regs []Regression
+	for _, b := range baseline {
+		if ablationFor(b.Config) == "" {
+			continue
+		}
+		c, ok := cur[b.Key()]
+		if !ok {
+			regs = append(regs, Regression{Key: b.Key(), Metric: "missing",
+				Detail: "row present in baseline but not produced by this run"})
+			continue
+		}
+		if b.Found && !c.Found {
+			regs = append(regs, Regression{Key: b.Key(), Metric: "found",
+				Detail: "baseline found the vulnerability, this run did not"})
+		}
+		if !b.Failed && c.Failed {
+			regs = append(regs, Regression{Key: b.Key(), Metric: "failed",
+				Detail: "run now fails (resource exhaustion) where the baseline completed"})
+		}
+		if limit := float64(b.Steps) * (1 + tol.StepsPct); b.Steps > 0 && float64(c.Steps) > limit {
+			regs = append(regs, Regression{Key: b.Key(), Metric: "steps",
+				Detail: fmt.Sprintf("steps %d exceeds baseline %d by more than %.0f%%",
+					c.Steps, b.Steps, tol.StepsPct*100)})
+		}
+		if tol.TimeRatio > 0 && b.SymMS > 0 && c.SymMS > b.SymMS*tol.TimeRatio {
+			regs = append(regs, Regression{Key: b.Key(), Metric: "sym_ms",
+				Detail: fmt.Sprintf("sym time %.1fms exceeds baseline %.1fms × %.2f",
+					c.SymMS, b.SymMS, tol.TimeRatio)})
+		}
+	}
+	return regs
+}
+
+// FormatComparison renders the comparison outcome for the CLI.
+func FormatComparison(baseline string, nBase, nCur int, regs []Regression) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "REGRESSION GATE: %d baseline rows (%s) vs %d current rows\n", nBase, baseline, nCur)
+	if len(regs) == 0 {
+		sb.WriteString("  no regressions\n")
+		return sb.String()
+	}
+	for _, r := range regs {
+		fmt.Fprintf(&sb, "  REGRESSION %-28s %-8s %s\n", r.Key, r.Metric, r.Detail)
+	}
+	fmt.Fprintf(&sb, "  %d regression(s)\n", len(regs))
+	return sb.String()
+}

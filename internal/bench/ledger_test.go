@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRows() []AblationRow {
+	return []AblationRow{
+		{Program: "polymorph", Config: "calls=interpret", Found: true, Paths: 2, Steps: 9482, Elapsed: 2 * time.Millisecond},
+		{Program: "polymorph", Config: "calls=summarize", Found: true, Paths: 2, Steps: 9482, Elapsed: time.Millisecond, SummaryCalls: 3, SummaryHits: 2, SummaryMined: 1},
+		{Program: "thttpd", Config: "tau=10", Found: true, Paths: 4, Steps: 20000, Elapsed: 5 * time.Millisecond},
+	}
+}
+
+// TestLedgerRoundTrip: write a ledger, read it back as a baseline, and
+// compare it against itself — zero regressions.
+func TestLedgerRoundTrip(t *testing.T) {
+	rows := LedgerFromRows(sampleRows())
+	path := filepath.Join(t.TempDir(), "ledger.json")
+	if err := WriteLedger(path, Ledger{Title: "t", Seed: 1, Rows: rows}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, back) {
+		t.Fatalf("round trip mismatch:\nwrote %+v\nread  %+v", rows, back)
+	}
+	if regs := CompareLedger(back, rows, DefaultTolerances()); len(regs) != 0 {
+		t.Fatalf("self-comparison regressed: %+v", regs)
+	}
+}
+
+// TestCompareLedgerFlagsRegressions injects each regression class.
+func TestCompareLedgerFlagsRegressions(t *testing.T) {
+	base := LedgerFromRows(sampleRows())
+	tol := DefaultTolerances()
+
+	metricOf := func(regs []Regression) map[string]bool {
+		m := map[string]bool{}
+		for _, r := range regs {
+			m[r.Metric] = true
+		}
+		return m
+	}
+
+	// Steps blown past the tolerance.
+	cur := LedgerFromRows(sampleRows())
+	cur[0].Steps = cur[0].Steps * 2
+	if m := metricOf(CompareLedger(base, cur, tol)); !m["steps"] {
+		t.Error("2x steps not flagged")
+	}
+	// Within tolerance: +5% is fine at the 10% default.
+	cur = LedgerFromRows(sampleRows())
+	cur[0].Steps = cur[0].Steps * 105 / 100
+	if regs := CompareLedger(base, cur, tol); len(regs) != 0 {
+		t.Errorf("+5%% steps flagged: %+v", regs)
+	}
+	// Lost detection.
+	cur = LedgerFromRows(sampleRows())
+	cur[1].Found = false
+	if m := metricOf(CompareLedger(base, cur, tol)); !m["found"] {
+		t.Error("lost detection not flagged")
+	}
+	// Newly failing.
+	cur = LedgerFromRows(sampleRows())
+	cur[2].Failed = true
+	if m := metricOf(CompareLedger(base, cur, tol)); !m["failed"] {
+		t.Error("new failure not flagged")
+	}
+	// Missing row.
+	cur = LedgerFromRows(sampleRows())[:2]
+	if m := metricOf(CompareLedger(base, cur, tol)); !m["missing"] {
+		t.Error("missing row not flagged")
+	}
+	// Wall time gated only when TimeRatio is set.
+	cur = LedgerFromRows(sampleRows())
+	cur[0].SymMS = base[0].SymMS * 10
+	if regs := CompareLedger(base, cur, tol); len(regs) != 0 {
+		t.Errorf("time flagged with gate off: %+v", regs)
+	}
+	if m := metricOf(CompareLedger(base, cur, Tolerances{StepsPct: 0.10, TimeRatio: 2})); !m["sym_ms"] {
+		t.Error("10x time not flagged with TimeRatio=2")
+	}
+}
+
+// TestReadBaselineLegacySchema parses the BENCH_pr*.json shape: sections
+// keyed by experiment, each holding a prose note plus a rows array.
+func TestReadBaselineLegacySchema(t *testing.T) {
+	legacy := `{
+  "pr": 6,
+  "title": "whatever",
+  "machine": {"goos": "linux", "note": "prose"},
+  "summaries_ablation": {
+    "note": "prose",
+    "rows": [
+      {"program": "polymorph", "config": "calls=interpret", "found": true, "paths": 2, "steps": 9482, "sym_ms": 1.9},
+      {"program": "polymorph", "config": "calls=summarize", "found": true, "paths": 2, "steps": 9482, "sym_ms": 1.3, "summary_calls": 0, "cache_hits": 0, "mined": 0}
+    ]
+  }
+}`
+	path := filepath.Join(t.TempDir(), "BENCH_legacy.json")
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v, want 2", rows)
+	}
+	if rows[0].Program != "polymorph" || rows[0].Steps != 9482 || rows[0].SymMS != 1.9 {
+		t.Errorf("row 0 = %+v", rows[0])
+	}
+	if got := AblationsNeeded(rows); !reflect.DeepEqual(got, []string{"summaries"}) {
+		t.Errorf("AblationsNeeded = %v, want [summaries]", got)
+	}
+}
+
+// TestReadBaselineCheckedInHistory reads the repo's real BENCH_pr6.json.
+func TestReadBaselineCheckedInHistory(t *testing.T) {
+	path := "../../BENCH_pr6.json"
+	if _, err := os.Stat(path); err != nil {
+		t.Skip("BENCH_pr6.json not present")
+	}
+	rows, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows from BENCH_pr6.json")
+	}
+	for _, r := range rows {
+		if !strings.HasPrefix(r.Config, "calls=") {
+			t.Errorf("unexpected config %q", r.Config)
+		}
+	}
+	if got := AblationsNeeded(rows); !reflect.DeepEqual(got, []string{"summaries"}) {
+		t.Errorf("AblationsNeeded = %v, want [summaries]", got)
+	}
+}
+
+// TestAblationFor pins the config→ablation mapping the -baseline flow
+// depends on.
+func TestAblationFor(t *testing.T) {
+	cases := map[string]string{
+		"pure/bfs":            "scheduler",
+		"statsym":             "scheduler",
+		"guided/full":         "guidance",
+		"guided/inter-only":   "guidance",
+		"tau=10":              "tau",
+		"solver-cache=on":     "cache",
+		"guided/workers=4":    "frontier",
+		"pure-bfs/workers=2":  "frontier",
+		"calls=interpret":     "summaries",
+		"calls=summarize":     "summaries",
+		"store/json-blob":     "",
+		"something-unrelated": "",
+	}
+	for config, want := range cases {
+		if got := ablationFor(config); got != want {
+			t.Errorf("ablationFor(%q) = %q, want %q", config, got, want)
+		}
+	}
+}

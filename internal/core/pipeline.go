@@ -328,6 +328,8 @@ func RunContext(ctx context.Context, prog *bytecode.Program, corpus *trace.Corpu
 	_, aspan := obs.StartSpan(ctx, "stats")
 	rep.Analysis = stats.Analyze(corpus)
 	aspan.End(obs.A("predicates", len(rep.Analysis.Predicates)))
+	obs.Progress(ctx, obs.A("phase", "stats"),
+		obs.A("predicates", len(rep.Analysis.Predicates)))
 	_, cspan := obs.StartSpan(ctx, "candidates")
 	pres, err := pathid.Build(corpus, rep.Analysis, cfg.Path)
 	rep.StatTime = time.Since(statStart)
@@ -336,6 +338,8 @@ func RunContext(ctx context.Context, prog *bytecode.Program, corpus *trace.Corpu
 		return rep, fmt.Errorf("core: candidate path construction: %w", err)
 	}
 	cspan.End(obs.A("candidates", len(pres.Candidates)), obs.A("detours", len(pres.Detours)))
+	obs.Progress(ctx, obs.A("phase", "candidates"),
+		obs.A("candidates", len(pres.Candidates)), obs.A("detours", len(pres.Detours)))
 	rep.PathRes = pres
 
 	if err := runSymPhase(ctx, prog, cfg, rep); err != nil {
@@ -495,6 +499,8 @@ func VerifyCandidateCtx(ctx context.Context, prog *bytecode.Program, cand *pathi
 	// runs every worker derives its context from the pipeline root, so
 	// the concurrent verify spans all nest under it deterministically.
 	ctx, vspan := obs.StartSpan(ctx, "verify", obs.A("rank", rank), obs.A("path_len", cand.Len()))
+	obs.Progress(ctx, obs.A("phase", "verify"), obs.A("rank", rank),
+		obs.A("path_len", cand.Len()))
 	runStart := time.Now()
 	ex := symexec.New(prog, cfg.Spec, opts)
 	res := ex.RunContext(ctx)

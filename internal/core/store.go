@@ -62,6 +62,8 @@ func RunStoreContext(ctx context.Context, prog *bytecode.Program, store *corpus.
 		return rep, fmt.Errorf("core: streaming analysis: %w", err)
 	}
 	aspan.End(obs.A("predicates", len(rep.Analysis.Predicates)))
+	obs.Progress(ctx, obs.A("phase", "stats"),
+		obs.A("predicates", len(rep.Analysis.Predicates)))
 
 	_, cspan := obs.StartSpan(ctx, "candidates", obs.A("streaming", true))
 	git := store.Iter()
@@ -73,6 +75,8 @@ func RunStoreContext(ctx context.Context, prog *bytecode.Program, store *corpus.
 		return rep, fmt.Errorf("core: candidate path construction: %w", err)
 	}
 	cspan.End(obs.A("candidates", len(pres.Candidates)), obs.A("detours", len(pres.Detours)))
+	obs.Progress(ctx, obs.A("phase", "candidates"),
+		obs.A("candidates", len(pres.Candidates)), obs.A("detours", len(pres.Detours)))
 	rep.PathRes = pres
 
 	if err := runSymPhase(ctx, prog, cfg, rep); err != nil {

@@ -1,0 +1,132 @@
+// Package flight is a bounded lock-free flight recorder for the pipeline's
+// observability events: it retains the last N events per category
+// (category = event type: span.open, progress, warn, ...) in fixed-size
+// rings and dumps itself as a JSONL post-mortem artifact on fault
+// detection, panic, or context cancellation — so a crashed or killed run
+// leaves evidence without full tracing enabled.
+//
+// The recorder implements obs.Sink, so it taps the same event stream a
+// -trace file would, but with O(categories × depth) memory instead of
+// unbounded disk. The hot path (Emit) takes no locks: the category map is
+// copy-on-write behind an atomic pointer, and each ring append is one
+// atomic sequence increment plus one atomic slot-pointer store. Readers
+// (Dump) observe each slot atomically; a dump raced by writers sees a
+// consistent set of whole events, never a torn one.
+package flight
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// DefaultDepth is the per-category ring capacity when Options.Depth is 0.
+const DefaultDepth = 256
+
+// Recorder retains the last Depth events per category. The zero value is
+// not usable; build one with New. All methods are nil-safe no-ops.
+type Recorder struct {
+	depth int
+	start time.Time
+
+	// cats is a copy-on-write map[string]*ring: lock-free lookups on the
+	// Emit hot path, with mu serializing the rare insert of a new category.
+	cats atomic.Pointer[map[string]*ring]
+	mu   sync.Mutex
+
+	// dumped latches the first dump so a panic unwinding through several
+	// deferred handlers (or a fault followed by a cancel) writes once.
+	dumped atomic.Bool
+}
+
+// ring is one category's bounded buffer. seq counts every append ever;
+// slot i%depth holds the i-th event. Writers may race on the same slot
+// under wraparound pressure; the slot pointer store is atomic, so readers
+// always see some whole event from the newest few.
+type ring struct {
+	seq   atomic.Int64
+	slots []atomic.Pointer[record]
+}
+
+// record is one retained event with its per-category sequence number.
+type record struct {
+	seq int64
+	ev  obs.Event
+}
+
+// New returns a recorder retaining the last depth events per category
+// (depth <= 0: DefaultDepth).
+func New(depth int) *Recorder {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	r := &Recorder{depth: depth, start: time.Now()}
+	empty := map[string]*ring{}
+	r.cats.Store(&empty)
+	return r
+}
+
+// Depth returns the per-category ring capacity (0 on nil).
+func (r *Recorder) Depth() int {
+	if r == nil {
+		return 0
+	}
+	return r.depth
+}
+
+// Emit implements obs.Sink: the event is appended to its type's ring,
+// evicting the oldest retained event of that category once the ring is
+// full. Lock-free except when a category is seen for the first time.
+func (r *Recorder) Emit(ev obs.Event) {
+	if r == nil {
+		return
+	}
+	rg := r.ring(ev.Type)
+	seq := rg.seq.Add(1) - 1
+	rg.slots[seq%int64(len(rg.slots))].Store(&record{seq: seq, ev: ev})
+}
+
+// ring returns the category's ring, creating it on first use.
+func (r *Recorder) ring(cat string) *ring {
+	if rg, ok := (*r.cats.Load())[cat]; ok {
+		return rg
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := *r.cats.Load()
+	if rg, ok := cur[cat]; ok {
+		return rg
+	}
+	next := make(map[string]*ring, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	rg := &ring{slots: make([]atomic.Pointer[record], r.depth)}
+	next[cat] = rg
+	r.cats.Store(&next)
+	return rg
+}
+
+// snapshot reads one category's retained events, oldest first, with their
+// sequence numbers and the total ever appended.
+func (rg *ring) snapshot() (recs []record, total int64) {
+	total = rg.seq.Load()
+	depth := int64(len(rg.slots))
+	lo := int64(0)
+	if total > depth {
+		lo = total - depth
+	}
+	for i := lo; i < total; i++ {
+		p := rg.slots[i%depth].Load()
+		if p == nil || p.seq != i {
+			// Slot not yet stored, or already lapped by a racing writer
+			// (whose record surfaces at its own index). Skipping keeps the
+			// snapshot strictly seq-ordered and duplicate-free.
+			continue
+		}
+		recs = append(recs, *p)
+	}
+	return recs, total
+}

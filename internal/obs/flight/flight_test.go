@@ -1,0 +1,235 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func ev(typ string, n int) obs.Event {
+	return obs.Event{Time: time.Unix(1, 0).Add(time.Duration(n)), Type: typ, Msg: fmt.Sprint(n)}
+}
+
+// TestRingWraparound checks that a category retains exactly the last
+// depth events with correct, strictly increasing sequence numbers.
+func TestRingWraparound(t *testing.T) {
+	r := New(8)
+	const total = 30
+	for i := 0; i < total; i++ {
+		r.Emit(ev(obs.EventProgress, i))
+	}
+	var buf bytes.Buffer
+	if err := r.WriteTo(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	problems, summary, err := Validate(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) > 0 {
+		t.Fatalf("validate: %v", problems)
+	}
+	if !strings.Contains(summary, "8 events") {
+		t.Errorf("summary %q, want 8 retained events", summary)
+	}
+
+	// The retained window is exactly [total-depth, total).
+	var seqs []int64
+	var cat Category
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("bad line %s: %v", line, err)
+		}
+		switch probe.Type {
+		case TypeCategory:
+			if err := json.Unmarshal(line, &cat); err != nil {
+				t.Fatal(err)
+			}
+		case TypeEvent:
+			var l Line
+			if err := json.Unmarshal(line, &l); err != nil {
+				t.Fatal(err)
+			}
+			seqs = append(seqs, l.Seq)
+			if want := fmt.Sprint(l.Seq); l.Ev.Msg != want {
+				t.Errorf("seq %d carries event %q, want %q", l.Seq, l.Ev.Msg, want)
+			}
+		}
+	}
+	if cat.Total != total || cat.Kept != 8 {
+		t.Errorf("category total/kept = %d/%d, want %d/8", cat.Total, cat.Kept, total)
+	}
+	for i, s := range seqs {
+		if want := int64(total - 8 + i); s != want {
+			t.Errorf("seq[%d] = %d, want %d", i, s, want)
+		}
+	}
+}
+
+// TestDumpFileOrderingAndLatch checks the dump artifact: categories
+// sorted, events ordered within each, the temp+rename write, and the
+// first-dump-wins latch.
+func TestDumpFileOrderingAndLatch(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 6; i++ {
+		r.Emit(ev(obs.EventProgress, i))
+	}
+	r.Emit(ev(obs.EventWarn, 100))
+	r.Emit(ev(obs.EventSpanOpen, 200))
+
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	if err := r.DumpFile(path, "fault"); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems, summary, err := Validate(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) > 0 {
+		t.Fatalf("validate: %v", problems)
+	}
+	if !strings.Contains(summary, `reason "fault"`) || !strings.Contains(summary, "3 categories") {
+		t.Errorf("summary = %q", summary)
+	}
+	// Category order in the file must be sorted: progress, span.open, warn.
+	text := string(blob)
+	pi := strings.Index(text, `"name":"progress"`)
+	si := strings.Index(text, `"name":"span.open"`)
+	wi := strings.Index(text, `"name":"warn"`)
+	if !(pi >= 0 && pi < si && si < wi) {
+		t.Errorf("categories not sorted: progress@%d span.open@%d warn@%d", pi, si, wi)
+	}
+	if strings.Contains(strings.Join(dirNames(t, filepath.Dir(path)), ","), ".tmp-") {
+		t.Error("temp file left behind")
+	}
+
+	// Second dump is latched: the artifact still says "fault".
+	r.Emit(ev(obs.EventProgress, 999))
+	if err := r.DumpFile(path, "cancelled"); err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Error("latched dump rewrote the artifact")
+	}
+}
+
+func dirNames(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+// TestConcurrentEmitAndDump races emitters against dumps (meaningful
+// under -race): every dump must be structurally valid even mid-wrap.
+func TestConcurrentEmitAndDump(t *testing.T) {
+	r := New(16)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Emit(ev(obs.EventProgress, w*1_000_000+i))
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := r.WriteTo(&buf, "race"); err != nil {
+			t.Fatal(err)
+		}
+		problems, _, err := Validate(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(problems) > 0 {
+			t.Fatalf("dump %d invalid under concurrency: %v", i, problems)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestValidateCatchesCorruption checks the validator flags the classes
+// of damage it claims to: out-of-order seq, category mismatch, missing
+// header, kept/line-count mismatch.
+func TestValidateCatchesCorruption(t *testing.T) {
+	mk := func(lines ...string) []string {
+		problems, _, err := Validate(strings.NewReader(strings.Join(lines, "\n") + "\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return problems
+	}
+	hdr := `{"type":"flight.header","reason":"x","t":"2026-01-01T00:00:00Z","cats":1,"depth":4}`
+	cat := `{"type":"flight.category","name":"progress","total":2,"kept":2}`
+	e0 := `{"type":"flight.event","cat":"progress","seq":0,"ev":{"t":"2026-01-01T00:00:00Z","type":"progress"}}`
+	e1 := `{"type":"flight.event","cat":"progress","seq":1,"ev":{"t":"2026-01-01T00:00:00Z","type":"progress"}}`
+
+	if p := mk(hdr, cat, e0, e1); len(p) != 0 {
+		t.Fatalf("clean dump flagged: %v", p)
+	}
+	if p := mk(hdr, cat, e1, e0); len(p) == 0 {
+		t.Error("out-of-order seq not flagged")
+	}
+	if p := mk(cat, e0, e1); len(p) == 0 {
+		t.Error("missing header not flagged")
+	}
+	if p := mk(hdr, cat, e0); len(p) == 0 {
+		t.Error("kept/line-count mismatch not flagged")
+	}
+	bad := strings.Replace(e1, `"cat":"progress"`, `"cat":"warn"`, 1)
+	if p := mk(hdr, cat, e0, bad); len(p) == 0 {
+		t.Error("category mismatch not flagged")
+	}
+}
+
+// TestRecorderNilSafety: nil recorder is inert everywhere.
+func TestRecorderNilSafety(t *testing.T) {
+	var r *Recorder
+	r.Emit(ev(obs.EventProgress, 1))
+	if err := r.WriteTo(&bytes.Buffer{}, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DumpFile(filepath.Join(t.TempDir(), "f"), "x"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Depth() != 0 {
+		t.Error("nil Depth != 0")
+	}
+}

@@ -1,0 +1,184 @@
+// Package live is the pipeline's live introspection layer: an embeddable
+// HTTP server (the binaries' -listen flag) exposing the run while it
+// executes — /metrics in Prometheus text exposition format rendered from
+// the obs.Registry, /progress as an SSE stream of pipeline/frontier
+// snapshots, /spans as the recent span tree, and the net/http/pprof
+// handlers consolidated onto the same mux.
+//
+// The hard invariant is that none of it perturbs determinism: the server
+// only ever reads atomics (metrics) and consumes the event stream through
+// a never-blocking fan-out (the Hub drops events to slow subscribers
+// rather than applying backpressure), so a run scraped continuously is
+// byte-identical in detections and counters to an unobserved one. The
+// differential test in internal/core pins exactly that across every
+// evaluation app.
+package live
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// spanRingDepth bounds the retained span open/close events behind /spans.
+const spanRingDepth = 512
+
+// Hub fans the obs event stream out to live subscribers (the SSE
+// handlers) and retains a bounded window of recent span events for the
+// /spans tree. It implements obs.Sink and never blocks: a subscriber that
+// cannot keep up loses events (counted per subscriber), the emitting run
+// is never slowed or reordered.
+type Hub struct {
+	mu      sync.Mutex
+	subs    map[*subscriber]struct{}
+	spans   []obs.Event // ring of recent span.open/span.close events
+	next    int         // ring write cursor
+	wrapped bool
+
+	// Events counts everything emitted through the hub (telemetry for the
+	// index page, not a metric).
+	events atomic.Int64
+}
+
+type subscriber struct {
+	ch      chan obs.Event
+	dropped atomic.Int64
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{subs: map[*subscriber]struct{}{}}
+}
+
+// Emit implements obs.Sink. Span events are retained in the ring; every
+// event is offered to each subscriber without blocking.
+func (h *Hub) Emit(ev obs.Event) {
+	if h == nil {
+		return
+	}
+	h.events.Add(1)
+	h.mu.Lock()
+	if ev.Type == obs.EventSpanOpen || ev.Type == obs.EventSpanClose {
+		if len(h.spans) < spanRingDepth {
+			h.spans = append(h.spans, ev)
+		} else {
+			h.spans[h.next] = ev
+			h.wrapped = true
+		}
+		h.next = (h.next + 1) % spanRingDepth
+	}
+	for s := range h.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Subscribe registers a live event consumer with the given channel buffer
+// (<=0: 64) and returns its channel plus a cancel function that
+// unsubscribes and releases it. After cancel returns the channel is
+// closed and no further events arrive.
+func (h *Hub) Subscribe(buf int) (<-chan obs.Event, func()) {
+	if buf <= 0 {
+		buf = 64
+	}
+	s := &subscriber{ch: make(chan obs.Event, buf)}
+	h.mu.Lock()
+	h.subs[s] = struct{}{}
+	h.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			h.mu.Lock()
+			delete(h.subs, s)
+			h.mu.Unlock()
+			close(s.ch)
+		})
+	}
+	return s.ch, cancel
+}
+
+// Subscribers returns the current subscriber count (leak checks in tests).
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// Events returns the number of events the hub has seen.
+func (h *Hub) Events() int64 { return h.events.Load() }
+
+// SpanNode is one reconstructed span for the /spans tree.
+type SpanNode struct {
+	ID       int64          `json:"id"`
+	Parent   int64          `json:"parent,omitempty"`
+	Name     string         `json:"name"`
+	Open     bool           `json:"open"`
+	DurUS    int64          `json:"dur_us,omitempty"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []*SpanNode    `json:"children,omitempty"`
+}
+
+// SpanTree reconstructs the recent span tree from the retained window:
+// open events create nodes (with their open-time attributes), close
+// events complete them with duration and close-time attributes. A node
+// whose parent fell out of the window surfaces as a root. Roots and
+// children are ordered by span ID, so the rendering is deterministic for
+// a given window.
+func (h *Hub) SpanTree() []*SpanNode {
+	h.mu.Lock()
+	window := make([]obs.Event, 0, len(h.spans))
+	if h.wrapped {
+		window = append(window, h.spans[h.next:]...)
+	}
+	window = append(window, h.spans[:h.next]...)
+	if !h.wrapped && h.next == 0 {
+		window = append(window, h.spans...)
+	}
+	h.mu.Unlock()
+
+	nodes := map[int64]*SpanNode{}
+	for _, ev := range window {
+		switch ev.Type {
+		case obs.EventSpanOpen:
+			nodes[ev.Span] = &SpanNode{ID: ev.Span, Parent: ev.Parent, Name: ev.Name, Open: true, Attrs: ev.Attrs}
+		case obs.EventSpanClose:
+			n := nodes[ev.Span]
+			if n == nil {
+				n = &SpanNode{ID: ev.Span, Parent: ev.Parent, Name: ev.Name}
+				nodes[ev.Span] = n
+			}
+			n.Open = false
+			n.DurUS = ev.DurUS
+			if len(ev.Attrs) > 0 {
+				if n.Attrs == nil {
+					n.Attrs = map[string]any{}
+				}
+				for k, v := range ev.Attrs {
+					n.Attrs[k] = v
+				}
+			}
+		}
+	}
+	var roots []*SpanNode
+	for _, n := range nodes {
+		if p := nodes[n.Parent]; n.Parent != 0 && p != nil {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	byID := func(s []*SpanNode) {
+		sort.Slice(s, func(i, j int) bool { return s[i].ID < s[j].ID })
+	}
+	byID(roots)
+	for _, n := range nodes {
+		byID(n.Children)
+	}
+	return roots
+}

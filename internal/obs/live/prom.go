@@ -1,0 +1,256 @@
+package live
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Prometheus text exposition format (version 0.0.4) rendered from the
+// registry's typed export. Metric names are prefixed "statsym_" and
+// sanitized (dots become underscores); histograms render the cumulative
+// le-bucket series the format requires (the registry stores per-bucket
+// counts), plus _sum and _count, plus p50/p99 gauges interpolated from
+// the buckets so dashboards get quantiles without PromQL.
+
+// promPrefix namespaces every exported family.
+const promPrefix = "statsym_"
+
+// promName sanitizes a registry metric name into a Prometheus family name.
+func promName(name string) string {
+	var sb strings.Builder
+	sb.WriteString(promPrefix)
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// WriteExposition renders the export as Prometheus exposition text. Two
+// registry names that sanitize to the same family would be a duplicate;
+// the second is skipped (the lint treats duplicates as violations, so the
+// renderer must never produce one).
+func WriteExposition(w io.Writer, ex obs.Export) error {
+	bw := bufio.NewWriter(w)
+	seen := map[string]bool{}
+	emit := func(family, kind string, render func()) {
+		if seen[family] {
+			return
+		}
+		seen[family] = true
+		fmt.Fprintf(bw, "# HELP %s StatSym metric %s\n", family, kind)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", family, kind)
+		render()
+	}
+	sorted := func(m map[string]int64) []string {
+		names := make([]string, 0, len(m))
+		for n := range m {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return names
+	}
+	for _, n := range sorted(ex.Counters) {
+		family, v := promName(n), ex.Counters[n]
+		emit(family, "counter", func() { fmt.Fprintf(bw, "%s %d\n", family, v) })
+	}
+	for _, n := range sorted(ex.Gauges) {
+		family, v := promName(n), ex.Gauges[n]
+		emit(family, "gauge", func() { fmt.Fprintf(bw, "%s %d\n", family, v) })
+	}
+	for _, h := range ex.Histograms {
+		h := h
+		family := promName(h.Name)
+		emit(family, "histogram", func() {
+			var cum int64
+			for i, b := range h.Bounds {
+				cum += h.Counts[i]
+				fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", family, b, cum)
+			}
+			cum += h.Counts[len(h.Bounds)]
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", family, cum)
+			fmt.Fprintf(bw, "%s_sum %d\n", family, h.Sum)
+			fmt.Fprintf(bw, "%s_count %d\n", family, h.Count)
+		})
+		if h.Count > 0 {
+			hist := histFromSnapshot(h)
+			for _, q := range []struct {
+				label string
+				q     float64
+			}{{"p50", 0.50}, {"p99", 0.99}} {
+				qf := promName(h.Name + "_" + q.label)
+				v := hist.Quantile(q.q)
+				emit(qf, "gauge", func() { fmt.Fprintf(bw, "%s %g\n", qf, v) })
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// histFromSnapshot rebuilds a Histogram from its snapshot so the shared
+// Quantile estimator serves the exposition too.
+func histFromSnapshot(h obs.HistogramSnapshot) *obs.Histogram {
+	rebuilt := obs.NewRegistry().Histogram(h.Name, h.Bounds...)
+	// Replay per-bucket counts as representative observations: bucket i's
+	// upper bound re-lands in bucket i, the overflow count past the last
+	// bound. Count/Sum-exact replay is unnecessary — Quantile only reads
+	// bucket counts and the total.
+	for i, b := range h.Bounds {
+		for k := int64(0); k < h.Counts[i]; k++ {
+			rebuilt.Observe(b)
+		}
+	}
+	last := h.Bounds[len(h.Bounds)-1]
+	for k := int64(0); k < h.Counts[len(h.Bounds)]; k++ {
+		rebuilt.Observe(last + 1)
+	}
+	return rebuilt
+}
+
+// --- exposition lint ---
+
+var (
+	typeLineRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	helpLineRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .*$`)
+	sampleLineRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)( [0-9]+)?$`)
+	leLabelRe    = regexp.MustCompile(`le="([^"]*)"`)
+)
+
+// LintExposition checks Prometheus text exposition output for structural
+// violations: unparseable lines, duplicate family declarations, samples
+// without a declared family, histogram series (_bucket/_sum/_count)
+// outside a histogram family, non-cumulative or unterminated bucket
+// series, and unparseable sample values. Returns the violations (up to
+// 20), the family count, and the sample count. cmd/tracecheck fronts this
+// so CI can lint a live run's /metrics scrape.
+func LintExposition(rd io.Reader) (problems []string, families, samples int, err error) {
+	flagProblem := func(format string, args ...any) {
+		if len(problems) < 20 {
+			problems = append(problems, fmt.Sprintf(format, args...))
+		}
+	}
+	types := map[string]string{}
+	// bucketCum tracks each histogram family's cumulative bucket series:
+	// last le value and last count, to enforce cumulative ordering.
+	type bucketState struct {
+		lastLe  float64
+		lastCum float64
+		sawInf  bool
+	}
+	buckets := map[string]*bucketState{}
+
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			m := typeLineRe.FindStringSubmatch(line)
+			if m == nil {
+				flagProblem("line %d: malformed TYPE line", lines)
+				continue
+			}
+			if _, dup := types[m[1]]; dup {
+				flagProblem("line %d: duplicate family %q", lines, m[1])
+			}
+			types[m[1]] = m[2]
+			families++
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			if helpLineRe.FindStringSubmatch(line) == nil {
+				flagProblem("line %d: malformed HELP line", lines)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		m := sampleLineRe.FindStringSubmatch(line)
+		if m == nil {
+			flagProblem("line %d: malformed sample line", lines)
+			continue
+		}
+		name, labels, value := m[1], m[2], m[3]
+		fv, perr := strconv.ParseFloat(value, 64)
+		if perr != nil {
+			flagProblem("line %d: sample value %q not a number", lines, value)
+			continue
+		}
+		samples++
+		family, series := name, ""
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && types[base] == "histogram" {
+				family, series = base, suffix
+				break
+			}
+		}
+		kind, declared := types[family]
+		if !declared {
+			flagProblem("line %d: sample %q has no TYPE declaration", lines, name)
+			continue
+		}
+		if kind == "histogram" && series == "" {
+			flagProblem("line %d: histogram family %q sampled without _bucket/_sum/_count", lines, name)
+			continue
+		}
+		if kind != "histogram" && labels != "" {
+			flagProblem("line %d: unexpected labels on %s %q", lines, kind, name)
+		}
+		if series == "_bucket" {
+			le := leLabelRe.FindStringSubmatch(labels)
+			if le == nil {
+				flagProblem("line %d: histogram bucket without le label", lines)
+				continue
+			}
+			st := buckets[family]
+			if st == nil {
+				st = &bucketState{lastLe: -1 << 62}
+				buckets[family] = st
+			}
+			bound := 0.0
+			if le[1] == "+Inf" {
+				st.sawInf = true
+			} else if bound, perr = strconv.ParseFloat(le[1], 64); perr != nil {
+				flagProblem("line %d: bucket le %q not a number", lines, le[1])
+				continue
+			} else if st.sawInf {
+				flagProblem("line %d: finite bucket after le=\"+Inf\" in %q", lines, family)
+			} else if bound <= st.lastLe {
+				flagProblem("line %d: bucket bounds not ascending in %q", lines, family)
+			}
+			if fv < st.lastCum {
+				flagProblem("line %d: bucket counts not cumulative in %q", lines, family)
+			}
+			st.lastLe, st.lastCum = bound, fv
+		}
+	}
+	if serr := sc.Err(); serr != nil {
+		return nil, 0, 0, serr
+	}
+	for f, st := range buckets {
+		if !st.sawInf {
+			flagProblem("histogram %q bucket series missing le=\"+Inf\"", f)
+		}
+	}
+	if lines == 0 {
+		flagProblem("empty exposition")
+	}
+	return problems, families, samples, nil
+}

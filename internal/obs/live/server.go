@@ -1,0 +1,241 @@
+package live
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Server is the embeddable introspection HTTP server behind the binaries'
+// -listen flag. It owns its mux (never http.DefaultServeMux, so two
+// instrumented components in one process don't collide) and serves:
+//
+//	/metrics        Prometheus text exposition of the obs.Registry
+//	/progress       SSE stream: an immediate snapshot, then progress
+//	                events from the run interleaved with periodic
+//	                registry ticks
+//	/spans          recent span tree as JSON
+//	/debug/pprof/*  the standard profiling handlers
+//	/               index listing the endpoints
+type Server struct {
+	obsv *obs.Obs
+	hub  *Hub
+
+	// Tick is the cadence of registry snapshots pushed on /progress between
+	// run events (0: 1s). Tests shrink it.
+	Tick time.Duration
+
+	mu  sync.Mutex
+	ln  net.Listener
+	srv *http.Server
+	wg  sync.WaitGroup
+}
+
+// NewServer builds a server over the run's Obs and hub. Both may be nil
+// (endpoints then serve empty documents), though real wiring always has
+// both.
+func NewServer(o *obs.Obs, hub *Hub) *Server {
+	return &Server{obsv: o, hub: hub}
+}
+
+// Handler returns the server's mux, for embedding or tests.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/spans", s.handleSpans)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start listens on addr (e.g. "localhost:6060" or ":0") and serves in the
+// background. Returns the bound address, so ":0" callers learn the port.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	s.mu.Lock()
+	s.ln, s.srv = ln, srv
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address ("" before Start).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down, waiting briefly for in-flight handlers
+// (SSE streams end when their client context is cancelled by shutdown).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := srv.Shutdown(ctx)
+	if err != nil {
+		err = srv.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	var events int64
+	if s.hub != nil {
+		events = s.hub.Events()
+	}
+	fmt.Fprintf(w, `<!doctype html><title>statsym live</title>
+<h1>statsym live introspection</h1>
+<ul>
+<li><a href="/metrics">/metrics</a> — Prometheus exposition</li>
+<li><a href="/progress">/progress</a> — SSE progress stream</li>
+<li><a href="/spans">/spans</a> — recent span tree (JSON)</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — profiling</li>
+</ul>
+<p>%d events observed.</p>
+`, events)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var ex obs.Export
+	if s.obsv != nil {
+		ex = s.obsv.Metrics.Export()
+	}
+	_ = WriteExposition(w, ex)
+}
+
+func (s *Server) handleSpans(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	var roots []*SpanNode
+	if s.hub != nil {
+		roots = s.hub.SpanTree()
+	}
+	if roots == nil {
+		roots = []*SpanNode{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(roots)
+}
+
+// sseFrame is one /progress message: either a live obs event or a
+// periodic registry tick.
+type sseFrame struct {
+	Kind     string           `json:"kind"` // "snapshot" | "event"
+	Time     time.Time        `json:"t"`
+	Event    *obs.Event       `json:"event,omitempty"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+}
+
+// handleProgress streams progress as SSE. The first frame is an immediate
+// registry snapshot (so a short-lived scrape like CI's `curl -m 2`
+// captures at least one tick), then live progress/warn events from the
+// hub interleaved with periodic snapshots. The stream ends when the
+// client disconnects or the server shuts down; the hub subscription is
+// always released.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	tick := s.Tick
+	if tick <= 0 {
+		tick = time.Second
+	}
+	var events <-chan obs.Event
+	cancel := func() {}
+	if s.hub != nil {
+		events, cancel = s.hub.Subscribe(256)
+	}
+	defer cancel()
+
+	enc := json.NewEncoder(w)
+	send := func(f sseFrame) bool {
+		if _, err := fmt.Fprint(w, "data: "); err != nil {
+			return false
+		}
+		if err := enc.Encode(f); err != nil { // Encode appends the newline
+			return false
+		}
+		if _, err := fmt.Fprint(w, "\n"); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	snapshot := func() sseFrame {
+		f := sseFrame{Kind: "snapshot", Time: time.Now()}
+		if s.obsv != nil {
+			ex := s.obsv.Metrics.Export()
+			f.Counters, f.Gauges = ex.Counters, ex.Gauges
+		}
+		return f
+	}
+	if !send(snapshot()) {
+		return
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+			if !send(snapshot()) {
+				return
+			}
+		case ev, open := <-events:
+			if !open {
+				return
+			}
+			if ev.Type != obs.EventProgress && ev.Type != obs.EventWarn {
+				continue // span churn stays on /spans
+			}
+			evCopy := ev
+			if !send(sseFrame{Kind: "event", Time: ev.Time, Event: &evCopy}) {
+				return
+			}
+		}
+	}
+}

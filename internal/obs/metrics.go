@@ -162,10 +162,11 @@ func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
 }
 
 // Snapshot flattens every metric into name→value pairs: counters and
-// gauges map directly; a histogram expands to name.count, name.sum, and
-// one name.le_B entry per bucket (plus name.le_inf for the overflow
-// bucket). Safe to call while updates are in flight — values are
-// per-metric atomic reads, not a consistent cut.
+// gauges map directly; a histogram expands to name.count, name.sum, one
+// name.le_B entry per bucket (plus name.le_inf for the overflow bucket),
+// and — when it has observations — interpolated name.p50 and name.p99
+// quantile estimates. Safe to call while updates are in flight — values
+// are per-metric atomic reads, not a consistent cut.
 func (r *Registry) Snapshot() map[string]int64 {
 	if r == nil {
 		return nil
@@ -186,8 +187,66 @@ func (r *Registry) Snapshot() map[string]int64 {
 			out[fmt.Sprintf("%s.le_%d", n, b)] = h.counts[i].Load()
 		}
 		out[n+".le_inf"] = h.counts[len(h.bounds)].Load()
+		if h.Count() > 0 {
+			out[n+".p50"] = int64(h.Quantile(0.50) + 0.5)
+			out[n+".p99"] = int64(h.Quantile(0.99) + 0.5)
+		}
 	}
 	return out
+}
+
+// HistogramSnapshot is one histogram's point-in-time state: per-bucket
+// counts (len(Bounds)+1, the last entry being the +inf overflow bucket)
+// plus the running count and sum.
+type HistogramSnapshot struct {
+	Name   string
+	Bounds []int64
+	Counts []int64
+	Count  int64
+	Sum    int64
+}
+
+// Export is a typed registry snapshot that keeps the three metric kinds
+// separate, for renderers that need the distinction (the Prometheus
+// exposition endpoint renders counters, gauges, and histogram bucket
+// series differently). Histograms are sorted by name.
+type Export struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms []HistogramSnapshot
+}
+
+// Export captures a typed snapshot of the registry (nil-safe: a nil
+// registry exports empty maps). Like Snapshot, values are per-metric
+// atomic reads, not a consistent cut.
+func (r *Registry) Export() Export {
+	ex := Export{Counters: map[string]int64{}, Gauges: map[string]int64{}}
+	if r == nil {
+		return ex
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n, c := range r.counters {
+		ex.Counters[n] = c.Load()
+	}
+	for n, g := range r.gauges {
+		ex.Gauges[n] = g.Load()
+	}
+	for n, h := range r.hists {
+		hs := HistogramSnapshot{
+			Name:   n,
+			Bounds: h.bounds,
+			Counts: make([]int64, len(h.counts)),
+			Count:  h.count.Load(),
+			Sum:    h.sum.Load(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		ex.Histograms = append(ex.Histograms, hs)
+	}
+	sort.Slice(ex.Histograms, func(i, j int) bool { return ex.Histograms[i].Name < ex.Histograms[j].Name })
+	return ex
 }
 
 // Format renders the snapshot as a sorted two-column text table (the
@@ -307,4 +366,55 @@ func (h *Histogram) Sum() int64 {
 		return 0
 	}
 	return h.sum.Load()
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts
+// by linear interpolation inside the bucket holding the q-th observation,
+// assuming a uniform spread within each bucket (the standard
+// bucket-histogram estimator). The first bucket interpolates from 0 (all
+// observed values are non-negative in this registry); an estimate landing
+// in the +inf overflow bucket is clamped to the highest finite bound,
+// since the ray above it has no upper edge to interpolate toward.
+// Returns 0 with no observations (or on nil).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, b := range h.bounds {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(h.bounds[i-1])
+			}
+			hi := float64(b)
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	// The rank falls in the overflow bucket: clamp to the last finite bound.
+	return float64(h.bounds[len(h.bounds)-1])
 }

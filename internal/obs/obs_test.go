@@ -218,3 +218,135 @@ func TestSetupTraceFile(t *testing.T) {
 		t.Errorf("trace file missing span.open:\n%s", blob)
 	}
 }
+
+// TestHistogramQuantile checks the bucket-interpolation estimator:
+// uniform mass in one bucket interpolates linearly across it, the first
+// bucket interpolates from zero, and overflow mass clamps to the highest
+// finite bound.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q.us", 10, 100, 1000)
+	for i := 0; i < 100; i++ {
+		h.Observe(5) // all mass in the le_10 bucket
+	}
+	if got := h.Quantile(0.50); got != 5.0 {
+		t.Errorf("p50 = %v, want 5.0 (midpoint of [0,10))", got)
+	}
+	if got := h.Quantile(0.99); got != 9.9 {
+		t.Errorf("p99 = %v, want 9.9", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("q=0 = %v, want 0", got)
+	}
+
+	// Mass split across buckets: 50 in le_10, 50 in (10,100].
+	h2 := r.Histogram("q2.us", 10, 100, 1000)
+	for i := 0; i < 50; i++ {
+		h2.Observe(1)
+		h2.Observe(50)
+	}
+	if got := h2.Quantile(0.75); got != 55.0 {
+		t.Errorf("p75 = %v, want 55.0 (halfway through (10,100])", got)
+	}
+
+	// Overflow: everything beyond the last bound clamps to it.
+	h3 := r.Histogram("q3.us", 10, 100)
+	h3.Observe(5000)
+	if got := h3.Quantile(0.99); got != 100 {
+		t.Errorf("overflow p99 = %v, want clamp to 100", got)
+	}
+
+	// Empty and nil are 0.
+	h4 := r.Histogram("q4.us", 10)
+	if got := h4.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	var hn *Histogram
+	if got := hn.Quantile(0.5); got != 0 {
+		t.Errorf("nil quantile = %v, want 0", got)
+	}
+}
+
+// TestSnapshotQuantiles checks that Snapshot (and therefore Format and
+// the HTML metrics table) exposes p50/p99 for histograms with data and
+// omits them for empty ones.
+func TestSnapshotQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat.us", 10, 100)
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	r.Histogram("empty.us", 10)
+	snap := r.Snapshot()
+	if got, ok := snap["lat.us.p50"]; !ok || got != 5 {
+		t.Errorf("lat.us.p50 = %d (present %v), want 5", got, ok)
+	}
+	if _, ok := snap["lat.us.p99"]; !ok {
+		t.Error("lat.us.p99 missing from snapshot")
+	}
+	if _, ok := snap["empty.us.p50"]; ok {
+		t.Error("empty histogram should not export quantiles")
+	}
+	if !strings.Contains(r.Format(), "lat.us.p50") {
+		t.Error("Format does not include the p50 row")
+	}
+}
+
+// TestExport checks the typed snapshot: kinds kept separate, histogram
+// bucket counts exact, histograms sorted by name, nil registry safe.
+func TestExport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c.total").Add(7)
+	r.Gauge("g.live").Set(3)
+	hb := r.Histogram("b.us", 10, 100)
+	hb.Observe(5)
+	hb.Observe(50)
+	hb.Observe(5000)
+	r.Histogram("a.us", 10).Observe(1)
+
+	ex := r.Export()
+	if ex.Counters["c.total"] != 7 || ex.Gauges["g.live"] != 3 {
+		t.Errorf("counters/gauges wrong: %+v", ex)
+	}
+	if len(ex.Histograms) != 2 || ex.Histograms[0].Name != "a.us" || ex.Histograms[1].Name != "b.us" {
+		t.Fatalf("histograms not sorted by name: %+v", ex.Histograms)
+	}
+	b := ex.Histograms[1]
+	if b.Count != 3 || b.Sum != 5055 {
+		t.Errorf("b.us count/sum = %d/%d, want 3/5055", b.Count, b.Sum)
+	}
+	want := []int64{1, 1, 1} // le_10, le_100, overflow
+	for i, w := range want {
+		if b.Counts[i] != w {
+			t.Errorf("b.us bucket %d = %d, want %d", i, b.Counts[i], w)
+		}
+	}
+
+	var rn *Registry
+	nex := rn.Export()
+	if nex.Counters == nil || nex.Gauges == nil || len(nex.Histograms) != 0 {
+		t.Errorf("nil registry export not empty: %+v", nex)
+	}
+}
+
+// TestMultiSink checks fan-out order and that the package-level Progress
+// helper attaches to the context span.
+func TestMultiSink(t *testing.T) {
+	a, b := &Recorder{}, &Recorder{}
+	o := New(MultiSink{a, b})
+	ctx := NewContext(context.Background(), o)
+	ctx, sp := StartSpan(ctx, "phase")
+	Progress(ctx, A("k", 1))
+	sp.End()
+	for name, rec := range map[string]*Recorder{"a": a, "b": b} {
+		evs := rec.Events()
+		if len(evs) != 3 {
+			t.Fatalf("sink %s saw %d events, want 3", name, len(evs))
+		}
+		if evs[1].Type != EventProgress || evs[1].Span != sp.ID {
+			t.Errorf("sink %s progress event = %+v, want span %d", name, evs[1], sp.ID)
+		}
+	}
+	// Progress without an Obs in context is a no-op.
+	Progress(context.Background(), A("k", 2))
+}

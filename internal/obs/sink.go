@@ -85,6 +85,18 @@ func (s *JSONLSink) Close() error {
 	return err
 }
 
+// MultiSink fans every event out to several sinks in order. Used when a
+// run streams the same events to a trace file, the live introspection
+// hub, and the flight recorder simultaneously.
+type MultiSink []Sink
+
+// Emit implements Sink.
+func (m MultiSink) Emit(ev Event) {
+	for _, s := range m {
+		s.Emit(ev)
+	}
+}
+
 // Recorder is an in-memory sink for tests: it keeps every event in
 // arrival order.
 type Recorder struct {

@@ -112,6 +112,18 @@ func (o *Obs) Progress(sp *Span, attrs ...Attr) {
 	o.Emit(ev)
 }
 
+// Progress emits a snapshot event attached to the context's current span
+// — the pipeline-phase hook used at module boundaries (stats done,
+// candidates built, verify attempt started), complementing the executor's
+// periodic in-run snapshots. No-op when observability is disabled.
+func Progress(ctx context.Context, attrs ...Attr) {
+	o := FromContext(ctx)
+	if o == nil {
+		return
+	}
+	o.Progress(SpanFromContext(ctx), attrs...)
+}
+
 // Warn emits a one-line warning event attached to the context's current
 // span. No-op when observability is disabled.
 func Warn(ctx context.Context, msg string, attrs ...Attr) {

@@ -483,7 +483,12 @@ func (ex *Executor) reviveSuspended() {
 // pipeline). Called at most once per Obs.Interval from the scheduling
 // loop, so a long quantum delays a snapshot by at most one batch.
 func (ex *Executor) emitProgress() {
-	ex.obsv.Progress(ex.span,
+	phase := "explore"
+	if ex.span != nil {
+		phase = ex.span.Name
+	}
+	attrs := []obs.Attr{
+		obs.A("phase", phase),
 		obs.A("steps", ex.res.Steps),
 		obs.A("paths", ex.res.Paths),
 		obs.A("states_live", ex.liveStates()),
@@ -492,7 +497,15 @@ func (ex *Executor) emitProgress() {
 		obs.A("solver_checks", ex.Solver.Queries.Checks),
 		obs.A("cache_hits", ex.Solver.Hits),
 		obs.A("cache_misses", ex.Solver.Misses),
-	)
+		obs.A("solver_wall_us", ex.Solver.WallTime().Microseconds()),
+	}
+	if ex.res.Epochs > 0 {
+		attrs = append(attrs, obs.A("epochs", ex.res.Epochs))
+	}
+	if ex.res.SummaryCalls > 0 {
+		attrs = append(attrs, obs.A("summary_calls", ex.res.SummaryCalls))
+	}
+	ex.obsv.Progress(ex.span, attrs...)
 }
 
 // mirrorMetrics folds the run's final counters into the shared metrics
