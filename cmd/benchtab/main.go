@@ -33,12 +33,13 @@ func main() {
 // ablationTitles names the AblationRow-producing experiments; the corpus
 // ablation has its own row type and is dispatched separately.
 var ablationTitles = map[string]string{
-	"scheduler": "ABLATION: schedulers vs StatSym guidance",
-	"guidance":  "ABLATION: guidance mechanisms (inter/intra)",
-	"tau":       "ABLATION: hop threshold τ (thttpd)",
-	"cache":     "ABLATION: solver query cache (polymorph, pure)",
-	"frontier":  "ABLATION: frontier worker scaling (guided + pure)",
-	"summaries": "ABLATION: call interpretation vs memoized summaries",
+	"scheduler":   "ABLATION: schedulers vs StatSym guidance",
+	"guidance":    "ABLATION: guidance mechanisms (inter/intra)",
+	"tau":         "ABLATION: hop threshold τ (thttpd)",
+	"cache":       "ABLATION: solver query cache (polymorph, pure)",
+	"frontier":    "ABLATION: frontier worker scaling (guided + pure)",
+	"summaries":   "ABLATION: call interpretation vs memoized summaries",
+	"solvercache": "ABLATION: persistent solver cache (cold / warm / warm-after-edit)",
 }
 
 // runAblation dispatches one AblationRow-producing ablation by name.
@@ -56,6 +57,8 @@ func runAblation(ctx context.Context, name string, seed int64, budgets bench.Bud
 		return bench.AblationFrontier(ctx, nil, seed, budgets)
 	case "summaries":
 		return bench.AblationSummaries(ctx, seed, budgets)
+	case "solvercache":
+		return bench.AblationSolverCachePersist(ctx, seed, budgets)
 	default:
 		return nil, fmt.Errorf("unknown ablation %q", name)
 	}
@@ -65,8 +68,9 @@ func run() error {
 	var (
 		table     = flag.Int("table", 0, "regenerate one table (1-5); 0 = all")
 		figure    = flag.Int("figure", 0, "regenerate one figure (7-10); 0 = all")
-		ablation  = flag.String("ablation", "", "run an ablation: scheduler, guidance, tau, cache, frontier, corpus, summaries, all")
+		ablation  = flag.String("ablation", "", "run an ablation: scheduler, guidance, tau, cache, frontier, corpus, summaries, solvercache, all")
 		corpusDir = flag.String("corpus-dir", "", "directory for the corpus ablation's on-disk artifacts (default: temp, discarded)")
+		cacheDir  = flag.String("cache-dir", "", "persistent solver-cache root for guided pipeline runs and the solvercache ablation (default: temp, discarded)")
 		seed      = flag.Int64("seed", bench.DefaultSeed, "workload seed")
 		parallel  = flag.Int("parallel", 1, "candidate-verification workers per pipeline run (1: sequential)")
 		workers   = flag.Int("workers", 0, "in-candidate frontier workers per symbolic execution (0: sequential engine)")
@@ -94,6 +98,7 @@ func run() error {
 	budgets.DisableSharedCache = !*sharedCch
 	budgets.Scope = *scope
 	budgets.Summaries = *summaries
+	budgets.CacheDir = *cacheDir
 
 	// SIGINT/SIGTERM cancel the in-flight experiment cooperatively; the
 	// partial rows computed so far are discarded, but the process exits
@@ -303,6 +308,9 @@ func run() error {
 			return err
 		}
 		if err := doAblation("summaries"); err != nil {
+			return err
+		}
+		if err := doAblation("solvercache"); err != nil {
 			return err
 		}
 	default:

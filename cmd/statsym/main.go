@@ -52,6 +52,8 @@ func run() error {
 		parallel  = flag.Int("parallel", 1, "verify candidate paths with this many concurrent workers (1: the paper's sequential loop)")
 		workers   = flag.Int("workers", 0, "in-candidate frontier workers (0: sequential engine; >=1: deterministic epoch engine, results independent of the count)")
 		sharedCch = flag.Bool("shared-cache", true, "share solver verdicts across candidate verifications (wall-clock only; counters are unaffected)")
+		cacheDir  = flag.String("cache-dir", "", "persist solver-cache verdicts across runs in this directory: prior verdicts warm-start this run (verified on load), fresh ones spill back; wall-clock only, detections are unaffected")
+		increment = flag.Bool("incremental", false, "with -cache-dir: diff the cache manifest's function hashes against the program and re-run only candidate paths crossing changed functions")
 		scope     = flag.String("scope", "", "interpretation scope policy: \"\" or \"all\" interprets everything; \"all,-f,-g\" havocs f and g; \"f,g\" interprets exactly that list plus main")
 		summaries = flag.Bool("summaries", false, "replace summarizable in-scope calls by memoized path summaries shared across candidate attempts (detection-equivalent under a full-coverage scope)")
 		verbose   = flag.Bool("v", false, "print predicates and candidate paths")
@@ -105,6 +107,17 @@ func run() error {
 	}
 	fmt.Printf("== %s: %s\n", app.Name, app.Description)
 
+	if *increment && *cacheDir == "" {
+		return fmt.Errorf("-incremental requires -cache-dir")
+	}
+	if *increment {
+		plan, err := core.PlanIncremental(*cacheDir, app.Program())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- %s\n", plan.Describe())
+	}
+
 	if *pure {
 		fmt.Println("-- pure symbolic execution (baseline)")
 		start := time.Now()
@@ -137,6 +150,9 @@ func run() error {
 		Parallel:           *parallel,
 		Workers:            *workers,
 		DisableSharedCache: !*sharedCch,
+		CacheDir:           *cacheDir,
+		Incremental:        *increment,
+		NeedGraph:          *dotOut != "",
 		Scope:              *scope,
 		Summaries:          *summaries,
 	}
@@ -234,9 +250,13 @@ func run() error {
 // store-backed paths.
 func printReport(rep *core.Report, app *apps.App, o *obs.Obs,
 	verbose *bool, dotOut, htmlOut, witOut *string, minimize *bool) error {
-	fmt.Printf("-- statistical analysis: %v (predicates: %d, detours: %d, candidates: %d)\n",
+	statNote := ""
+	if rep.StatsCached {
+		statNote = ", replayed from cache"
+	}
+	fmt.Printf("-- statistical analysis: %v (predicates: %d, detours: %d, candidates: %d%s)\n",
 		rep.StatTime.Round(time.Millisecond), len(rep.Analysis.Predicates),
-		rep.Detours(), len(rep.PathRes.Candidates))
+		rep.Detours(), len(rep.PathRes.Candidates), statNote)
 	if *verbose {
 		fmt.Println("   top predicates:")
 		for i, p := range rep.Analysis.Top(10) {
@@ -273,6 +293,15 @@ func printReport(rep *core.Report, app *apps.App, o *obs.Obs,
 			c.Index, c.PathLen, status, c.Paths, c.Steps, c.Suspends, c.Elapsed.Round(time.Millisecond),
 			c.SolverChecks, c.CacheHits, c.CacheMisses, c.CacheFastSat+c.CacheFastUnsat, c.SolverTime.Round(time.Millisecond))
 	}
+	if rep.SkippedCandidates > 0 {
+		fmt.Printf("   incremental: %d candidate paths skipped (no changed function on the path)\n",
+			rep.SkippedCandidates)
+	}
+	if rep.PersistLoaded+rep.PersistHits+rep.PersistSpilled+rep.PersistRejected+rep.PersistInvalidated > 0 {
+		fmt.Printf("-- solver cache: %d loaded, %d warm hits, %d spilled, %d rejected, %d invalidated\n",
+			rep.PersistLoaded, rep.PersistHits, rep.PersistSpilled, rep.PersistRejected, rep.PersistInvalidated)
+	}
+	fmt.Printf("-- detection digest: %s\n", core.DigestToken(rep))
 	writeHTML := func() error {
 		if *htmlOut == "" {
 			return nil

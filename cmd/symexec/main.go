@@ -19,6 +19,8 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
 	"repro/internal/obs/live"
+	"repro/internal/solver"
+	"repro/internal/solver/persist"
 	"repro/internal/summary"
 	"repro/internal/symexec"
 )
@@ -44,6 +46,7 @@ func run() error {
 		replay    = flag.String("replay", "", "seed exploration with a witness input (JSON, from statsym -witness-out)")
 		cov       = flag.Bool("cov", false, "report instruction coverage after the run")
 		fastPaths = flag.Bool("fast-paths", false, "enable heuristic solver-cache shortcuts (UNSAT-core subsumption, Sat-model reuse); may change exploration")
+		cacheDir  = flag.String("cache-dir", "", "persist solver-cache verdicts across runs in this directory (verified on load; wall-clock only)")
 		scope     = flag.String("scope", "", "interpretation scope policy: \"\" or \"all\" interprets everything; \"all,-f,-g\" havocs f and g; \"f,g\" interprets exactly that list plus main")
 		summaries = flag.Bool("summaries", false, "replace summarizable in-scope calls by memoized path summaries")
 		workers   = flag.Int("workers", 0, "frontier workers (0: sequential engine; >=1: deterministic epoch engine, results independent of the count)")
@@ -167,8 +170,32 @@ func run() error {
 		}
 	}
 
+	// A persistent cache dir gives this run a shared cache as the store's
+	// in-memory face: prior verdicts are verified and seeded before the
+	// run, fresh ones spill behind the solver's hot path.
+	var session *persist.Session
+	if *cacheDir != "" {
+		shared := solver.NewSharedCache(0)
+		opts.SharedCache = shared
+		opts.OriginHashes = summary.HashProgram(prog)
+		session, err = persist.Attach(persist.Config{
+			Dir: *cacheDir, Program: prog, Shared: shared, Obs: rt.Obs(),
+		})
+		if err != nil {
+			return err
+		}
+	}
+
 	ex := symexec.New(prog, spec, opts)
 	res := ex.RunContext(ctx)
+	if session != nil {
+		if err := session.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "symexec: solver cache:", err)
+		}
+		st := session.Stats()
+		fmt.Printf("persist: loaded=%d warm-hits=%d spilled=%d rejected=%d invalidated=%d\n",
+			st.Loaded, session.PersistHits(), st.Spilled, st.Rejected, st.Invalidated)
+	}
 	if res.Found() {
 		rt.NoteFault()
 	}

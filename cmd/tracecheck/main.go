@@ -10,6 +10,10 @@
 // (*.seg) it verifies magic, trailer, footer checksum, block CRCs, and a
 // full record decode against the dictionaries; for a corpus store
 // directory it verifies every manifested segment plus the manifest itself.
+// Persistent solver-cache artifacts get the same treatment: a directory
+// holding a solvercache.json manifest (or a bare *.scq segment) is
+// deep-validated — block CRCs, entry decode, per-entry digest and model
+// self-consistency, digest ordering, and manifest/footer agreement.
 // It exits non-zero on the first class of violation found (including a
 // truncated segment), so CI can smoke-test every layer with real runs.
 package main
@@ -27,6 +31,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
 	"repro/internal/obs/live"
+	"repro/internal/solver/persist"
 )
 
 func main() {
@@ -44,9 +49,15 @@ func main() {
 	var summary string
 	var err error
 	if st, serr := os.Stat(arg); serr == nil && st.IsDir() {
-		problems, summary, err = checkStore(arg)
+		if persist.IsStoreDir(arg) {
+			problems, summary, err = checkCacheStore(arg)
+		} else {
+			problems, summary, err = checkStore(arg)
+		}
 	} else if strings.HasSuffix(arg, ".seg") {
 		problems, summary, err = checkSegment(arg)
+	} else if strings.HasSuffix(arg, persist.SegmentSuffix) {
+		problems, summary, err = checkCacheSegment(arg)
 	} else {
 		switch sniff(arg) {
 		case "flight":
@@ -142,6 +153,35 @@ func checkSegment(path string) (problems []string, summary string, err error) {
 	summary = fmt.Sprintf("tracecheck: %s: %d blocks, %d runs, %d records, %d bytes, %d problems",
 		path, rep.Blocks, rep.Runs, rep.Records, rep.Bytes, len(rep.Problems))
 	return rep.Problems, summary, nil
+}
+
+// checkCacheSegment deep-validates one solver-cache segment (*.scq): block
+// CRCs, a full entry decode, every entry's self-consistency (stored digest
+// vs recomputed, Sat models satisfying their conjunctions), within-block
+// digest ordering, and footer agreement.
+func checkCacheSegment(path string) (problems []string, summary string, err error) {
+	rep, err := persist.VerifySegmentFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	summary = fmt.Sprintf("tracecheck: %s: solver-cache segment — %d blocks, %d entries, %d bytes, %d problems",
+		path, rep.Blocks, rep.Entries, rep.Bytes, len(rep.Problems))
+	return rep.Problems, summary, nil
+}
+
+// checkCacheStore validates a whole solver-cache store directory
+// (recognized by its solvercache.json manifest): every manifested segment
+// plus manifest/footer consistency and stray-file detection.
+func checkCacheStore(dir string) (problems []string, summary string, err error) {
+	s, err := persist.Open(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	rep, err := s.Verify()
+	if err != nil {
+		return nil, "", err
+	}
+	return rep.AllProblems(), "tracecheck: " + dir + ": solver cache — " + rep.Summary(), nil
 }
 
 // checkStore validates a whole corpus store directory.

@@ -13,6 +13,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -59,6 +60,12 @@ type Budgets struct {
 	// by every experiment that runs the guided pipeline ("" interprets
 	// everything; see summary.ParsePolicy for the syntax).
 	Scope string
+
+	// CacheDir, when set, hands every guided pipeline run a persistent
+	// cross-run solver-cache directory (core.Config.CacheDir). The
+	// solvercache ablation uses it as its store root (one subdirectory
+	// per app); empty means a throwaway temp directory.
+	CacheDir string
 
 	// Summaries switches the executor's call strategy to summarize mode in
 	// every guided pipeline run: summarizable leaf calls are replaced by
@@ -151,6 +158,11 @@ func RunPipeline(ctx context.Context, app *apps.App, rate float64, seed int64, b
 		DisableSharedCache:   budgets.DisableSharedCache,
 		Scope:                budgets.Scope,
 		Summaries:            budgets.Summaries,
+	}
+	// A persistent store is single-program (its manifest pins the program
+	// name), so a shared cache root gets one subdirectory per app.
+	if budgets.CacheDir != "" {
+		cfg.CacheDir = filepath.Join(budgets.CacheDir, app.Name)
 	}
 	rep, err := core.RunContext(ctx, app.Program(), corpus, cfg)
 	if rep != nil {

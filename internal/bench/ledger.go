@@ -35,6 +35,13 @@ type LedgerRow struct {
 	SummaryCalls int64 `json:"summary_calls,omitempty"`
 	CacheHits    int64 `json:"cache_hits,omitempty"`
 	Mined        int64 `json:"mined,omitempty"`
+
+	// Persistent solver-cache columns (solvercache ablation rows only).
+	PersistLoaded  int64  `json:"persist_loaded,omitempty"`
+	PersistHits    int64  `json:"persist_hits,omitempty"`
+	PersistSpilled int64  `json:"persist_spilled,omitempty"`
+	PersistRejects int64  `json:"persist_rejects,omitempty"`
+	Digest         string `json:"digest,omitempty"`
 }
 
 // Key identifies the row for baseline matching.
@@ -54,16 +61,21 @@ func LedgerFromRows(rows []AblationRow) []LedgerRow {
 	out := make([]LedgerRow, 0, len(rows))
 	for _, r := range rows {
 		out = append(out, LedgerRow{
-			Program:      r.Program,
-			Config:       r.Config,
-			Found:        r.Found,
-			Paths:        r.Paths,
-			Steps:        r.Steps,
-			SymMS:        float64(r.Elapsed) / float64(time.Millisecond),
-			Failed:       r.Failed,
-			SummaryCalls: int64(r.SummaryCalls),
-			CacheHits:    r.SummaryHits,
-			Mined:        r.SummaryMined,
+			Program:        r.Program,
+			Config:         r.Config,
+			Found:          r.Found,
+			Paths:          r.Paths,
+			Steps:          r.Steps,
+			SymMS:          float64(r.Elapsed) / float64(time.Millisecond),
+			Failed:         r.Failed,
+			SummaryCalls:   int64(r.SummaryCalls),
+			CacheHits:      r.SummaryHits,
+			Mined:          r.SummaryMined,
+			PersistLoaded:  r.PersistLoaded,
+			PersistHits:    r.PersistHits,
+			PersistSpilled: r.PersistSpilled,
+			PersistRejects: r.PersistRejects,
+			Digest:         r.Digest,
 		})
 	}
 	return out
@@ -146,6 +158,8 @@ func ablationFor(config string) string {
 		return "tau"
 	case strings.HasPrefix(config, "solver-cache="):
 		return "cache"
+	case strings.HasPrefix(config, "solvercache="):
+		return "solvercache"
 	case strings.HasPrefix(config, "calls="):
 		return "summaries"
 	default:

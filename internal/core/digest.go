@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"strings"
 )
 
@@ -27,4 +28,14 @@ func DetectionDigest(r *Report) string {
 			c.Index, c.PathLen, c.Label(), c.Found, c.Infeasible)
 	}
 	return sb.String()
+}
+
+// DigestToken compresses the report's detection digest to a fixed-width
+// printable token (FNV-64a of the canonical string) for one-line CLI
+// output and ledger rows; equality of tokens is the cold-vs-warm
+// determinism check the CI smoke job greps for.
+func DigestToken(r *Report) string {
+	h := fnv.New64a()
+	h.Write([]byte(DetectionDigest(r)))
+	return fmt.Sprintf("%016x", h.Sum64())
 }

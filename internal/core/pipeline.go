@@ -9,6 +9,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pathid"
 	"repro/internal/solver"
+	"repro/internal/solver/persist"
 	"repro/internal/stats"
 	"repro/internal/summary"
 	"repro/internal/symexec"
@@ -71,6 +72,29 @@ type Config struct {
 	// Report counters are identical with it on or off.
 	DisableSharedCache bool
 
+	// CacheDir, when set, attaches a persistent cross-run solver-cache
+	// store at that directory: verdicts cached by earlier runs are loaded
+	// (verified entry-by-entry) into this run's shared cache at warm
+	// start, and fresh verdicts spill back behind the solver's hot path.
+	// Wall-clock only — every loaded entry is re-verified against its own
+	// conjunction before use, so a stale or corrupt store degrades speed,
+	// never detection results. Ignored when DisableSharedCache is set.
+	CacheDir string
+	// Incremental, with CacheDir, skips candidate paths that do not cross
+	// any function whose bytecode hash changed since the store's manifest
+	// was written: unchanged code keeps its prior verdicts, only the delta
+	// is re-verified. A store with no recorded changes runs every
+	// candidate (a plain warm run). Skipped candidates are counted in
+	// Report.SkippedCandidates. This is an analysis-scoping policy — a
+	// vulnerability in skipped (unchanged) code was already reported by
+	// the run that populated the store.
+	Incremental bool
+	// NeedGraph forces the statistical phase to run even on a warm cache
+	// hit, because the caller consumes the transition graph (statsym
+	// -dot), which the memoized artifact does not carry. Irrelevant
+	// without CacheDir.
+	NeedGraph bool
+
 	// Scope is the compositional scope policy (summary.ParsePolicy syntax:
 	// "" or "all" interprets everything; "all,-f,-g" havocs f and g;
 	// "f,g,h" interprets exactly that list plus main). Out-of-scope calls
@@ -93,6 +117,11 @@ type Config struct {
 	// same function body is mined once for the whole run).
 	calls        symexec.CallStrategy
 	summaryCache *summary.Cache
+	// originHashes maps bytecode.Fn.Index to summary.FnHash so the solver
+	// layer can attribute each cached verdict to the function whose branch
+	// issued it (persistent-cache invalidation granularity). Computed once
+	// per run when CacheDir is set.
+	originHashes []uint64
 }
 
 // callMode maps the public Scope/Summaries knobs to a call-strategy mode.
@@ -269,6 +298,24 @@ type Report struct {
 	SummaryHits   int64
 	SummaryMisses int64
 	SummaryMined  int64
+	// Persistent solver-cache traffic for the run (CacheDir set only):
+	// entries loaded and verified at warm start, verified-on-load
+	// rejections (on-disk corruption), entries invalidated by function
+	// changes or tombstones, entries spilled to disk this run, and
+	// lookup hits served from loaded entries. Wall-clock telemetry —
+	// never part of DetectionDigest.
+	PersistLoaded      int64
+	PersistRejected    int64
+	PersistInvalidated int64
+	PersistSpilled     int64
+	PersistHits        int64
+	// SkippedCandidates counts candidate paths elided by Incremental
+	// mode (no dirty function on the path).
+	SkippedCandidates int
+	// StatsCached reports that the statistical phase was replayed from
+	// the CacheDir memo instead of being derived (wall-clock only; the
+	// replay is byte-exact). PathRes.Graph is nil on a replay.
+	StatsCached bool
 	// Cancelled reports that the symbolic-execution phase was interrupted
 	// by context cancellation before it could finish; the report carries
 	// whatever the pipeline completed up to that point.
@@ -323,24 +370,52 @@ func RunContext(ctx context.Context, prog *bytecode.Program, corpus *trace.Corpu
 		}()
 	}
 
-	// Statistical analysis module.
+	// Statistical analysis module. With a CacheDir, the phase's output —
+	// a pure function of (corpus, path config) — is memoized on disk and
+	// replayed on warm runs whose corpus fingerprint matches; a hit skips
+	// both predicate derivation and candidate construction. Byte-exact
+	// replay, so detection is untouched (pinned by the cold-vs-warm
+	// differential tests); bypassed when the caller needs the transition
+	// graph, which the artifact does not carry.
 	statStart := time.Now()
-	_, aspan := obs.StartSpan(ctx, "stats")
-	rep.Analysis = stats.Analyze(corpus)
-	aspan.End(obs.A("predicates", len(rep.Analysis.Predicates)))
-	obs.Progress(ctx, obs.A("phase", "stats"),
-		obs.A("predicates", len(rep.Analysis.Predicates)))
-	_, cspan := obs.StartSpan(ctx, "candidates")
-	pres, err := pathid.Build(corpus, rep.Analysis, cfg.Path)
-	rep.StatTime = time.Since(statStart)
-	if err != nil {
-		cspan.End(obs.A("error", err.Error()))
-		return rep, fmt.Errorf("core: candidate path construction: %w", err)
+	var corpusFP uint64
+	if cfg.CacheDir != "" && !cfg.NeedGraph {
+		corpusFP = corpusFingerprint(corpus)
+		if analysis, pres, ok := loadStatsCache(cfg.CacheDir, corpusFP, prog.Name, cfg.Path); ok {
+			rep.Analysis, rep.PathRes, rep.StatsCached = analysis, pres, true
+			rep.StatTime = time.Since(statStart)
+			if o := obs.FromContext(ctx); o != nil {
+				o.Metrics.Counter(obs.MetricStatsCacheHits).Add(1)
+			}
+			obs.Progress(ctx, obs.A("phase", "stats"), obs.A("cached", true),
+				obs.A("predicates", len(rep.Analysis.Predicates)),
+				obs.A("candidates", len(rep.PathRes.Candidates)))
+		}
 	}
-	cspan.End(obs.A("candidates", len(pres.Candidates)), obs.A("detours", len(pres.Detours)))
-	obs.Progress(ctx, obs.A("phase", "candidates"),
-		obs.A("candidates", len(pres.Candidates)), obs.A("detours", len(pres.Detours)))
-	rep.PathRes = pres
+	if !rep.StatsCached {
+		_, aspan := obs.StartSpan(ctx, "stats")
+		rep.Analysis = stats.Analyze(corpus)
+		aspan.End(obs.A("predicates", len(rep.Analysis.Predicates)))
+		obs.Progress(ctx, obs.A("phase", "stats"),
+			obs.A("predicates", len(rep.Analysis.Predicates)))
+		_, cspan := obs.StartSpan(ctx, "candidates")
+		pres, err := pathid.Build(corpus, rep.Analysis, cfg.Path)
+		rep.StatTime = time.Since(statStart)
+		if err != nil {
+			cspan.End(obs.A("error", err.Error()))
+			return rep, fmt.Errorf("core: candidate path construction: %w", err)
+		}
+		cspan.End(obs.A("candidates", len(pres.Candidates)), obs.A("detours", len(pres.Detours)))
+		obs.Progress(ctx, obs.A("phase", "candidates"),
+			obs.A("candidates", len(pres.Candidates)), obs.A("detours", len(pres.Detours)))
+		rep.PathRes = pres
+		if cfg.CacheDir != "" && !cfg.NeedGraph {
+			if o := obs.FromContext(ctx); o != nil {
+				o.Metrics.Counter(obs.MetricStatsCacheMisses).Add(1)
+			}
+			saveStatsCache(cfg.CacheDir, corpusFP, prog.Name, cfg.Path, rep.Analysis, pres)
+		}
+	}
 
 	if err := runSymPhase(ctx, prog, cfg, rep); err != nil {
 		return rep, err
@@ -364,10 +439,36 @@ func runSymPhase(ctx context.Context, prog *bytecode.Program, cfg Config, rep *R
 	// One shared solver cache per parallel pipeline run: concurrent
 	// candidate verifications reuse each other's verdicts. Wall-clock
 	// only — counters and outcomes are unaffected. Sequential runs skip
-	// it: anything a lone worker could hit is already in its local LRU,
-	// so the shared layer would pay a lock-and-copy per miss for nothing.
-	if !cfg.DisableSharedCache && cfg.Parallel > 1 && len(cands) > 1 {
+	// it (anything a lone worker could hit is already in its local LRU,
+	// so the shared layer would pay a lock-and-copy per miss for
+	// nothing) — unless a persistent CacheDir is attached, which needs
+	// the shared layer as its in-memory face even for one worker.
+	if !cfg.DisableSharedCache && (cfg.CacheDir != "" || (cfg.Parallel > 1 && len(cands) > 1)) {
 		cfg.sharedCache = solver.NewSharedCache(0)
+	}
+	var session *persist.Session
+	if cfg.CacheDir != "" && cfg.sharedCache != nil {
+		cfg.originHashes = summary.HashProgram(prog)
+		s, err := persist.Attach(persist.Config{
+			Dir:     cfg.CacheDir,
+			Program: prog,
+			Shared:  cfg.sharedCache,
+			Obs:     obs.FromContext(ctx),
+		})
+		if err != nil {
+			rep.SymTime = time.Since(symStart)
+			return fmt.Errorf("core: solver cache: %w", err)
+		}
+		session = s
+		obs.Progress(ctx, obs.A("phase", "solvercache"),
+			obs.A("loaded", s.Stats().Loaded),
+			obs.A("rejected", s.Stats().Rejected),
+			obs.A("invalidated", s.Stats().Invalidated))
+		if cfg.Incremental && session.Diff.HasChanges() {
+			kept, skipped := filterCandidatesByDirty(cands, session.Diff.Dirty)
+			rep.SkippedCandidates = skipped
+			cands = kept
+		}
 	}
 	// The compositional call strategy is built once per run — even for
 	// sequential verification, since the summary cache's value is reusing
@@ -381,11 +482,29 @@ func runSymPhase(ctx context.Context, prog *bytecode.Program, cfg Config, rep *R
 	} else {
 		verifyCandidatesSequential(symCtx, prog, cands, cfg, rep)
 	}
+	// Seal the persistent cache before reading its counters: Close drains
+	// the write-behind spill and advances the store manifest to this
+	// program's function set. A seal failure costs the next run its warm
+	// start, nothing else — degrade to a warning.
+	if session != nil {
+		if err := session.Close(); err != nil {
+			obs.Warn(ctx, "solver cache seal failed", obs.A("error", err.Error()))
+		}
+		st := session.Stats()
+		rep.PersistLoaded = st.Loaded
+		rep.PersistRejected = st.Rejected
+		rep.PersistInvalidated = st.Invalidated
+		rep.PersistSpilled = st.Spilled
+		rep.PersistHits = session.PersistHits()
+	}
 	if cfg.sharedCache != nil {
 		if o := obs.FromContext(ctx); o != nil {
 			c := cfg.sharedCache.Counters()
 			o.Metrics.Counter(obs.MetricSharedCacheStores).Add(c.Stores)
 			o.Metrics.Counter(obs.MetricSharedCacheEvictions).Add(c.Evictions)
+			if c.Invalidations > 0 {
+				o.Metrics.Counter(obs.MetricSharedCacheInvalidations).Add(c.Invalidations)
+			}
 		}
 	}
 	if cfg.summaryCache != nil {
@@ -477,6 +596,7 @@ func VerifyCandidateCtx(ctx context.Context, prog *bytecode.Program, cand *pathi
 	opts.Sched = NewGuidedScheduler()
 	opts.Hook = g.Hook
 	opts.SharedCache = cfg.sharedCache
+	opts.OriginHashes = cfg.originHashes
 	opts.Calls = cfg.calls
 	opts.Workers = cfg.effectiveWorkers()
 	// Guided attempts draft a narrow epoch: the guidance concentrates the

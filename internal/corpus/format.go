@@ -135,69 +135,19 @@ func appendString(dst []byte, s string) []byte {
 	return append(dst, s...)
 }
 
-// byteReader is a bounds-checked cursor over a decoded block. Every read
-// returns an error instead of panicking, so arbitrary (corrupt or fuzzed)
-// bytes decode to a clean error, never a crash.
-type byteReader struct {
-	b   []byte
-	off int
-}
-
-func (r *byteReader) len() int { return len(r.b) - r.off }
-
-func (r *byteReader) uvarint() (uint64, error) {
-	v, n := binary.Uvarint(r.b[r.off:])
-	if n <= 0 {
-		return 0, fmt.Errorf("corpus: truncated or malformed uvarint at offset %d", r.off)
-	}
-	r.off += n
-	return v, nil
-}
-
-func (r *byteReader) varint() (int64, error) {
-	v, n := binary.Varint(r.b[r.off:])
-	if n <= 0 {
-		return 0, fmt.Errorf("corpus: truncated or malformed varint at offset %d", r.off)
-	}
-	r.off += n
-	return v, nil
-}
-
-func (r *byteReader) byte() (byte, error) {
-	if r.off >= len(r.b) {
-		return 0, fmt.Errorf("corpus: truncated record at offset %d", r.off)
-	}
-	b := r.b[r.off]
-	r.off++
-	return b, nil
-}
-
-func (r *byteReader) string() (string, error) {
-	n, err := r.uvarint()
-	if err != nil {
-		return "", err
-	}
-	if n > uint64(r.len()) {
-		return "", fmt.Errorf("corpus: string length %d exceeds remaining %d bytes", n, r.len())
-	}
-	s := string(r.b[r.off : r.off+int(n)])
-	r.off += int(n)
-	return s, nil
-}
-
 // decodeRun decodes one run using the segment's dictionary tables. Counts
 // are sanity-bounded by the remaining bytes (every record and observation
 // costs at least two bytes) so corrupt headers cannot force giant
 // allocations.
-func decodeRun(r *byteReader, locs []trace.Location, vars []string) (*trace.Run, error) {
-	id, err := r.uvarint()
+func decodeRun(r *ByteReader, locs []trace.Location, vars []string) (*trace.Run, error) {
+	id, err := r.Uvarint()
 	if err != nil {
 		return nil, err
 	}
 	if id > math.MaxInt32 {
 		return nil, fmt.Errorf("corpus: implausible run ID %d", id)
 	}
-	flags, err := r.byte()
+	flags, err := r.Byte()
 	if err != nil {
 		return nil, err
 	}
@@ -206,25 +156,25 @@ func decodeRun(r *byteReader, locs []trace.Location, vars []string) (*trace.Run,
 	}
 	run := &trace.Run{ID: int(id), Faulty: flags&runFlagFaulty != 0}
 	if run.Faulty {
-		if run.FaultKind, err = r.string(); err != nil {
+		if run.FaultKind, err = r.String(); err != nil {
 			return nil, err
 		}
-		if run.FaultFunc, err = r.string(); err != nil {
+		if run.FaultFunc, err = r.String(); err != nil {
 			return nil, err
 		}
 	}
-	nrec, err := r.uvarint()
+	nrec, err := r.Uvarint()
 	if err != nil {
 		return nil, err
 	}
-	if nrec > uint64(r.len()/2+1) {
-		return nil, fmt.Errorf("corpus: record count %d exceeds remaining %d bytes", nrec, r.len())
+	if nrec > uint64(r.Len()/2+1) {
+		return nil, fmt.Errorf("corpus: record count %d exceeds remaining %d bytes", nrec, r.Len())
 	}
 	if nrec > 0 {
 		run.Records = make([]trace.Record, 0, nrec)
 	}
 	for i := uint64(0); i < nrec; i++ {
-		locID, err := r.uvarint()
+		locID, err := r.Uvarint()
 		if err != nil {
 			return nil, err
 		}
@@ -232,25 +182,25 @@ func decodeRun(r *byteReader, locs []trace.Location, vars []string) (*trace.Run,
 			return nil, fmt.Errorf("corpus: location ID %d out of dictionary range %d", locID, len(locs))
 		}
 		rec := trace.Record{Loc: locs[locID]}
-		nobs, err := r.uvarint()
+		nobs, err := r.Uvarint()
 		if err != nil {
 			return nil, err
 		}
-		if nobs > uint64(r.len()/2+1) {
-			return nil, fmt.Errorf("corpus: observation count %d exceeds remaining %d bytes", nobs, r.len())
+		if nobs > uint64(r.Len()/2+1) {
+			return nil, fmt.Errorf("corpus: observation count %d exceeds remaining %d bytes", nobs, r.Len())
 		}
 		if nobs > 0 {
 			rec.Obs = make([]trace.Observation, 0, nobs)
 		}
 		for j := uint64(0); j < nobs; j++ {
-			varID, err := r.uvarint()
+			varID, err := r.Uvarint()
 			if err != nil {
 				return nil, err
 			}
 			if varID >= uint64(len(vars)) {
 				return nil, fmt.Errorf("corpus: variable ID %d out of dictionary range %d", varID, len(vars))
 			}
-			meta, err := r.byte()
+			meta, err := r.Byte()
 			if err != nil {
 				return nil, err
 			}
@@ -264,12 +214,12 @@ func decodeRun(r *byteReader, locs []trace.Location, vars []string) (*trace.Run,
 			ob := trace.Observation{Var: vars[varID], Class: class}
 			if meta&obsMetaString != 0 {
 				ob.Kind = trace.ValueString
-				if ob.Str, err = r.string(); err != nil {
+				if ob.Str, err = r.String(); err != nil {
 					return nil, err
 				}
 			} else {
 				ob.Kind = trace.ValueInt
-				if ob.Int, err = r.varint(); err != nil {
+				if ob.Int, err = r.Varint(); err != nil {
 					return nil, err
 				}
 			}
@@ -295,6 +245,12 @@ type blockInfo struct {
 	FirstRun int    `json:"first"` // segment-relative index of the first run
 	Runs     int    `json:"runs"`  // runs encoded in the block
 	CRC      uint32 `json:"crc"`   // CRC32 (IEEE) of the compressed payload
+}
+
+// frame projects the block's index entry onto the generic framed-block
+// layer's view (dropping the run-count fields the trace format adds).
+func (b blockInfo) frame() BlockFrame {
+	return BlockFrame{Offset: b.Offset, CompLen: b.CompLen, RawLen: b.RawLen, CRC: b.CRC}
 }
 
 // segFooter is the per-segment index, serialized as JSON ahead of the

@@ -51,7 +51,7 @@ func FuzzRunRecordRoundTrip(f *testing.F) {
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		r := &byteReader{b: data}
+		r := NewByteReader(data)
 		run, err := decodeRun(r, fuzzLocs, fuzzVars)
 		if err != nil {
 			return // malformed input rejected cleanly — that's the contract
@@ -59,13 +59,13 @@ func FuzzRunRecordRoundTrip(f *testing.F) {
 		// Re-encode with a fresh dictionary and decode again.
 		d := newDict()
 		enc := appendRun(nil, run, d)
-		r2 := &byteReader{b: enc}
+		r2 := NewByteReader(enc)
 		run2, err := decodeRun(r2, d.locs, d.vars)
 		if err != nil {
 			t.Fatalf("re-decode of re-encoded run failed: %v\nrun: %+v", err, run)
 		}
-		if r2.len() != 0 {
-			t.Fatalf("re-decode left %d trailing bytes", r2.len())
+		if r2.Len() != 0 {
+			t.Fatalf("re-decode left %d trailing bytes", r2.Len())
 		}
 		if !reflect.DeepEqual(run, run2) {
 			t.Fatalf("round trip changed run:\n first: %+v\nsecond: %+v", run, run2)

@@ -1,12 +1,8 @@
 package corpus
 
 import (
-	"bytes"
-	"compress/gzip"
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -28,44 +24,9 @@ type segment struct {
 // payloads are not touched; a torn (truncated or corrupted-at-the-end)
 // segment fails here with a descriptive error.
 func openSegment(path string) (*segment, error) {
-	f, err := os.Open(path)
+	blob, size, err := ReadFooterBlob(path, segMagic, trailerMagic)
 	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	st, err := f.Stat()
-	if err != nil {
-		return nil, err
-	}
-	size := st.Size()
-	if size < int64(len(segMagic))+trailerSize {
-		return nil, fmt.Errorf("corpus: %s: truncated segment (%d bytes)", path, size)
-	}
-	magic := make([]byte, len(segMagic))
-	if _, err := f.ReadAt(magic, 0); err != nil {
-		return nil, err
-	}
-	if string(magic) != segMagic {
-		return nil, fmt.Errorf("corpus: %s: bad segment magic", path)
-	}
-	trailer := make([]byte, trailerSize)
-	if _, err := f.ReadAt(trailer, size-trailerSize); err != nil {
-		return nil, err
-	}
-	if string(trailer[12:]) != trailerMagic {
-		return nil, fmt.Errorf("corpus: %s: missing trailer magic (torn or unsealed segment)", path)
-	}
-	footerCRC := binary.LittleEndian.Uint32(trailer[0:4])
-	footerLen := binary.LittleEndian.Uint64(trailer[4:12])
-	if footerLen > uint64(size)-uint64(len(segMagic))-trailerSize {
-		return nil, fmt.Errorf("corpus: %s: footer length %d exceeds file size %d", path, footerLen, size)
-	}
-	blob := make([]byte, footerLen)
-	if _, err := f.ReadAt(blob, size-trailerSize-int64(footerLen)); err != nil {
-		return nil, err
-	}
-	if crc := crc32.ChecksumIEEE(blob); crc != footerCRC {
-		return nil, fmt.Errorf("corpus: %s: footer checksum mismatch (%#x != %#x)", path, crc, footerCRC)
+		return nil, fmt.Errorf("corpus: %w", err)
 	}
 	seg := &segment{path: path}
 	if err := json.Unmarshal(blob, &seg.footer); err != nil {
@@ -99,62 +60,16 @@ func (s *Store) segment(name string) (*segment, error) {
 // readBlock reads, checksums, and decompresses one block into a raw
 // payload buffer (reused across calls when cap allows).
 func readBlock(f *os.File, b blockInfo, raw []byte) ([]byte, error) {
-	// The frame header is three uvarints; re-read them to cross-check the
-	// footer (a mismatch means either side is corrupt).
-	hdr := make([]byte, binary.MaxVarintLen64*3)
-	n, err := f.ReadAt(hdr, b.Offset)
-	if err != nil && err != io.EOF {
-		return nil, err
-	}
-	hdr = hdr[:n]
-	r := &byteReader{b: hdr}
-	rawLen, err := r.uvarint()
+	out, err := ReadFramedBlock(f, b.frame(), raw)
 	if err != nil {
-		return nil, fmt.Errorf("corpus: block at %d: %w", b.Offset, err)
+		return nil, fmt.Errorf("corpus: %w", err)
 	}
-	compLen, err := r.uvarint()
-	if err != nil {
-		return nil, fmt.Errorf("corpus: block at %d: %w", b.Offset, err)
-	}
-	crcHdr, err := r.uvarint()
-	if err != nil {
-		return nil, fmt.Errorf("corpus: block at %d: %w", b.Offset, err)
-	}
-	if int(rawLen) != b.RawLen || int(compLen) != b.CompLen || uint32(crcHdr) != b.CRC {
-		return nil, fmt.Errorf("corpus: block at %d: frame header disagrees with footer index", b.Offset)
-	}
-	comp := make([]byte, compLen)
-	if _, err := f.ReadAt(comp, b.Offset+int64(r.off)); err != nil {
-		return nil, fmt.Errorf("corpus: block at %d: %w", b.Offset, err)
-	}
-	if crc := crc32.ChecksumIEEE(comp); crc != b.CRC {
-		return nil, fmt.Errorf("corpus: block at %d: payload checksum mismatch (%#x != %#x)", b.Offset, crc, b.CRC)
-	}
-	zr, err := gzip.NewReader(bytes.NewReader(comp))
-	if err != nil {
-		return nil, fmt.Errorf("corpus: block at %d: %w", b.Offset, err)
-	}
-	if cap(raw) < int(rawLen) {
-		raw = make([]byte, rawLen)
-	}
-	raw = raw[:rawLen]
-	if _, err := io.ReadFull(zr, raw); err != nil {
-		return nil, fmt.Errorf("corpus: block at %d: %w", b.Offset, err)
-	}
-	// One extra read distinguishes "exactly rawLen bytes" from a payload
-	// that kept going (footer lied about the raw size).
-	if n, _ := zr.Read(make([]byte, 1)); n != 0 {
-		return nil, fmt.Errorf("corpus: block at %d: payload longer than indexed %d bytes", b.Offset, rawLen)
-	}
-	if err := zr.Close(); err != nil {
-		return nil, fmt.Errorf("corpus: block at %d: %w", b.Offset, err)
-	}
-	return raw, nil
+	return out, nil
 }
 
 // decodeBlock decodes all runs of one raw block payload.
 func decodeBlock(raw []byte, seg *segment, want int, dst []*trace.Run) ([]*trace.Run, error) {
-	r := &byteReader{b: raw}
+	r := NewByteReader(raw)
 	dst = dst[:0]
 	for i := 0; i < want; i++ {
 		run, err := decodeRun(r, seg.locs, seg.footer.Vars)
@@ -163,8 +78,8 @@ func decodeBlock(raw []byte, seg *segment, want int, dst []*trace.Run) ([]*trace
 		}
 		dst = append(dst, run)
 	}
-	if r.len() != 0 {
-		return dst, fmt.Errorf("%s: %d trailing bytes after %d runs in block", seg.path, r.len(), want)
+	if r.Len() != 0 {
+		return dst, fmt.Errorf("%s: %d trailing bytes after %d runs in block", seg.path, r.Len(), want)
 	}
 	return dst, nil
 }
@@ -333,7 +248,7 @@ func (seg *segment) runAt(rel int) (*trace.Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &byteReader{b: raw}
+	r := NewByteReader(raw)
 	for i := 0; i < blk.Runs; i++ {
 		run, err := decodeRun(r, seg.locs, seg.footer.Vars)
 		if err != nil {

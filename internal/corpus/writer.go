@@ -1,12 +1,8 @@
 package corpus
 
 import (
-	"bytes"
-	"compress/gzip"
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -210,29 +206,7 @@ func (s *Store) writeManifestLocked() error {
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(s.dir, manifestName+".tmp-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(append(blob, '\n')); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, manifestName)); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return syncDir(s.dir)
+	return WriteFileAtomic(s.dir, manifestName, append(blob, '\n'))
 }
 
 // syncDir fsyncs a directory so renames within it are durable.
@@ -282,14 +256,10 @@ type Writer struct {
 	s    *Store
 	opts Options
 
-	f         *os.File
-	tmpPath   string
+	seg       *SegmentFile // nil between segments
 	finalName string
-	written   int64 // compressed bytes written to the current segment
 
 	buf     []byte // raw payload pending in the current block
-	zbuf    bytes.Buffer
-	gz      *gzip.Writer
 	dict    *dict
 	blocks  []blockInfo
 	runs    int // runs in the current segment
@@ -308,7 +278,7 @@ func (s *Store) NewWriter(opts Options) *Writer {
 // compressed block when the raw buffer reaches BlockBytes and sealing +
 // rolling the segment when it reaches SegmentBytes.
 func (w *Writer) Append(run *trace.Run) error {
-	if w.f == nil {
+	if w.seg == nil {
 		if err := w.startSegment(); err != nil {
 			return err
 		}
@@ -323,7 +293,7 @@ func (w *Writer) Append(run *trace.Run) error {
 		if err := w.flushBlock(); err != nil {
 			return err
 		}
-		if w.written >= w.opts.segmentBytes() {
+		if w.seg.Written() >= w.opts.segmentBytes() {
 			return w.seal()
 		}
 	}
@@ -332,18 +302,11 @@ func (w *Writer) Append(run *trace.Run) error {
 
 func (w *Writer) startSegment() error {
 	w.finalName = w.s.allocSegmentName()
-	f, err := os.CreateTemp(w.s.dir, w.finalName+".tmp-*")
+	seg, err := CreateSegmentFile(w.s.dir, w.finalName, segMagic)
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write([]byte(segMagic)); err != nil {
-		f.Close()
-		os.Remove(f.Name())
-		return err
-	}
-	w.f = f
-	w.tmpPath = f.Name()
-	w.written = int64(len(segMagic))
+	w.seg = seg
 	w.dict = newDict()
 	w.blocks = nil
 	w.runs, w.records = 0, 0
@@ -351,47 +314,24 @@ func (w *Writer) startSegment() error {
 	return nil
 }
 
-// flushBlock compresses the pending payload and writes one framed block:
-// uvarint rawLen, uvarint compLen, uvarint CRC32(compressed), payload.
+// flushBlock compresses the pending payload and writes one framed block
+// through the shared segment layer.
 func (w *Writer) flushBlock() error {
 	if len(w.buf) == 0 {
 		return nil
 	}
-	w.zbuf.Reset()
-	if w.gz == nil {
-		w.gz = gzip.NewWriter(&w.zbuf)
-	} else {
-		w.gz.Reset(&w.zbuf)
-	}
-	if _, err := w.gz.Write(w.buf); err != nil {
+	frame, err := w.seg.AppendBlock(w.buf)
+	if err != nil {
 		return err
 	}
-	if err := w.gz.Close(); err != nil {
-		return err
-	}
-	comp := w.zbuf.Bytes()
-	crc := crc32.ChecksumIEEE(comp)
-
-	hdr := binary.AppendUvarint(nil, uint64(len(w.buf)))
-	hdr = binary.AppendUvarint(hdr, uint64(len(comp)))
-	hdr = binary.AppendUvarint(hdr, uint64(crc))
-
-	info := blockInfo{
-		Offset:   w.written,
-		CompLen:  len(comp),
-		RawLen:   len(w.buf),
+	w.blocks = append(w.blocks, blockInfo{
+		Offset:   frame.Offset,
+		CompLen:  frame.CompLen,
+		RawLen:   frame.RawLen,
 		FirstRun: w.blockFirstRun(),
 		Runs:     w.runs - w.blockFirstRun(),
-		CRC:      crc,
-	}
-	if _, err := w.f.Write(hdr); err != nil {
-		return err
-	}
-	if _, err := w.f.Write(comp); err != nil {
-		return err
-	}
-	w.written += int64(len(hdr) + len(comp))
-	w.blocks = append(w.blocks, info)
+		CRC:      frame.CRC,
+	})
 	w.buf = w.buf[:0]
 	if w.s.Obs != nil {
 		w.s.Obs.Metrics.Counter(obs.MetricCorpusBlocksWritten).Inc()
@@ -414,7 +354,7 @@ func (w *Writer) blockFirstRun() int {
 // segment in the manifest. After seal the writer is ready to start a new
 // segment on the next Append.
 func (w *Writer) seal() error {
-	if w.f == nil {
+	if w.seg == nil {
 		return nil
 	}
 	if err := w.flushBlock(); err != nil {
@@ -422,10 +362,9 @@ func (w *Writer) seal() error {
 	}
 	if w.runs == 0 {
 		// Nothing was appended: discard the empty segment silently.
-		err := w.f.Close()
-		os.Remove(w.tmpPath)
-		w.f = nil
-		return err
+		w.seg.Abort()
+		w.seg = nil
+		return nil
 	}
 	footer := segFooter{
 		Program: w.s.Program(),
@@ -442,51 +381,26 @@ func (w *Writer) seal() error {
 	if err != nil {
 		return w.abort(err)
 	}
-	trailer := make([]byte, 0, trailerSize)
-	trailer = binary.LittleEndian.AppendUint32(trailer, crc32.ChecksumIEEE(blob))
-	trailer = binary.LittleEndian.AppendUint64(trailer, uint64(len(blob)))
-	trailer = append(trailer, trailerMagic...)
-	if _, err := w.f.Write(blob); err != nil {
-		return w.abort(err)
-	}
-	if _, err := w.f.Write(trailer); err != nil {
-		return w.abort(err)
-	}
-	w.written += int64(len(blob) + len(trailer))
-	if err := w.f.Sync(); err != nil {
-		return w.abort(err)
-	}
-	if err := w.f.Close(); err != nil {
-		os.Remove(w.tmpPath)
-		w.f = nil
+	size, err := w.seg.Seal(blob, trailerMagic)
+	if err != nil {
+		w.seg = nil
 		return err
 	}
-	finalPath := filepath.Join(w.s.dir, w.finalName)
-	if err := os.Rename(w.tmpPath, finalPath); err != nil {
-		os.Remove(w.tmpPath)
-		w.f = nil
-		return err
-	}
-	if err := syncDir(w.s.dir); err != nil {
-		w.f = nil
-		return err
-	}
-	info := SegmentInfo{Name: w.finalName, Runs: w.runs, Records: w.records, Bytes: w.written}
+	info := SegmentInfo{Name: w.finalName, Runs: w.runs, Records: w.records, Bytes: size}
 	w.sealedRuns += w.runs
-	w.sealedBytes += w.written
+	w.sealedBytes += size
 	if w.s.Obs != nil {
 		w.s.Obs.Metrics.Counter(obs.MetricCorpusSegmentsSealed).Inc()
-		w.s.Obs.Metrics.Counter(obs.MetricCorpusBytesWritten).Add(w.written)
+		w.s.Obs.Metrics.Counter(obs.MetricCorpusBytesWritten).Add(size)
 	}
-	w.f = nil
+	w.seg = nil
 	return w.s.registerSegment(info)
 }
 
 func (w *Writer) abort(err error) error {
-	if w.f != nil {
-		w.f.Close()
-		os.Remove(w.tmpPath)
-		w.f = nil
+	if w.seg != nil {
+		w.seg.Abort()
+		w.seg = nil
 	}
 	return err
 }

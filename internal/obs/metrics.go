@@ -21,17 +21,37 @@ const (
 	MetricCacheMisses   = "solver.cache.misses"
 
 	// Query-cache fast paths and eviction pressure (internal/solver).
-	MetricCacheFastSat   = "solver.cache.fast_sat"
-	MetricCacheFastUnsat = "solver.cache.fast_unsat"
-	MetricCacheEvictions = "solver.cache.evictions"
+	// Evictions is the total entries dropped; the .capacity/.invalidated
+	// split attributes them to cache pressure vs code change.
+	MetricCacheFastSat             = "solver.cache.fast_sat"
+	MetricCacheFastUnsat           = "solver.cache.fast_unsat"
+	MetricCacheEvictions           = "solver.cache.evictions"
+	MetricCacheEvictionsCapacity   = "solver.cache.evictions.capacity"
+	MetricCacheEvictionsInvalidate = "solver.cache.evictions.invalidated"
 
 	// Shared cross-executor cache (parallel candidate verification).
 	// Timing dependent under concurrency: telemetry only, never part of
 	// the deterministic Report counters.
-	MetricSharedCacheHits      = "solver.shared.hits"
-	MetricSharedCacheMisses    = "solver.shared.misses"
-	MetricSharedCacheStores    = "solver.shared.stores"
-	MetricSharedCacheEvictions = "solver.shared.evictions"
+	MetricSharedCacheHits          = "solver.shared.hits"
+	MetricSharedCacheMisses        = "solver.shared.misses"
+	MetricSharedCacheStores        = "solver.shared.stores"
+	MetricSharedCacheEvictions     = "solver.shared.evictions"
+	MetricSharedCacheInvalidations = "solver.shared.invalidations"
+
+	// Persistent cross-run solver cache (internal/solver/persist).
+	MetricPersistLoaded      = "solvercache.persist.loaded"       // entries loaded and seeded
+	MetricPersistLoadRejects = "solvercache.persist.load_rejects" // verified-on-load rejections
+	MetricPersistInvalidated = "solvercache.persist.invalidated"  // entries dropped by FnHash diff/tombstone
+	MetricPersistHits        = "solvercache.persist.hits"         // warm-start hits served from loaded entries
+	MetricPersistSpilled     = "solvercache.persist.spilled"      // entries written behind Check
+	MetricPersistDropped     = "solvercache.persist.dropped"      // spill-channel overflow drops
+	MetricPersistDeduped     = "solvercache.persist.deduped"      // spill offers already on disk
+	MetricPersistSegments    = "solvercache.persist.segments_sealed"
+	MetricPersistBytes       = "solvercache.persist.bytes_written"
+
+	// Memoized statistical phase (core warm start, rides CacheDir).
+	MetricStatsCacheHits   = "statscache.hits"   // stats phases replayed from disk
+	MetricStatsCacheMisses = "statscache.misses" // stats phases derived and memoized
 
 	// Symbolic execution (internal/symexec).
 	MetricSteps         = "exec.steps"

@@ -30,6 +30,19 @@ import (
 type CachedSolver struct {
 	S *Solver
 
+	// Spill, when set, receives every freshly decided verdict (exact or
+	// fast-path) so a persistence layer can write it behind the solver's
+	// back. It must never block: callers sit on the executor's hot path.
+	// When Shared is also set, physically solved verdicts are spilled by
+	// SharedCache.store instead, so each verdict is offered exactly once.
+	Spill SpillFunc
+
+	// Origin tags spilled verdicts with the content hash (summary.FnHash)
+	// of the function whose branch issued the query. Zero means unknown;
+	// the executor updates it as frames change. Purely attributive — it
+	// never affects lookups or verdicts, only persistence retention.
+	Origin uint64
+
 	// MaxEntries bounds the exact-match LRU; the least recently used entry
 	// is evicted when it is full (a hot cache is never dropped wholesale).
 	MaxEntries int
@@ -56,11 +69,16 @@ type CachedSolver struct {
 	Disabled bool
 
 	// Hits/Misses count the exact-match layer. FastSat/FastUnsat count
-	// layer-2 shortcut answers (a subclass of Misses); Evictions counts LRU
-	// evictions. All are deterministic per query sequence.
+	// layer-2 shortcut answers (a subclass of Misses); Evictions counts
+	// capacity evictions only — entries dropped because the LRU was full.
+	// Invalidations counts entries removed because their origin function's
+	// bytecode changed (InvalidateOrigins); keeping the two apart lets the
+	// solver-cache ablation attribute misses correctly. All are
+	// deterministic per query sequence.
 	Hits, Misses       int
 	FastSat, FastUnsat int
 	Evictions          int
+	Invalidations      int
 
 	// Queries are the logical solver verdicts: one Check per query that
 	// passed the local fast paths, split by outcome. Unlike S.Stats (which
@@ -83,6 +101,13 @@ type CachedSolver struct {
 	cores  coreRing
 	models modelRing
 }
+
+// SpillFunc receives one decided verdict for asynchronous persistence:
+// the conjunction's digest, its intrinsic-bounds signature, the FnHash of
+// the function that issued the query (0 when unknown), the constraint
+// multiset, and the verdict with its model (nil unless Sat).
+// Implementations must not block and must copy what they keep.
+type SpillFunc func(d Digest, bsig, origin uint64, cons []Constraint, res Result, model Model)
 
 // NewCached wraps s with a query cache.
 func NewCached(s *Solver) *CachedSolver {
@@ -156,10 +181,11 @@ func (cs *CachedSolver) checkDigest(ctx context.Context, t *VarTable, cons []Con
 	}
 	cs.Misses++
 	// The bounds signature matters only across executors (the SharedCache
-	// refuses hits whose variables carry different intrinsic bounds), so
-	// it is computed lazily, on a miss.
+	// refuses hits whose variables carry different intrinsic bounds) and
+	// for persistence (spilled entries carry it so a later process can
+	// match exactly), so it is computed lazily, on a miss.
 	var bsig uint64
-	if cs.Shared != nil {
+	if cs.Shared != nil || cs.Spill != nil {
 		bsig = boundsSig(t, cons)
 	}
 	if cs.FastPaths {
@@ -173,6 +199,7 @@ func (cs *CachedSolver) checkDigest(ctx context.Context, t *VarTable, cons []Con
 		if cs.cores.subsetOf(cons, hashes) {
 			cs.FastUnsat++
 			cs.store(d, bsig, cons, Unsat, nil)
+			cs.spill(d, bsig, cons, Unsat, nil)
 			return Unsat, nil
 		}
 		// Fast path: a recent model satisfying every constraint of the
@@ -180,6 +207,7 @@ func (cs *CachedSolver) checkDigest(ctx context.Context, t *VarTable, cons []Con
 		if m, ok := cs.models.satisfying(cons); ok {
 			cs.FastSat++
 			cs.store(d, bsig, cons, Sat, m)
+			cs.spill(d, bsig, cons, Sat, m)
 			return Sat, m
 		}
 	}
@@ -203,7 +231,9 @@ func (cs *CachedSolver) checkDigest(ctx context.Context, t *VarTable, cons []Con
 			return res, model
 		}
 		if cs.Shared != nil {
-			cs.Shared.store(d, bsig, cons, res, model)
+			cs.Shared.store(d, bsig, cs.Origin, cons, res, model)
+		} else {
+			cs.spill(d, bsig, cons, res, model)
 		}
 	}
 	cs.Queries.note(res)
@@ -225,20 +255,42 @@ func (cs *CachedSolver) store(d Digest, bsig uint64, cons []Constraint, res Resu
 	if max <= 0 {
 		max = DefaultCacheEntries
 	}
-	cs.Evictions += cs.lru.add(d, bsig, cons, res, model, max)
+	cs.Evictions += cs.lru.add(d, bsig, cs.Origin, cons, res, model, max)
+}
+
+// spill offers a freshly decided verdict to the persistence hook, if any.
+func (cs *CachedSolver) spill(d Digest, bsig uint64, cons []Constraint, res Result, model Model) {
+	if cs.Spill != nil {
+		cs.Spill(d, bsig, cs.Origin, cons, res, model)
+	}
+}
+
+// InvalidateOrigins drops every LRU entry whose origin function is in dead
+// (a set of stale FnHash values), returning the number removed. Counted
+// separately from capacity evictions so telemetry can attribute later
+// misses to code change rather than cache pressure.
+func (cs *CachedSolver) InvalidateOrigins(dead map[uint64]bool) int {
+	n := cs.lru.invalidateOrigins(dead)
+	cs.Invalidations += n
+	return n
 }
 
 // --- exact-match LRU ---
 
 // cacheEntry stores a decided conjunction with everything needed to make a
 // hit collision-proof: the canonical constraint multiset and the intrinsic
-// bounds signature of its variables.
+// bounds signature of its variables. origin is the FnHash of the function
+// that issued the query (0 unknown) — attribution for persistence and
+// invalidation, never part of the match. persisted marks entries seeded
+// from a disk cache, so warm-start hits can be counted apart.
 type cacheEntry struct {
-	d     Digest
-	bsig  uint64
-	cons  []Constraint
-	res   Result
-	model Model
+	d         Digest
+	bsig      uint64
+	origin    uint64
+	cons      []Constraint
+	res       Result
+	model     Model
+	persisted bool
 }
 
 // lruCache is a digest-keyed LRU. The zero value is ready to use. It is
@@ -280,36 +332,38 @@ func (c *lruCache) lookup(d Digest, cons []Constraint) (Result, Model, bool) {
 // lookupBsig is lookup for caches shared across VarTables: a hit must also
 // carry the same intrinsic-bounds signature, because a Var ID recurring in
 // another executor's table can be bounded differently and flip the verdict.
-func (c *lruCache) lookupBsig(d Digest, bsig uint64, cons []Constraint) (Result, Model, bool) {
+// The entry itself is returned (nil on miss) so callers can read
+// attribution fields like persisted.
+func (c *lruCache) lookupBsig(d Digest, bsig uint64, cons []Constraint) *cacheEntry {
 	if c.ll == nil {
-		return Unknown, nil, false
+		return nil
 	}
 	el, ok := c.idx[d]
 	if !ok {
-		return Unknown, nil, false
+		return nil
 	}
 	e := el.Value.(*cacheEntry)
 	if e.bsig != bsig || !sameConjunction(e.cons, cons) {
-		return Unknown, nil, false
+		return nil
 	}
 	c.ll.MoveToFront(el)
-	return e.res, e.model, true
+	return e
 }
 
 // add inserts (or refreshes) an entry and returns the number of evictions
 // performed to respect max.
-func (c *lruCache) add(d Digest, bsig uint64, cons []Constraint, res Result, model Model, max int) int {
+func (c *lruCache) add(d Digest, bsig, origin uint64, cons []Constraint, res Result, model Model, max int) int {
 	c.init()
 	if el, ok := c.idx[d]; ok {
 		// Digest already present: keep the newest conjunction for this
 		// digest (collisions are astronomically rare; the verified lookup
 		// keeps this safe either way).
 		e := el.Value.(*cacheEntry)
-		e.bsig, e.cons, e.res, e.model = bsig, append([]Constraint(nil), cons...), res, model
+		e.bsig, e.origin, e.cons, e.res, e.model = bsig, origin, append([]Constraint(nil), cons...), res, model
 		c.ll.MoveToFront(el)
 		return 0
 	}
-	e := &cacheEntry{d: d, bsig: bsig, cons: append([]Constraint(nil), cons...), res: res, model: model}
+	e := &cacheEntry{d: d, bsig: bsig, origin: origin, cons: append([]Constraint(nil), cons...), res: res, model: model}
 	c.idx[d] = c.ll.PushFront(e)
 	evicted := 0
 	for c.ll.Len() > max {
@@ -319,6 +373,38 @@ func (c *lruCache) add(d Digest, bsig uint64, cons []Constraint, res Result, mod
 		evicted++
 	}
 	return evicted
+}
+
+// entry returns the entry stored under d without touching recency (nil
+// when absent).
+func (c *lruCache) entry(d Digest) *cacheEntry {
+	if c.ll == nil {
+		return nil
+	}
+	el, ok := c.idx[d]
+	if !ok {
+		return nil
+	}
+	return el.Value.(*cacheEntry)
+}
+
+// invalidateOrigins removes every entry whose origin is in dead, returning
+// the count removed.
+func (c *lruCache) invalidateOrigins(dead map[uint64]bool) int {
+	if c.ll == nil || len(dead) == 0 {
+		return 0
+	}
+	removed := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*cacheEntry); dead[e.origin] {
+			c.ll.Remove(el)
+			delete(c.idx, e.d)
+			removed++
+		}
+		el = next
+	}
+	return removed
 }
 
 // len returns the number of cached entries.

@@ -18,7 +18,7 @@ func TestCacheCollisionVerified(t *testing.T) {
 	d := DigestOf(stored)
 
 	var lru lruCache
-	lru.add(d, boundsSig(tbl, stored), stored, Unsat, nil, 8)
+	lru.add(d, boundsSig(tbl, stored), 0, stored, Unsat, nil, 8)
 
 	// Same digest, different conjunction: must miss (the stored Unsat
 	// verdict would be wrong for `other`).
@@ -82,13 +82,13 @@ func TestCacheBoundsSignature(t *testing.T) {
 	}
 	var lru lruCache
 	d := DigestOf(cons)
-	lru.add(d, sigWide, cons, Sat, Model{x1: 300}, 8)
+	lru.add(d, sigWide, 0, cons, Sat, Model{x1: 300}, 8)
 	// Under the byte-bounded table the same structural query is Unsat; a
 	// bounds-blind cache would replay the Sat verdict.
-	if res, _, ok := lru.lookupBsig(d, sigNarrow, cons); ok {
-		t.Fatalf("cross-table lookup served %v", res)
+	if e := lru.lookupBsig(d, sigNarrow, cons); e != nil {
+		t.Fatalf("cross-table lookup served %v", e.res)
 	}
-	if _, _, ok := lru.lookupBsig(d, sigWide, cons); !ok {
+	if e := lru.lookupBsig(d, sigWide, cons); e == nil {
 		t.Fatal("same-table lookup missed")
 	}
 }

@@ -1,0 +1,237 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/corpus"
+	"repro/internal/solver"
+)
+
+// Entry is one persisted solver verdict: the conjunction's identity (digest
+// + bounds signature), its origin function's content hash, the canonical
+// constraint multiset, and the verdict with its model (Sat only).
+//
+// Record layout (all integers varint unless noted):
+//
+//	uvarint digest sum
+//	uvarint digest N
+//	uvarint bounds signature
+//	uvarint origin FnHash
+//	byte    flags (bit0: Sat, bit1: model present)
+//	uvarint constraint count
+//	cons:   byte op (OpLe/OpEq/OpNe)
+//	        varint Const
+//	        uvarint term count
+//	        terms:  uvarint Var, varint Coeff
+//	[model] uvarint assignment count, sorted by Var
+//	        each:   uvarint Var, varint value
+type Entry struct {
+	D      solver.Digest
+	Bsig   uint64
+	Origin uint64
+	Cons   []solver.Constraint
+	Res    solver.Result
+	Model  solver.Model
+}
+
+const (
+	entryFlagSat   = 1 << 0
+	entryFlagModel = 1 << 1
+)
+
+// appendEntry encodes one entry onto dst. Only Sat/Unsat verdicts are
+// persistable (Unknown is a budget artifact, filtered upstream).
+func appendEntry(dst []byte, e *Entry) []byte {
+	dst = binary.AppendUvarint(dst, e.D.Sum)
+	dst = binary.AppendUvarint(dst, uint64(e.D.N))
+	dst = binary.AppendUvarint(dst, e.Bsig)
+	dst = binary.AppendUvarint(dst, e.Origin)
+	var flags byte
+	if e.Res == solver.Sat {
+		flags |= entryFlagSat
+	}
+	if e.Model != nil {
+		flags |= entryFlagModel
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, uint64(len(e.Cons)))
+	for _, c := range e.Cons {
+		dst = append(dst, byte(c.Op))
+		dst = binary.AppendVarint(dst, c.E.Const)
+		dst = binary.AppendUvarint(dst, uint64(len(c.E.Terms)))
+		for _, t := range c.E.Terms {
+			dst = binary.AppendUvarint(dst, uint64(uint32(t.Var)))
+			dst = binary.AppendVarint(dst, t.Coeff)
+		}
+	}
+	if e.Model != nil {
+		vars := make([]solver.Var, 0, len(e.Model))
+		for v := range e.Model {
+			vars = append(vars, v)
+		}
+		sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+		dst = binary.AppendUvarint(dst, uint64(len(vars)))
+		for _, v := range vars {
+			dst = binary.AppendUvarint(dst, uint64(uint32(v)))
+			dst = binary.AppendVarint(dst, e.Model[v])
+		}
+	}
+	return dst
+}
+
+// decodeEntry decodes one entry. Counts are sanity-bounded by the remaining
+// bytes so corrupt headers cannot force giant allocations.
+func decodeEntry(r *corpus.ByteReader) (Entry, error) {
+	var e Entry
+	sum, err := r.Uvarint()
+	if err != nil {
+		return e, err
+	}
+	n, err := r.Uvarint()
+	if err != nil {
+		return e, err
+	}
+	e.D = solver.Digest{Sum: sum, N: int(n)}
+	if e.Bsig, err = r.Uvarint(); err != nil {
+		return e, err
+	}
+	if e.Origin, err = r.Uvarint(); err != nil {
+		return e, err
+	}
+	flags, err := r.Byte()
+	if err != nil {
+		return e, err
+	}
+	if flags&^byte(entryFlagSat|entryFlagModel) != 0 {
+		return e, fmt.Errorf("unknown entry flags %#x", flags)
+	}
+	if flags&entryFlagSat != 0 {
+		e.Res = solver.Sat
+	} else {
+		e.Res = solver.Unsat
+	}
+	ncons, err := r.Uvarint()
+	if err != nil {
+		return e, err
+	}
+	if ncons > uint64(r.Len()/2+1) {
+		return e, fmt.Errorf("constraint count %d exceeds remaining %d bytes", ncons, r.Len())
+	}
+	e.Cons = make([]solver.Constraint, 0, ncons)
+	for i := uint64(0); i < ncons; i++ {
+		op, err := r.Byte()
+		if err != nil {
+			return e, err
+		}
+		cop := solver.ConstraintOp(op)
+		if cop != solver.OpLe && cop != solver.OpEq && cop != solver.OpNe {
+			return e, fmt.Errorf("invalid constraint op %d", op)
+		}
+		c := solver.Constraint{Op: cop}
+		if c.E.Const, err = r.Varint(); err != nil {
+			return e, err
+		}
+		nterms, err := r.Uvarint()
+		if err != nil {
+			return e, err
+		}
+		if nterms > uint64(r.Len()/2+1) {
+			return e, fmt.Errorf("term count %d exceeds remaining %d bytes", nterms, r.Len())
+		}
+		if nterms > 0 {
+			c.E.Terms = make([]solver.Term, 0, nterms)
+		}
+		for j := uint64(0); j < nterms; j++ {
+			v, err := r.Uvarint()
+			if err != nil {
+				return e, err
+			}
+			coeff, err := r.Varint()
+			if err != nil {
+				return e, err
+			}
+			c.E.Terms = append(c.E.Terms, solver.Term{Coeff: coeff, Var: solver.Var(int32(uint32(v)))})
+		}
+		e.Cons = append(e.Cons, c)
+	}
+	if flags&entryFlagModel != 0 {
+		nvals, err := r.Uvarint()
+		if err != nil {
+			return e, err
+		}
+		if nvals > uint64(r.Len()/2+1) {
+			return e, fmt.Errorf("model size %d exceeds remaining %d bytes", nvals, r.Len())
+		}
+		e.Model = make(solver.Model, nvals)
+		for i := uint64(0); i < nvals; i++ {
+			v, err := r.Uvarint()
+			if err != nil {
+				return e, err
+			}
+			val, err := r.Varint()
+			if err != nil {
+				return e, err
+			}
+			e.Model[solver.Var(int32(uint32(v)))] = val
+		}
+	}
+	return e, nil
+}
+
+// Verify re-derives the entry's identity from its own payload — the
+// verified-on-load contract. The stored digest must equal the digest of the
+// stored conjunction, and a Sat entry's model must satisfy every stored
+// constraint. An entry that fails is rejected (never seeded), so logic-level
+// corruption that slipped past the block CRC degrades hit rate, not
+// correctness. A fabricated Unsat verdict over a consistent conjunction is
+// not detectable without solving; the store is trusted to the same degree
+// as every other local artifact.
+func (e *Entry) Verify() error {
+	if d := solver.DigestOf(e.Cons); d != e.D {
+		return fmt.Errorf("stored digest %x/%d does not match conjunction digest %x/%d",
+			e.D.Sum, e.D.N, d.Sum, d.N)
+	}
+	if e.Res == solver.Sat {
+		for i, c := range e.Cons {
+			if !c.Holds(e.Model) {
+				return fmt.Errorf("stored model does not satisfy constraint %d", i)
+			}
+		}
+	}
+	return nil
+}
+
+// sortEntries orders entries by (digest sum, N, bounds signature) — the
+// canonical within-block order the verifier checks.
+func sortEntries(entries []Entry) {
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := &entries[i], &entries[j]
+		if a.D.Sum != b.D.Sum {
+			return a.D.Sum < b.D.Sum
+		}
+		if a.D.N != b.D.N {
+			return a.D.N < b.D.N
+		}
+		return a.Bsig < b.Bsig
+	})
+}
+
+// blockIndex is one compressed block's footer entry: the generic frame plus
+// the entry count and the block's digest-sum range (the ordering invariant
+// verifiers check without decoding neighbors).
+type blockIndex struct {
+	corpus.BlockFrame
+	Entries int    `json:"entries"`
+	MinSum  uint64 `json:"min"`
+	MaxSum  uint64 `json:"max"`
+}
+
+// segFooter is the per-segment index, serialized as JSON ahead of the
+// fixed-size trailer.
+type segFooter struct {
+	Program string       `json:"program"`
+	Entries int          `json:"entries"`
+	Blocks  []blockIndex `json:"blocks"`
+}

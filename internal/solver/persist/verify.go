@@ -1,17 +1,18 @@
-package corpus
+package persist
 
 import (
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+
+	"repro/internal/corpus"
 )
 
-// SegmentReport is the outcome of validating one segment file.
+// SegmentReport is the outcome of deep-validating one cache segment.
 type SegmentReport struct {
 	Name     string
-	Runs     int
-	Records  int
+	Entries  int
 	Blocks   int
 	Bytes    int64
 	Problems []string
@@ -23,9 +24,7 @@ func (r *SegmentReport) OK() bool { return len(r.Problems) == 0 }
 // VerifyReport aggregates a whole-store validation.
 type VerifyReport struct {
 	Segments []SegmentReport
-	// Problems are store-level findings (manifest inconsistencies, stray
-	// temp files); per-segment findings live on the segment reports.
-	Problems []string
+	Problems []string // store-level findings
 }
 
 // OK reports whether the store validated cleanly.
@@ -43,16 +42,15 @@ func (r *VerifyReport) OK() bool {
 
 // Summary renders a one-line validation summary.
 func (r *VerifyReport) Summary() string {
-	runs, records, blocks, problems := 0, 0, 0, len(r.Problems)
+	entries, blocks, problems := 0, 0, len(r.Problems)
 	for i := range r.Segments {
 		s := &r.Segments[i]
-		runs += s.Runs
-		records += s.Records
+		entries += s.Entries
 		blocks += s.Blocks
 		problems += len(s.Problems)
 	}
-	return fmt.Sprintf("%d segments, %d blocks, %d runs, %d records, %d problems",
-		len(r.Segments), blocks, runs, records, problems)
+	return fmt.Sprintf("%d segments, %d blocks, %d entries, %d problems",
+		len(r.Segments), blocks, entries, problems)
 }
 
 // AllProblems flattens store- and segment-level findings.
@@ -66,20 +64,21 @@ func (r *VerifyReport) AllProblems() []string {
 	return out
 }
 
-// VerifySegmentFile fully validates one segment: magic, trailer, footer
-// checksum, every block's frame header, payload CRC, decompressed length,
-// and a complete record decode against the footer dictionaries. It is the
-// deep check cmd/corpus verify and cmd/tracecheck run; a truncated or
-// bit-flipped segment comes back with Problems (or an open error when even
-// the footer is unreadable).
+// VerifySegmentFile deep-validates one cache segment: envelope (magic,
+// trailer, footer CRC), every block's frame header and payload CRC, a full
+// entry decode, each entry's self-consistency (stored digest vs recomputed,
+// Sat models satisfying their conjunction), the within-block digest
+// ordering, and the footer's min/max/count agreement.
 func VerifySegmentFile(path string) (*SegmentReport, error) {
 	rep := &SegmentReport{Name: filepath.Base(path)}
-	seg, err := openSegment(path)
+	footer, err := readSegFooter(path)
 	if err != nil {
 		return rep, err
 	}
-	rep.Bytes = seg.info.Bytes
-	rep.Blocks = len(seg.footer.Blocks)
+	if st, err := os.Stat(path); err == nil {
+		rep.Bytes = st.Size()
+	}
+	rep.Blocks = len(footer.Blocks)
 	flag := func(format string, args ...any) {
 		if len(rep.Problems) < 20 {
 			rep.Problems = append(rep.Problems, fmt.Sprintf(format, args...))
@@ -93,49 +92,69 @@ func VerifySegmentFile(path string) (*SegmentReport, error) {
 	defer f.Close()
 
 	var raw []byte
-	runs, records := 0, 0
+	entries := 0
 	nextOffset := int64(len(segMagic))
-	nextFirst := 0
-	for bi, b := range seg.footer.Blocks {
+	for bi := range footer.Blocks {
+		b := &footer.Blocks[bi]
 		if b.Offset != nextOffset {
 			flag("block %d: offset %d, want contiguous %d", bi, b.Offset, nextOffset)
 		}
-		if b.FirstRun != nextFirst {
-			flag("block %d: first run %d, want %d", bi, b.FirstRun, nextFirst)
-		}
-		nextFirst = b.FirstRun + b.Runs
-		raw, err = readBlock(f, b, raw)
+		raw, err = corpus.ReadFramedBlock(f, b.BlockFrame, raw)
 		if err != nil {
 			flag("block %d: %v", bi, err)
-			break // offsets downstream are unreliable after a bad block
+			break // downstream offsets are unreliable after a bad block
 		}
-		// Frame header length varies with the varint widths; recompute it.
-		nextOffset = b.Offset + int64(FrameHeaderLen(b.frame())) + int64(b.CompLen)
-		decoded, derr := decodeBlock(raw, seg, b.Runs, nil)
-		if derr != nil {
-			flag("block %d: %v", bi, derr)
-			continue
+		nextOffset = b.Offset + int64(corpus.FrameHeaderLen(b.BlockFrame)) + int64(b.CompLen)
+		r := corpus.NewByteReader(raw)
+		var prev Entry
+		for i := 0; i < b.Entries; i++ {
+			e, derr := decodeEntry(r)
+			if derr != nil {
+				flag("block %d: entry %d: %v", bi, i, derr)
+				break
+			}
+			if verr := e.Verify(); verr != nil {
+				flag("block %d: entry %d: %v", bi, i, verr)
+			}
+			if i == 0 {
+				if e.D.Sum != b.MinSum {
+					flag("block %d: first digest sum %#x, footer min %#x", bi, e.D.Sum, b.MinSum)
+				}
+			} else if digestLess(e, prev) {
+				flag("block %d: entry %d breaks digest ordering", bi, i)
+			}
+			if i == b.Entries-1 && e.D.Sum != b.MaxSum {
+				flag("block %d: last digest sum %#x, footer max %#x", bi, e.D.Sum, b.MaxSum)
+			}
+			prev = e
+			entries++
 		}
-		runs += len(decoded)
-		for _, run := range decoded {
-			records += len(run.Records)
+		if r.Len() != 0 {
+			flag("block %d: %d undecoded trailing bytes", bi, r.Len())
 		}
 	}
-	rep.Runs, rep.Records = runs, records
-	if runs != seg.footer.Runs {
-		flag("decoded %d runs, footer declares %d", runs, seg.footer.Runs)
-	}
-	if records != seg.footer.Records {
-		flag("decoded %d records, footer declares %d", records, seg.footer.Records)
+	rep.Entries = entries
+	if entries != footer.Entries {
+		flag("decoded %d entries, footer declares %d", entries, footer.Entries)
 	}
 	return rep, nil
 }
 
+// digestLess reports a < b under the canonical (Sum, N, Bsig) block order.
+func digestLess(a, b Entry) bool {
+	if a.D.Sum != b.D.Sum {
+		return a.D.Sum < b.D.Sum
+	}
+	if a.D.N != b.D.N {
+		return a.D.N < b.D.N
+	}
+	return a.Bsig < b.Bsig
+}
+
 // Verify validates the whole store: every manifest segment must open,
-// checksum, and decode cleanly and agree with its manifest entry; stray
-// temp files and unmanifested segments are reported as store-level
-// problems. The error return is reserved for I/O failures on the store
-// directory itself — corruption is reported, not returned.
+// checksum, decode, and agree with its manifest entry; stray temp files
+// and unmanifested segments are store-level problems. The error return is
+// reserved for I/O failures on the directory itself.
 func (s *Store) Verify() (*VerifyReport, error) {
 	rep := &VerifyReport{}
 	flag := func(format string, args ...any) {
@@ -151,9 +170,9 @@ func (s *Store) Verify() (*VerifyReport, error) {
 			segRep.Problems = append(segRep.Problems, err.Error())
 		}
 		if err == nil {
-			if segRep.Runs != info.Runs {
+			if segRep.Entries != info.Entries {
 				segRep.Problems = append(segRep.Problems,
-					fmt.Sprintf("manifest declares %d runs, segment holds %d", info.Runs, segRep.Runs))
+					fmt.Sprintf("manifest declares %d entries, segment holds %d", info.Entries, segRep.Entries))
 			}
 			if segRep.Bytes != info.Bytes {
 				segRep.Problems = append(segRep.Problems,
@@ -169,10 +188,10 @@ func (s *Store) Verify() (*VerifyReport, error) {
 	for _, e := range entries {
 		name := e.Name()
 		switch {
-		case name == manifestName || e.IsDir():
+		case name == ManifestName || e.IsDir():
 		case strings.Contains(name, ".tmp-"):
 			flag("stray temp file %s (crashed writer; safe to delete)", name)
-		case strings.HasSuffix(name, ".seg") && !manifested[name]:
+		case strings.HasSuffix(name, SegmentSuffix) && !manifested[name]:
 			flag("segment %s on disk but not in manifest", name)
 		}
 	}

@@ -1,0 +1,173 @@
+package persist
+
+import (
+	"encoding/json"
+
+	"repro/internal/corpus"
+	"repro/internal/obs"
+)
+
+// Options tunes a Writer's block and segment geometry. The zero value uses
+// the package defaults.
+type Options struct {
+	BlockBytes   int
+	SegmentBytes int64
+}
+
+func (o Options) blockBytes() int {
+	if o.BlockBytes <= 0 {
+		return DefaultBlockBytes
+	}
+	return o.BlockBytes
+}
+
+func (o Options) segmentBytes() int64 {
+	if o.SegmentBytes <= 0 {
+		return DefaultSegmentBytes
+	}
+	return o.SegmentBytes
+}
+
+// Writer appends cache entries to a store. Entries buffer per block and are
+// sorted by digest before encoding, so every sealed block is internally
+// ordered (the verifier's digest-ordering check). A segment becomes visible
+// only at seal (temp + fsync + rename via the corpus segment layer); a
+// crash mid-write leaves at worst an invisible temp file.
+//
+// A Writer is single-goroutine; the Sink serializes concurrent spills in
+// front of it.
+type Writer struct {
+	s    *Store
+	opts Options
+
+	seg       *corpus.SegmentFile
+	finalName string
+
+	pending  []Entry // entries of the block being accumulated
+	pendSize int     // rough encoded size of pending
+	buf      []byte
+	blocks   []blockIndex
+	entries  int // entries in the current segment
+
+	sealedEntries int
+	sealedBytes   int64
+}
+
+// NewWriter returns a Writer appending to the store.
+func (s *Store) NewWriter(opts Options) *Writer {
+	return &Writer{s: s, opts: opts}
+}
+
+// Add appends one entry, flushing a block when the raw buffer fills and
+// sealing + rolling the segment when it reaches SegmentBytes.
+func (w *Writer) Add(e Entry) error {
+	if w.seg == nil {
+		if err := w.startSegment(); err != nil {
+			return err
+		}
+	}
+	w.pending = append(w.pending, e)
+	// Cheap size estimate: fixed header + per-constraint + per-term costs.
+	w.pendSize += 40 + len(e.Cons)*16 + len(e.Model)*12
+	for _, c := range e.Cons {
+		w.pendSize += len(c.E.Terms) * 12
+	}
+	if w.pendSize >= w.opts.blockBytes() {
+		if err := w.flushBlock(); err != nil {
+			return err
+		}
+		if w.seg.Written() >= w.opts.segmentBytes() {
+			return w.seal()
+		}
+	}
+	return nil
+}
+
+func (w *Writer) startSegment() error {
+	w.finalName = w.s.allocSegmentName()
+	seg, err := corpus.CreateSegmentFile(w.s.dir, w.finalName, segMagic)
+	if err != nil {
+		return err
+	}
+	w.seg = seg
+	w.blocks = nil
+	w.entries = 0
+	w.pending = w.pending[:0]
+	w.pendSize = 0
+	return nil
+}
+
+func (w *Writer) flushBlock() error {
+	if len(w.pending) == 0 {
+		return nil
+	}
+	sortEntries(w.pending)
+	w.buf = w.buf[:0]
+	for i := range w.pending {
+		w.buf = appendEntry(w.buf, &w.pending[i])
+	}
+	frame, err := w.seg.AppendBlock(w.buf)
+	if err != nil {
+		return err
+	}
+	w.blocks = append(w.blocks, blockIndex{
+		BlockFrame: frame,
+		Entries:    len(w.pending),
+		MinSum:     w.pending[0].D.Sum,
+		MaxSum:     w.pending[len(w.pending)-1].D.Sum,
+	})
+	w.entries += len(w.pending)
+	w.pending = w.pending[:0]
+	w.pendSize = 0
+	return nil
+}
+
+func (w *Writer) seal() error {
+	if w.seg == nil {
+		return nil
+	}
+	if err := w.flushBlock(); err != nil {
+		return w.abort(err)
+	}
+	if w.entries == 0 {
+		w.seg.Abort()
+		w.seg = nil
+		return nil
+	}
+	footer := segFooter{Program: w.s.Program(), Entries: w.entries, Blocks: w.blocks}
+	blob, err := json.Marshal(&footer)
+	if err != nil {
+		return w.abort(err)
+	}
+	size, err := w.seg.Seal(blob, trailerMagic)
+	if err != nil {
+		w.seg = nil
+		return err
+	}
+	info := SegmentInfo{Name: w.finalName, Entries: w.entries, Bytes: size}
+	w.sealedEntries += w.entries
+	w.sealedBytes += size
+	if w.s.Obs != nil {
+		w.s.Obs.Metrics.Counter(obs.MetricPersistSegments).Inc()
+		w.s.Obs.Metrics.Counter(obs.MetricPersistBytes).Add(size)
+	}
+	w.seg = nil
+	return w.s.registerSegment(info)
+}
+
+func (w *Writer) abort(err error) error {
+	if w.seg != nil {
+		w.seg.Abort()
+		w.seg = nil
+	}
+	return err
+}
+
+// Close seals the in-progress segment, if any. The writer may be reused.
+func (w *Writer) Close() error { return w.seal() }
+
+// SealedEntries returns the entries this writer made durable.
+func (w *Writer) SealedEntries() int { return w.sealedEntries }
+
+// SealedBytes returns the on-disk bytes of the segments this writer sealed.
+func (w *Writer) SealedBytes() int64 { return w.sealedBytes }

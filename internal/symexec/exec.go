@@ -65,6 +65,13 @@ type Options struct {
 	// are unaffected (the solver is deterministic and the local logical
 	// counters are maintained identically on shared hits).
 	SharedCache *solver.SharedCache
+	// OriginHashes, when set, is the per-function content-hash table
+	// (summary.HashProgram, indexed by Fn.Index). The executor stamps each
+	// solver query with the hash of the function whose branch issued it,
+	// so the persistent cache can attribute — and later invalidate —
+	// entries by origin function. Purely attributive: never consulted for
+	// verdicts.
+	OriginHashes []uint64
 	// SolverFastPaths enables the solver cache's heuristic layer
 	// (UNSAT-core subsumption, Sat-model reuse). Unlike the exact-match
 	// caches this can change exploration — reused models carry different
@@ -529,7 +536,14 @@ func (ex *Executor) mirrorMetrics() {
 	m.Counter(obs.MetricCacheMisses).Add(int64(r.CacheMisses))
 	m.Counter(obs.MetricCacheFastSat).Add(int64(r.CacheFastSat))
 	m.Counter(obs.MetricCacheFastUnsat).Add(int64(r.CacheFastUnsat))
-	m.Counter(obs.MetricCacheEvictions).Add(int64(r.CacheEvictions))
+	// Evictions split by cause: capacity pressure (r.CacheEvictions, the
+	// historical meaning) vs origin invalidation after a code change. The
+	// unsplit counter stays as the total for dashboard continuity.
+	m.Counter(obs.MetricCacheEvictions).Add(int64(r.CacheEvictions) + int64(ex.Solver.Invalidations))
+	m.Counter(obs.MetricCacheEvictionsCapacity).Add(int64(r.CacheEvictions))
+	if ex.Solver.Invalidations > 0 {
+		m.Counter(obs.MetricCacheEvictionsInvalidate).Add(int64(ex.Solver.Invalidations))
+	}
 	if ex.Solver.Shared != nil {
 		// Per-executor contributions; summed across executors they equal
 		// the SharedCache's own totals.
@@ -695,6 +709,14 @@ func allHold(cons []solver.Constraint, m solver.Model) bool {
 //  3. disjoint solve: extras whose variables the path condition does not
 //     mention are decided in isolation and their model merged.
 func (ex *Executor) satisfiable(st *State, extra ...solver.Constraint) (bool, solver.Model) {
+	// Stamp the query with its origin function's content hash (persistence
+	// attribution; see Options.OriginHashes). The model-check shortcut
+	// below issues no solver query, so stamping first costs nothing there.
+	if ex.Opts.OriginHashes != nil && len(st.Frames) > 0 {
+		if fn := st.Frames[len(st.Frames)-1].Fn; fn.Index < len(ex.Opts.OriginHashes) {
+			ex.Solver.Origin = ex.Opts.OriginHashes[fn.Index]
+		}
+	}
 	if st.LastModel != nil && allHold(extra, st.LastModel) && allHold(st.Constraints, st.LastModel) {
 		return true, st.LastModel
 	}
