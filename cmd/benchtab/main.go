@@ -40,6 +40,7 @@ var ablationTitles = map[string]string{
 	"frontier":    "ABLATION: frontier worker scaling (guided + pure)",
 	"summaries":   "ABLATION: call interpretation vs memoized summaries",
 	"solvercache": "ABLATION: persistent solver cache (cold / warm / warm-after-edit)",
+	"dispatch":    "ABLATION: dispatch backend (sequential vs local vs 1/2/4 workers, min-of-3)",
 }
 
 // runAblation dispatches one AblationRow-producing ablation by name.
@@ -59,6 +60,8 @@ func runAblation(ctx context.Context, name string, seed int64, budgets bench.Bud
 		return bench.AblationSummaries(ctx, seed, budgets)
 	case "solvercache":
 		return bench.AblationSolverCachePersist(ctx, seed, budgets)
+	case "dispatch":
+		return bench.AblationDispatch(ctx, nil, seed, budgets)
 	default:
 		return nil, fmt.Errorf("unknown ablation %q", name)
 	}
@@ -68,7 +71,7 @@ func run() error {
 	var (
 		table     = flag.Int("table", 0, "regenerate one table (1-5); 0 = all")
 		figure    = flag.Int("figure", 0, "regenerate one figure (7-10); 0 = all")
-		ablation  = flag.String("ablation", "", "run an ablation: scheduler, guidance, tau, cache, frontier, corpus, summaries, solvercache, all")
+		ablation  = flag.String("ablation", "", "run an ablation: scheduler, guidance, tau, cache, frontier, corpus, summaries, solvercache, dispatch, all")
 		corpusDir = flag.String("corpus-dir", "", "directory for the corpus ablation's on-disk artifacts (default: temp, discarded)")
 		cacheDir  = flag.String("cache-dir", "", "persistent solver-cache root for guided pipeline runs and the solvercache ablation (default: temp, discarded)")
 		seed      = flag.Int64("seed", bench.DefaultSeed, "workload seed")
@@ -311,6 +314,9 @@ func run() error {
 			return err
 		}
 		if err := doAblation("solvercache"); err != nil {
+			return err
+		}
+		if err := doAblation("dispatch"); err != nil {
 			return err
 		}
 	default:

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,6 +55,10 @@ func run() error {
 		sharedCch = flag.Bool("shared-cache", true, "share solver verdicts across candidate verifications (wall-clock only; counters are unaffected)")
 		cacheDir  = flag.String("cache-dir", "", "persist solver-cache verdicts across runs in this directory: prior verdicts warm-start this run (verified on load), fresh ones spill back; wall-clock only, detections are unaffected")
 		increment = flag.Bool("incremental", false, "with -cache-dir: diff the cache manifest's function hashes against the program and re-run only candidate paths crossing changed functions")
+		dispatchF = flag.Bool("dispatch", false, "verify candidate paths through the dispatch backend (whole attempts shipped to -worker-addrs workers plus local slots); detections and the digest are identical to the sequential loop for any topology")
+		workerStr = flag.String("worker-addrs", "", "comma-separated dispatch worker addresses (unix:/path or tcp:host:port), each one a `symexec -serve-worker` process; empty with -dispatch runs local-only")
+		dispLog   = flag.String("dispatch-log", "", "append a JSONL audit trail of dispatch scheduling decisions (steal, redispatch, merge) to this file")
+		unitDl    = flag.Duration("unit-deadline", 0, "per-unit round-trip deadline before a worker is declared hung and its unit re-run locally (0: 10m default)")
 		scope     = flag.String("scope", "", "interpretation scope policy: \"\" or \"all\" interprets everything; \"all,-f,-g\" havocs f and g; \"f,g\" interprets exactly that list plus main")
 		summaries = flag.Bool("summaries", false, "replace summarizable in-scope calls by memoized path summaries shared across candidate attempts (detection-equivalent under a full-coverage scope)")
 		verbose   = flag.Bool("v", false, "print predicates and candidate paths")
@@ -155,6 +160,13 @@ func run() error {
 		NeedGraph:          *dotOut != "",
 		Scope:              *scope,
 		Summaries:          *summaries,
+		Dispatch:           *dispatchF,
+		WorkerAddrs:        splitAddrs(*workerStr),
+		DispatchLog:        *dispLog,
+		UnitDeadline:       *unitDl,
+	}
+	if len(cfg.WorkerAddrs) > 0 && !cfg.Dispatch {
+		return fmt.Errorf("-worker-addrs requires -dispatch")
 	}
 
 	if *corpusDir != "" {
@@ -297,6 +309,10 @@ func printReport(rep *core.Report, app *apps.App, o *obs.Obs,
 		fmt.Printf("   incremental: %d candidate paths skipped (no changed function on the path)\n",
 			rep.SkippedCandidates)
 	}
+	if rep.DispatchRemote+rep.DispatchLocal+rep.DispatchRedispatched+rep.DispatchWorkersDead > 0 {
+		fmt.Printf("-- dispatch: remote=%d local=%d redispatched=%d dead-workers=%d\n",
+			rep.DispatchRemote, rep.DispatchLocal, rep.DispatchRedispatched, rep.DispatchWorkersDead)
+	}
 	if rep.PersistLoaded+rep.PersistHits+rep.PersistSpilled+rep.PersistRejected+rep.PersistInvalidated > 0 {
 		fmt.Printf("-- solver cache: %d loaded, %d warm hits, %d spilled, %d rejected, %d invalidated\n",
 			rep.PersistLoaded, rep.PersistHits, rep.PersistSpilled, rep.PersistRejected, rep.PersistInvalidated)
@@ -402,6 +418,17 @@ func printReport(rep *core.Report, app *apps.App, o *obs.Obs,
 		}
 	}
 	return nil
+}
+
+// splitAddrs parses a comma-separated -worker-addrs value.
+func splitAddrs(s string) []string {
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
 }
 
 func summarize(s string) string {

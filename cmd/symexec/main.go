@@ -10,11 +10,15 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/bytecode"
+	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
@@ -23,6 +27,7 @@ import (
 	"repro/internal/solver/persist"
 	"repro/internal/summary"
 	"repro/internal/symexec"
+	"repro/internal/symexec/snapshot"
 )
 
 func main() {
@@ -58,12 +63,45 @@ func run() error {
 		pprofAddr = flag.String("pprof", "", "deprecated alias for -listen (pprof rides the same mux)")
 		flightOut = flag.String("flight", "", "dump the flight-recorder ring (JSONL) to this file on fault, panic, or interrupt")
 		flightN   = flag.Int("flight-depth", flight.DefaultDepth, "flight-recorder events retained per category")
+
+		serveWorker = flag.String("serve-worker", "", "run as a dispatch worker on this address (unix:/path or host:port), executing attempt and frontier-shard units until interrupted")
+		ckptOut     = flag.String("checkpoint-out", "", "write the end-of-run frontier to this .ssnap file (sequential engine only)")
+		resumePath  = flag.String("resume", "", "resume exploration from a .ssnap checkpoint instead of -app/-file")
+		dispatchRun = flag.Bool("dispatch", false, "after a bounded local warmup, shard the remaining frontier across -worker-addrs (shards that fail to ship re-run locally)")
+		workerAddrs = flag.String("worker-addrs", "", "comma-separated dispatch worker addresses for -dispatch")
+		warmupSteps = flag.Int64("warmup-steps", 5000, "local instruction budget before sharding under -dispatch")
 	)
 	flag.Parse()
 
+	if *serveWorker != "" {
+		return runServeWorker(*serveWorker, *cacheDir, live.Options{
+			Binary: "symexec",
+			Listen: *listen, Pprof: *pprofAddr,
+			Trace: *traceOut, Interval: *traceInt, Metrics: *metrics,
+			Flight: *flightOut, FlightDepth: *flightN,
+		})
+	}
+
 	var prog *bytecode.Program
 	var spec *symexec.InputSpec
+	var resumeBlob []byte
 	switch {
+	case *resumePath != "":
+		blob, err := symexec.ReadCheckpointFile(*resumePath)
+		if err != nil {
+			return err
+		}
+		resumeBlob = blob
+		// Peek the program out of the checkpoint so the span, persistent
+		// cache, and coverage report see the right binary; ResumeExecutor
+		// re-decodes the full blob with the final options below.
+		r := snapshot.NewReader(blob)
+		if _, err := r.Uvarint(); err != nil {
+			return err
+		}
+		if prog, err = snapshot.DecodeProgram(r); err != nil {
+			return err
+		}
 	case *appName != "":
 		app, err := apps.Get(*appName)
 		if err != nil {
@@ -79,7 +117,7 @@ func run() error {
 		prog = bytecode.MustCompile(*file, string(src))
 		spec = &symexec.InputSpec{MaxStrLen: *maxStr}
 	default:
-		return fmt.Errorf("one of -app or -file is required")
+		return fmt.Errorf("one of -app, -file, or -resume is required")
 	}
 
 	if *replay != "" {
@@ -186,8 +224,35 @@ func run() error {
 		}
 	}
 
-	ex := symexec.New(prog, spec, opts)
-	res := ex.RunContext(ctx)
+	var ex *symexec.Executor
+	var res *symexec.Result
+	switch {
+	case *resumePath != "":
+		ex, err = symexec.ResumeExecutor(resumeBlob, opts)
+		if err != nil {
+			return err
+		}
+		res = ex.RunContext(ctx)
+	case *dispatchRun:
+		addrs := splitAddrs(*workerAddrs)
+		ex, res, err = runDispatchPure(ctx, prog, spec, opts, addrs, *warmupSteps)
+		if err != nil {
+			return err
+		}
+	default:
+		ex = symexec.New(prog, spec, opts)
+		res = ex.RunContext(ctx)
+	}
+	if *ckptOut != "" {
+		blob, err := ex.EncodeCheckpoint()
+		if err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		if err := symexec.WriteCheckpointFile(*ckptOut, blob); err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint: wrote %s (%d bytes)\n", *ckptOut, len(blob))
+	}
 	if session != nil {
 		if err := session.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "symexec: solver cache:", err)
@@ -271,6 +336,153 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// runServeWorker turns this process into a dispatch worker: it serves
+// candidate-attempt and frontier-shard units on addr until interrupted.
+// With -cache-dir the worker warms from (and spills to) the same
+// persistent solver-cache store as the coordinator.
+func runServeWorker(addr, cacheDir string, lopts live.Options) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rt, err := live.Init(lopts)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := rt.Shutdown(context.Background()); err != nil {
+			fmt.Fprintln(os.Stderr, "symexec: obs:", err)
+		}
+	}()
+	defer rt.DumpOnPanic()
+	l, err := dispatch.Listen(addr)
+	if err != nil {
+		return err
+	}
+	go func() {
+		<-ctx.Done()
+		l.Close()
+	}()
+	fmt.Printf("worker: serving dispatch units on %s\n", addr)
+	err = dispatch.Serve(l, core.NewDispatchRunner(core.WorkerConfig{CacheDir: cacheDir, Obs: rt.Obs()}))
+	if ctx.Err() != nil {
+		return nil // interrupted: the closed listener is a clean shutdown
+	}
+	return err
+}
+
+// splitAddrs parses a comma-separated -worker-addrs value.
+func splitAddrs(s string) []string {
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}
+
+// runDispatchPure distributes a pure-mode exploration: a bounded local
+// warmup builds a frontier, EncodeFrontierShards splits it 1+len(addrs)
+// ways, one shard runs locally while the rest ship to the workers as
+// FrameStateUnit units, and the results merge in shard order. Every shard
+// runs under the run's full step/state budget, so the merged totals equal
+// the undivided run's (the shard-union invariant pinned in
+// internal/symexec). A shard whose worker fails re-runs locally: workers
+// cost speed, never detections. StopAtFirstVuln is forced off — shards
+// explore independently, so the run behaves like -all.
+func runDispatchPure(ctx context.Context, prog *bytecode.Program, spec *symexec.InputSpec, opts symexec.Options, addrs []string, warmup int64) (*symexec.Executor, *symexec.Result, error) {
+	if opts.Workers > 0 || opts.Calls != nil {
+		return nil, nil, fmt.Errorf("-dispatch requires the sequential pure engine (no -workers, -scope, -summaries)")
+	}
+	full := opts
+	if full.MaxSteps == 0 {
+		full.MaxSteps = symexec.DefaultMaxSteps
+	}
+	if full.MaxStates == 0 {
+		full.MaxStates = symexec.DefaultMaxStates
+	}
+	full.StopAtFirstVuln = false
+	warmOpts := full
+	if warmup > 0 && warmup < full.MaxSteps {
+		warmOpts.MaxSteps = warmup
+	}
+	ex := symexec.New(prog, spec, warmOpts)
+	res := ex.RunContext(ctx)
+	if !res.StepLimited || warmOpts.MaxSteps == full.MaxSteps || ctx.Err() != nil {
+		// Finished, hit a real limit, or interrupted before the warmup
+		// boundary: nothing left to distribute.
+		return ex, res, nil
+	}
+	res.StepLimited = false // the warmup boundary is internal, not a verdict
+
+	n := 1 + len(addrs)
+	shards, err := ex.EncodeFrontierShards(n)
+	if err != nil {
+		return nil, nil, fmt.Errorf("shard frontier: %w", err)
+	}
+	units := make([]*symexec.StateUnit, n)
+	for i, blob := range shards {
+		units[i] = &symexec.StateUnit{MaxSteps: full.MaxSteps, MaxStates: full.MaxStates, Blob: blob}
+	}
+	results := make([]*symexec.StateResult, n)
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			r, err := shipStateUnit(addr, units[i])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "symexec: worker %s failed (%v); running shard %d locally\n", addr, err, i)
+				if r, err = symexec.RunStateUnit(ctx, units[i]); err != nil {
+					fmt.Fprintf(os.Stderr, "symexec: shard %d: %v\n", i, err)
+					return
+				}
+			}
+			results[i] = r
+		}(i, addrs[i-1])
+	}
+	if results[0], err = symexec.RunStateUnit(ctx, units[0]); err != nil {
+		return nil, nil, err
+	}
+	wg.Wait()
+
+	remote := 0
+	for i, r := range results {
+		if r == nil {
+			continue
+		}
+		if i > 0 {
+			remote++
+		}
+		res.Paths += r.Paths
+		res.StatesCreated += r.StatesCreated
+		res.Steps += r.Steps
+		res.Forks += r.Forks
+		res.SolverChecks += r.SolverChecks
+		res.SolverSat += r.SolverSat
+		res.SolverUnsat += r.SolverUnsat
+		res.Exhausted = res.Exhausted || r.Exhausted
+		res.StepLimited = res.StepLimited || r.StepLimited
+		res.Vulns = append(res.Vulns, r.Vulns...)
+	}
+	fmt.Printf("dispatch: %d shards (%d local, %d remote-capable workers)\n", n, n-remote, len(addrs))
+	return ex, res, nil
+}
+
+// shipStateUnit sends one frontier shard to a worker and decodes its
+// result.
+func shipStateUnit(addr string, u *symexec.StateUnit) (*symexec.StateResult, error) {
+	c, err := dispatch.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	reply, err := c.Do(snapshot.FrameStateUnit, symexec.EncodeStateUnit(u), 0)
+	if err != nil {
+		return nil, err
+	}
+	return symexec.DecodeStateResult(reply)
 }
 
 func trunc(s string) string {

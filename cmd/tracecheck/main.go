@@ -14,6 +14,10 @@
 // holding a solvercache.json manifest (or a bare *.scq segment) is
 // deep-validated — block CRCs, entry decode, per-entry digest and model
 // self-consistency, digest ordering, and manifest/footer agreement.
+// A checkpoint (*.ssnap) is checked frame-first (single CRC-verified
+// checkpoint frame, no trailing bytes) and then fully decoded by resuming
+// it; a dispatch audit log (-dispatch-log JSONL, sniffed by its "event"
+// field) must hold only known scheduling events and record a merge.
 // It exits non-zero on the first class of violation found (including a
 // truncated segment), so CI can smoke-test every layer with real runs.
 package main
@@ -27,16 +31,19 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
 	"repro/internal/obs/live"
 	"repro/internal/solver/persist"
+	"repro/internal/symexec"
+	"repro/internal/symexec/snapshot"
 )
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck TRACE.jsonl | FLIGHT-DUMP.jsonl | METRICS.prom | SEGMENT.seg | STORE-DIR")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck TRACE.jsonl | FLIGHT-DUMP.jsonl | DISPATCH-LOG.jsonl | METRICS.prom | SEGMENT.seg | CHECKPOINT.ssnap | STORE-DIR")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -54,6 +61,8 @@ func main() {
 		} else {
 			problems, summary, err = checkStore(arg)
 		}
+	} else if strings.HasSuffix(arg, ".ssnap") {
+		problems, summary, err = checkCheckpoint(arg)
 	} else if strings.HasSuffix(arg, ".seg") {
 		problems, summary, err = checkSegment(arg)
 	} else if strings.HasSuffix(arg, persist.SegmentSuffix) {
@@ -64,6 +73,8 @@ func main() {
 			problems, summary, err = checkFlight(arg)
 		case "metrics":
 			problems, summary, err = checkMetrics(arg)
+		case "dispatch":
+			problems, summary, err = checkDispatchLog(arg)
 		default:
 			problems, summary, err = check(arg)
 		}
@@ -103,10 +114,18 @@ func sniff(path string) string {
 	}
 	if line[0] == '{' {
 		var probe struct {
-			Type string `json:"type"`
+			Type  string `json:"type"`
+			Event string `json:"event"`
 		}
-		if json.Unmarshal(line, &probe) == nil && probe.Type == flight.TypeHeader {
-			return "flight"
+		if json.Unmarshal(line, &probe) == nil {
+			if probe.Type == flight.TypeHeader {
+				return "flight"
+			}
+			// A dispatch audit log leads with an "event" field instead of
+			// an obs event "type".
+			if probe.Type == "" && core.KnownDispatchEvents[probe.Event] {
+				return "dispatch"
+			}
 		}
 		return "trace"
 	}
@@ -140,6 +159,91 @@ func checkMetrics(path string) (problems []string, summary string, err error) {
 	}
 	summary = fmt.Sprintf("tracecheck: %s: metrics exposition — %d families, %d samples, %d problems",
 		path, families, samples, len(problems))
+	return problems, summary, nil
+}
+
+// checkCheckpoint validates a .ssnap checkpoint file: exactly one
+// CRC-verified FrameCheckpoint frame whose payload resumes into an
+// executor (the full codec decode, not just the framing).
+func checkCheckpoint(path string) (problems []string, summary string, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	r := bytes.NewReader(data)
+	typ, payload, err := snapshot.ReadFrame(r)
+	if err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	if typ != snapshot.FrameCheckpoint {
+		problems = append(problems, fmt.Sprintf("leading frame has type %#x, want checkpoint %#x", typ, snapshot.FrameCheckpoint))
+	}
+	if r.Len() > 0 {
+		problems = append(problems, fmt.Sprintf("%d trailing bytes after the checkpoint frame", r.Len()))
+	}
+	states := 0
+	if len(problems) == 0 {
+		ex, rerr := symexec.ResumeExecutor(payload, symexec.Options{})
+		if rerr != nil {
+			problems = append(problems, fmt.Sprintf("checkpoint payload does not decode: %v", rerr))
+		} else {
+			states = ex.Pending()
+		}
+	}
+	summary = fmt.Sprintf("tracecheck: %s: checkpoint — %d bytes, %d pending states, %d problems",
+		path, len(data), states, len(problems))
+	return problems, summary, nil
+}
+
+// checkDispatchLog validates a coordinator's -dispatch-log JSONL audit
+// trail: every line parses as a core.DispatchEvent with a known event name
+// and a timestamp, and each run in the file (the log appends across runs)
+// ends with exactly one merge line.
+func checkDispatchLog(path string) (problems []string, summary string, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	flag := func(format string, args ...any) {
+		if len(problems) < 20 {
+			problems = append(problems, fmt.Sprintf(format, args...))
+		}
+	}
+	lines, merges := 0, 0
+	counts := map[string]int{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines++
+		var ev core.DispatchEvent
+		if jerr := json.Unmarshal(sc.Bytes(), &ev); jerr != nil {
+			flag("line %d: not valid JSON: %v", lines, jerr)
+			continue
+		}
+		if !core.KnownDispatchEvents[ev.Event] {
+			flag("line %d: unknown dispatch event %q", lines, ev.Event)
+			continue
+		}
+		if ev.T.IsZero() {
+			flag("line %d: missing timestamp", lines)
+		}
+		if ev.Rank < 0 {
+			flag("line %d: negative rank %d", lines, ev.Rank)
+		}
+		counts[ev.Event]++
+		if ev.Event == "merge" {
+			merges++
+		}
+	}
+	if serr := sc.Err(); serr != nil {
+		return nil, "", serr
+	}
+	if merges == 0 {
+		flag("no merge line: every completed run must record its merge")
+	}
+	summary = fmt.Sprintf("tracecheck: %s: dispatch log — %d lines, %d steals, %d local, %d redispatched, %d merges, %d problems",
+		path, lines, counts["steal"], counts["local"], counts["redispatch"], merges, len(problems))
 	return problems, summary, nil
 }
 
@@ -268,6 +372,8 @@ func check(path string) (problems []string, summary string, err error) {
 					flag("line %d: %s on unknown span %d", lines, ev.Type, ev.Span)
 				}
 			}
+		case obs.EventDispatch:
+			// Scheduling decisions carry no span; nothing structural to pin.
 		default:
 			flag("line %d: unknown event type %q", lines, ev.Type)
 		}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/solver"
 	"repro/internal/solver/persist"
 	"repro/internal/symexec"
@@ -516,6 +517,118 @@ func AblationSummaries(ctx context.Context, seed int64, budgets Budgets) ([]Abla
 				SummaryCalls: rep.SummaryCalls,
 				SummaryHits:  rep.SummaryHits,
 				SummaryMined: rep.SummaryMined,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationDispatch measures the coordinator/worker dispatch backend
+// against the in-process sequential loop on polymorph, thttpd, and grep:
+// dispatch off, dispatch local-only (the backend's own scheduling with no
+// workers), then 1, 2, and 4 workers. Workers are served in-process over
+// unix sockets, so the rows pay the full unit codec + framing + socket
+// round-trip cost of a real worker process while staying hermetic for CI.
+// Wall clock is min-of-3 per configuration (scheduling noise dominates
+// single runs at these durations); detections are pinned — every dispatch
+// row must reproduce the sequential row's digest or the ablation fails.
+// On a single-core host the worker rows measure protocol overhead, not
+// speedup: the workers share the one CPU with the coordinator.
+func AblationDispatch(ctx context.Context, workerCounts []int, seed int64, budgets Budgets) ([]AblationRow, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{0, 1, 2, 4}
+	}
+	const reps = 3
+	maxWorkers := 0
+	for _, n := range workerCounts {
+		if n > maxWorkers {
+			maxWorkers = n
+		}
+	}
+	// One shared worker pool for the whole ablation; each configuration
+	// addresses a prefix of it.
+	sockDir, err := os.MkdirTemp("", "statsym-dispatch-ablation")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(sockDir)
+	addrs := make([]string, maxWorkers)
+	for i := range addrs {
+		addrs[i] = filepath.Join(sockDir, fmt.Sprintf("w%d.sock", i))
+		l, err := dispatch.Listen(addrs[i])
+		if err != nil {
+			return nil, err
+		}
+		defer l.Close()
+		go dispatch.Serve(l, core.NewDispatchRunner(core.WorkerConfig{}))
+	}
+
+	var rows []AblationRow
+	for _, name := range []string{"polymorph", "thttpd", "grep"} {
+		app, err := apps.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		corpus, err := workload.BuildCorpus(app, workload.Options{SampleRate: 0.3, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		base := core.Config{
+			Spec:                 app.Spec,
+			PerCandidateTimeout:  budgets.GuidedTimeout,
+			PerCandidateMaxSteps: budgets.GuidedMaxSteps,
+			DisableSharedCache:   budgets.DisableSharedCache,
+		}
+		configs := []struct {
+			label string
+			n     int // -1: dispatch off (sequential loop)
+		}{{"dispatch/off", -1}}
+		for _, n := range workerCounts {
+			label := fmt.Sprintf("dispatch/workers=%d", n)
+			if n == 0 {
+				label = "dispatch/local"
+			}
+			configs = append(configs, struct {
+				label string
+				n     int
+			}{label, n})
+		}
+		refDigest := ""
+		for _, c := range configs {
+			cfg := base
+			if c.n >= 0 {
+				cfg.Dispatch = true
+				cfg.WorkerAddrs = addrs[:c.n]
+			}
+			var best *core.Report
+			for rep := 0; rep < reps; rep++ {
+				if err := ctx.Err(); err != nil {
+					return rows, err
+				}
+				r, err := core.RunContext(ctx, app.Program(), corpus, cfg)
+				if err != nil {
+					return nil, err
+				}
+				if best == nil || r.SymTime < best.SymTime {
+					best = r
+				}
+			}
+			digest := core.DigestToken(best)
+			if refDigest == "" {
+				refDigest = digest
+			} else if digest != refDigest {
+				return nil, fmt.Errorf("dispatch ablation: %s %s digest %s diverged from sequential %s",
+					name, c.label, digest, refDigest)
+			}
+			rows = append(rows, AblationRow{
+				Program: app.Name,
+				Config:  c.label,
+				Found:   best.Found(),
+				Paths:   best.TotalPaths,
+				Steps:   best.TotalSteps,
+				Elapsed: best.SymTime,
+				Failed:  !best.Found(),
+				Digest:  digest,
 			})
 		}
 	}

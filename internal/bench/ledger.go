@@ -148,6 +148,8 @@ func ReadBaseline(path string) ([]LedgerRow, error) {
 // it, so a -baseline run knows which experiments to re-run.
 func ablationFor(config string) string {
 	switch {
+	case strings.HasPrefix(config, "dispatch/"):
+		return "dispatch"
 	case strings.Contains(config, "workers="):
 		return "frontier"
 	case strings.HasPrefix(config, "pure/"), config == "statsym":
@@ -241,6 +243,10 @@ func CompareLedger(baseline, current []LedgerRow, tol Tolerances) []Regression {
 			regs = append(regs, Regression{Key: b.Key(), Metric: "steps",
 				Detail: fmt.Sprintf("steps %d exceeds baseline %d by more than %.0f%%",
 					c.Steps, b.Steps, tol.StepsPct*100)})
+		}
+		if b.Digest != "" && c.Digest != "" && b.Digest != c.Digest {
+			regs = append(regs, Regression{Key: b.Key(), Metric: "digest",
+				Detail: fmt.Sprintf("detection digest %s diverged from baseline %s", c.Digest, b.Digest)})
 		}
 		if tol.TimeRatio > 0 && b.SymMS > 0 && c.SymMS > b.SymMS*tol.TimeRatio {
 			regs = append(regs, Regression{Key: b.Key(), Metric: "sym_ms",

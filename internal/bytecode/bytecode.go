@@ -119,6 +119,40 @@ func (p *Program) GlobalIndex(name string) int {
 // initializers before main runs. It is not instrumented by the monitor.
 const InitFuncName = "$init"
 
+// Assemble reconstructs a Program from decoded parts (the snapshot codec's
+// entry point back into this package), rebuilding the private name index
+// that Compile normally populates and validating the structural invariants
+// a well-formed program carries.
+func Assemble(name string, funcs []*Fn, globals []GlobalInfo, initIndex, mainIndex int) (*Program, error) {
+	p := &Program{
+		Name:      name,
+		Funcs:     funcs,
+		Globals:   globals,
+		InitIndex: initIndex,
+		MainIndex: mainIndex,
+		byName:    make(map[string]*Fn, len(funcs)),
+	}
+	for i, fn := range funcs {
+		if fn == nil {
+			return nil, fmt.Errorf("bytecode: assemble %s: nil function at %d", name, i)
+		}
+		if fn.Index != i {
+			return nil, fmt.Errorf("bytecode: assemble %s: function %q has index %d at position %d", name, fn.Name, fn.Index, i)
+		}
+		if _, dup := p.byName[fn.Name]; dup {
+			return nil, fmt.Errorf("bytecode: assemble %s: duplicate function %q", name, fn.Name)
+		}
+		p.byName[fn.Name] = fn
+	}
+	if initIndex < 0 || initIndex >= len(funcs) {
+		return nil, fmt.Errorf("bytecode: assemble %s: init index %d out of range", name, initIndex)
+	}
+	if mainIndex < 0 || mainIndex >= len(funcs) {
+		return nil, fmt.Errorf("bytecode: assemble %s: main index %d out of range", name, mainIndex)
+	}
+	return p, nil
+}
+
 // Compile lowers a checked MiniC program to bytecode.
 func Compile(prog *minic.Program) (*Program, error) {
 	cp := &Program{Name: prog.Name, byName: make(map[string]*Fn)}

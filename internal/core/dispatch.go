@@ -1,0 +1,603 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/dispatch"
+	"repro/internal/obs"
+	"repro/internal/pathid"
+	"repro/internal/solver"
+	"repro/internal/solver/persist"
+	"repro/internal/summary"
+	"repro/internal/symexec"
+	"repro/internal/symexec/snapshot"
+)
+
+// Distributed candidate verification (the coordinator side of the
+// coordinator/worker topology; internal/dispatch is the wire, this file is
+// the scheduler).
+//
+// The unit of distribution is one whole candidate attempt: hermetic by
+// construction (VerifyCandidateCtx builds its own executor, solver, and
+// guidance over the shipped program), deterministic under step/state
+// budgets, and large enough that the wire cost — one program + spec +
+// candidate out, one outcome back — is noise against the attempt itself.
+// Local slots and remote workers pull ranks from one shared queue, so
+// workers steal exactly the attempts the local slots have not claimed;
+// outcomes merge through the same rank-order replay as the in-process
+// parallel engine (mergeAttempts), which is what makes DetectionDigest
+// byte-identical for every topology: zero workers, N workers, or workers
+// that crash mid-unit (their units re-run locally).
+
+// attemptUnitVersion versions the FrameAttemptUnit payload.
+const attemptUnitVersion = 1
+
+// EncodeAttemptUnit serializes one candidate attempt for a worker: the
+// scalar verification knobs, then the program, input spec, and candidate
+// path. Workers receive everything the attempt depends on — a worker
+// process never loads the corpus or runs the statistical phase.
+func EncodeAttemptUnit(prog *bytecode.Program, cand *pathid.CandidatePath, rank int, cfg Config) []byte {
+	w := snapshot.NewWriter()
+	w.Uvarint(attemptUnitVersion)
+	w.Int(rank)
+	w.Int(cfg.Tau)
+	w.Float(cfg.MinPredScore)
+	w.Varint(cfg.PerCandidateMaxSteps)
+	w.Int(cfg.MaxStates)
+	w.Varint(int64(cfg.PerCandidateTimeout))
+	w.Bool(cfg.DisableInter)
+	w.Bool(cfg.DisablePredicates)
+	// Ship the per-attempt frontier share, not the raw Workers knob: the
+	// worker runs one attempt with Parallel=0, so its effectiveWorkers()
+	// must land on the same value the coordinator's local slots use —
+	// engine choice (sequential vs epoch) is part of determinism.
+	w.Int(cfg.effectiveWorkers())
+	w.String(cfg.Scope)
+	w.Bool(cfg.Summaries)
+	snapshot.EncodeProgram(w, prog)
+	symexec.EncodeSpec(w, cfg.Spec)
+	snapshot.EncodeCandidate(w, cand)
+	return w.Bytes()
+}
+
+// DecodeAttemptUnit parses a FrameAttemptUnit payload into the attempt's
+// program, candidate, rank, and a worker-side Config.
+func DecodeAttemptUnit(payload []byte) (*bytecode.Program, *pathid.CandidatePath, int, Config, error) {
+	var cfg Config
+	r := snapshot.NewReader(payload)
+	ver, err := r.Uvarint()
+	if err != nil {
+		return nil, nil, 0, cfg, err
+	}
+	if ver != attemptUnitVersion {
+		return nil, nil, 0, cfg, fmt.Errorf("core: attempt unit version %d not supported (want %d)", ver, attemptUnitVersion)
+	}
+	rank, err := r.Int()
+	if err != nil {
+		return nil, nil, 0, cfg, err
+	}
+	if cfg.Tau, err = r.Int(); err != nil {
+		return nil, nil, 0, cfg, err
+	}
+	if cfg.MinPredScore, err = r.Float(); err != nil {
+		return nil, nil, 0, cfg, err
+	}
+	if cfg.PerCandidateMaxSteps, err = r.Varint(); err != nil {
+		return nil, nil, 0, cfg, err
+	}
+	if cfg.MaxStates, err = r.Int(); err != nil {
+		return nil, nil, 0, cfg, err
+	}
+	ns, err := r.Varint()
+	if err != nil {
+		return nil, nil, 0, cfg, err
+	}
+	cfg.PerCandidateTimeout = time.Duration(ns)
+	if cfg.DisableInter, err = r.Bool(); err != nil {
+		return nil, nil, 0, cfg, err
+	}
+	if cfg.DisablePredicates, err = r.Bool(); err != nil {
+		return nil, nil, 0, cfg, err
+	}
+	if cfg.Workers, err = r.Int(); err != nil {
+		return nil, nil, 0, cfg, err
+	}
+	if cfg.Scope, err = r.String(); err != nil {
+		return nil, nil, 0, cfg, err
+	}
+	if cfg.Summaries, err = r.Bool(); err != nil {
+		return nil, nil, 0, cfg, err
+	}
+	prog, err := snapshot.DecodeProgram(r)
+	if err != nil {
+		return nil, nil, 0, cfg, err
+	}
+	if cfg.Spec, err = symexec.DecodeSpec(r); err != nil {
+		return nil, nil, 0, cfg, err
+	}
+	cand, err := snapshot.DecodeCandidate(r)
+	if err != nil {
+		return nil, nil, 0, cfg, err
+	}
+	return prog, cand, rank, cfg, nil
+}
+
+// encodeAttemptResult serializes one attempt's outcome (and vulnerability,
+// when verified) as the FrameResult payload.
+func encodeAttemptResult(out CandidateOutcome, vuln *symexec.Vulnerability) []byte {
+	w := snapshot.NewWriter()
+	w.Uvarint(attemptUnitVersion)
+	w.Int(out.Index)
+	w.Int(out.PathLen)
+	w.Bool(out.Found)
+	w.Int(out.Paths)
+	w.Varint(out.Steps)
+	w.Int(out.Suspends)
+	w.Int(out.Matches)
+	w.Varint(int64(out.Elapsed))
+	w.Bool(out.Infeasible)
+	w.Bool(out.Cancelled)
+	w.Int(out.SolverChecks)
+	w.Int(out.CacheHits)
+	w.Int(out.CacheMisses)
+	w.Int(out.CacheFastSat)
+	w.Int(out.CacheFastUnsat)
+	w.Varint(int64(out.SolverTime))
+	w.Int(out.SummaryCalls)
+	w.Int(out.SummaryPaths)
+	w.Int(out.HavocCalls)
+	w.Int(out.DepthExhausted)
+	if vuln != nil {
+		w.Bool(true)
+		symexec.EncodeVulnerability(w, vuln)
+	} else {
+		w.Bool(false)
+	}
+	return w.Bytes()
+}
+
+// decodeAttemptResult parses a FrameResult payload back into the outcome.
+func decodeAttemptResult(payload []byte) (CandidateOutcome, *symexec.Vulnerability, error) {
+	var out CandidateOutcome
+	r := snapshot.NewReader(payload)
+	ver, err := r.Uvarint()
+	if err != nil {
+		return out, nil, err
+	}
+	if ver != attemptUnitVersion {
+		return out, nil, fmt.Errorf("core: attempt result version %d not supported (want %d)", ver, attemptUnitVersion)
+	}
+	var ns int64
+	if out.Index, err = r.Int(); err != nil {
+		return out, nil, err
+	}
+	if out.PathLen, err = r.Int(); err != nil {
+		return out, nil, err
+	}
+	if out.Found, err = r.Bool(); err != nil {
+		return out, nil, err
+	}
+	if out.Paths, err = r.Int(); err != nil {
+		return out, nil, err
+	}
+	if out.Steps, err = r.Varint(); err != nil {
+		return out, nil, err
+	}
+	if out.Suspends, err = r.Int(); err != nil {
+		return out, nil, err
+	}
+	if out.Matches, err = r.Int(); err != nil {
+		return out, nil, err
+	}
+	if ns, err = r.Varint(); err != nil {
+		return out, nil, err
+	}
+	out.Elapsed = time.Duration(ns)
+	if out.Infeasible, err = r.Bool(); err != nil {
+		return out, nil, err
+	}
+	if out.Cancelled, err = r.Bool(); err != nil {
+		return out, nil, err
+	}
+	if out.SolverChecks, err = r.Int(); err != nil {
+		return out, nil, err
+	}
+	if out.CacheHits, err = r.Int(); err != nil {
+		return out, nil, err
+	}
+	if out.CacheMisses, err = r.Int(); err != nil {
+		return out, nil, err
+	}
+	if out.CacheFastSat, err = r.Int(); err != nil {
+		return out, nil, err
+	}
+	if out.CacheFastUnsat, err = r.Int(); err != nil {
+		return out, nil, err
+	}
+	if ns, err = r.Varint(); err != nil {
+		return out, nil, err
+	}
+	out.SolverTime = time.Duration(ns)
+	if out.SummaryCalls, err = r.Int(); err != nil {
+		return out, nil, err
+	}
+	if out.SummaryPaths, err = r.Int(); err != nil {
+		return out, nil, err
+	}
+	if out.HavocCalls, err = r.Int(); err != nil {
+		return out, nil, err
+	}
+	if out.DepthExhausted, err = r.Int(); err != nil {
+		return out, nil, err
+	}
+	hasVuln, err := r.Bool()
+	if err != nil {
+		return out, nil, err
+	}
+	var vuln *symexec.Vulnerability
+	if hasVuln {
+		if vuln, err = symexec.DecodeVulnerability(r); err != nil {
+			return out, nil, err
+		}
+	}
+	return out, vuln, nil
+}
+
+// WorkerConfig tunes one worker process's unit execution.
+type WorkerConfig struct {
+	// CacheDir attaches the worker to the same persistent solver-cache
+	// store the coordinator uses (wall-clock only, like everywhere else:
+	// each loaded verdict is re-verified before use).
+	CacheDir string
+	// Obs receives the worker's spans and metrics (nil: silent).
+	Obs *obs.Obs
+}
+
+// NewDispatchRunner returns the worker-side unit executor for
+// dispatch.Serve: FrameAttemptUnit payloads run one candidate attempt,
+// FrameStateUnit payloads resume and drain one frontier shard. Each unit
+// is hermetic — decode, execute, encode — so a malformed unit fails that
+// unit only, never the worker.
+func NewDispatchRunner(wc WorkerConfig) dispatch.Runner {
+	return func(typ byte, payload []byte) ([]byte, error) {
+		switch typ {
+		case snapshot.FrameAttemptUnit:
+			return runAttemptUnit(wc, payload)
+		case snapshot.FrameStateUnit:
+			return runStateUnitPayload(payload)
+		default:
+			return nil, fmt.Errorf("core: unknown unit frame %#x", typ)
+		}
+	}
+}
+
+// runAttemptUnit executes one shipped candidate attempt.
+func runAttemptUnit(wc WorkerConfig, payload []byte) ([]byte, error) {
+	prog, cand, rank, cfg, err := DecodeAttemptUnit(payload)
+	if err != nil {
+		return nil, fmt.Errorf("decode attempt unit: %w", err)
+	}
+	ctx := obs.NewContext(context.Background(), wc.Obs)
+	if wc.CacheDir != "" {
+		cfg.sharedCache = solver.NewSharedCache(0)
+		cfg.originHashes = summary.HashProgram(prog)
+		session, err := persist.Attach(persist.Config{
+			Dir:     wc.CacheDir,
+			Program: prog,
+			Shared:  cfg.sharedCache,
+			Obs:     wc.Obs,
+		})
+		if err != nil {
+			// The persistent cache is a wall-clock accelerator; a worker
+			// that cannot attach it still answers correctly.
+			obs.Warn(ctx, "worker cache attach failed", obs.A("error", err.Error()))
+			cfg.sharedCache = nil
+			cfg.originHashes = nil
+		} else {
+			defer func() {
+				if cerr := session.Close(); cerr != nil {
+					obs.Warn(ctx, "worker cache seal failed", obs.A("error", cerr.Error()))
+				}
+			}()
+		}
+	}
+	out, vuln := VerifyCandidateCtx(ctx, prog, cand, rank, cfg)
+	return encodeAttemptResult(out, vuln), nil
+}
+
+// runStateUnitPayload resumes one frontier shard and drains it.
+func runStateUnitPayload(payload []byte) ([]byte, error) {
+	u, err := symexec.DecodeStateUnit(payload)
+	if err != nil {
+		return nil, fmt.Errorf("decode state unit: %w", err)
+	}
+	res, err := symexec.RunStateUnit(context.Background(), u)
+	if err != nil {
+		return nil, err
+	}
+	return symexec.EncodeStateResult(res), nil
+}
+
+// DispatchEvent is one line of the -dispatch-log JSONL audit trail.
+type DispatchEvent struct {
+	T      time.Time `json:"t"`
+	Event  string    `json:"event"`
+	Rank   int       `json:"rank,omitempty"`
+	Worker string    `json:"worker,omitempty"`
+	Err    string    `json:"err,omitempty"`
+	// Merge-event summary: the winning rank and the remote/local/
+	// redispatched unit counts.
+	Winner int `json:"winner,omitempty"`
+	Remote int `json:"remote,omitempty"`
+	Local  int `json:"local,omitempty"`
+	Redisp int `json:"redispatched,omitempty"`
+}
+
+// KnownDispatchEvents enumerates the legal Event values (tracecheck
+// validates log lines against this set).
+var KnownDispatchEvents = map[string]bool{
+	"dial":        true,
+	"dial_failed": true,
+	"steal":       true,
+	"local":       true,
+	"redispatch":  true,
+	"worker_dead": true,
+	"merge":       true,
+}
+
+// dispatchLog mirrors every scheduling event to the JSONL file (when
+// configured) and the obs sink's "dispatch" category (when observing).
+type dispatchLog struct {
+	mu  sync.Mutex
+	f   *os.File
+	enc *json.Encoder
+	o   *obs.Obs
+}
+
+func openDispatchLog(path string, o *obs.Obs) *dispatchLog {
+	l := &dispatchLog{o: o}
+	if path == "" {
+		return l
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		obs.Warn(obs.NewContext(context.Background(), o), "dispatch log open failed",
+			obs.A("path", path), obs.A("error", err.Error()))
+		return l
+	}
+	l.f = f
+	l.enc = json.NewEncoder(f)
+	return l
+}
+
+func (l *dispatchLog) note(ev DispatchEvent) {
+	ev.T = time.Now()
+	l.mu.Lock()
+	if l.enc != nil {
+		l.enc.Encode(ev) // an unwritable audit log never fails the run
+	}
+	l.mu.Unlock()
+	if l.o != nil {
+		attrs := map[string]any{}
+		if ev.Rank != 0 {
+			attrs["rank"] = ev.Rank
+		}
+		if ev.Worker != "" {
+			attrs["worker"] = ev.Worker
+		}
+		if ev.Err != "" {
+			attrs["err"] = ev.Err
+		}
+		if ev.Event == "merge" {
+			attrs["winner"] = ev.Winner
+			attrs["remote"] = ev.Remote
+			attrs["local"] = ev.Local
+			attrs["redispatched"] = ev.Redisp
+		}
+		l.o.Emit(obs.Event{Type: obs.EventDispatch, Name: ev.Event, Attrs: attrs})
+	}
+}
+
+func (l *dispatchLog) close() {
+	if l.f != nil {
+		l.f.Close()
+	}
+}
+
+// verifyCandidatesDispatch verifies cands under the coordinator/worker
+// backend and merges the outcomes into rep deterministically. Invoked by
+// RunContext when cfg.Dispatch is set.
+//
+// Topology: max(1, cfg.Parallel) local slots plus one puller per connected
+// worker, all draining one rank queue — remote workers steal whatever the
+// local slots have not claimed. Any worker failure (dial, transport,
+// deadline, or a unit-level error) re-runs that unit locally on the same
+// goroutine, so a lost worker costs speed, never a detection.
+func verifyCandidatesDispatch(ctx context.Context, prog *bytecode.Program, cands []*pathid.CandidatePath, cfg Config, rep *Report) {
+	o := obs.FromContext(ctx)
+	dlog := openDispatchLog(cfg.DispatchLog, o)
+	defer dlog.close()
+
+	attempts := make([]attempt, len(cands))
+	ctxs := make([]context.Context, len(cands))
+	cancels := make([]context.CancelFunc, len(cands))
+	for i := range cands {
+		ctxs[i], cancels[i] = context.WithCancel(ctx)
+	}
+	defer func() {
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}()
+
+	// Winner machinery, identical to the in-process parallel engine: the
+	// lowest successful rank cancels every higher-ranked sibling.
+	var mu sync.Mutex
+	winner := 0
+	noteSuccess := func(rank int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if winner != 0 && winner <= rank {
+			return
+		}
+		winner = rank
+		for i := rank; i < len(cancels); i++ {
+			cancels[i]()
+		}
+	}
+	beyondWinner := func(rank int) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return winner != 0 && rank > winner
+	}
+
+	var remote, local, redispatched, dead atomic.Int64
+	runLocal := func(i int) {
+		rank := i + 1
+		outcome, vuln := VerifyCandidateCtx(ctxs[i], prog, cands[i], rank, cfg)
+		attempts[i] = attempt{outcome: outcome, vuln: vuln, complete: !outcome.Cancelled}
+		if vuln != nil {
+			noteSuccess(rank)
+		}
+	}
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	// Feeding starts only after every puller is parked at the queue
+	// (ready.Wait below). Without the barrier, a single-core scheduler can
+	// let the first local slot drain the whole queue before a worker
+	// goroutine ever runs — turning every remote topology into a de facto
+	// local run. With it, the first sends hand one rank to each parked
+	// puller, so connected workers always get a chance to steal.
+	var ready sync.WaitGroup
+
+	// Local slots. Dispatch works with Parallel unset — one local slot
+	// keeps draining ranks the workers do not steal.
+	slots := cfg.Parallel
+	if slots < 1 {
+		slots = 1
+	}
+	if slots > len(cands) {
+		slots = len(cands)
+	}
+	for s := 0; s < slots; s++ {
+		wg.Add(1)
+		ready.Add(1)
+		go func() {
+			defer wg.Done()
+			ready.Done()
+			for i := range indices {
+				rank := i + 1
+				if beyondWinner(rank) || ctxs[i].Err() != nil {
+					continue
+				}
+				dlog.note(DispatchEvent{Event: "local", Rank: rank})
+				local.Add(1)
+				runLocal(i)
+			}
+		}()
+	}
+
+	// Worker pullers: one goroutine per connected worker, pulling from
+	// the same queue (that pull IS the steal). The attempt ships encoded;
+	// any failure falls back to runLocal on this goroutine, and a dead
+	// client stops pulling.
+	for _, addr := range cfg.WorkerAddrs {
+		c, err := dispatch.Dial(addr)
+		if err != nil {
+			dlog.note(DispatchEvent{Event: "dial_failed", Worker: addr, Err: err.Error()})
+			obs.Warn(ctx, "dispatch worker unreachable", obs.A("addr", addr), obs.A("error", err.Error()))
+			dead.Add(1)
+			continue
+		}
+		dlog.note(DispatchEvent{Event: "dial", Worker: addr})
+		// Caller cancellation severs in-flight round trips: closing the
+		// connection fails the pending Do, and the puller's local re-run
+		// sees the already-cancelled per-rank context, so it records the
+		// partial attempt and unwinds — same accounting as the in-process
+		// engines.
+		stop := context.AfterFunc(ctx, func() { c.Close() })
+		wg.Add(1)
+		ready.Add(1)
+		go func(addr string, c *dispatch.Client) {
+			defer wg.Done()
+			defer stop()
+			defer c.Close()
+			ready.Done()
+			for i := range indices {
+				rank := i + 1
+				if beyondWinner(rank) || ctxs[i].Err() != nil {
+					continue
+				}
+				if c.Dead() != nil {
+					// A dead worker's puller degrades into one more local
+					// slot so queued ranks never stall behind it.
+					dlog.note(DispatchEvent{Event: "local", Rank: rank})
+					local.Add(1)
+					runLocal(i)
+					continue
+				}
+				dlog.note(DispatchEvent{Event: "steal", Rank: rank, Worker: addr})
+				unit := EncodeAttemptUnit(prog, cands[i], rank, cfg)
+				if o != nil {
+					o.Metrics.Counter(obs.MetricDispatchUnitBytes).Add(int64(len(unit)))
+				}
+				reply, err := c.Do(snapshot.FrameAttemptUnit, unit, cfg.UnitDeadline)
+				var outcome CandidateOutcome
+				var vuln *symexec.Vulnerability
+				if err == nil {
+					if o != nil {
+						o.Metrics.Counter(obs.MetricDispatchResultBytes).Add(int64(len(reply)))
+					}
+					outcome, vuln, err = decodeAttemptResult(reply)
+				}
+				if err != nil {
+					if c.Dead() != nil {
+						dlog.note(DispatchEvent{Event: "worker_dead", Worker: addr, Err: c.Dead().Error()})
+						dead.Add(1)
+					}
+					dlog.note(DispatchEvent{Event: "redispatch", Rank: rank, Worker: addr, Err: err.Error()})
+					obs.Warn(ctx, "dispatch unit re-run locally",
+						obs.A("rank", rank), obs.A("addr", addr), obs.A("error", err.Error()))
+					redispatched.Add(1)
+					runLocal(i)
+					continue
+				}
+				remote.Add(1)
+				attempts[i] = attempt{outcome: outcome, vuln: vuln, complete: !outcome.Cancelled}
+				if vuln != nil {
+					noteSuccess(rank)
+				}
+			}
+		}(addr, c)
+	}
+
+	ready.Wait()
+	for i := range cands {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+
+	mergeAttempts(rep, attempts)
+	rep.DispatchRemote = int(remote.Load())
+	rep.DispatchLocal = int(local.Load())
+	rep.DispatchRedispatched = int(redispatched.Load())
+	rep.DispatchWorkersDead = int(dead.Load())
+	dlog.note(DispatchEvent{Event: "merge", Winner: rep.CandidateUsed,
+		Remote: rep.DispatchRemote, Local: rep.DispatchLocal, Redisp: rep.DispatchRedispatched})
+	if o != nil {
+		m := o.Metrics
+		m.Counter(obs.MetricDispatchRemote).Add(int64(rep.DispatchRemote))
+		m.Counter(obs.MetricDispatchLocal).Add(int64(rep.DispatchLocal))
+		m.Counter(obs.MetricDispatchRedispatched).Add(int64(rep.DispatchRedispatched))
+		m.Counter(obs.MetricDispatchWorkersDead).Add(int64(rep.DispatchWorkersDead))
+	}
+}

@@ -61,6 +61,30 @@ type Config struct {
 	// worker-count-invariant), only the wall-clock split.
 	Workers int
 
+	// Dispatch selects the coordinator/worker candidate-verification
+	// backend (dispatch.go): ranked candidate attempts are pulled from one
+	// shared queue by local slots and by one goroutine per connected
+	// worker process, so remote workers steal whatever the local slots
+	// have not claimed yet. Outcomes merge in rank order exactly like the
+	// in-process engines, so DetectionDigest is byte-identical for any
+	// topology — zero workers, N workers, or workers that die mid-run.
+	// Works with an empty WorkerAddrs (a local-only dispatch run, useful
+	// for A/B tests).
+	Dispatch bool
+	// WorkerAddrs lists worker processes to dial (dispatch.SplitAddr
+	// syntax: "unix:/path", "/path", "tcp:host:port", "host:port"). A
+	// worker that cannot be dialed is skipped with a warning; a worker
+	// that fails mid-unit has its unit re-run locally.
+	WorkerAddrs []string
+	// DispatchLog, when set, appends one JSON line per scheduling event
+	// (dial, steal, local, redispatch, merge) to that file — the audit
+	// trail tracecheck validates.
+	DispatchLog string
+	// UnitDeadline bounds one remote unit's round trip (zero:
+	// dispatch.DefaultUnitDeadline). A worker that misses the deadline is
+	// declared dead and its unit re-runs locally.
+	UnitDeadline time.Duration
+
 	// DisableInter / DisablePredicates switch off the two guidance
 	// mechanisms independently (ablations).
 	DisableInter      bool
@@ -312,6 +336,16 @@ type Report struct {
 	// SkippedCandidates counts candidate paths elided by Incremental
 	// mode (no dirty function on the path).
 	SkippedCandidates int
+	// Dispatch scheduling telemetry (Dispatch mode only): attempts
+	// executed by remote workers ("stolen"), attempts executed by the
+	// local slots, attempts re-run locally after a worker failure, and
+	// workers lost to transport errors. Counts cover every attempt
+	// started, including ones a lower-ranked success later discarded.
+	// Wall-clock telemetry — never part of DetectionDigest.
+	DispatchRemote       int
+	DispatchLocal        int
+	DispatchRedispatched int
+	DispatchWorkersDead  int
 	// StatsCached reports that the statistical phase was replayed from
 	// the CacheDir memo instead of being derived (wall-clock only; the
 	// replay is byte-exact). PathRes.Graph is nil on a replay.
@@ -477,9 +511,12 @@ func runSymPhase(ctx context.Context, prog *bytecode.Program, cfg Config, rep *R
 		rep.SymTime = time.Since(symStart)
 		return fmt.Errorf("core: call strategy: %w", err)
 	}
-	if cfg.Parallel > 1 && len(cands) > 1 {
+	switch {
+	case cfg.Dispatch && len(cands) > 0:
+		verifyCandidatesDispatch(symCtx, prog, cands, cfg, rep)
+	case cfg.Parallel > 1 && len(cands) > 1:
 		verifyCandidatesParallel(symCtx, prog, cands, cfg, rep)
-	} else {
+	default:
 		verifyCandidatesSequential(symCtx, prog, cands, cfg, rep)
 	}
 	// Seal the persistent cache before reading its counters: Close drains

@@ -1,0 +1,114 @@
+package dispatch
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/symexec/snapshot"
+)
+
+// Client is the coordinator's handle on one worker process: a single
+// connection carrying one unit at a time. It is not safe for concurrent
+// use — the dispatch pool owns one Client per worker slot.
+//
+// A Client never recovers from a transport error: the first torn frame,
+// checksum failure, or missed deadline marks it dead for good, and every
+// later Do fails fast. Reconnecting could double-execute a unit whose
+// first delivery may still be running; the pool's local re-dispatch is the
+// sanctioned recovery path.
+type Client struct {
+	addr string
+	conn net.Conn
+	dead error
+}
+
+// Dial connects to a worker at addr (see SplitAddr) and performs the
+// magic/version handshake.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 10*time.Second)
+}
+
+// DialTimeout is Dial with a connection + handshake deadline.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	network, address := SplitAddr(addr)
+	conn, err := net.DialTimeout(network, address, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: dial %s: %w", addr, err)
+	}
+	if timeout > 0 {
+		conn.SetDeadline(time.Now().Add(timeout))
+	}
+	if err := snapshot.WriteFrame(conn, snapshot.FrameHello, []byte(Magic)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dispatch: handshake write to %s: %w", addr, err)
+	}
+	typ, payload, err := snapshot.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dispatch: handshake read from %s: %w", addr, err)
+	}
+	if typ == snapshot.FrameError {
+		conn.Close()
+		return nil, fmt.Errorf("dispatch: worker %s rejected handshake: %s", addr, payload)
+	}
+	if typ != snapshot.FrameHelloAck || string(payload) != Magic {
+		conn.Close()
+		return nil, fmt.Errorf("dispatch: worker %s spoke %q, want %q", addr, payload, Magic)
+	}
+	conn.SetDeadline(time.Time{})
+	return &Client{addr: addr, conn: conn}, nil
+}
+
+// Addr returns the worker address this client dialed.
+func (c *Client) Addr() string { return c.addr }
+
+// Dead returns the transport error that killed this client, or nil while
+// it is healthy.
+func (c *Client) Dead() error { return c.dead }
+
+// Do ships one unit and waits for its result, bounding the whole round
+// trip by deadline (DefaultUnitDeadline when zero). A FrameError from the
+// worker is returned as an error but leaves the client healthy — the unit
+// failed, not the transport. Any transport failure kills the client.
+func (c *Client) Do(typ byte, payload []byte, deadline time.Duration) ([]byte, error) {
+	if c.dead != nil {
+		return nil, fmt.Errorf("dispatch: worker %s is dead: %w", c.addr, c.dead)
+	}
+	if deadline <= 0 {
+		deadline = DefaultUnitDeadline
+	}
+	c.conn.SetDeadline(time.Now().Add(deadline))
+	if err := snapshot.WriteFrame(c.conn, typ, payload); err != nil {
+		return nil, c.kill(fmt.Errorf("dispatch: send to %s: %w", c.addr, err))
+	}
+	rtyp, rpayload, err := snapshot.ReadFrame(c.conn)
+	if err != nil {
+		return nil, c.kill(fmt.Errorf("dispatch: receive from %s: %w", c.addr, err))
+	}
+	switch rtyp {
+	case snapshot.FrameResult:
+		return rpayload, nil
+	case snapshot.FrameError:
+		return nil, fmt.Errorf("dispatch: worker %s: unit failed: %s", c.addr, rpayload)
+	default:
+		return nil, c.kill(fmt.Errorf("dispatch: worker %s sent unexpected frame %#x", c.addr, rtyp))
+	}
+}
+
+// kill marks the client dead and closes its connection.
+func (c *Client) kill(err error) error {
+	c.dead = err
+	c.conn.Close()
+	return err
+}
+
+// Close shuts the connection down cleanly (the worker sees EOF at a frame
+// boundary and ends the session without logging an error).
+func (c *Client) Close() error {
+	if c.dead != nil {
+		return nil
+	}
+	c.dead = fmt.Errorf("dispatch: client closed")
+	return c.conn.Close()
+}

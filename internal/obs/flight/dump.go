@@ -135,6 +135,7 @@ var knownEventTypes = map[string]bool{
 	obs.EventSpanClose: true,
 	obs.EventProgress:  true,
 	obs.EventWarn:      true,
+	obs.EventDispatch:  true,
 }
 
 // Validate checks a flight dump's structural invariants and returns the

@@ -68,6 +68,22 @@ const (
 	MetricWorkers         = "exec.workers"          // gauge: configured worker count
 	MetricWorkerBusyNanos = "exec.workers.busy_ns"  // counter: summed worker busy time
 	MetricWorkerUtilPct   = "exec.workers.util_pct" // gauge: busy / (workers × elapsed)
+	// Per-slot solver wall split: one counter per draft slot, named
+	// "exec.slot.<id>.solver_wall_ns" (see SlotSolverWallMetric). The run
+	// total still folds into the executor's SolverTime; the split exists
+	// so traces show which lanes carried the solver load.
+	MetricSlotSolverWallPrefix = "exec.slot."
+
+	// Distributed dispatch (internal/core/dispatch.go): attempt units
+	// executed remotely ("stolen" by a worker process), locally, re-run
+	// locally after a worker failure, and workers lost to transport
+	// errors. Scheduling telemetry — never part of DetectionDigest.
+	MetricDispatchRemote       = "dispatch.units.remote"
+	MetricDispatchLocal        = "dispatch.units.local"
+	MetricDispatchRedispatched = "dispatch.units.redispatched"
+	MetricDispatchWorkersDead  = "dispatch.workers.dead"
+	MetricDispatchUnitBytes    = "dispatch.unit.bytes"   // counter: encoded unit payloads shipped
+	MetricDispatchResultBytes  = "dispatch.result.bytes" // counter: result payloads received
 
 	// Compositional execution (internal/summary + internal/symexec).
 	// Cache hit/miss/mined/failed rates are timing dependent under
@@ -108,6 +124,13 @@ const (
 // HopBuckets is the standard bucketing for MetricDivertedHops: fine near
 // zero (on-path states) and coarser toward and beyond typical τ values.
 var HopBuckets = []int64{0, 1, 2, 3, 5, 8, 13, 21}
+
+// SlotSolverWallMetric names the per-slot solver wall counter for one
+// frontier draft slot. Slot ids are stable within a run (0..EpochWidth-1),
+// so a trace's slot counters can be compared across epochs.
+func SlotSolverWallMetric(slot int) string {
+	return fmt.Sprintf("%s%d.solver_wall_ns", MetricSlotSolverWallPrefix, slot)
+}
 
 // EpochFillBuckets is the standard bucketing for MetricEpochFill: how many
 // states each epoch actually drafted, up to the configured width.

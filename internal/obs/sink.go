@@ -36,6 +36,10 @@ const (
 	EventSpanClose = "span.close"
 	EventProgress  = "progress"
 	EventWarn      = "warn"
+	// EventDispatch records coordinator/worker scheduling decisions
+	// (dispatch, steal, redispatch, merge) from the distributed frontier.
+	// Attrs carry the unit's rank and the worker address.
+	EventDispatch = "dispatch"
 )
 
 // Sink consumes events. Implementations must be safe for concurrent Emit.

@@ -265,6 +265,50 @@ func (cs *CachedSolver) spill(d Digest, bsig uint64, cons []Constraint, res Resu
 	}
 }
 
+// CacheEntry is one exported verdict of the exact-match cache, in the form
+// ExportCache emits and ImportCache accepts. Used by the checkpoint codec
+// to ship a warm cache across a process boundary: a resumed executor then
+// replays the captured run's exact hit/miss history, which is what makes
+// its solver counters — not just its verdicts — match an uninterrupted
+// run's.
+type CacheEntry struct {
+	Digest Digest
+	BSig   uint64
+	Origin uint64
+	Cons   []Constraint
+	Res    Result
+	Model  Model
+}
+
+// ExportCache returns the exact-match cache's entries, least recently used
+// first, so importing them in that order reproduces the recency order.
+// The Cons and Model values alias cache-internal storage; callers must not
+// mutate them.
+func (cs *CachedSolver) ExportCache() []CacheEntry {
+	if cs.lru.ll == nil {
+		return nil
+	}
+	out := make([]CacheEntry, 0, cs.lru.ll.Len())
+	for el := cs.lru.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		out = append(out, CacheEntry{Digest: e.d, BSig: e.bsig, Origin: e.origin, Cons: e.cons, Res: e.res, Model: e.model})
+	}
+	return out
+}
+
+// ImportCache seeds the exact-match cache with entries in order (the last
+// entry becomes the most recently used). Counters are untouched; capacity
+// eviction applies as usual.
+func (cs *CachedSolver) ImportCache(entries []CacheEntry) {
+	max := cs.MaxEntries
+	if max <= 0 {
+		max = DefaultCacheEntries
+	}
+	for _, e := range entries {
+		cs.lru.add(e.Digest, e.BSig, e.Origin, e.Cons, e.Res, e.Model, max)
+	}
+}
+
 // InvalidateOrigins drops every LRU entry whose origin function is in dead
 // (a set of stale FnHash values), returning the number removed. Counted
 // separately from capacity evictions so telemetry can attribute later

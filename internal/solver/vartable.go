@@ -210,6 +210,41 @@ func (t *VarTable) Len() int {
 	return t.hi
 }
 
+// Export returns the metadata of every ID in [0, Len()) — the snapshot
+// codec's view of a densely allocated table. Only tables without lane
+// groups can be exported faithfully this way (a strided table's block
+// structure is not captured); callers gate on Dense.
+func (t *VarTable) Export() []VarInfo {
+	n := t.Len()
+	infos := make([]VarInfo, n)
+	for i := range infos {
+		infos[i] = t.Info(Var(i))
+	}
+	return infos
+}
+
+// Dense reports whether the table has only plain dense allocations — no
+// lane groups and no Reserve blocks — so Export/Restore round-trips it
+// exactly. The sequential execution engine only ever allocates densely.
+func (t *VarTable) Dense() bool {
+	return len(*t.groups.Load()) == 0 && len(*t.ranges.Load()) == 0
+}
+
+// Restore replays an exported metadata slice into an empty table,
+// reassigning the same IDs in order. It is the deserialization half of
+// Export and fails on a table that has already allocated.
+func (t *VarTable) Restore(infos []VarInfo) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.hi != 0 {
+		return fmt.Errorf("solver: restore into a non-empty table (%d IDs)", t.hi)
+	}
+	for i, info := range infos {
+		t.setLocked(i, info)
+	}
+	return nil
+}
+
 // lookupRange finds the Reserve block containing v: the dense table's list
 // first, then the owning lane's list (v's residue modulo the group stride
 // identifies the lane, so only one sorted per-lane list is searched).

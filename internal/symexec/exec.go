@@ -216,6 +216,11 @@ type Executor struct {
 	ctx     context.Context
 	stopped bool
 
+	// resumed marks an executor reconstructed from a checkpoint: its
+	// scheduler is already populated, so RunContext must not re-run
+	// program initialization (see checkpoint.go).
+	resumed bool
+
 	visits [][]int64
 
 	// Parallel frontier engine plumbing (see frontier.go). lane, when set,
@@ -407,14 +412,16 @@ func (ex *Executor) RunContext(ctx context.Context) *Result {
 		ex.hops = o.Metrics.Histogram(obs.MetricDivertedHops, obs.HopBuckets...)
 		ex.lastSnap = start
 	}
-	st, err := ex.initialState()
-	if err != nil {
-		// Initialization of globals cannot fork or fault in checked
-		// programs; treat failures as an empty result.
-		ex.res.Elapsed = time.Since(start)
-		return ex.res
+	if !ex.resumed {
+		st, err := ex.initialState()
+		if err != nil {
+			// Initialization of globals cannot fork or fault in checked
+			// programs; treat failures as an empty result.
+			ex.res.Elapsed = time.Since(start)
+			return ex.res
+		}
+		ex.addState(st)
 	}
-	ex.addState(st)
 	switch {
 	case ex.Opts.Workers > 1 && ex.Opts.FreeRun:
 		ex.runFree()

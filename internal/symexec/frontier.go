@@ -374,7 +374,15 @@ func (f *frontier) merge() {
 // finish folds the slots' solver counters and emits the engine metrics.
 func (f *frontier) finish() {
 	ex := f.ex
-	for _, sx := range f.slots {
+	for i, sx := range f.slots {
+		// Per-slot solver wall is recorded before the fold collapses it
+		// into the run total, so traces keep the split by lane instead of
+		// one undifferentiated accumulation.
+		if ex.obsv != nil {
+			if w := sx.Solver.WallTime(); w > 0 {
+				ex.obsv.Metrics.Counter(obs.SlotSolverWallMetric(i)).Add(int64(w))
+			}
+		}
 		ex.foldSlotSolver(sx)
 	}
 	if ex.obsv == nil {
@@ -468,7 +476,12 @@ func (ex *Executor) runFree() {
 		}(slots[wk])
 	}
 	wg.Wait()
-	for _, sx := range slots {
+	for i, sx := range slots {
+		if ex.obsv != nil {
+			if wall := sx.Solver.WallTime(); wall > 0 {
+				ex.obsv.Metrics.Counter(obs.SlotSolverWallMetric(i)).Add(int64(wall))
+			}
+		}
 		ex.foldSlotSolver(sx)
 	}
 }

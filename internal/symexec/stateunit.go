@@ -1,0 +1,178 @@
+package symexec
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/symexec/snapshot"
+)
+
+// A StateUnit is the payload of a FrameStateUnit: one frontier shard
+// (a checkpoint blob from EncodeFrontierShards) together with the budgets
+// the worker must run it under. Budgets travel with the unit — the worker
+// process has no other channel to learn the coordinator's limits, and the
+// global invariant (shard results sum to the undivided run) only holds
+// when every shard sees the same MaxSteps/MaxStates as the coordinator's
+// own executor.
+type StateUnit struct {
+	MaxSteps  int64
+	MaxStates int
+	Blob      []byte
+}
+
+const stateUnitVersion = 1
+
+// EncodeStateUnit serializes u for the wire.
+func EncodeStateUnit(u *StateUnit) []byte {
+	w := snapshot.NewWriter()
+	w.Uvarint(stateUnitVersion)
+	w.Varint(u.MaxSteps)
+	w.Int(u.MaxStates)
+	w.Blob(u.Blob)
+	return w.Bytes()
+}
+
+// DecodeStateUnit parses a FrameStateUnit payload.
+func DecodeStateUnit(b []byte) (*StateUnit, error) {
+	r := snapshot.NewReader(b)
+	ver, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ver != stateUnitVersion {
+		return nil, fmt.Errorf("symexec: state unit version %d not supported (want %d)", ver, stateUnitVersion)
+	}
+	u := &StateUnit{}
+	if u.MaxSteps, err = r.Varint(); err != nil {
+		return nil, err
+	}
+	if u.MaxStates, err = r.Int(); err != nil {
+		return nil, err
+	}
+	if u.Blob, err = r.Blob(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// StateResult is a worker's account of running one frontier shard to its
+// stop condition. Only deterministic counters cross the wire — the
+// coordinator sums shard results, and the sum must equal the undivided
+// run's counters (pinned by TestFrontierShardsUnion and the dispatch
+// differential tests).
+type StateResult struct {
+	Paths         int
+	StatesCreated int
+	Steps         int64
+	Forks         int
+	SolverChecks  int
+	SolverSat     int
+	SolverUnsat   int
+	Exhausted     bool
+	StepLimited   bool
+	Vulns         []*Vulnerability
+}
+
+// EncodeStateResult serializes r for the wire.
+func EncodeStateResult(res *StateResult) []byte {
+	w := snapshot.NewWriter()
+	w.Uvarint(stateUnitVersion)
+	w.Int(res.Paths)
+	w.Int(res.StatesCreated)
+	w.Varint(res.Steps)
+	w.Int(res.Forks)
+	w.Int(res.SolverChecks)
+	w.Int(res.SolverSat)
+	w.Int(res.SolverUnsat)
+	w.Bool(res.Exhausted)
+	w.Bool(res.StepLimited)
+	w.Int(len(res.Vulns))
+	for _, v := range res.Vulns {
+		EncodeVulnerability(w, v)
+	}
+	return w.Bytes()
+}
+
+// DecodeStateResult parses a FrameResult payload produced by
+// EncodeStateResult.
+func DecodeStateResult(b []byte) (*StateResult, error) {
+	r := snapshot.NewReader(b)
+	ver, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ver != stateUnitVersion {
+		return nil, fmt.Errorf("symexec: state result version %d not supported (want %d)", ver, stateUnitVersion)
+	}
+	res := &StateResult{}
+	if res.Paths, err = r.Int(); err != nil {
+		return nil, err
+	}
+	if res.StatesCreated, err = r.Int(); err != nil {
+		return nil, err
+	}
+	if res.Steps, err = r.Varint(); err != nil {
+		return nil, err
+	}
+	if res.Forks, err = r.Int(); err != nil {
+		return nil, err
+	}
+	if res.SolverChecks, err = r.Int(); err != nil {
+		return nil, err
+	}
+	if res.SolverSat, err = r.Int(); err != nil {
+		return nil, err
+	}
+	if res.SolverUnsat, err = r.Int(); err != nil {
+		return nil, err
+	}
+	if res.Exhausted, err = r.Bool(); err != nil {
+		return nil, err
+	}
+	if res.StepLimited, err = r.Bool(); err != nil {
+		return nil, err
+	}
+	n, err := r.Int()
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || n > len(b) {
+		return nil, fmt.Errorf("symexec: state result claims %d vulnerabilities", n)
+	}
+	for i := 0; i < n; i++ {
+		v, err := DecodeVulnerability(r)
+		if err != nil {
+			return nil, err
+		}
+		res.Vulns = append(res.Vulns, v)
+	}
+	return res, nil
+}
+
+// RunStateUnit resumes the unit's shard and runs it to its stop condition
+// (budget exhaustion or an empty frontier). Used by the worker side of
+// pure-mode dispatch (symexec -dispatch); the coordinator merges the shard
+// results in shard order.
+func RunStateUnit(ctx context.Context, u *StateUnit) (*StateResult, error) {
+	ex, err := ResumeExecutor(u.Blob, Options{
+		MaxSteps:        u.MaxSteps,
+		MaxStates:       u.MaxStates,
+		StopAtFirstVuln: false,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := ex.RunContext(ctx)
+	return &StateResult{
+		Paths:         res.Paths,
+		StatesCreated: res.StatesCreated,
+		Steps:         res.Steps,
+		Forks:         res.Forks,
+		SolverChecks:  res.SolverChecks,
+		SolverSat:     res.SolverSat,
+		SolverUnsat:   res.SolverUnsat,
+		Exhausted:     res.Exhausted,
+		StepLimited:   res.StepLimited,
+		Vulns:         res.Vulns,
+	}, nil
+}
