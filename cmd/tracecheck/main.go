@@ -18,6 +18,12 @@
 // checkpoint frame, no trailing bytes) and then fully decoded by resuming
 // it; a dispatch audit log (-dispatch-log JSONL, sniffed by its "event"
 // field) must hold only known scheduling events and record a merge.
+// The statsymd daemon's artifacts are covered too: a job ledger (sniffed
+// by its crc+rec framing and statsymd.ledger header) is checked for CRC
+// discipline, known states, monotonic per-job transitions, specs on
+// admission records, and digests on done records; a saved job-spec JSON
+// (kind statsymd.jobspec/v1) is schema-validated; a sharded corpus
+// directory (shards.json manifest) has every shard store deep-verified.
 // It exits non-zero on the first class of violation found (including a
 // truncated segment), so CI can smoke-test every layer with real runs.
 package main
@@ -36,6 +42,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
 	"repro/internal/obs/live"
+	"repro/internal/service"
 	"repro/internal/solver/persist"
 	"repro/internal/symexec"
 	"repro/internal/symexec/snapshot"
@@ -43,7 +50,7 @@ import (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck TRACE.jsonl | FLIGHT-DUMP.jsonl | DISPATCH-LOG.jsonl | METRICS.prom | SEGMENT.seg | CHECKPOINT.ssnap | STORE-DIR")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck TRACE.jsonl | FLIGHT-DUMP.jsonl | DISPATCH-LOG.jsonl | METRICS.prom | SEGMENT.seg | CHECKPOINT.ssnap | JOBS.ledger | JOBSPEC.json | STORE-DIR")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -58,6 +65,8 @@ func main() {
 	if st, serr := os.Stat(arg); serr == nil && st.IsDir() {
 		if persist.IsStoreDir(arg) {
 			problems, summary, err = checkCacheStore(arg)
+		} else if corpus.IsShardedDir(arg) {
+			problems, summary, err = checkShardedStore(arg)
 		} else {
 			problems, summary, err = checkStore(arg)
 		}
@@ -75,6 +84,10 @@ func main() {
 			problems, summary, err = checkMetrics(arg)
 		case "dispatch":
 			problems, summary, err = checkDispatchLog(arg)
+		case "ledger":
+			problems, summary, err = checkLedger(arg)
+		case "jobspec":
+			problems, summary, err = checkJobSpec(arg)
 		default:
 			problems, summary, err = check(arg)
 		}
@@ -116,6 +129,10 @@ func sniff(path string) string {
 		var probe struct {
 			Type  string `json:"type"`
 			Event string `json:"event"`
+			Kind  string `json:"kind"`
+			Rec   *struct {
+				Type string `json:"type"`
+			} `json:"rec"`
 		}
 		if json.Unmarshal(line, &probe) == nil {
 			if probe.Type == flight.TypeHeader {
@@ -126,6 +143,24 @@ func sniff(path string) string {
 			if probe.Type == "" && core.KnownDispatchEvents[probe.Event] {
 				return "dispatch"
 			}
+			// A statsymd job ledger wraps records in crc+rec frames; its
+			// first record is the typed header.
+			if probe.Rec != nil && probe.Rec.Type == service.LedgerType {
+				return "ledger"
+			}
+			// A single-line saved job spec declares its kind inline.
+			if probe.Kind == service.SpecKind {
+				return "jobspec"
+			}
+		}
+		// A pretty-printed job spec spans lines; probe the whole document.
+		if blob, rerr := os.ReadFile(path); rerr == nil && len(blob) < 1<<20 {
+			var doc struct {
+				Kind string `json:"kind"`
+			}
+			if json.Unmarshal(blob, &doc) == nil && doc.Kind == service.SpecKind {
+				return "jobspec"
+			}
 		}
 		return "trace"
 	}
@@ -133,6 +168,50 @@ func sniff(path string) string {
 		return "metrics"
 	}
 	return "trace"
+}
+
+// checkLedger validates a statsymd job ledger: crc+rec framing, the typed
+// header, known job states, monotonic per-job transitions, specs present
+// and valid on admission records, digests on done records.
+func checkLedger(path string) (problems []string, summary string, err error) {
+	problems, summary, err = service.ValidateLedger(path)
+	return problems, "tracecheck: " + path + ": " + summary, err
+}
+
+// checkJobSpec validates a saved statsymd job-spec document against the
+// same rules the daemon's admission check applies.
+func checkJobSpec(path string) (problems []string, summary string, err error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	dec := json.NewDecoder(bytes.NewReader(blob))
+	dec.DisallowUnknownFields()
+	var spec service.JobSpec
+	if jerr := dec.Decode(&spec); jerr != nil {
+		problems = append(problems, fmt.Sprintf("spec does not decode: %v", jerr))
+	} else {
+		if spec.Kind != service.SpecKind {
+			problems = append(problems, fmt.Sprintf("kind %q, want %q", spec.Kind, service.SpecKind))
+		}
+		problems = append(problems, spec.Problems()...)
+	}
+	summary = fmt.Sprintf("tracecheck: %s: job spec — %d bytes, %d problems", path, len(blob), len(problems))
+	return problems, summary, nil
+}
+
+// checkShardedStore validates a sharded corpus directory: the shards.json
+// manifest plus a deep verify of every shard store.
+func checkShardedStore(dir string) (problems []string, summary string, err error) {
+	s, err := corpus.OpenSharded(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	problems, vsummary, err := s.Verify()
+	if err != nil {
+		return nil, "", err
+	}
+	return problems, "tracecheck: " + dir + ": " + vsummary, nil
 }
 
 // checkFlight validates a flight-recorder dump.

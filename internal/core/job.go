@@ -1,0 +1,48 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/bytecode"
+	"repro/internal/corpus"
+	"repro/internal/symexec"
+	"repro/internal/trace"
+)
+
+// JobInputs bundles one analysis request the way a service submits it:
+// the compiled program, its symbolic input spec, and exactly one corpus
+// source — an in-memory corpus or an on-disk segment store. This is the
+// job-shaped entry point the statsymd daemon (internal/service) schedules
+// through; it exists so callers assembling jobs from wire specs have one
+// function to hand them to instead of re-deriving the RunContext-vs-
+// RunStoreContext split.
+type JobInputs struct {
+	Prog   *bytecode.Program
+	Spec   *symexec.InputSpec
+	Corpus *trace.Corpus // exactly one of Corpus / Store
+	Store  *corpus.Store
+}
+
+// RunJob executes the full pipeline for one job under ctx. The config's
+// Spec is overridden by the job's; everything else (budgets, parallelism,
+// dispatch topology, cache directories) applies as for RunContext. The
+// report — and therefore DetectionDigest — is byte-identical to what the
+// equivalent direct RunContext/RunStoreContext call produces, which is
+// the service differential contract.
+func RunJob(ctx context.Context, in JobInputs, cfg Config) (*Report, error) {
+	if in.Prog == nil {
+		return nil, fmt.Errorf("core: job has no program")
+	}
+	cfg.Spec = in.Spec
+	switch {
+	case in.Corpus != nil && in.Store != nil:
+		return nil, fmt.Errorf("core: job has both an in-memory corpus and a store")
+	case in.Corpus != nil:
+		return RunContext(ctx, in.Prog, in.Corpus, cfg)
+	case in.Store != nil:
+		return RunStoreContext(ctx, in.Prog, in.Store, cfg)
+	default:
+		return nil, fmt.Errorf("core: job has no corpus")
+	}
+}

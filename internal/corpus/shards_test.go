@@ -1,0 +1,194 @@
+package corpus
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func shardRun(id int) *trace.Run {
+	return &trace.Run{
+		ID:     id,
+		Faulty: id%2 == 1,
+		Records: []trace.Record{
+			{Loc: trace.Location{Func: fmt.Sprintf("f%d", id%7), Kind: trace.EventEnter}},
+		},
+	}
+}
+
+func TestShardedCreateOpenRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sharded")
+	s, err := CreateSharded(dir, "polymorph", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != 3 || s.Program() != "polymorph" {
+		t.Fatalf("sharded = %d shards for %q, want 3 for polymorph", s.Shards(), s.Program())
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Append(shardRun(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalRuns(); got != 10 {
+		t.Fatalf("TotalRuns = %d, want 10", got)
+	}
+
+	// Reopen: fan-out and program survive; a mismatched program errors.
+	s2, err := CreateSharded(dir, "polymorph", 7) // requested fan-out ignored on reopen
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Shards() != 3 {
+		t.Fatalf("reopen changed fan-out to %d", s2.Shards())
+	}
+	if _, err := CreateSharded(dir, "grep", 0); err == nil {
+		t.Fatal("reopen with wrong program succeeded")
+	}
+	if !IsShardedDir(dir) {
+		t.Fatal("IsShardedDir = false for a sharded corpus")
+	}
+	if IsShardedDir(t.TempDir()) {
+		t.Fatal("IsShardedDir = true for an empty dir")
+	}
+}
+
+func TestShardedConcurrentAppend(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sharded")
+	s, err := CreateSharded(dir, "polymorph", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := s.Append(shardRun(w*perWriter + i)); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalRuns(); got != writers*perWriter {
+		t.Fatalf("TotalRuns = %d, want %d", got, writers*perWriter)
+	}
+	if got := s.Appended(); got != writers*perWriter {
+		t.Fatalf("Appended = %d, want %d", got, writers*perWriter)
+	}
+
+	// Every appended run is present exactly once after the shard merge.
+	c, err := s.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	for _, run := range c.Runs {
+		seen[run.ID]++
+	}
+	if len(seen) != writers*perWriter {
+		t.Fatalf("materialized %d unique runs, want %d", len(seen), writers*perWriter)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("run %d appears %d times", id, n)
+		}
+	}
+
+	problems, summary, err := s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("verify problems: %v\n(%s)", problems, summary)
+	}
+}
+
+func TestShardedMaterializeDeterministic(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sharded")
+	s, err := CreateSharded(dir, "polymorph", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Append(shardRun(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	c1, err := s.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh handle over the same directory sees the same sequence.
+	s2, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := s2.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1.Runs) != len(c2.Runs) {
+		t.Fatalf("materialize lengths differ: %d vs %d", len(c1.Runs), len(c2.Runs))
+	}
+	for i := range c1.Runs {
+		if c1.Runs[i].ID != c2.Runs[i].ID {
+			t.Fatalf("run order diverged at %d: %d vs %d", i, c1.Runs[i].ID, c2.Runs[i].ID)
+		}
+	}
+}
+
+func TestShardedSealThenAppendMore(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sharded")
+	s, err := CreateSharded(dir, "polymorph", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 5; i++ {
+			if err := s.Append(shardRun(round*5 + i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Seal(); err != nil {
+			t.Fatalf("seal round %d: %v", round, err)
+		}
+		if got, want := s.TotalRuns(), (round+1)*5; got != want {
+			t.Fatalf("round %d: TotalRuns = %d, want %d", round, got, want)
+		}
+	}
+}
+
+func TestShardedFanoutBounds(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, DefaultShards},
+		{-3, DefaultShards},
+		{MaxShards + 50, MaxShards},
+		{5, 5},
+	} {
+		dir := filepath.Join(t.TempDir(), fmt.Sprintf("s%d", tc.ask))
+		s, err := CreateSharded(dir, "polymorph", tc.ask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Shards() != tc.want {
+			t.Errorf("fan-out %d created %d shards, want %d", tc.ask, s.Shards(), tc.want)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package live
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"os"
 	"sync/atomic"
 	"time"
@@ -27,6 +28,17 @@ type Options struct {
 
 	Flight      string // -flight: flight-recorder dump path ("" disables)
 	FlightDepth int    // -flight-depth: per-category ring depth (0: default)
+
+	// Mounts are extra handlers grafted onto the live server's mux under
+	// their ServeMux patterns — how statsymd serves its /v1 job API and
+	// the introspection endpoints from one listener. Ignored when Listen
+	// is empty.
+	Mounts map[string]http.Handler
+
+	// ForceHub keeps an event hub (and therefore a non-nil Obs) even
+	// without a Listen address, for embedders that fan events out to
+	// their own subscribers (the daemon's per-job SSE streams).
+	ForceHub bool
 }
 
 // Runtime is a binary's wired observability: the Obs handle (nil when
@@ -64,7 +76,7 @@ func Init(o Options) (*Runtime, error) {
 		sinks = append(sinks, js)
 		closeTrace = js.Close
 	}
-	if o.Listen != "" {
+	if o.Listen != "" || o.ForceHub {
 		rt.hub = NewHub()
 		sinks = append(sinks, rt.hub)
 	}
@@ -91,6 +103,9 @@ func Init(o Options) (*Runtime, error) {
 
 	if o.Listen != "" {
 		rt.srv = NewServer(rt.obsv, rt.hub)
+		for pattern, h := range o.Mounts {
+			rt.srv.Mount(pattern, h)
+		}
 		addr, err := rt.srv.Start(o.Listen)
 		if err != nil {
 			for _, c := range rt.closers {
@@ -118,6 +133,16 @@ func (rt *Runtime) Context(ctx context.Context) context.Context {
 		return ctx
 	}
 	return obs.NewContext(ctx, rt.obsv)
+}
+
+// Hub returns the runtime's event hub (nil without a listener or
+// ForceHub). Embedders use it to fan run events out to their own
+// subscribers alongside the /progress stream.
+func (rt *Runtime) Hub() *Hub {
+	if rt == nil {
+		return nil
+	}
+	return rt.hub
 }
 
 // Addr returns the live server's bound address ("" when not listening).

@@ -32,10 +32,19 @@ type Server struct {
 	// run events (0: 1s). Tests shrink it.
 	Tick time.Duration
 
-	mu  sync.Mutex
-	ln  net.Listener
-	srv *http.Server
-	wg  sync.WaitGroup
+	mu     sync.Mutex
+	ln     net.Listener
+	srv    *http.Server
+	wg     sync.WaitGroup
+	mounts []mount
+}
+
+// mount is one extra handler grafted onto the introspection mux — how an
+// embedding daemon (statsymd) serves its API and the introspection plane
+// from a single listener.
+type mount struct {
+	pattern string
+	h       http.Handler
 }
 
 // NewServer builds a server over the run's Obs and hub. Both may be nil
@@ -45,9 +54,23 @@ func NewServer(o *obs.Obs, hub *Hub) *Server {
 	return &Server{obsv: o, hub: hub}
 }
 
+// Mount grafts an extra handler onto the server's mux under the given
+// ServeMux pattern (e.g. "/v1/"). Must be called before Handler/Start.
+func (s *Server) Mount(pattern string, h http.Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mounts = append(s.mounts, mount{pattern, h})
+}
+
 // Handler returns the server's mux, for embedding or tests.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	s.mu.Lock()
+	mounts := append([]mount(nil), s.mounts...)
+	s.mu.Unlock()
+	for _, m := range mounts {
+		mux.Handle(m.pattern, m.h)
+	}
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/progress", s.handleProgress)
@@ -170,6 +193,21 @@ type sseFrame struct {
 // client disconnects or the server shuts down; the hub subscription is
 // always released.
 func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	ServeSSE(w, r, s.obsv, s.hub, s.Tick, nil)
+}
+
+// ServeSSE streams one hub's progress/warn events as SSE frames
+// interleaved with periodic registry snapshots: an immediate snapshot
+// first (so even a one-shot scrape sees state), then events as they
+// arrive. This is the engine behind the binaries' /progress endpoint and
+// the daemon's per-job /v1/jobs/{id}/events streams (one Hub per job).
+//
+// The tick cadence is tick (0: 1s), overridable per request by a ?tick=
+// duration query parameter. The stream ends when the client disconnects,
+// the hub subscription closes, or done (optional) is closed — a closed
+// done sends one final snapshot frame so the consumer always observes
+// the terminal registry state.
+func ServeSSE(w http.ResponseWriter, r *http.Request, o *obs.Obs, hub *Hub, tick time.Duration, done <-chan struct{}) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
@@ -179,14 +217,18 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 
-	tick := s.Tick
 	if tick <= 0 {
 		tick = time.Second
 	}
+	if q := r.URL.Query().Get("tick"); q != "" {
+		if d, err := time.ParseDuration(q); err == nil && d > 0 {
+			tick = d
+		}
+	}
 	var events <-chan obs.Event
 	cancel := func() {}
-	if s.hub != nil {
-		events, cancel = s.hub.Subscribe(256)
+	if hub != nil {
+		events, cancel = hub.Subscribe(256)
 	}
 	defer cancel()
 
@@ -206,8 +248,8 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	}
 	snapshot := func() sseFrame {
 		f := sseFrame{Kind: "snapshot", Time: time.Now()}
-		if s.obsv != nil {
-			ex := s.obsv.Metrics.Export()
+		if o != nil {
+			ex := o.Metrics.Export()
 			f.Counters, f.Gauges = ex.Counters, ex.Gauges
 		}
 		return f
@@ -220,6 +262,12 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case <-r.Context().Done():
+			return
+		case <-done:
+			// Terminal state reached (e.g. the job finished): flush one
+			// last snapshot so the subscriber sees the final counters,
+			// then end the stream.
+			send(snapshot())
 			return
 		case <-ticker.C:
 			if !send(snapshot()) {

@@ -111,6 +111,24 @@ const (
 	MetricMonitorRuns    = "monitor.runs"
 	MetricMonitorRecords = "monitor.records"
 
+	// Analysis-as-a-service daemon (internal/service). Queue depth is a
+	// gauge sampled on every admission and dispatch; the job counters
+	// split completions by terminal state; wall_ms is the job wall-time
+	// histogram (submission to terminal state) whose p50/p99 ride the
+	// /metrics exposition. Per-tenant admissions use
+	// ServiceTenantMetric(tenant).
+	MetricServiceQueueDepth      = "service.queue.depth"
+	MetricServiceJobsSubmitted   = "service.jobs.submitted"
+	MetricServiceJobsCompleted   = "service.jobs.completed"
+	MetricServiceJobsFailed      = "service.jobs.failed"
+	MetricServiceJobsCancelled   = "service.jobs.cancelled"
+	MetricServiceJobsInterrupted = "service.jobs.interrupted"
+	MetricServiceJobsRejected    = "service.jobs.rejected" // queue-full 429s
+	MetricServiceJobWallMS       = "service.job.wall_ms"
+	MetricServiceIngestRuns      = "service.ingest.runs"
+	MetricServiceIngestBytes     = "service.ingest.bytes"
+	MetricServiceTenantPrefix    = "service.tenant."
+
 	// Segmented trace store (internal/corpus).
 	MetricCorpusRunsAppended   = "corpus.runs.appended"
 	MetricCorpusBlocksWritten  = "corpus.blocks.written"
@@ -124,6 +142,17 @@ const (
 // HopBuckets is the standard bucketing for MetricDivertedHops: fine near
 // zero (on-path states) and coarser toward and beyond typical τ values.
 var HopBuckets = []int64{0, 1, 2, 3, 5, 8, 13, 21}
+
+// ServiceJobWallBuckets is the standard bucketing for MetricServiceJobWallMS:
+// fine under a second (cache-warm small jobs) and coarser out to the
+// minutes a cold guided run can take.
+var ServiceJobWallBuckets = []int64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000, 300000}
+
+// ServiceTenantMetric names the per-tenant admission counter for one
+// tenant ID, so fairness is observable per tenant in /metrics.
+func ServiceTenantMetric(tenant string) string {
+	return MetricServiceTenantPrefix + tenant + ".admitted"
+}
 
 // SlotSolverWallMetric names the per-slot solver wall counter for one
 // frontier draft slot. Slot ids are stable within a run (0..EpochWidth-1),

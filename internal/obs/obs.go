@@ -31,12 +31,50 @@ type Obs struct {
 	Interval time.Duration
 
 	sink Sink
-	ids  atomic.Int64
 }
+
+// spanIDs is the process-wide span ID allocator. IDs are unique across
+// every Obs in the process — not just within one — so events from
+// derived handles (the daemon runs many jobs, each with its own Obs)
+// interleave in shared sinks without span collisions.
+var spanIDs atomic.Int64
 
 // New returns an Obs emitting to sink (nil sink: metrics only).
 func New(sink Sink) *Obs {
 	return &Obs{Metrics: NewRegistry(), sink: sink}
+}
+
+// Derive returns an Obs that shares parent's metrics registry and
+// snapshot cadence but emits events both to parent's sinks and to extra —
+// how the statsymd daemon gives each job a private event stream (its
+// per-job hub feeding /v1/jobs/{id}/events) while job metrics still
+// aggregate into the daemon-wide registry and daemon-wide sinks (trace,
+// flight recorder, global /progress) still see everything. A nil parent
+// yields a standalone Obs over extra.
+func Derive(parent *Obs, extra ...Sink) *Obs {
+	var sinks MultiSink
+	if parent != nil {
+		sinks = append(sinks, parent)
+	}
+	for _, s := range extra {
+		if s != nil {
+			sinks = append(sinks, s)
+		}
+	}
+	var sink Sink
+	switch len(sinks) {
+	case 0:
+	case 1:
+		sink = sinks[0]
+	default:
+		sink = sinks
+	}
+	o := New(sink)
+	if parent != nil {
+		o.Metrics = parent.Metrics
+		o.Interval = parent.Interval
+	}
+	return o
 }
 
 // Emit forwards ev to the sink, stamping the time if unset. No-op on a
@@ -53,7 +91,7 @@ func (o *Obs) Emit(ev Event) {
 
 // nextID allocates a process-unique span ID (IDs start at 1; 0 means "no
 // span" in parent references).
-func (o *Obs) nextID() int64 { return o.ids.Add(1) }
+func (o *Obs) nextID() int64 { return spanIDs.Add(1) }
 
 type obsKey struct{}
 

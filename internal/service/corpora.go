@@ -1,0 +1,179 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Corpora is the daemon's named-corpus registry: each name maps to a
+// sharded segment store under <dataDir>/corpora/<name>, populated by the
+// streaming ingestion endpoint and consumed by jobs whose spec references
+// the corpus by name. Stores open lazily and stay open for the daemon's
+// life (writers are per-shard and cheap when idle).
+type Corpora struct {
+	dir string
+	o   *obs.Obs
+
+	mu     sync.Mutex
+	stores map[string]*corpus.Sharded
+}
+
+// NewCorpora returns a registry rooted at dir.
+func NewCorpora(dir string, o *obs.Obs) *Corpora {
+	return &Corpora{dir: dir, o: o, stores: map[string]*corpus.Sharded{}}
+}
+
+// open returns the named sharded store, creating it for program when
+// absent. An existing store must belong to the same program.
+func (c *Corpora) open(name, program string, shards int) (*corpus.Sharded, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.stores[name]; ok {
+		if program != "" && s.Program() != program {
+			return nil, fmt.Errorf("service: corpus %q belongs to %q, not %q", name, s.Program(), program)
+		}
+		return s, nil
+	}
+	dir := filepath.Join(c.dir, name)
+	var s *corpus.Sharded
+	var err error
+	if corpus.IsShardedDir(dir) {
+		s, err = corpus.OpenSharded(dir)
+		if err == nil && program != "" && s.Program() != program {
+			err = fmt.Errorf("service: corpus %q belongs to %q, not %q", name, s.Program(), program)
+		}
+	} else {
+		if program == "" {
+			return nil, fmt.Errorf("service: corpus %q does not exist", name)
+		}
+		s, err = corpus.CreateSharded(dir, program, shards)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.SetObs(c.o)
+	c.stores[name] = s
+	return s, nil
+}
+
+// Get returns the named store for reading (jobs), without creating it.
+func (c *Corpora) Get(name string) (*corpus.Sharded, error) {
+	return c.open(name, "", 0)
+}
+
+// IngestResult summarizes one ingestion stream.
+type IngestResult struct {
+	Corpus  string `json:"corpus"`
+	Program string `json:"program"`
+	Runs    int    `json:"runs"`
+	Bytes   int64  `json:"bytes"`
+	Shards  int    `json:"shards"`
+	// TotalRuns is the sealed run count after this stream.
+	TotalRuns int `json:"total_runs"`
+}
+
+// Ingest streams JSONL-encoded trace.Run records from r into the named
+// corpus for program, appending each run as it arrives (round-robin over
+// the shards) and sealing the touched writers at end of stream so a
+// completed ingestion is durable. Returns per-stream counts.
+func (c *Corpora) Ingest(name, program string, shards int, r io.Reader) (*IngestResult, error) {
+	s, err := c.open(name, program, shards)
+	if err != nil {
+		return nil, err
+	}
+	res := &IngestResult{Corpus: name, Program: s.Program(), Shards: s.Shards()}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var run trace.Run
+		if err := json.Unmarshal(raw, &run); err != nil {
+			return res, fmt.Errorf("service: ingest %s line %d: %w", name, line, err)
+		}
+		if err := s.Append(&run); err != nil {
+			return res, fmt.Errorf("service: ingest %s line %d: %w", name, line, err)
+		}
+		res.Runs++
+		res.Bytes += int64(len(raw))
+		if c.o != nil {
+			c.o.Metrics.Counter(obs.MetricServiceIngestRuns).Add(1)
+			c.o.Metrics.Counter(obs.MetricServiceIngestBytes).Add(int64(len(raw)))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return res, fmt.Errorf("service: ingest %s: %w", name, err)
+	}
+	if err := s.Seal(); err != nil {
+		return res, fmt.Errorf("service: ingest %s: seal: %w", name, err)
+	}
+	res.TotalRuns = s.TotalRuns()
+	return res, nil
+}
+
+// Seal seals every open store (graceful drain).
+func (c *Corpora) Seal() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for _, s := range c.stores {
+		if err := s.Seal(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// CorpusInfo is the wire view of one named corpus (GET /v1/corpora).
+type CorpusInfo struct {
+	Name    string `json:"name"`
+	Program string `json:"program"`
+	Shards  int    `json:"shards"`
+	Runs    int    `json:"runs"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// List returns every corpus under the registry root (on disk, whether or
+// not it has been opened yet), sorted by name.
+func (c *Corpora) List() ([]CorpusInfo, error) {
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []CorpusInfo
+	for _, ent := range ents {
+		if !ent.IsDir() || !corpus.IsShardedDir(filepath.Join(c.dir, ent.Name())) {
+			continue
+		}
+		s, err := c.Get(ent.Name())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CorpusInfo{
+			Name:    ent.Name(),
+			Program: s.Program(),
+			Shards:  s.Shards(),
+			Runs:    s.TotalRuns(),
+			Bytes:   s.TotalBytes(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

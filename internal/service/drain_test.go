@@ -1,0 +1,254 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/obs"
+)
+
+// TestGracefulDrainOnSIGTERM is the drain satellite: a daemon with a
+// running job, queued jobs, and a streaming corpus ingestion in flight
+// receives a real SIGTERM. The drain must leave no ledger corruption,
+// close the sockets, finish or interrupt the in-flight job, and a
+// restarted daemon over the same data dir must recover the interrupted
+// jobs and run them to completion.
+func TestGracefulDrainOnSIGTERM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drain test runs real jobs; run without -short")
+	}
+	dataDir := t.TempDir()
+	svc, ts := startService(t, Config{
+		DataDir:    dataDir,
+		Runners:    1, // one runner: everything behind the first job stays queued
+		QueueSlots: 8,
+	})
+
+	// Wire the same signal handling statsymd's main uses, then raise a
+	// real SIGTERM at ourselves once the load is in flight.
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+
+	// Job 1: big enough that its corpus collection alone outlasts the
+	// test's signal latency (the drain interrupts it mid-collection).
+	big := JobSpec{Tenant: "t1", App: "grep", Corpus: CorpusSpec{Runs: 4000, Rate: 0.3, Seed: 1}}
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", big)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit big: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var bigSt Status
+	json.Unmarshal(body, &bigSt)
+
+	// Jobs 2 and 3: queued behind the single runner; both must come back
+	// as interrupted and be recovered by the restart.
+	small := JobSpec{Tenant: "t2", App: "polymorph", Corpus: CorpusSpec{Runs: 10, Rate: 0.3, Seed: 1}}
+	var queuedIDs []string
+	for i := 0; i < 2; i++ {
+		resp, body = postJSON(t, ts.URL+"/v1/jobs", small)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit small %d: HTTP %d: %s", i, resp.StatusCode, body)
+		}
+		var st Status
+		json.Unmarshal(body, &st)
+		queuedIDs = append(queuedIDs, st.ID)
+	}
+
+	// Wait until the big job is actually running (the runner popped it).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, body = getBody(t, ts.URL+"/v1/jobs/"+bigSt.ID)
+		var st Status
+		json.Unmarshal(body, &st)
+		if st.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("big job never started (state %s)", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A corpus ingestion stream is mid-flight when the signal lands: the
+	// pipe stays open across the drain, trickling runs.
+	pr, pw := io.Pipe()
+	runs := buildWorkloadRuns(t, "polymorph", 10, 7)
+	var ingestWG sync.WaitGroup
+	ingestWG.Add(2)
+	go func() {
+		defer ingestWG.Done()
+		defer pw.Close()
+		enc := json.NewEncoder(pw)
+		for _, run := range runs {
+			if enc.Encode(run) != nil {
+				return // pipe closed by the server side during drain
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	go func() {
+		defer ingestWG.Done()
+		resp, err := http.Post(ts.URL+"/v1/corpora/drainage/runs?program=polymorph", "application/x-ndjson", pr)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the stream open and move
+
+	// The real signal, exactly as a process manager would deliver it.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sigCtx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGTERM not delivered")
+	}
+	stop()
+
+	// Drain with a short budget: the big job cannot finish, so it must be
+	// interrupted, not left running.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	if err := svc.Drain(drainCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	ingestWG.Wait()
+	ts.Close() // sockets closed
+
+	// Every job is terminal: the big one interrupted (drain beat it), the
+	// queued ones interrupted without ever running.
+	for _, id := range append([]string{bigSt.ID}, queuedIDs...) {
+		j := svc.job(id)
+		if j == nil {
+			t.Fatalf("job %s vanished", id)
+		}
+		if st := j.State(); st != StateInterrupted {
+			t.Errorf("job %s ended %s, want interrupted", id, st)
+		}
+	}
+
+	// No ledger corruption: the sealed ledger validates clean.
+	ledgerPath := filepath.Join(dataDir, LedgerName)
+	problems, summary, err := ValidateLedger(ledgerPath)
+	if err != nil {
+		t.Fatalf("ledger: %v", err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("ledger problems after drain: %v\n(%s)", problems, summary)
+	}
+
+	// No corpus corruption: whatever the interrupted ingestion landed is
+	// sealed and verifies clean.
+	cdir := filepath.Join(dataDir, "corpora", "drainage")
+	if corpus.IsShardedDir(cdir) {
+		sh, err := corpus.OpenSharded(cdir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cproblems, _, err := sh.Verify()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cproblems) != 0 {
+			t.Fatalf("corpus problems after drain: %v", cproblems)
+		}
+	}
+
+	// Restart over the same data dir: all three interrupted jobs are
+	// recovered, requeued, and — with a smaller spec for the big one not
+	// possible (the spec is the spec) — run to completion.
+	svc2, err := New(Config{DataDir: dataDir, Runners: 2, QueueSlots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := svc2.Recovered()
+	if len(rec) != 3 {
+		t.Fatalf("restart recovered %d jobs, want 3", len(rec))
+	}
+	if err := svc2.Start(obs.New(nil)); err != nil {
+		t.Fatal(err)
+	}
+	recDeadline := time.Now().Add(5 * time.Minute)
+	for _, r := range rec {
+		for {
+			j := svc2.job(r.ID)
+			if j == nil {
+				t.Fatalf("recovered job %s not registered", r.ID)
+			}
+			if st := j.State(); st.Terminal() {
+				if st != StateDone {
+					j.mu.Lock()
+					msg := j.err
+					j.mu.Unlock()
+					t.Errorf("recovered job %s ended %s (%s), want done", r.ID, st, msg)
+				}
+				break
+			}
+			if time.Now().After(recDeadline) {
+				t.Fatalf("recovered job %s not terminal in time (state %s)", r.ID, svc2.job(r.ID).State())
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	if err := svc2.Drain(drainCtx2(t)); err != nil {
+		t.Fatal(err)
+	}
+	// The post-recovery ledger still validates.
+	problems, _, err = ValidateLedger(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("ledger problems after recovery run: %v", problems)
+	}
+}
+
+func drainCtx2(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestDrainInterruptsQueuedIdle covers the queued-only drain path without
+// signals: an idle service with queued jobs drains instantly, every job
+// interrupted and recoverable.
+func TestDrainInterruptsQueuedIdle(t *testing.T) {
+	dataDir := t.TempDir()
+	svc, ts := startIdleService(t, Config{DataDir: dataDir, QueueSlots: 4})
+	spec := JobSpec{App: "polymorph", Corpus: CorpusSpec{Runs: 10, Rate: 0.3, Seed: 1}}
+	for i := 0; i < 3; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/jobs", spec)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Submissions after drain are refused.
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit: HTTP %d (%s), want 503", resp.StatusCode, body)
+	}
+	rec, _, err := Recover(filepath.Join(dataDir, LedgerName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != 3 {
+		t.Fatalf("recovered %d jobs, want 3", len(rec))
+	}
+}

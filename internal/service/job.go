@@ -1,0 +1,169 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/live"
+)
+
+// State is a job's lifecycle state. Transitions are monotonic (validated
+// by TransitionOK and enforced by tracecheck over the ledger): a job is
+// admitted as queued, becomes running when a runner picks it up, and ends
+// in exactly one terminal state — except interrupted, which a restarted
+// daemon requeues.
+type State string
+
+const (
+	// StateQueued: admitted, waiting for a runner slot.
+	StateQueued State = "queued"
+	// StateRunning: a runner is executing the pipeline.
+	StateRunning State = "running"
+	// StateDone: pipeline completed; report and digest recorded.
+	StateDone State = "done"
+	// StateFailed: pipeline returned an error.
+	StateFailed State = "failed"
+	// StateCancelled: the user cancelled via DELETE /v1/jobs/{id}.
+	StateCancelled State = "cancelled"
+	// StateInterrupted: the daemon shut down (drain or crash) before the
+	// job finished; a restarted daemon requeues it.
+	StateInterrupted State = "interrupted"
+)
+
+// Terminal reports whether s ends a job's life in this daemon process.
+// Interrupted is terminal for the process but revivable across restarts.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCancelled, StateInterrupted:
+		return true
+	}
+	return false
+}
+
+// Known reports whether s is one of the defined states.
+func (s State) Known() bool {
+	switch s {
+	case StateQueued, StateRunning, StateDone, StateFailed, StateCancelled, StateInterrupted:
+		return true
+	}
+	return false
+}
+
+// TransitionOK reports whether a job may move from one state to the next.
+// The "" → queued edge admits a new job; interrupted → queued is the
+// recovery requeue on daemon restart.
+func TransitionOK(from, to State) bool {
+	switch from {
+	case "":
+		return to == StateQueued
+	case StateQueued:
+		return to == StateRunning || to == StateCancelled || to == StateInterrupted
+	case StateRunning:
+		return to == StateDone || to == StateFailed || to == StateCancelled || to == StateInterrupted
+	case StateInterrupted:
+		return to == StateQueued
+	}
+	return false
+}
+
+// Job is one admitted analysis job: its spec, live state, per-job
+// observability (a private hub feeding the job's SSE stream, derived from
+// the daemon Obs so metrics aggregate daemon-wide), and — once terminal —
+// its outcome.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	mu        sync.Mutex
+	state     State
+	err       string // failure reason (failed/interrupted)
+	report    *core.Report
+	digest    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	// cancel aborts the running pipeline; cancelled records that the user
+	// asked (DELETE) so the terminal state is cancelled, not interrupted.
+	cancel    context.CancelFunc
+	cancelled bool
+
+	// obs/hub are the job-private event fan-out; done closes when the job
+	// reaches a terminal state, ending its SSE streams with a final frame.
+	obs  *obs.Obs
+	hub  *live.Hub
+	done chan struct{}
+}
+
+func newJob(id string, spec JobSpec, parent *obs.Obs) *Job {
+	hub := live.NewHub()
+	return &Job{
+		ID:        id,
+		Spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+		obs:       obs.Derive(parent, hub),
+		hub:       hub,
+		done:      make(chan struct{}),
+	}
+}
+
+// Status is the wire view of a job (GET /v1/jobs/{id}).
+type Status struct {
+	ID        string  `json:"id"`
+	State     State   `json:"state"`
+	Tenant    string  `json:"tenant,omitempty"`
+	App       string  `json:"app"`
+	Error     string  `json:"error,omitempty"`
+	Digest    string  `json:"digest,omitempty"`
+	Submitted string  `json:"submitted"`
+	Started   string  `json:"started,omitempty"`
+	Finished  string  `json:"finished,omitempty"`
+	WallMS    int64   `json:"wall_ms,omitempty"`
+	Found     bool    `json:"found,omitempty"`
+	Spec      JobSpec `json:"spec"`
+}
+
+// status snapshots the job under its lock.
+func (j *Job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:        j.ID,
+		State:     j.state,
+		Tenant:    j.Spec.Tenant,
+		App:       j.Spec.App,
+		Error:     j.err,
+		Digest:    j.digest,
+		Submitted: j.submitted.UTC().Format(time.RFC3339Nano),
+		Spec:      j.Spec,
+	}
+	if !j.started.IsZero() {
+		st.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		st.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+		st.WallMS = j.finished.Sub(j.started).Milliseconds()
+	}
+	if j.report != nil {
+		st.Found = j.report.Vuln != nil
+	}
+	return st
+}
+
+// state returns the job's current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Report returns the completed report (nil until done).
+func (j *Job) Report() *core.Report {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report
+}

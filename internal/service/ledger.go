@@ -1,0 +1,423 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The job ledger is the daemon's durable memory: an append-only JSONL
+// file where every line is {"crc":<crc32-IEEE of rec bytes>,"rec":{...}}
+// — the same frame-and-checksum discipline as the corpus segment format,
+// applied to job lifecycle records. The first record is a typed header;
+// each subsequent record is one state transition. Appends fsync before
+// returning, so an acknowledged transition survives a crash. On restart
+// the daemon replays the ledger: jobs whose last state is non-terminal
+// (queued/running) were interrupted by the crash and are requeued from
+// the spec carried on their queued record.
+const (
+	LedgerType    = "statsymd.ledger"
+	LedgerVersion = 1
+	// LedgerName is the ledger's filename inside the daemon data dir.
+	LedgerName = "jobs.ledger"
+)
+
+// ledgerHeader is the first record of every ledger file.
+type ledgerHeader struct {
+	Type    string `json:"type"`
+	Version int    `json:"v"`
+}
+
+// LedgerRecord is one job lifecycle transition. Queued records carry the
+// full spec (that is what recovery re-runs); done records carry the
+// detection digest so a sealed ledger documents outcomes.
+type LedgerRecord struct {
+	Type    string   `json:"type,omitempty"` // header only
+	Version int      `json:"v,omitempty"`    // header only
+	Time    string   `json:"time,omitempty"`
+	Job     string   `json:"job,omitempty"`
+	State   State    `json:"state,omitempty"`
+	Spec    *JobSpec `json:"spec,omitempty"`   // queued records
+	Digest  string   `json:"digest,omitempty"` // done records
+	Error   string   `json:"error,omitempty"`  // failed/interrupted records
+}
+
+// ledgerLine is the wire frame: the CRC covers the raw rec bytes exactly
+// as they appear on the line, so a torn or bit-flipped record is caught
+// without trusting JSON round-trip stability.
+type ledgerLine struct {
+	CRC uint32          `json:"crc"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+// Ledger is an open, appendable job ledger.
+type Ledger struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	w    *bufio.Writer
+}
+
+// OpenLedger opens (creating if absent) the ledger at path and appends
+// the header if the file is new.
+func OpenLedger(path string) (*Ledger, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &Ledger{path: path, f: f, w: bufio.NewWriter(f)}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		if err := l.append(LedgerRecord{Type: LedgerType, Version: LedgerVersion}); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// Append durably records one transition (fsync before returning).
+func (l *Ledger) Append(rec LedgerRecord) error {
+	if rec.Time == "" {
+		rec.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	return l.append(rec)
+}
+
+func (l *Ledger) append(rec LedgerRecord) error {
+	blob, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(ledgerLine{CRC: crc32.ChecksumIEEE(blob), Rec: blob})
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("service: ledger %s is closed", l.path)
+	}
+	if _, err := l.w.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Close flushes and closes the ledger file.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.w.Flush()
+	if serr := l.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// Seal compacts the ledger in place via temp+fsync+rename: terminal jobs
+// keep only their final record (plus the spec off their queued record so
+// a sealed ledger still replays), interrupted/queued jobs keep their full
+// history for recovery. Called on graceful drain; a crash skips it and
+// recovery reads the uncompacted file just as well.
+func (l *Ledger) Seal() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f != nil {
+		if err := l.w.Flush(); err != nil {
+			return err
+		}
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+	}
+	recs, _, err := readLedger(l.path)
+	if err != nil {
+		return err
+	}
+	jobs := replayJobs(recs)
+	var keep []LedgerRecord
+	var ids []string
+	for id := range jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		h := jobs[id]
+		last := h[len(h)-1]
+		if last.State.Terminal() && last.State != StateInterrupted {
+			if last.Spec == nil {
+				last.Spec = h[0].Spec
+			}
+			keep = append(keep, last)
+			continue
+		}
+		keep = append(keep, h...)
+	}
+	tmp := l.path + ".tmp"
+	tf, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(tf)
+	write := func(rec LedgerRecord) error {
+		blob, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		line, err := json.Marshal(ledgerLine{CRC: crc32.ChecksumIEEE(blob), Rec: blob})
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(append(line, '\n'))
+		return err
+	}
+	werr := write(LedgerRecord{Type: LedgerType, Version: LedgerVersion,
+		Time: time.Now().UTC().Format(time.RFC3339Nano)})
+	for _, rec := range keep {
+		if werr != nil {
+			break
+		}
+		werr = write(rec)
+	}
+	if werr == nil {
+		werr = bw.Flush()
+	}
+	if werr == nil {
+		werr = tf.Sync()
+	}
+	if cerr := tf.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	// Swap the live file handle to the compacted ledger.
+	if l.f != nil {
+		l.f.Close()
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		return err
+	}
+	if dir, err := os.Open(filepath.Dir(l.path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	f, err := os.OpenFile(l.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		l.f = nil
+		return err
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	return nil
+}
+
+// readLedger parses the ledger at path. A torn final line (crash mid
+// -append) is tolerated and reported in problems; any earlier corruption
+// is an error. The returned records exclude the header.
+func readLedger(path string) (recs []LedgerRecord, problems []string, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	n := 0
+	sawHeader := false
+	for sc.Scan() {
+		n++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var line ledgerLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			// Only a torn tail is forgivable: peek whether more lines follow.
+			if sc.Scan() {
+				return nil, nil, fmt.Errorf("%s:%d: bad ledger line: %v", path, n, err)
+			}
+			problems = append(problems, fmt.Sprintf("line %d: torn final record dropped (%v)", n, err))
+			break
+		}
+		if crc32.ChecksumIEEE(line.Rec) != line.CRC {
+			if sc.Scan() {
+				return nil, nil, fmt.Errorf("%s:%d: CRC mismatch", path, n)
+			}
+			problems = append(problems, fmt.Sprintf("line %d: torn final record dropped (CRC mismatch)", n))
+			break
+		}
+		var rec LedgerRecord
+		if err := json.Unmarshal(line.Rec, &rec); err != nil {
+			return nil, nil, fmt.Errorf("%s:%d: bad ledger record: %v", path, n, err)
+		}
+		if n == 1 {
+			if rec.Type != LedgerType || rec.Version != LedgerVersion {
+				return nil, nil, fmt.Errorf("%s: not a %s v%d ledger (header type %q v%d)",
+					path, LedgerType, LedgerVersion, rec.Type, rec.Version)
+			}
+			sawHeader = true
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, nil, io.ErrUnexpectedEOF
+	}
+	if !sawHeader {
+		return nil, nil, fmt.Errorf("%s: missing ledger header", path)
+	}
+	return recs, problems, nil
+}
+
+// replayJobs groups records by job ID in append order.
+func replayJobs(recs []LedgerRecord) map[string][]LedgerRecord {
+	jobs := map[string][]LedgerRecord{}
+	for _, rec := range recs {
+		if rec.Job == "" {
+			continue
+		}
+		jobs[rec.Job] = append(jobs[rec.Job], rec)
+	}
+	return jobs
+}
+
+// RecoveredJob is one job a restarted daemon must requeue: its last
+// persisted state was non-terminal (the previous process died with it
+// queued or running), so recovery marks it interrupted and resubmits its
+// spec.
+type RecoveredJob struct {
+	ID        string
+	Spec      JobSpec
+	LastState State
+}
+
+// Recover replays the ledger at path and returns the jobs to requeue.
+// Missing file means a fresh data dir: no recovery, no error.
+func Recover(path string) ([]RecoveredJob, []string, error) {
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return nil, nil, nil
+	}
+	recs, problems, err := readLedger(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	jobs := replayJobs(recs)
+	var ids []string
+	for id := range jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var out []RecoveredJob
+	for _, id := range ids {
+		h := jobs[id]
+		last := h[len(h)-1].State
+		if last.Terminal() && last != StateInterrupted {
+			continue
+		}
+		var spec *JobSpec
+		for _, rec := range h {
+			if rec.Spec != nil {
+				spec = rec.Spec
+				break
+			}
+		}
+		if spec == nil {
+			problems = append(problems, fmt.Sprintf("job %s: non-terminal (%s) but no spec record; cannot recover", id, last))
+			continue
+		}
+		out = append(out, RecoveredJob{ID: id, Spec: *spec, LastState: last})
+	}
+	return out, problems, nil
+}
+
+// ValidateLedger deep-checks a ledger file for tracecheck: frame and CRC
+// discipline, known states, monotonic per-job transitions, specs present
+// on queued records and valid, digests present on done records. The
+// summary line is human-oriented; problems is empty for a healthy file.
+func ValidateLedger(path string) (problems []string, summary string, err error) {
+	recs, problems, err := readLedger(path)
+	if err != nil {
+		return nil, "", err
+	}
+	states := map[string]State{}
+	var order []string
+	terminal := 0
+	for i, rec := range recs {
+		where := fmt.Sprintf("record %d (job %s)", i+2, rec.Job)
+		if rec.Job == "" {
+			problems = append(problems, where+": missing job ID")
+			continue
+		}
+		if !rec.State.Known() {
+			problems = append(problems, fmt.Sprintf("%s: unknown state %q", where, rec.State))
+			continue
+		}
+		prev, seen := states[rec.Job]
+		if !seen {
+			order = append(order, rec.Job)
+		}
+		// A sealed ledger compacts a terminal job to one summary record
+		// carrying the spec; that is the only legal way to open a job's
+		// history in a terminal state.
+		sealed := prev == "" && rec.State.Terminal() && rec.State != StateInterrupted && rec.Spec != nil
+		if !sealed && !TransitionOK(prev, rec.State) {
+			problems = append(problems, fmt.Sprintf("%s: illegal transition %q -> %q", where, prev, rec.State))
+		}
+		if prev == "" {
+			if rec.Spec == nil {
+				problems = append(problems, where+": first record for job missing spec")
+			} else if ps := rec.Spec.Problems(); len(ps) > 0 {
+				for _, p := range ps {
+					problems = append(problems, where+": spec: "+p)
+				}
+			}
+		}
+		if rec.State == StateDone && rec.Digest == "" {
+			problems = append(problems, where+": done record missing digest")
+		}
+		if rec.Time != "" {
+			if _, terr := time.Parse(time.RFC3339Nano, rec.Time); terr != nil {
+				problems = append(problems, fmt.Sprintf("%s: bad timestamp %q", where, rec.Time))
+			}
+		}
+		states[rec.Job] = rec.State
+	}
+	for _, id := range order {
+		if s := states[id]; s.Terminal() {
+			terminal++
+		}
+	}
+	summary = fmt.Sprintf("job ledger — %d records, %d jobs (%d terminal), %d problems",
+		len(recs), len(order), terminal, len(problems))
+	return problems, summary, nil
+}

@@ -1,0 +1,364 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/trace"
+)
+
+// LoadOptions sizes one load-test run against a live daemon.
+type LoadOptions struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:7077".
+	BaseURL string
+	// Jobs is the total job count to submit (default 25).
+	Jobs int
+	// Tenants spreads submissions round-robin over this many synthetic
+	// tenants (default 5) so the run exercises the fair scheduler.
+	Tenants int
+	// Concurrency is the submitting-client fan-out (default 8).
+	Concurrency int
+	// App is the analyzed program (default "polymorph", the fastest).
+	App string
+	// IngestStreams runs this many concurrent corpus-ingestion streams
+	// alongside the job load (default 2; 0 disables).
+	IngestStreams int
+	// IngestRuns is the run count per ingestion stream (default 50).
+	IngestRuns int
+	// Timeout bounds the whole load test (default 5 minutes).
+	Timeout time.Duration
+	// Budgets applies to every submitted job (zero: small defaults tuned
+	// for load testing, not analysis depth).
+	Budgets Budgets
+	// Seed varies the synthetic corpus payloads.
+	Seed int64
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Jobs <= 0 {
+		o.Jobs = 25
+	}
+	if o.Tenants <= 0 {
+		o.Tenants = 5
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.App == "" {
+		o.App = "polymorph"
+	}
+	if o.IngestStreams < 0 {
+		o.IngestStreams = 0
+	}
+	if o.IngestRuns <= 0 {
+		o.IngestRuns = 50
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Minute
+	}
+	if o.Budgets == (Budgets{}) {
+		o.Budgets = Budgets{MaxStates: 256, MaxSteps: 200000}
+	}
+	return o
+}
+
+// LoadReport summarizes one load-test run.
+type LoadReport struct {
+	Jobs        int   `json:"jobs"`
+	Done        int   `json:"done"`
+	Failed      int   `json:"failed"`
+	Rejected429 int   `json:"rejected_429"` // transient rejections, retried
+	WallMS      int64 `json:"wall_ms"`
+
+	// SubmitP50/P99 are submission-call latencies; JobP50/P99 are
+	// submit-to-terminal latencies (milliseconds).
+	SubmitP50MS int64 `json:"submit_p50_ms"`
+	SubmitP99MS int64 `json:"submit_p99_ms"`
+	JobP50MS    int64 `json:"job_p50_ms"`
+	JobP99MS    int64 `json:"job_p99_ms"`
+
+	// JobsPerSec is terminal-job throughput over the wall clock.
+	JobsPerSec float64 `json:"jobs_per_sec"`
+
+	// PerTenant counts completed jobs per synthetic tenant — flat counts
+	// demonstrate fairness under symmetric load.
+	PerTenant map[string]int `json:"per_tenant"`
+
+	// IngestedRuns totals runs streamed by the ingestion side-load.
+	IngestedRuns int `json:"ingested_runs"`
+
+	Errors []string `json:"errors,omitempty"`
+}
+
+// RunLoadTest drives a live daemon with Opts.Jobs concurrent submissions
+// spread over synthetic tenants, polls every job to a terminal state, and
+// optionally streams synthetic corpora in parallel. It fails (non-nil
+// error) when any job ends failed/interrupted, when a submission cannot
+// be placed before the timeout, or when the daemon misbehaves.
+func RunLoadTest(opts LoadOptions) (*LoadReport, error) {
+	opts = opts.withDefaults()
+	base := strings.TrimRight(opts.BaseURL, "/")
+	client := &http.Client{Timeout: 30 * time.Second}
+	deadline := time.Now().Add(opts.Timeout)
+
+	rep := &LoadReport{Jobs: opts.Jobs, PerTenant: map[string]int{}}
+	var mu sync.Mutex
+	addErr := func(format string, args ...any) {
+		mu.Lock()
+		rep.Errors = append(rep.Errors, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+
+	start := time.Now()
+
+	// Ingestion side-load: each stream pushes synthetic runs into its own
+	// named corpus while the job load runs.
+	var ingestWG sync.WaitGroup
+	for i := 0; i < opts.IngestStreams; i++ {
+		ingestWG.Add(1)
+		go func(i int) {
+			defer ingestWG.Done()
+			n, err := ingestStream(client, base, opts, i)
+			mu.Lock()
+			rep.IngestedRuns += n
+			mu.Unlock()
+			if err != nil {
+				addErr("ingest stream %d: %v", i, err)
+			}
+		}(i)
+	}
+
+	// Job load: Concurrency submitters draw job indices from a shared
+	// feed, submit (retrying 429s with the daemon's Retry-After), then
+	// poll to terminal.
+	type result struct {
+		tenant   string
+		state    State
+		submitMS int64
+		jobMS    int64
+	}
+	feed := make(chan int)
+	results := make(chan result, opts.Jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range feed {
+				tenant := fmt.Sprintf("tenant-%02d", idx%opts.Tenants)
+				spec := JobSpec{
+					Tenant:  tenant,
+					App:     opts.App,
+					Corpus:  CorpusSpec{Runs: 10, Rate: 0.3, Seed: opts.Seed + int64(idx)},
+					Budgets: opts.Budgets,
+				}
+				jobStart := time.Now()
+				id, submitMS, rejects, err := submitJob(client, base, spec, deadline)
+				mu.Lock()
+				rep.Rejected429 += rejects
+				mu.Unlock()
+				if err != nil {
+					addErr("job %d: %v", idx, err)
+					results <- result{tenant: tenant, state: StateFailed}
+					continue
+				}
+				st, err := pollJob(client, base, id, deadline)
+				if err != nil {
+					addErr("job %d (%s): %v", idx, id, err)
+					results <- result{tenant: tenant, state: StateFailed}
+					continue
+				}
+				results <- result{
+					tenant:   tenant,
+					state:    st,
+					submitMS: submitMS,
+					jobMS:    time.Since(jobStart).Milliseconds(),
+				}
+			}
+		}()
+	}
+	for i := 0; i < opts.Jobs; i++ {
+		feed <- i
+	}
+	close(feed)
+	wg.Wait()
+	close(results)
+	ingestWG.Wait()
+
+	var submitLat, jobLat []int64
+	for res := range results {
+		switch res.state {
+		case StateDone:
+			rep.Done++
+			rep.PerTenant[res.tenant]++
+			submitLat = append(submitLat, res.submitMS)
+			jobLat = append(jobLat, res.jobMS)
+		default:
+			rep.Failed++
+		}
+	}
+	rep.WallMS = time.Since(start).Milliseconds()
+	rep.SubmitP50MS = percentile(submitLat, 0.50)
+	rep.SubmitP99MS = percentile(submitLat, 0.99)
+	rep.JobP50MS = percentile(jobLat, 0.50)
+	rep.JobP99MS = percentile(jobLat, 0.99)
+	if rep.WallMS > 0 {
+		rep.JobsPerSec = float64(rep.Done) / (float64(rep.WallMS) / 1000)
+	}
+	if rep.Failed > 0 || len(rep.Errors) > 0 {
+		return rep, fmt.Errorf("loadtest: %d/%d jobs failed (%d errors)", rep.Failed, rep.Jobs, len(rep.Errors))
+	}
+	return rep, nil
+}
+
+// submitJob POSTs the spec, retrying 429s until deadline. Returns the job
+// ID, the (final, accepted) submission latency, and the 429 count.
+func submitJob(client *http.Client, base string, spec JobSpec, deadline time.Time) (string, int64, int, error) {
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	rejects := 0
+	for {
+		t0 := time.Now()
+		resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(blob))
+		if err != nil {
+			return "", 0, rejects, err
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var st Status
+			if err := json.Unmarshal(body, &st); err != nil {
+				return "", 0, rejects, fmt.Errorf("bad submit response: %v", err)
+			}
+			return st.ID, time.Since(t0).Milliseconds(), rejects, nil
+		case http.StatusTooManyRequests:
+			rejects++
+			if time.Now().After(deadline) {
+				return "", 0, rejects, fmt.Errorf("queue full until deadline")
+			}
+			time.Sleep(retryAfter(resp.Header))
+		default:
+			return "", 0, rejects, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+	}
+}
+
+// pollJob polls the status endpoint until the job is terminal.
+func pollJob(client *http.Client, base, id string, deadline time.Time) (State, error) {
+	for {
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("not terminal before deadline")
+		}
+		resp, err := client.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return "", err
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("status: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+		var st Status
+		if err := json.Unmarshal(body, &st); err != nil {
+			return "", err
+		}
+		if st.State.Terminal() {
+			if st.State != StateDone {
+				return st.State, fmt.Errorf("terminal state %s (%s)", st.State, st.Error)
+			}
+			return st.State, nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// ingestStream streams synthetic runs of the load-test app into a
+// per-stream named corpus, exercising the sharded-writer path under
+// concurrency. Returns the run count streamed.
+func ingestStream(client *http.Client, base string, opts LoadOptions, i int) (int, error) {
+	app, err := apps.Get(opts.App)
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 7919*int64(i+1)))
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for n := 0; n < opts.IngestRuns; n++ {
+		run := syntheticRun(app, rng, i, n)
+		if err := enc.Encode(run); err != nil {
+			return 0, err
+		}
+	}
+	name := fmt.Sprintf("loadtest-%s-%02d", opts.App, i)
+	url := fmt.Sprintf("%s/v1/corpora/%s/runs?program=%s", base, name, app.Name)
+	resp, err := client.Post(url, "application/x-ndjson", &buf)
+	if err != nil {
+		return 0, err
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("ingest: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var res IngestResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		return 0, err
+	}
+	return res.Runs, nil
+}
+
+// syntheticRun fabricates a minimal labeled run for ingestion load (the
+// loadtest measures the streaming path, not analysis quality).
+func syntheticRun(app *apps.App, rng *rand.Rand, stream, n int) *trace.Run {
+	_ = app.NewInput(rng) // keep the generator's stream position moving
+	return &trace.Run{
+		ID:     stream*100000 + n,
+		Faulty: n%2 == 1,
+	}
+}
+
+// percentile returns the q-quantile of latencies (0 for an empty set).
+func percentile(v []int64, q float64) int64 {
+	if len(v) == 0 {
+		return 0
+	}
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	idx := int(q * float64(len(v)-1))
+	return v[idx]
+}
+
+// FormatLoadReport renders the report for the terminal.
+func FormatLoadReport(r *LoadReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadtest: %d jobs, %d done, %d failed, %d transient 429s in %.1fs (%.1f jobs/s)\n",
+		r.Jobs, r.Done, r.Failed, r.Rejected429, float64(r.WallMS)/1000, r.JobsPerSec)
+	fmt.Fprintf(&b, "  submit latency p50 %dms  p99 %dms\n", r.SubmitP50MS, r.SubmitP99MS)
+	fmt.Fprintf(&b, "  job latency    p50 %dms  p99 %dms\n", r.JobP50MS, r.JobP99MS)
+	if r.IngestedRuns > 0 {
+		fmt.Fprintf(&b, "  ingested %d runs\n", r.IngestedRuns)
+	}
+	var tenants []string
+	for t := range r.PerTenant {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		fmt.Fprintf(&b, "  %-12s %d done\n", t, r.PerTenant[t])
+	}
+	for _, e := range r.Errors {
+		fmt.Fprintf(&b, "  error: %s\n", e)
+	}
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package service
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestLoadTestSmoke is the loadtest satellite: 25 concurrent jobs over 5
+// tenants against a live daemon must all complete with zero failures, the
+// per-tenant completion counts must come out flat (the fair scheduler
+// under symmetric load), and the ledger must validate afterwards.
+func TestLoadTestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loadtest runs 25 real jobs; run without -short")
+	}
+	dataDir := t.TempDir()
+	svc, ts := startService(t, Config{
+		DataDir:    dataDir,
+		Runners:    4,
+		QueueSlots: 8, // deliberately smaller than the job count: 429s happen
+	})
+
+	const jobs, tenants = 25, 5
+	rep, err := RunLoadTest(LoadOptions{
+		BaseURL:       ts.URL,
+		Jobs:          jobs,
+		Tenants:       tenants,
+		Concurrency:   8,
+		IngestStreams: 2,
+		IngestRuns:    20,
+		Timeout:       4 * time.Minute,
+		Seed:          42,
+	})
+	if err != nil {
+		t.Fatalf("loadtest: %v\n%s", err, FormatLoadReport(rep))
+	}
+	if rep.Done != jobs || rep.Failed != 0 {
+		t.Fatalf("loadtest: %d done / %d failed, want %d / 0\n%s",
+			rep.Done, rep.Failed, jobs, FormatLoadReport(rep))
+	}
+
+	// Symmetric load over T tenants: every tenant finishes jobs/T jobs.
+	if len(rep.PerTenant) != tenants {
+		t.Fatalf("per-tenant counts cover %d tenants, want %d: %v",
+			len(rep.PerTenant), tenants, rep.PerTenant)
+	}
+	for tenant, n := range rep.PerTenant {
+		if n != jobs/tenants {
+			t.Errorf("tenant %s completed %d jobs, want %d (unfair schedule)",
+				tenant, n, jobs/tenants)
+		}
+	}
+	if rep.IngestedRuns != 2*20 {
+		t.Errorf("ingested %d runs, want %d", rep.IngestedRuns, 2*20)
+	}
+
+	if err := svc.Drain(drainCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	problems, summary, err := ValidateLedger(filepath.Join(dataDir, LedgerName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("ledger problems after loadtest: %v\n(%s)", problems, summary)
+	}
+}

@@ -1,0 +1,136 @@
+package service
+
+import "sync"
+
+// fairQueue is the bounded admission queue with per-tenant round-robin
+// fairness: each tenant gets its own FIFO, and Pop cycles a cursor over
+// the tenants that have work, so a tenant streaming 200 submissions
+// cannot starve one submitting a single job — the single job waits behind
+// at most one job per competing tenant, not behind the flood. Capacity
+// bounds the total queued jobs across tenants; a full queue rejects
+// (HTTP 429 upstream) instead of buffering unboundedly.
+type fairQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	cap     int
+	size    int
+	perTen  map[string][]*Job
+	tenants []string // ring of tenants with queued work
+	cursor  int
+	closed  bool
+}
+
+func newFairQueue(capacity int) *fairQueue {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	q := &fairQueue{cap: capacity, perTen: map[string][]*Job{}}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push admits j, returning false when the queue is at capacity or closed.
+func (q *fairQueue) Push(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.size >= q.cap {
+		return false
+	}
+	t := j.Spec.Tenant
+	if len(q.perTen[t]) == 0 {
+		q.tenants = append(q.tenants, t)
+	}
+	q.perTen[t] = append(q.perTen[t], j)
+	q.size++
+	q.cond.Signal()
+	return true
+}
+
+// Pop blocks until a job is available (returned in tenant round-robin
+// order) or the queue is closed (nil, false).
+func (q *fairQueue) Pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if j := q.popLocked(); j != nil {
+			return j, true
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// popLocked removes and returns the next job in round-robin order, or nil
+// when the queue is empty. Caller holds q.mu.
+func (q *fairQueue) popLocked() *Job {
+	for len(q.tenants) > 0 {
+		if q.cursor >= len(q.tenants) {
+			q.cursor = 0
+		}
+		t := q.tenants[q.cursor]
+		fifo := q.perTen[t]
+		if len(fifo) == 0 {
+			// Tenant drained (all its jobs were Removed): drop it from the
+			// ring without advancing the cursor — the next tenant slides
+			// into this slot.
+			q.tenants = append(q.tenants[:q.cursor], q.tenants[q.cursor+1:]...)
+			delete(q.perTen, t)
+			continue
+		}
+		j := fifo[0]
+		q.perTen[t] = fifo[1:]
+		q.size--
+		if len(q.perTen[t]) == 0 {
+			q.tenants = append(q.tenants[:q.cursor], q.tenants[q.cursor+1:]...)
+			delete(q.perTen, t)
+		} else {
+			q.cursor++
+		}
+		return j
+	}
+	return nil
+}
+
+// Remove deletes j from the queue if still queued (user cancellation of a
+// not-yet-running job). Returns whether it was found.
+func (q *fairQueue) Remove(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := j.Spec.Tenant
+	fifo := q.perTen[t]
+	for i, cand := range fifo {
+		if cand == j {
+			q.perTen[t] = append(fifo[:i:i], fifo[i+1:]...)
+			q.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Drain closes the queue and returns every still-queued job (in tenant
+// round-robin order). Subsequent Push returns false; blocked Pops return.
+func (q *fairQueue) Drain() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	var out []*Job
+	for {
+		j := q.popLocked()
+		if j == nil {
+			break
+		}
+		out = append(out, j)
+	}
+	q.cond.Broadcast()
+	return out
+}
+
+// Len returns the current queue depth.
+func (q *fairQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}

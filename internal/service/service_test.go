@@ -1,0 +1,698 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/obs"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// buildWorkloadRuns collects a real corpus for app exactly as the daemon's
+// collect-on-demand path would (same rate/seed determinism), returning the
+// runs for JSONL ingestion.
+func buildWorkloadRuns(t *testing.T, appName string, runs int, seed int64) []trace.Run {
+	t.Helper()
+	app, err := apps.Get(appName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := workload.BuildCorpusCtx(context.Background(), app, workload.Options{
+		SampleRate: 0.3, Seed: seed, Correct: runs, Faulty: runs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Runs
+}
+
+// ---------------------------------------------------------------------------
+// Spec validation
+
+func TestJobSpecValidation(t *testing.T) {
+	good := JobSpec{App: "polymorph", Corpus: CorpusSpec{Runs: 10, Rate: 0.3, Seed: 1}}
+	if ps := good.Problems(); len(ps) != 0 {
+		t.Fatalf("valid spec rejected: %v", ps)
+	}
+	cases := []struct {
+		name string
+		mut  func(*JobSpec)
+	}{
+		{"unknown app", func(s *JobSpec) { s.App = "nonesuch" }},
+		{"missing app", func(s *JobSpec) { s.App = "" }},
+		{"bad kind", func(s *JobSpec) { s.Kind = "bogus/v9" }},
+		{"bad tenant", func(s *JobSpec) { s.Tenant = "no spaces allowed" }},
+		{"bad rate", func(s *JobSpec) { s.Corpus.Rate = 1.5 }},
+		{"negative runs", func(s *JobSpec) { s.Corpus.Runs = -1 }},
+		{"name+collection", func(s *JobSpec) { s.Corpus.Name = "c1" }},
+		{"negative budget", func(s *JobSpec) { s.Budgets.MaxStates = -1 }},
+		{"parallel too big", func(s *JobSpec) { s.Parallel = 1000 }},
+		{"bad scope", func(s *JobSpec) { s.Scope = "all,-" }},
+	}
+	for _, tc := range cases {
+		s := good
+		tc.mut(&s)
+		if ps := s.Problems(); len(ps) == 0 {
+			t.Errorf("%s: expected a validation problem, got none", tc.name)
+		}
+	}
+}
+
+func TestTransitionTable(t *testing.T) {
+	legal := [][2]State{
+		{"", StateQueued},
+		{StateQueued, StateRunning}, {StateQueued, StateCancelled}, {StateQueued, StateInterrupted},
+		{StateRunning, StateDone}, {StateRunning, StateFailed},
+		{StateRunning, StateCancelled}, {StateRunning, StateInterrupted},
+		{StateInterrupted, StateQueued},
+	}
+	for _, e := range legal {
+		if !TransitionOK(e[0], e[1]) {
+			t.Errorf("transition %q -> %q should be legal", e[0], e[1])
+		}
+	}
+	illegal := [][2]State{
+		{"", StateRunning}, {"", StateDone},
+		{StateQueued, StateDone}, {StateQueued, StateFailed},
+		{StateDone, StateQueued}, {StateDone, StateRunning},
+		{StateFailed, StateQueued}, {StateCancelled, StateQueued},
+		{StateRunning, StateQueued},
+	}
+	for _, e := range illegal {
+		if TransitionOK(e[0], e[1]) {
+			t.Errorf("transition %q -> %q should be illegal", e[0], e[1])
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fair queue
+
+func qjob(id, tenant string) *Job {
+	return newJob(id, JobSpec{Tenant: tenant, App: "polymorph"}, nil)
+}
+
+func TestFairQueueRoundRobin(t *testing.T) {
+	q := newFairQueue(16)
+	// Tenant A floods 6 jobs, then B and C submit one each; round-robin
+	// must interleave B and C right after A's first job.
+	for i := 0; i < 6; i++ {
+		if !q.Push(qjob(fmt.Sprintf("a%d", i), "ta")) {
+			t.Fatal("push rejected below capacity")
+		}
+	}
+	q.Push(qjob("b0", "tb"))
+	q.Push(qjob("c0", "tc"))
+	var order []string
+	for i := 0; i < 8; i++ {
+		j, ok := q.Pop()
+		if !ok {
+			t.Fatal("queue closed early")
+		}
+		order = append(order, j.ID)
+	}
+	got := strings.Join(order, " ")
+	want := "a0 b0 c0 a1 a2 a3 a4 a5"
+	if got != want {
+		t.Fatalf("round-robin order = %q, want %q", got, want)
+	}
+}
+
+func TestFairQueueCapacityAndDrain(t *testing.T) {
+	q := newFairQueue(2)
+	if !q.Push(qjob("1", "")) || !q.Push(qjob("2", "")) {
+		t.Fatal("pushes below capacity rejected")
+	}
+	if q.Push(qjob("3", "")) {
+		t.Fatal("push above capacity accepted")
+	}
+	if got := len(q.Drain()); got != 2 {
+		t.Fatalf("drain returned %d jobs, want 2", got)
+	}
+	if q.Push(qjob("4", "")) {
+		t.Fatal("push after drain accepted")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop after drain returned a job")
+	}
+}
+
+func TestFairQueueRemove(t *testing.T) {
+	q := newFairQueue(4)
+	j1, j2 := qjob("1", "t"), qjob("2", "t")
+	q.Push(j1)
+	q.Push(j2)
+	if !q.Remove(j1) {
+		t.Fatal("remove of queued job failed")
+	}
+	if q.Remove(j1) {
+		t.Fatal("second remove succeeded")
+	}
+	j, ok := q.Pop()
+	if !ok || j.ID != "2" {
+		t.Fatalf("pop after remove = %v, want job 2", j)
+	}
+}
+
+func TestFairQueueConcurrent(t *testing.T) {
+	q := newFairQueue(1000)
+	const producers, perProducer = 8, 50
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push(qjob(fmt.Sprintf("p%d-%d", p, i), fmt.Sprintf("t%d", p%4)))
+			}
+		}(p)
+	}
+	seen := make(chan string, producers*perProducer)
+	var cw sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		cw.Add(1)
+		go func() {
+			defer cw.Done()
+			for {
+				j, ok := q.Pop()
+				if !ok {
+					return
+				}
+				seen <- j.ID
+			}
+		}()
+	}
+	wg.Wait()
+	// Wait for consumers to drain the queue, then close it.
+	for q.Len() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	q.Drain()
+	cw.Wait()
+	close(seen)
+	got := map[string]bool{}
+	for id := range seen {
+		if got[id] {
+			t.Fatalf("job %s popped twice", id)
+		}
+		got[id] = true
+	}
+	if len(got) != producers*perProducer {
+		t.Fatalf("popped %d unique jobs, want %d", len(got), producers*perProducer)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ledger
+
+func TestLedgerAppendRecoverValidate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, LedgerName)
+	l, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{App: "polymorph", Corpus: CorpusSpec{Runs: 5, Rate: 0.3}}
+	must := func(rec LedgerRecord) {
+		t.Helper()
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(LedgerRecord{Job: "j1", State: StateQueued, Spec: &spec})
+	must(LedgerRecord{Job: "j1", State: StateRunning})
+	must(LedgerRecord{Job: "j1", State: StateDone, Digest: "program: x\n"})
+	must(LedgerRecord{Job: "j2", State: StateQueued, Spec: &spec})
+	must(LedgerRecord{Job: "j2", State: StateRunning})
+	must(LedgerRecord{Job: "j3", State: StateQueued, Spec: &spec})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	problems, summary, err := ValidateLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("healthy ledger has problems: %v", problems)
+	}
+	if !strings.Contains(summary, "3 jobs") {
+		t.Fatalf("summary = %q, want 3 jobs", summary)
+	}
+
+	// j2 (running) and j3 (queued) must come back; j1 (done) must not.
+	rec, rproblems, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rproblems) != 0 {
+		t.Fatalf("recovery problems: %v", rproblems)
+	}
+	var ids []string
+	for _, r := range rec {
+		ids = append(ids, r.ID)
+	}
+	if got := strings.Join(ids, " "); got != "j2 j3" {
+		t.Fatalf("recovered %q, want \"j2 j3\"", got)
+	}
+}
+
+func TestLedgerTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, LedgerName)
+	l, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{App: "polymorph"}
+	if err := l.Append(LedgerRecord{Job: "j1", State: StateQueued, Spec: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: half a record at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"crc":123,"rec":{"job":"j2","sta`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	problems, _, err := ValidateLedger(path)
+	if err != nil {
+		t.Fatalf("torn tail should validate with problems, got error: %v", err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "torn final record") {
+		t.Fatalf("problems = %v, want one torn-final-record note", problems)
+	}
+	rec, _, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != 1 || rec[0].ID != "j1" {
+		t.Fatalf("recovered %v, want j1 only", rec)
+	}
+}
+
+func TestLedgerCorruptionMidFileRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, LedgerName)
+	l, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{App: "polymorph"}
+	l.Append(LedgerRecord{Job: "j1", State: StateQueued, Spec: &spec})
+	l.Append(LedgerRecord{Job: "j1", State: StateRunning})
+	l.Close()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the second line's rec payload (not the tail).
+	lines := bytes.Split(blob, []byte("\n"))
+	lines[1] = bytes.Replace(lines[1], []byte(`"queued"`), []byte(`"QUEUED"`), 1)
+	if err := os.WriteFile(path, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ValidateLedger(path); err == nil {
+		t.Fatal("mid-file corruption validated cleanly")
+	}
+	if _, _, err := Recover(path); err == nil {
+		t.Fatal("mid-file corruption recovered cleanly")
+	}
+}
+
+func TestLedgerSealCompacts(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, LedgerName)
+	l, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{App: "polymorph"}
+	l.Append(LedgerRecord{Job: "j1", State: StateQueued, Spec: &spec})
+	l.Append(LedgerRecord{Job: "j1", State: StateRunning})
+	l.Append(LedgerRecord{Job: "j1", State: StateDone, Digest: "d\n"})
+	l.Append(LedgerRecord{Job: "j2", State: StateQueued, Spec: &spec})
+	l.Append(LedgerRecord{Job: "j2", State: StateRunning})
+	l.Append(LedgerRecord{Job: "j2", State: StateInterrupted, Error: "drain"})
+	if err := l.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	// Sealed ledger still appendable and still valid.
+	if err := l.Append(LedgerRecord{Job: "j2", State: StateQueued, Spec: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	problems, summary, err := ValidateLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("sealed ledger has problems: %v\n(%s)", problems, summary)
+	}
+	recs, _, err := readLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// j1 compacts to one record; j2 keeps its 3-record history + requeue.
+	var j1 int
+	for _, r := range recs {
+		if r.Job == "j1" {
+			j1++
+		}
+	}
+	if j1 != 1 {
+		t.Fatalf("sealed ledger has %d records for done job j1, want 1", j1)
+	}
+	rec, _, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != 1 || rec[0].ID != "j2" {
+		t.Fatalf("recovered %v, want j2 only", rec)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end over HTTP
+
+// startService wires a Service onto an httptest server, with runner count
+// and queue slots tuned per test.
+func startService(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	if cfg.DataDir == "" {
+		cfg.DataDir = t.TempDir()
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(obs.New(nil)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+func postJSON(t *testing.T, url string, v any) (*http.Response, []byte) {
+	t.Helper()
+	blob, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, body
+}
+
+func waitTerminal(t *testing.T, base, id string, within time.Duration) Status {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var st Status
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("bad status body %q: %v", body, err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s not terminal within %v (state %s)", id, within, st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestServiceEndToEnd(t *testing.T) {
+	dataDir := t.TempDir()
+	svc, ts := startService(t, Config{DataDir: dataDir, Runners: 2, QueueSlots: 8})
+
+	// Submit a small polymorph job and ride it to done.
+	spec := JobSpec{
+		Tenant: "acme",
+		App:    "polymorph",
+		Corpus: CorpusSpec{Runs: 10, Rate: 0.3, Seed: 1},
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateQueued {
+		t.Fatalf("submitted job state %s, want queued", st.State)
+	}
+	final := waitTerminal(t, ts.URL, st.ID, 60*time.Second)
+	if final.State != StateDone {
+		t.Fatalf("job ended %s (%s), want done", final.State, final.Error)
+	}
+	if final.Digest == "" {
+		t.Fatal("done job has no digest")
+	}
+	if !final.Found {
+		t.Fatal("polymorph job found no vulnerability")
+	}
+
+	// Report endpoint: JSON carries the digest; HTML renders.
+	resp2, body2 := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/report")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("report: HTTP %d: %s", resp2.StatusCode, body2)
+	}
+	var repView struct {
+		DetectionDigest string `json:"detection_digest"`
+	}
+	if err := json.Unmarshal(body2, &repView); err != nil {
+		t.Fatal(err)
+	}
+	if repView.DetectionDigest != final.Digest {
+		t.Fatalf("report digest %q != status digest %q", repView.DetectionDigest, final.Digest)
+	}
+	resp3, body3 := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/report?format=html")
+	if resp3.StatusCode != http.StatusOK || !bytes.Contains(body3, []byte("<html")) {
+		t.Fatalf("html report: HTTP %d, html? %v", resp3.StatusCode, bytes.Contains(body3, []byte("<html")))
+	}
+
+	// Job list includes it; health is sane; the ledger validates.
+	resp4, body4 := getBody(t, ts.URL+"/v1/jobs")
+	if resp4.StatusCode != http.StatusOK || !bytes.Contains(body4, []byte(st.ID)) {
+		t.Fatalf("list: HTTP %d: %s", resp4.StatusCode, body4)
+	}
+	if err := svc.Drain(drainCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	problems, _, err := ValidateLedger(filepath.Join(dataDir, LedgerName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("ledger problems after drain: %v", problems)
+	}
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, body
+}
+
+func drainCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// startIdleService builds a Service whose runner pool is never started,
+// so admitted jobs stay queued — the deterministic way to test admission
+// control and queued-job cancellation (a started runner can finish a
+// small job faster than the test submits the next one).
+func startIdleService(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	if cfg.DataDir == "" {
+		cfg.DataDir = t.TempDir()
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.corpora = NewCorpora(filepath.Join(cfg.DataDir, "corpora"), nil)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+func TestServiceRejectsWhenFull(t *testing.T) {
+	// No runners: every accepted job stays queued, so the 3rd submission
+	// must hit the 2-slot bound with 429 + Retry-After.
+	_, ts := startIdleService(t, Config{QueueSlots: 2})
+	spec := JobSpec{App: "polymorph", Corpus: CorpusSpec{Runs: 10, Rate: 0.3, Seed: 1}}
+	for i := 0; i < 2; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/jobs", spec)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("3rd submit: HTTP %d (%s), want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("429 without Retry-After: %s", body)
+	}
+}
+
+func TestServiceValidationErrors(t *testing.T) {
+	_, ts := startService(t, Config{DataDir: t.TempDir(), Runners: 1, QueueSlots: 2})
+	// Bad spec: unknown app.
+	resp, _ := postJSON(t, ts.URL+"/v1/jobs", JobSpec{App: "nonesuch"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown app: HTTP %d, want 400", resp.StatusCode)
+	}
+	// Dispatch without workers.
+	resp, _ = postJSON(t, ts.URL+"/v1/jobs", JobSpec{App: "polymorph", Dispatch: true})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("dispatch without workers: HTTP %d, want 400", resp.StatusCode)
+	}
+	// Unknown named corpus.
+	resp, _ = postJSON(t, ts.URL+"/v1/jobs", JobSpec{App: "polymorph", Corpus: CorpusSpec{Name: "nope"}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown corpus: HTTP %d, want 404", resp.StatusCode)
+	}
+	// Unknown job.
+	resp, _ = getBody(t, ts.URL+"/v1/jobs/j-0-000000")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServiceCancelQueuedJob(t *testing.T) {
+	// No runners: the job stays queued until the DELETE lands.
+	_, ts := startIdleService(t, Config{QueueSlots: 4})
+	spec := JobSpec{App: "polymorph", Corpus: CorpusSpec{Runs: 10, Rate: 0.3, Seed: 1}}
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var queued Status
+	if err := json.Unmarshal(body, &queued); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+queued.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbody, _ := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: HTTP %d: %s", dresp.StatusCode, dbody)
+	}
+	st := waitTerminal(t, ts.URL, queued.ID, 10*time.Second)
+	if st.State != StateCancelled {
+		t.Fatalf("cancelled queued job ended %s, want cancelled", st.State)
+	}
+}
+
+func TestServiceIngestAndNamedCorpusJob(t *testing.T) {
+	dataDir := t.TempDir()
+	_, ts := startService(t, Config{DataDir: dataDir, Runners: 1, QueueSlots: 4, Shards: 2})
+
+	// Stream a real corpus: generate runs the exact way the workload
+	// does, encode as JSONL, POST them.
+	runs := buildWorkloadRuns(t, "polymorph", 10, 1)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, run := range runs {
+		if err := enc.Encode(run); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, body := postRaw(t, ts.URL+"/v1/corpora/c1/runs?program=polymorph", &buf)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var res IngestResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != len(runs) || res.TotalRuns != len(runs) {
+		t.Fatalf("ingest result %+v, want %d runs", res, len(runs))
+	}
+
+	// Corpus list sees it.
+	lresp, lbody := getBody(t, ts.URL+"/v1/corpora")
+	if lresp.StatusCode != http.StatusOK || !bytes.Contains(lbody, []byte(`"c1"`)) {
+		t.Fatalf("corpora list: HTTP %d: %s", lresp.StatusCode, lbody)
+	}
+
+	// A job against the named corpus runs to done.
+	resp, body = postJSON(t, ts.URL+"/v1/jobs", JobSpec{App: "polymorph", Corpus: CorpusSpec{Name: "c1"}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var st Status
+	json.Unmarshal(body, &st)
+	final := waitTerminal(t, ts.URL, st.ID, 60*time.Second)
+	if final.State != StateDone {
+		t.Fatalf("named-corpus job ended %s (%s), want done", final.State, final.Error)
+	}
+
+	// Wrong-program job against the same corpus fails cleanly.
+	resp, body = postJSON(t, ts.URL+"/v1/jobs", JobSpec{App: "grep", Corpus: CorpusSpec{Name: "c1"}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit wrong-program: HTTP %d: %s", resp.StatusCode, body)
+	}
+	json.Unmarshal(body, &st)
+	final = waitTerminal(t, ts.URL, st.ID, 30*time.Second)
+	if final.State != StateFailed {
+		t.Fatalf("wrong-program job ended %s, want failed", final.State)
+	}
+}
+
+func postRaw(t *testing.T, url string, body io.Reader) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/x-ndjson", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, b
+}
