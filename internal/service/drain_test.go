@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -250,5 +251,75 @@ func TestDrainInterruptsQueuedIdle(t *testing.T) {
 	}
 	if len(rec) != 3 {
 		t.Fatalf("recovered %d jobs, want 3", len(rec))
+	}
+}
+
+// TestRecoveryExceedingQueueCapacity covers a crash under full load: the
+// ledger legally holds up to QueueSlots+Runners non-terminal jobs, more
+// than the queue admits from the API. Recovery must requeue all of them
+// (bypassing the 429 bound) rather than fail Start — which would re-mark
+// the overflow interrupted and brick every subsequent restart.
+func TestRecoveryExceedingQueueCapacity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real recovered jobs; run without -short")
+	}
+	dataDir := t.TempDir()
+	ledgerPath := filepath.Join(dataDir, LedgerName)
+	l, err := OpenLedger(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{App: "polymorph", Corpus: CorpusSpec{Runs: 10, Rate: 0.3, Seed: 1}}
+	const jobs = 4 // > QueueSlots(1) + Runners(1) below
+	var ids []string
+	for i := 0; i < jobs; i++ {
+		id := fmt.Sprintf("j-prev-%06d", i)
+		if err := l.Append(LedgerRecord{Job: id, State: StateQueued, Spec: &spec}); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	svc, err := New(Config{DataDir: dataDir, QueueSlots: 1, Runners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(svc.Recovered()); got != jobs {
+		t.Fatalf("recovered %d jobs, want %d", got, jobs)
+	}
+	if err := svc.Start(obs.New(nil)); err != nil {
+		t.Fatalf("start with %d recovered jobs and 1 queue slot: %v", jobs, err)
+	}
+	deadline := time.Now().Add(5 * time.Minute)
+	for _, id := range ids {
+		for {
+			j := svc.job(id)
+			if j == nil {
+				t.Fatalf("recovered job %s not registered", id)
+			}
+			if st := j.State(); st.Terminal() {
+				if st != StateDone {
+					t.Errorf("recovered job %s ended %s, want done", id, st)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("recovered job %s not terminal in time (state %s)", id, svc.job(id).State())
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	if err := svc.Drain(drainCtx2(t)); err != nil {
+		t.Fatal(err)
+	}
+	problems, _, err := ValidateLedger(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("ledger problems after over-capacity recovery: %v", problems)
 	}
 }

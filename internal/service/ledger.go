@@ -2,6 +2,7 @@ package service
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
@@ -86,6 +87,28 @@ func OpenLedger(path string) (*Ledger, error) {
 			f.Close()
 			return nil, err
 		}
+	} else {
+		// A torn final record is tolerated on read, but appending after it
+		// with O_APPEND would concatenate the next record onto the partial
+		// line, merging both into one garbage line that is no longer the
+		// tail — the restart after that one would refuse the ledger as
+		// mid-file corruption. Truncate to the last fully-valid record
+		// before the first append.
+		_, _, validOff, rerr := readLedger(path)
+		if rerr != nil {
+			f.Close()
+			return nil, rerr
+		}
+		if validOff < st.Size() {
+			if terr := f.Truncate(validOff); terr != nil {
+				f.Close()
+				return nil, terr
+			}
+			if serr := f.Sync(); serr != nil {
+				f.Close()
+				return nil, serr
+			}
+		}
 	}
 	return l, nil
 }
@@ -155,7 +178,7 @@ func (l *Ledger) Seal() error {
 			return err
 		}
 	}
-	recs, _, err := readLedger(l.path)
+	recs, _, _, err := readLedger(l.path)
 	if err != nil {
 		return err
 	}
@@ -240,46 +263,65 @@ func (l *Ledger) Seal() error {
 
 // readLedger parses the ledger at path. A torn final line (crash mid
 // -append) is tolerated and reported in problems; any earlier corruption
-// is an error. The returned records exclude the header.
-func readLedger(path string) (recs []LedgerRecord, problems []string, err error) {
+// is an error. The returned records exclude the header. validOff is the
+// byte offset just past the last fully-written (newline-terminated) valid
+// line: OpenLedger truncates the file to this offset before appending, so
+// a post-crash append starts a fresh line instead of concatenating onto
+// the torn tail.
+func readLedger(path string) (recs []LedgerRecord, problems []string, validOff int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	br := bufio.NewReaderSize(f, 1<<20)
 	n := 0
 	sawHeader := false
-	for sc.Scan() {
-		n++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
+	for {
+		raw, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return nil, nil, 0, rerr
 		}
-		var line ledgerLine
-		if err := json.Unmarshal(raw, &line); err != nil {
-			// Only a torn tail is forgivable: peek whether more lines follow.
-			if sc.Scan() {
-				return nil, nil, fmt.Errorf("%s:%d: bad ledger line: %v", path, n, err)
-			}
-			problems = append(problems, fmt.Sprintf("line %d: torn final record dropped (%v)", n, err))
+		if len(raw) == 0 {
+			break // clean EOF
+		}
+		n++
+		if rerr == io.EOF {
+			// No trailing newline: the append never finished this line, and
+			// the fsync behind it never acknowledged — drop it even if the
+			// bytes happen to parse.
+			problems = append(problems, fmt.Sprintf("line %d: torn final record dropped (no newline)", n))
 			break
 		}
-		if crc32.ChecksumIEEE(line.Rec) != line.CRC {
-			if sc.Scan() {
-				return nil, nil, fmt.Errorf("%s:%d: CRC mismatch", path, n)
+		line := bytes.TrimSuffix(raw, []byte("\n"))
+		line = bytes.TrimSuffix(line, []byte("\r"))
+		if len(line) == 0 {
+			validOff += int64(len(raw))
+			continue
+		}
+		var frame ledgerLine
+		bad := ""
+		if jerr := json.Unmarshal(line, &frame); jerr != nil {
+			bad = fmt.Sprintf("bad ledger line: %v", jerr)
+		} else if crc32.ChecksumIEEE(frame.Rec) != frame.CRC {
+			bad = "CRC mismatch"
+		}
+		if bad != "" {
+			// Only a torn tail is forgivable: peek whether more data follows.
+			if _, perr := br.Peek(1); perr == nil {
+				return nil, nil, 0, fmt.Errorf("%s:%d: %s", path, n, bad)
 			}
-			problems = append(problems, fmt.Sprintf("line %d: torn final record dropped (CRC mismatch)", n))
+			problems = append(problems, fmt.Sprintf("line %d: torn final record dropped (%s)", n, bad))
 			break
 		}
 		var rec LedgerRecord
-		if err := json.Unmarshal(line.Rec, &rec); err != nil {
-			return nil, nil, fmt.Errorf("%s:%d: bad ledger record: %v", path, n, err)
+		if jerr := json.Unmarshal(frame.Rec, &rec); jerr != nil {
+			return nil, nil, 0, fmt.Errorf("%s:%d: bad ledger record: %v", path, n, jerr)
 		}
+		validOff += int64(len(raw))
 		if n == 1 {
 			if rec.Type != LedgerType || rec.Version != LedgerVersion {
-				return nil, nil, fmt.Errorf("%s: not a %s v%d ledger (header type %q v%d)",
+				return nil, nil, 0, fmt.Errorf("%s: not a %s v%d ledger (header type %q v%d)",
 					path, LedgerType, LedgerVersion, rec.Type, rec.Version)
 			}
 			sawHeader = true
@@ -287,16 +329,13 @@ func readLedger(path string) (recs []LedgerRecord, problems []string, err error)
 		}
 		recs = append(recs, rec)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, nil, err
-	}
 	if n == 0 {
-		return nil, nil, io.ErrUnexpectedEOF
+		return nil, nil, 0, io.ErrUnexpectedEOF
 	}
 	if !sawHeader {
-		return nil, nil, fmt.Errorf("%s: missing ledger header", path)
+		return nil, nil, 0, fmt.Errorf("%s: missing ledger header", path)
 	}
-	return recs, problems, nil
+	return recs, problems, validOff, nil
 }
 
 // replayJobs groups records by job ID in append order.
@@ -327,7 +366,7 @@ func Recover(path string) ([]RecoveredJob, []string, error) {
 	if _, err := os.Stat(path); os.IsNotExist(err) {
 		return nil, nil, nil
 	}
-	recs, problems, err := readLedger(path)
+	recs, problems, _, err := readLedger(path)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -365,7 +404,7 @@ func Recover(path string) ([]RecoveredJob, []string, error) {
 // on queued records and valid, digests present on done records. The
 // summary line is human-oriented; problems is empty for a healthy file.
 func ValidateLedger(path string) (problems []string, summary string, err error) {
-	recs, problems, err := readLedger(path)
+	recs, problems, _, err := readLedger(path)
 	if err != nil {
 		return nil, "", err
 	}

@@ -30,10 +30,20 @@ func newFairQueue(capacity int) *fairQueue {
 }
 
 // Push admits j, returning false when the queue is at capacity or closed.
-func (q *fairQueue) Push(j *Job) bool {
+func (q *fairQueue) Push(j *Job) bool { return q.push(j, false) }
+
+// ForcePush admits j even past capacity, returning false only when the
+// queue is closed. Recovery requeues use it: the ledger can legally hold
+// up to QueueSlots+Runners non-terminal jobs, and bouncing the overflow
+// would make every restart after a crash-under-full-load fail the same
+// way. The capacity bound exists to protect API admission (429), not
+// recovery.
+func (q *fairQueue) ForcePush(j *Job) bool { return q.push(j, true) }
+
+func (q *fairQueue) push(j *Job, force bool) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.closed || q.size >= q.cap {
+	if q.closed || (!force && q.size >= q.cap) {
 		return false
 	}
 	t := j.Spec.Tenant

@@ -155,10 +155,20 @@ func (s *Service) admit(j *Job, requeue bool) error {
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	s.mu.Unlock()
-	if !s.queue.Push(j) {
-		// Capacity was checked before the ledger write for API admissions;
-		// hitting this means a race or a recovery overflow — mark it
-		// interrupted so a later restart retries.
+	// Recovery requeues bypass the capacity bound (ForcePush): a crash can
+	// leave up to QueueSlots+Runners non-terminal jobs in the ledger, and
+	// rejecting the overflow would re-mark them interrupted and brick every
+	// subsequent restart. API admissions stay bounded (checked under s.mu
+	// in handleSubmit, re-checked by Push here).
+	pushed := false
+	if requeue {
+		pushed = s.queue.ForcePush(j)
+	} else {
+		pushed = s.queue.Push(j)
+	}
+	if !pushed {
+		// Full (API race) or closed (drain): mark it interrupted so a later
+		// restart retries.
 		s.setTerminal(j, StateInterrupted, "", nil, "queue full at admission")
 		return fmt.Errorf("queue full")
 	}
@@ -170,6 +180,21 @@ func (s *Service) admit(j *Job, requeue bool) error {
 		}
 	}
 	return nil
+}
+
+// newJobIDLocked allocates a fresh job ID under s.mu. Nanosecond submit
+// time (not the per-process start second) keeps IDs from colliding with
+// jobs recovered from a previous process after a quick restart; the map
+// check closes the remainder so an ID can never overwrite a live job or
+// extend another job's ledger history.
+func (s *Service) newJobIDLocked() string {
+	for {
+		s.seq++
+		id := fmt.Sprintf("j-%d-%06d", time.Now().UnixNano(), s.seq)
+		if _, taken := s.jobs[id]; !taken {
+			return id
+		}
+	}
 }
 
 func tenantOrDefault(t string) string {
@@ -208,6 +233,16 @@ func (s *Service) runJob(j *Job) {
 		// Cancelled (or otherwise finished) while queued; nothing to run.
 		j.mu.Unlock()
 		cancel()
+		return
+	}
+	if j.cancelled {
+		// DELETE landed between queue.Pop and here: Remove missed the job
+		// and j.cancel was still nil, so the handler could only set the
+		// flag. Honour the acknowledged cancel instead of running the job
+		// to completion.
+		j.mu.Unlock()
+		cancel()
+		s.setTerminal(j, StateCancelled, "", nil, "")
 		return
 	}
 	j.state = StateRunning
@@ -472,8 +507,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		apiError(w, http.StatusTooManyRequests, "queue full (%d slots)", s.cfg.QueueSlots)
 		return
 	}
-	s.seq++
-	id := fmt.Sprintf("j-%d-%06d", s.started.Unix(), s.seq)
+	id := s.newJobIDLocked()
 	s.mu.Unlock()
 
 	j := newJob(id, spec, s.o)

@@ -310,6 +310,61 @@ func TestLedgerTornTailTolerated(t *testing.T) {
 	}
 }
 
+// TestLedgerTornTailTruncatedOnReopen is the survive-two-crashes case:
+// reopening after a torn append must truncate the partial line, so the
+// next append starts fresh instead of concatenating onto it (which would
+// turn the torn tail into mid-file corruption and brick the restart after
+// this one).
+func TestLedgerTornTailTruncatedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, LedgerName)
+	l, err := OpenLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{App: "polymorph"}
+	if err := l.Append(LedgerRecord{Job: "j1", State: StateQueued, Spec: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"crc":123,"rec":{"job":"j2","sta`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l, err = OpenLedger(path)
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	if err := l.Append(LedgerRecord{Job: "j1", State: StateRunning}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	problems, _, err := ValidateLedger(path)
+	if err != nil {
+		t.Fatalf("ledger unreadable after post-crash append: %v", err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("problems after post-crash append: %v", problems)
+	}
+	recs, _, _, err := readLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].State != StateQueued || recs[1].State != StateRunning {
+		t.Fatalf("records after truncate+append = %+v, want j1 queued then running", recs)
+	}
+}
+
 func TestLedgerCorruptionMidFileRejected(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, LedgerName)
@@ -369,7 +424,7 @@ func TestLedgerSealCompacts(t *testing.T) {
 	if len(problems) != 0 {
 		t.Fatalf("sealed ledger has problems: %v\n(%s)", problems, summary)
 	}
-	recs, _, err := readLedger(path)
+	recs, _, _, err := readLedger(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -627,6 +682,48 @@ func TestServiceCancelQueuedJob(t *testing.T) {
 	st := waitTerminal(t, ts.URL, queued.ID, 10*time.Second)
 	if st.State != StateCancelled {
 		t.Fatalf("cancelled queued job ended %s, want cancelled", st.State)
+	}
+}
+
+// TestServiceCancelBetweenPopAndRun pins the lost-cancellation race:
+// DELETE lands after a runner popped the job but before runJob stored
+// j.cancel, so queue.Remove misses and the handler can only set the
+// cancelled flag. runJob must honour that flag and finish the job
+// cancelled instead of running it to completion.
+func TestServiceCancelBetweenPopAndRun(t *testing.T) {
+	// No runners: we play the runner by hand to land in the race window.
+	svc, ts := startIdleService(t, Config{QueueSlots: 4})
+	spec := JobSpec{App: "polymorph", Corpus: CorpusSpec{Runs: 10, Rate: 0.3, Seed: 1}}
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var queued Status
+	if err := json.Unmarshal(body, &queued); err != nil {
+		t.Fatal(err)
+	}
+	j := svc.job(queued.ID)
+	popped, ok := svc.queue.Pop()
+	if !ok || popped != j {
+		t.Fatalf("popped %v, want job %s", popped, queued.ID)
+	}
+	// The DELETE finds the job gone from the queue and j.cancel still nil.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+queued.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: HTTP %d", dresp.StatusCode)
+	}
+	svc.runJob(j)
+	if got := j.State(); got != StateCancelled {
+		t.Fatalf("job ended %s, want cancelled", got)
+	}
+	if j.Report() != nil {
+		t.Fatal("cancelled job ran to completion and produced a report")
 	}
 }
 
